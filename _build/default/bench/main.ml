@@ -1,0 +1,18 @@
+(* The evaluation harness: E1..E12 (one experiment per thesis; the
+   "tables and figures" the position paper never had — see DESIGN.md §5
+   and EXPERIMENTS.md) plus Bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe e3 e6      # selected experiments
+     dune exec bench/main.exe micro      # micro-benchmarks only
+*)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted name = args = [] || List.mem name args in
+  Fmt.pr "# XChange-OCaml evaluation — Twelve Theses on Reactive Rules for the Web@.";
+  List.iter
+    (fun (name, f) -> if wanted name then f ())
+    Experiments.all;
+  if wanted "micro" then Micro.run ()

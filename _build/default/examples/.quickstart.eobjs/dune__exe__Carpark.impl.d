@@ -1,0 +1,1 @@
+examples/carpark.ml: Clock Engine Fmt List Network Node Option Parser Pubsub Result Ruleset Store Term Xchange Xml

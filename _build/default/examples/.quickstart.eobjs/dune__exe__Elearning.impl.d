@@ -1,0 +1,1 @@
+examples/elearning.ml: Fmt List Network Node Option Rdf Result Store Term Xchange

@@ -1,0 +1,1 @@
+examples/flight_monitor.ml: Clock Fmt List Network Node Option Store Term Xchange Xml

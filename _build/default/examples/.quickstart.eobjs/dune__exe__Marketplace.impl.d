@@ -1,0 +1,1 @@
+examples/marketplace.ml: Accounting Clock Fmt List Network Node Parser Ruleset Store Term Transport Xchange Xml

@@ -1,0 +1,1 @@
+examples/news_monitor.ml: Clock Fmt List Network Node Option Path Poll Qterm Result Ruleset Simulate Store Term Transport Xchange Xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Network Node Option Store Term Transport Xchange Xml

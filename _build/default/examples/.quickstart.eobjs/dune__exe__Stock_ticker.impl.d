@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Clock Fmt List Network Node Option Store Term Xchange Xml

@@ -1,0 +1,1 @@
+examples/travel_workflow.ml: Clock Fmt List Network Node Store Term Transport Xchange Xml

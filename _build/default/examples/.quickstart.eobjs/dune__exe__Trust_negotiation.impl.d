@@ -1,0 +1,1 @@
+examples/trust_negotiation.ml: Fmt List Printer String Trust Xchange

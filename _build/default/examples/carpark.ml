@@ -1,0 +1,99 @@
+(* The paper's context-dependent service (Section 2): "a time- and
+   location-dependent car park directory that adapts the information it
+   delivers and reacts to changes."
+
+   - Each car park publishes its free-spot count to the directory
+     (push, Thesis 3) whenever a car enters or leaves.
+   - The directory keeps a live document of spot counts per district
+     and republishes district summaries through its pub/sub register,
+     so subscribed navigation devices learn about changes immediately.
+   - A congestion rule uses accumulation (Thesis 5): if the average of
+     the last 4 reported counts for a car park drops below 5, the
+     directory marks it "filling up".
+   - Drivers (navigation devices) query the directory document remotely
+     (Thesis 2) before deciding.
+
+   Run with: dune exec examples/carpark.exe
+*)
+
+open Xchange
+
+let directory_program =
+  {|
+ruleset directory {
+  # keep the live register: replace the car park's entry on every report
+  rule spots:
+    on spots{{park[var P], district[var D], free[var N]}}
+    do { delete from "/parks" matching entry{{park[var P]}};
+         insert into "/parks" entry[park[$P], district[$D], free[$N]];
+         raise to "directory.example" publish
+           publish[topic[$D], body[update[park[$P], free[$N]]]] }
+
+  # accumulation: average of the last 4 reports for one park below 10
+  rule filling-up:
+    on avg($N) last 4 {spots{{park[var P], free[var N]}}} as A
+    if $A < 10
+    do log "car park %s is filling up (avg %s free)", $P, $A
+}
+|}
+
+let () =
+  let directory =
+    match node_of_program ~host:"directory.example" directory_program with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  (* the directory also runs the standard pub/sub rules *)
+  let with_pubsub =
+    Ruleset.make
+      ~children:[ Engine.ruleset (Node.engine directory); Pubsub.publisher_ruleset () ]
+      "directory-root"
+  in
+  let directory = node_exn ~host:"directory.example" with_pubsub in
+  Store.add_doc (Node.store directory) "/parks" (Term.elem ~ord:Term.Unordered "parks" []);
+  Store.add_doc (Node.store directory) Pubsub.subscribers_doc (Pubsub.empty_register ());
+
+  let nav_rules =
+    Result.get_ok
+      (Parser.parse_program
+         {|ruleset nav {
+             rule notify:
+               on notify{{topic[var D], body[update[park[var P], free[var N]]]}}
+               do log "district %s: %s now has %s free spots", $D, $P, $N
+           }|})
+  in
+  let nav = node_exn ~host:"nav.example" nav_rules in
+
+  let net = Network.create () in
+  Network.add_node net directory;
+  Network.add_node net nav;
+
+  (* the navigation device subscribes to the city-centre district *)
+  Network.inject net ~to_:"directory.example" ~label:"subscribe"
+    (Pubsub.subscribe ~topic:"centre" ~host:"nav.example");
+
+  (* car parks report their counts as cars come and go *)
+  let report t park district free =
+    if Network.clock net < t then Network.run net ~until:t;
+    Network.inject net ~sender:(park ^ ".example") ~to_:"directory.example" ~label:"spots"
+      (Term.elem "spots"
+         [
+           Term.elem "park" [ Term.text park ];
+           Term.elem "district" [ Term.text district ];
+           Term.elem "free" [ Term.num free ];
+         ])
+  in
+  report (Clock.minutes 0) "p-opera" "centre" 40.;
+  report (Clock.minutes 2) "p-station" "north" 100.;
+  report (Clock.minutes 5) "p-opera" "centre" 22.;
+  report (Clock.minutes 9) "p-opera" "centre" 9.;
+  report (Clock.minutes 12) "p-opera" "centre" 4.;
+  report (Clock.minutes 15) "p-opera" "centre" 2.;
+  ignore (Network.run_until_quiet net ());
+
+  Fmt.pr "--- directory log ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs directory);
+  Fmt.pr "--- navigation device (subscribed to 'centre' only) ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs nav);
+  Fmt.pr "--- live register (what a driver's remote query returns) ---@.%s@."
+    (Xml.to_string (Option.get (Store.doc (Node.store directory) "/parks")))

@@ -1,0 +1,86 @@
+(* The paper's flight scenario (Thesis 5): "if a flight has been
+   canceled, and there is no notification within the next two hours that
+   the passenger is put onto another flight, this might well require a
+   reaction."
+
+   An airline node publishes cancellations and rebookings; a travel
+   agency monitors them with an ABSENT query and books hotels for
+   stranded passengers.  A second rule uses TIMES to spot disruption
+   storms (3 cancellations of the same airline within 6 hours).
+
+   Run with: dune exec examples/flight_monitor.exe
+*)
+
+open Xchange
+
+let agency_program =
+  {|
+ruleset agency {
+  procedure book-hotel(Who) {
+    log "booking hotel for stranded passenger %s", $Who;
+    insert into "/hotel-bookings" booking[passenger[$Who]]
+  }
+
+  # cancellation with no rebooking for the same passenger within 2h
+  rule stranded:
+    on absent{cancellation{{passenger[var Who], flight[var F]}},
+              rebooking{{passenger[var Who]}}} within 2 h
+    do call book-hotel($Who)
+
+  # disruption storm: 3 cancellations of one airline within 6 hours
+  rule storm(consume):
+    on times 3 {cancellation{{airline[var A]}}} within 6 h
+    do log "ALERT: airline %s is melting down", $A
+
+  # keep an audit trail: persist every cancellation (volatile -> persistent,
+  # Thesis 4)
+  rule audit:
+    on cancellation: var E
+    do insert into "/audit" entry[$E]
+}
+|}
+
+let cancellation ~passenger ~flight ~airline =
+  Term.elem "cancellation"
+    [
+      Term.elem "passenger" [ Term.text passenger ];
+      Term.elem "flight" [ Term.text flight ];
+      Term.elem "airline" [ Term.text airline ];
+    ]
+
+let rebooking ~passenger =
+  Term.elem "rebooking" [ Term.elem "passenger" [ Term.text passenger ] ]
+
+let () =
+  let agency =
+    match node_of_program ~host:"agency.example" agency_program with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  Store.add_doc (Node.store agency) "/hotel-bookings" (Term.elem ~ord:Term.Unordered "bookings" []);
+  Store.add_doc (Node.store agency) "/audit" (Term.elem ~ord:Term.Unordered "audit" []);
+
+  let net = Network.create () in
+  Network.add_node net agency;
+  Network.enable_heartbeat net ~period:(Clock.minutes 15);
+
+  let at t f = if Network.clock net < t then Network.run net ~until:t; f () in
+  let inject label payload = Network.inject net ~sender:"airline.example" ~to_:"agency.example" ~label payload in
+
+  at (Clock.minutes 0) (fun () ->
+      inject "cancellation" (cancellation ~passenger:"franz" ~flight:"LH123" ~airline:"LH"));
+  at (Clock.minutes 30) (fun () -> inject "rebooking" (rebooking ~passenger:"franz"));
+  at (Clock.hours 1) (fun () ->
+      inject "cancellation" (cancellation ~passenger:"mary" ~flight:"LH456" ~airline:"LH"));
+  at (Clock.hours 4) (fun () ->
+      inject "cancellation" (cancellation ~passenger:"paul" ~flight:"LH789" ~airline:"LH"));
+  at (Clock.hours 5) (fun () ->
+      inject "cancellation" (cancellation ~passenger:"rita" ~flight:"XY1" ~airline:"XY"));
+  Network.run net ~until:(Clock.hours 12);
+
+  Fmt.pr "--- agency log ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs agency);
+  Fmt.pr "--- hotel bookings ---@.%s@."
+    (Xml.to_string (Option.get (Store.doc (Node.store agency) "/hotel-bookings")));
+  Fmt.pr "--- audit trail: %d entries ---@."
+    (List.length (Term.children (Option.get (Store.doc (Node.store agency) "/audit"))))

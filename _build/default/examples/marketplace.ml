@@ -1,0 +1,134 @@
+(* An online marketplace across three Web sites (the paper's Section 2
+   motivating scenario):
+
+   - shop.example      receives orders, checks the customer register
+                       through a deductive view, calls a shared [ship]
+                       procedure or asks for payment first (ECAA);
+                       composite SEQ and ABSENT queries handle paid and
+                       unpaid orders (Thesis 5); an accounting rule set
+                       (Thesis 12) tracks every service use.
+   - warehouse.example reacts to pick events, updates stock, and raises
+                       a restock alarm through an update-triggered rule
+                       (integrity-constraint style, Thesis 1).
+   - bank.example      turns invoices into payment events.
+
+   Run with: dune exec examples/marketplace.exe
+*)
+
+open Xchange
+
+let shop_program =
+  {|
+ruleset shop {
+  procedure ship(Item, Who) {
+    log "shipping %s to %s", $Item, $Who;
+    raise to "warehouse.example" pick pick[item[$Item]]
+  }
+
+  view gold gold[all name[$N]]
+    from in doc("/customers") customers{{customer{{name[var N], status["gold"]}}}}
+
+  # gold customers ship immediately; others must pay first
+  rule incoming-order:
+    on order{{item[var Item], customer[var Who]}}
+    if in view(gold) gold{{name[var Who]}}
+    do call ship($Item, $Who)
+    else { log "awaiting payment from %s for %s", $Who, $Item;
+           raise to "bank.example" invoice invoice[customer[$Who], item[$Item]] }
+
+  # order followed by its payment within 2 hours: ship (composite event)
+  rule paid-order(consume):
+    on seq{order{{item[var Item], customer[var Who]}},
+           payment{{customer[var Who]}}} within 2 h
+    do call ship($Item, $Who)
+
+  # order with NO payment within 2 hours: cancel (absence query)
+  rule unpaid-order(consume):
+    on absent{order{{item[var Item], customer[var Who]}},
+              payment{{customer[var Who]}}} within 2 h
+    if not(in view(gold) gold{{name[var Who]}})
+    do log "cancelling unpaid order: %s for %s", $Item, $Who
+}
+|}
+
+let warehouse_program =
+  {|
+ruleset warehouse {
+  rule pick:
+    on pick{{item[var Item]}}
+    do { log "picked %s", $Item;
+         delete from "/stock" matching unit{{item[var Item]}} }
+
+  # after any stock update, alarm when the shelf ran empty
+  rule restock:
+    on update{{@doc = "/stock"}}
+    if not(in doc("/stock") stock{{unit{{}}}})
+    do log "stock empty! ordering more"
+}
+|}
+
+let bank_program =
+  {|
+ruleset bank {
+  rule invoice:
+    on invoice{{customer[var Who], item[var Item]}}
+    do { log "invoicing %s", $Who;
+         raise to "shop.example" payment payment[customer[$Who], item[$Item]] }
+}
+|}
+
+let order item who =
+  Term.elem "order" [ Term.elem "item" [ Term.text item ]; Term.elem "customer" [ Term.text who ] ]
+
+let parse_ruleset src = match Parser.parse_program src with Ok rs -> rs | Error e -> failwith e
+
+let () =
+  (* the shop runs its service rules AND the accounting rules (Thesis 12:
+     double reactivity, orthogonal rule sets over the same event stream) *)
+  let shop_rules =
+    Ruleset.make
+      ~children:
+        [ parse_ruleset shop_program; Accounting.ruleset ~service_labels:[ "order"; "payment" ] () ]
+      "shop-root"
+  in
+  let shop = node_exn ~host:"shop.example" shop_rules in
+  let warehouse = node_exn ~host:"warehouse.example" (parse_ruleset warehouse_program) in
+  let bank = node_exn ~host:"bank.example" (parse_ruleset bank_program) in
+
+  Store.add_doc (Node.store shop) "/customers"
+    (Xml.parse_exn
+       {|<customers xch:unordered="true">
+           <customer><name>franz</name><status>gold</status></customer>
+           <customer><name>mary</name><status>basic</status></customer>
+         </customers>|});
+  Store.add_doc (Node.store shop) Accounting.default_log_doc (Accounting.log_document ());
+  Store.add_doc (Node.store warehouse) "/stock"
+    (Xml.parse_exn
+       {|<stock xch:unordered="true">
+           <unit><item>ball</item></unit>
+           <unit><item>whistle</item></unit>
+         </stock>|});
+
+  let net = Network.create () in
+  List.iter (Network.add_node net) [ shop; warehouse; bank ];
+  Network.enable_heartbeat net ~period:(Clock.minutes 10);
+
+  (* franz (gold) ships immediately; mary pays through the bank first *)
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "ball" "franz");
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "whistle" "mary");
+  Network.run net ~until:(Clock.hours 3);
+
+  List.iter
+    (fun n ->
+      Fmt.pr "--- log of %s ---@." (Node.host n);
+      List.iter (Fmt.pr "  %s@.") (Node.logs n))
+    [ shop; warehouse; bank ];
+
+  Fmt.pr "--- accounting (%s) ---@." (Node.host shop);
+  let usage = Accounting.summary (Node.store shop) () in
+  List.iter (fun u -> Fmt.pr "  %-10s used %d time(s)@." u.Accounting.service u.Accounting.count) usage;
+  Fmt.pr "  bill at 2.50/order, 0.10/payment: %.2f EUR@."
+    (Accounting.bill ~rates:[ ("order", 2.5); ("payment", 0.1) ] usage);
+  Fmt.pr "--- traffic ---@.  %d messages, %d bytes@."
+    (Network.transport_stats net).Transport.messages
+    (Network.transport_stats net).Transport.bytes

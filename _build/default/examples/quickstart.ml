@@ -1,0 +1,60 @@
+(* Quickstart: a reactive rule in the surface syntax, end to end.
+
+   One node runs a single ECA rule: when an order event arrives, check
+   the (persistent) customer register, and either thank the customer or
+   ask a clerk to review.  Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+open Xchange
+
+let program =
+  {|
+ruleset quickstart {
+  rule handle-order:
+    on order{{item[var Item], customer[var Who]}}
+    if in doc("/customers") customers{{customer{{name[var Who], status["gold"]}}}}
+    do { log "shipping %s to gold customer %s", $Item, $Who;
+         insert into "/shipments" shipment[item[$Item], to[$Who]] }
+    else log "order for %s needs review (unknown or basic customer %s)", $Item, $Who
+}
+|}
+
+let customers =
+  Xml.parse_exn
+    {|<customers xch:unordered="true">
+        <customer><name>franz</name><status>gold</status></customer>
+        <customer><name>mary</name><status>basic</status></customer>
+      </customers>|}
+
+let order ~item ~customer =
+  Term.elem "order"
+    [ Term.elem "item" [ Term.text item ]; Term.elem "customer" [ Term.text customer ] ]
+
+let () =
+  (* 1. a node running the program *)
+  let shop =
+    match node_of_program ~host:"shop.example" program with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  Store.add_doc (Node.store shop) "/customers" customers;
+  Store.add_doc (Node.store shop) "/shipments" (Term.elem ~ord:Term.Unordered "shipments" []);
+
+  (* 2. a (simulated) Web around it *)
+  let net = Network.create () in
+  Network.add_node net shop;
+
+  (* 3. events arrive as messages *)
+  Network.inject net ~to_:"shop.example" ~label:"order" (order ~item:"ball" ~customer:"franz");
+  Network.inject net ~to_:"shop.example" ~label:"order" (order ~item:"whistle" ~customer:"mary");
+  ignore (Network.run_until_quiet net ());
+
+  (* 4. observe reactions *)
+  Fmt.pr "--- log of shop.example ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs shop);
+  Fmt.pr "--- /shipments ---@.%s@."
+    (Xml.to_string (Option.get (Store.doc (Node.store shop) "/shipments")));
+  Fmt.pr "rule firings: %d, messages on the wire: %d@." (Node.firings shop)
+    (Network.transport_stats net).Transport.messages

@@ -1,0 +1,78 @@
+(* The paper's stock-market scenario (Thesis 5, event accumulation):
+   "a stock market application might require notification if the average
+   over the last 5 reported stock prices raises by 5%".
+
+   A trader node watches a price feed with a RISES accumulation query
+   and places buy orders; a second AVG query maintains a rolling
+   indicator document; a broker node executes the orders.
+
+   Run with: dune exec examples/stock_ticker.exe
+*)
+
+open Xchange
+
+let trader_program =
+  {|
+ruleset trader {
+  # the headline query: avg of the last 5 prices rises by 5%
+  rule momentum:
+    on rises($P, 5, 1.05) {price{{stock[var S], value[var P]}}} as Avg
+    do { log "momentum on %s (new 5-avg %s)", $S, $Avg;
+         raise to "broker.example" buy buy[stock[$S], limit[expr($Avg * 1.01)]] }
+
+  # rolling indicator: always keep the latest 3-average per stock
+  rule indicator:
+    on avg($P) last 3 {price{{stock[var S], value[var P]}}} as A
+    do { delete from "/indicators" matching ind{{stock[var S]}};
+         insert into "/indicators" ind[stock[$S], avg3[$A]] }
+}
+|}
+
+let broker_program =
+  {|
+ruleset broker {
+  rule execute:
+    on buy{{stock[var S], limit[var L]}}
+    do log "executing buy %s (limit %s)", $S, $L
+}
+|}
+
+let price ~stock ~value =
+  Term.elem "price" [ Term.elem "stock" [ Term.text stock ]; Term.elem "value" [ Term.num value ] ]
+
+let () =
+  let trader =
+    match node_of_program ~host:"trader.example" trader_program with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  let broker =
+    match node_of_program ~host:"broker.example" broker_program with
+    | Ok n -> n
+    | Error e -> failwith e
+  in
+  Store.add_doc (Node.store trader) "/indicators" (Term.elem ~ord:Term.Unordered "indicators" []);
+
+  let net = Network.create () in
+  Network.add_node net trader;
+  Network.add_node net broker;
+
+  (* two interleaved feeds: ACME trends up, DULL is flat *)
+  let acme = [ 100.; 101.; 99.; 100.; 100.; 140.; 155.; 150.; 160.; 185. ] in
+  let dull = [ 50.; 50.; 50.1; 49.9; 50.; 50.; 50.; 50.1; 49.9; 50. ] in
+  List.iteri
+    (fun i (a, d) ->
+      Network.run net ~until:(i * Clock.seconds 10);
+      Network.inject net ~sender:"feed.example" ~to_:"trader.example" ~label:"price"
+        (price ~stock:"ACME" ~value:a);
+      Network.inject net ~sender:"feed.example" ~to_:"trader.example" ~label:"price"
+        (price ~stock:"DULL" ~value:d))
+    (List.combine acme dull);
+  ignore (Network.run_until_quiet net ());
+
+  Fmt.pr "--- trader log ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs trader);
+  Fmt.pr "--- broker log ---@.";
+  List.iter (Fmt.pr "  %s@.") (Node.logs broker);
+  Fmt.pr "--- indicators ---@.%s@."
+    (Xml.to_string (Option.get (Store.doc (Node.store trader) "/indicators")))

@@ -1,0 +1,141 @@
+(* Business-travel workflow (Section 2 of the paper: "Web-based business
+   management systems, e.g., for business travel applications, planning,
+   and reimbursement in large companies, that rely upon complex
+   workflows of actions and messages").
+
+   Four Web sites choreograph a trip without any central coordinator
+   (Thesis 2: local rules, global behaviour through events):
+
+   - hr.example       receives travel requests, checks the department
+                      budget on the REMOTE finance site (Thesis 2), and
+                      approves or rejects.
+   - booking.example  books a flight with alternatives (Thesis 8: try
+                      the preferred carrier, fall back to another) and a
+                      hotel, then confirms.
+   - finance.example  hosts the budget document and reimburses once BOTH
+                      the trip report and the receipts have arrived
+                      (AND composite, Thesis 5); the reimbursement is
+                      denied if receipts fail to arrive within 14 days
+                      of the report (absence).
+   - employee.example just logs what happens to them.
+
+   Run with: dune exec examples/travel_workflow.exe
+*)
+
+open Xchange
+
+let hr_program =
+  {|
+ruleset hr {
+  rule request:
+    on travel-request{{who[var Who], dest[var Dest], cost[var Cost]}}
+    if in uri("finance.example/budget") budget{{available[var Avail]}}
+    do if $Cost <= $Avail
+       then { log "approved: %s to %s (%s EUR)", $Who, $Dest, $Cost;
+              raise to "booking.example" book book[who[$Who], dest[$Dest]];
+              raise to "finance.example" reserve reserve[amount[$Cost]] }
+       else { log "rejected: %s to %s (budget too low)", $Who, $Dest;
+              raise to "employee.example" rejected rejected[dest[$Dest]] }
+}
+|}
+
+let booking_program =
+  {|
+ruleset booking {
+  procedure confirm(Who, Dest, How) {
+    log "booked %s to %s via %s", $Who, $Dest, $How;
+    raise to "employee.example" itinerary itinerary[who[$Who], dest[$Dest], via[$How]]
+  }
+
+  rule book:
+    on book{{who[var Who], dest[var Dest]}}
+    do alt {
+         # preferred carrier only flies to HQ
+         { if in doc("/routes") routes{{route{{carrier["prefair"], dest[var Dest]}}}}
+           then call confirm($Who, $Dest, "prefair")
+           else fail "prefair does not fly there" }
+       | call confirm($Who, $Dest, "anyjet")
+       }
+}
+|}
+
+let finance_program =
+  {|
+ruleset finance {
+  rule reserve:
+    on reserve{{amount[var A]}}
+    do log "reserved %s EUR", $A
+
+  # reimbursement needs BOTH the report and the receipts (any order)
+  rule reimburse(consume):
+    on and{trip-report{{who[var Who]}}, receipts{{who[var Who], total[var T]}}} within 30 h
+    do { log "reimbursing %s: %s EUR", $Who, $T;
+         raise to "employee.example" paid paid[amount[$T]] }
+
+  # report with no receipts within 14 hours: warn
+  rule missing-receipts:
+    on absent{trip-report{{who[var Who]}}, receipts{{who[var Who]}}} within 14 h
+    do raise to "employee.example" reminder reminder[who[$Who]]
+}
+|}
+
+let employee_program =
+  {|
+ruleset employee {
+  rule itinerary: on itinerary{{dest[var D], via[var V]}} do log "got itinerary to %s via %s", $D, $V
+  rule rejected:  on rejected{{dest[var D]}}              do log "trip to %s rejected", $D
+  rule paid:      on paid{{amount[var A]}}                do log "reimbursed %s EUR", $A
+  rule reminded:  on reminder{{}}                         do log "reminder: submit receipts!"
+}
+|}
+
+let () =
+  let mk host src =
+    match node_of_program ~host src with Ok n -> n | Error e -> failwith (host ^ ": " ^ e)
+  in
+  let hr = mk "hr.example" hr_program in
+  let booking = mk "booking.example" booking_program in
+  let finance = mk "finance.example" finance_program in
+  let employee = mk "employee.example" employee_program in
+
+  Store.add_doc (Node.store finance) "/budget"
+    (Xml.parse_exn "<budget><available>1000</available></budget>");
+  Store.add_doc (Node.store booking) "/routes"
+    (Xml.parse_exn
+       {|<routes xch:unordered="true"><route><carrier>prefair</carrier><dest>HQ</dest></route></routes>|});
+
+  let net = Network.create () in
+  List.iter (Network.add_node net) [ hr; booking; finance; employee ];
+  Network.enable_heartbeat net ~period:(Clock.hours 1);
+
+  let request who dest cost =
+    Term.elem "travel-request"
+      [
+        Term.elem "who" [ Term.text who ];
+        Term.elem "dest" [ Term.text dest ];
+        Term.elem "cost" [ Term.num cost ];
+      ]
+  in
+  (* ann goes to HQ (preferred carrier); bob to a conference (fallback
+     carrier); carl's trip busts the budget *)
+  Network.inject net ~to_:"hr.example" ~label:"travel-request" (request "ann" "HQ" 400.);
+  Network.inject net ~to_:"hr.example" ~label:"travel-request" (request "bob" "EDBT" 600.);
+  Network.inject net ~to_:"hr.example" ~label:"travel-request" (request "carl" "Hawaii" 5000.);
+  Network.run net ~until:(Clock.hours 1);
+
+  (* after the trips: ann files report + receipts; bob only the report *)
+  Network.inject net ~to_:"finance.example" ~label:"trip-report"
+    (Term.elem "trip-report" [ Term.elem "who" [ Term.text "ann" ] ]);
+  Network.inject net ~to_:"finance.example" ~label:"receipts"
+    (Term.elem "receipts" [ Term.elem "who" [ Term.text "ann" ]; Term.elem "total" [ Term.num 385. ] ]);
+  Network.inject net ~to_:"finance.example" ~label:"trip-report"
+    (Term.elem "trip-report" [ Term.elem "who" [ Term.text "bob" ] ]);
+  Network.run net ~until:(Clock.hours 40);
+
+  List.iter
+    (fun n ->
+      Fmt.pr "--- %s ---@." (Node.host n);
+      List.iter (Fmt.pr "  %s@.") (Node.logs n))
+    [ hr; booking; finance; employee ];
+  Fmt.pr "--- traffic: %d messages, %d remote budget lookups ---@."
+    (Network.transport_stats net).Transport.messages (Network.remote_fetches net)

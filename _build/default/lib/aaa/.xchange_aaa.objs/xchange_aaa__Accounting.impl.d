@@ -1,0 +1,1 @@
+lib/aaa/accounting.ml: Action Builtin Construct Eca Hashtbl List Option Qterm Ruleset Store String Term Xchange_data Xchange_event Xchange_query Xchange_rules Xchange_web

@@ -1,0 +1,1 @@
+lib/aaa/accounting.mli: Ruleset Store Term Xchange_data Xchange_rules Xchange_web

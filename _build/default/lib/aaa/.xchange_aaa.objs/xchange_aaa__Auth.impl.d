@@ -1,0 +1,1 @@
+lib/aaa/auth.ml: Char Fmt Hashtbl Int64 Option Printf Result String Term Xchange_data

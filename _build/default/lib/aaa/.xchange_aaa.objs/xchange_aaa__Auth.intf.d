@@ -1,0 +1,1 @@
+lib/aaa/auth.mli: Term Xchange_data

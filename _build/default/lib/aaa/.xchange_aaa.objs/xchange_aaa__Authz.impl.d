@@ -1,0 +1,1 @@
+lib/aaa/authz.ml: Builtin Condition Fmt List String Xchange_query

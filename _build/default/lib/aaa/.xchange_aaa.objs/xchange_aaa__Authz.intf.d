@@ -1,0 +1,1 @@
+lib/aaa/authz.mli: Fmt Xchange_query

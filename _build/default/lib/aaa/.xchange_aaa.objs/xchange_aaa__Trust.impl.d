@@ -1,0 +1,1 @@
+lib/aaa/trust.ml: Action Condition Construct Eca List Option Qterm Ruleset Set String Term Xchange_data Xchange_event Xchange_lang Xchange_query Xchange_rules Xml

@@ -1,0 +1,1 @@
+lib/aaa/trust.mli: Ruleset Xchange_rules

@@ -1,0 +1,59 @@
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+open Xchange_web
+
+let default_log_doc = "/accounting/log"
+
+let log_document () = Term.elem ~ord:Term.Unordered "accounting-log" []
+
+let record_rule ~log_doc label =
+  let event = Xchange_event.Event_query.on ~label (Qterm.var "Payload") in
+  let record =
+    Action.insert ~doc:log_doc
+      (Construct.cel "use"
+         [
+           Construct.cel "service" [ Construct.ctext label ];
+           Construct.cel "size" [ Construct.C_operand (Builtin.O_size (Builtin.ovar "Payload")) ];
+         ])
+  in
+  Eca.make ~name:("account-" ^ label) ~on:event record
+
+let ruleset ?(log_doc = default_log_doc) ?(name = "accounting") ~service_labels () =
+  Ruleset.make ~rules:(List.map (record_rule ~log_doc) service_labels) name
+
+type usage = { service : string; count : int }
+
+let summary store ?(log_doc = default_log_doc) () =
+  match Store.doc store log_doc with
+  | None -> []
+  | Some log ->
+      let labels =
+        Term.find_all
+          (fun t -> match Term.label t with Some "use" -> true | _ -> false)
+          log
+        |> List.filter_map (fun use ->
+               Term.find_all
+                 (fun t -> match Term.label t with Some "service" -> true | _ -> false)
+                 use
+               |> function
+               | s :: _ -> Option.bind (List.nth_opt (Term.children s) 0) Term.as_text
+               | [] -> None)
+      in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun l -> Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+        labels;
+      Hashtbl.fold (fun service count acc -> { service; count } :: acc) tbl []
+      |> List.sort (fun a b -> String.compare a.service b.service)
+
+let total store ?log_doc () =
+  List.fold_left (fun acc u -> acc + u.count) 0 (summary store ?log_doc ())
+
+let bill ~rates usages =
+  List.fold_left
+    (fun acc u ->
+      match List.assoc_opt u.service rates with
+      | Some rate -> acc +. (rate *. float_of_int u.count)
+      | None -> acc)
+    0. usages

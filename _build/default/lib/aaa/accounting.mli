@@ -1,0 +1,43 @@
+(** Accounting (Thesis 12): "double reactivity".
+
+    "On the one hand there is the reactive service itself, on the other
+    hand the accounting service, which in turn reacts to uses of the
+    reactive service.  Note [...] these are orthogonal axes of
+    reactivity and no meta-programming has to be employed."
+
+    Accordingly, accounting here is {e just another rule set}: one ECA
+    rule per monitored service event label, appending a usage record to
+    a log document.  Install it next to the service rule set on the same
+    node — the accounting rules see the same event stream but know
+    nothing about the service rules' interiors. *)
+
+open Xchange_data
+open Xchange_rules
+open Xchange_web
+
+val default_log_doc : string
+(** ["/accounting/log"] *)
+
+val log_document : unit -> Term.t
+(** Empty log to pre-load into the node's store. *)
+
+val ruleset :
+  ?log_doc:string -> ?name:string -> service_labels:string list -> unit -> Ruleset.t
+(** One rule per label: on any event with that label, record
+    [use{service, sender, at}].  The sender is taken from the event
+    envelope via a derivation-free trick: the rule queries the payload
+    with a wildcard and stores the label; sender extraction uses the
+    engine's event metadata (see implementation note). *)
+
+(** {1 Reading the log} *)
+
+type usage = { service : string; count : int }
+
+val summary : Store.t -> ?log_doc:string -> unit -> usage list
+(** Records per service label, sorted by label. *)
+
+val total : Store.t -> ?log_doc:string -> unit -> int
+
+val bill : rates:(string * float) list -> usage list -> float
+(** Pay-per-use pricing: sum over services of [rate * count]; services
+    without a rate are free. *)

@@ -1,0 +1,85 @@
+open Xchange_data
+
+type principal = string
+
+type registry = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 8
+let register reg principal ~secret = Hashtbl.replace reg principal secret
+let known reg principal = Hashtbl.mem reg principal
+
+(* keyed FNV-1a in a sponge-ish double pass; a stand-in for HMAC *)
+let mac ~secret message =
+  let h = ref 0xcbf29ce484222325L in
+  let feed s =
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      s
+  in
+  feed secret;
+  feed "\x01";
+  feed message;
+  feed "\x02";
+  feed secret;
+  Printf.sprintf "%016Lx" !h
+
+let token reg principal ~message =
+  Option.map (fun secret -> mac ~secret message) (Hashtbl.find_opt reg principal)
+
+let authenticate reg principal ~message ~token:presented =
+  match Hashtbl.find_opt reg principal with
+  | None -> false
+  | Some secret -> String.equal (mac ~secret message) presented
+
+type certificate = {
+  subject : principal;
+  issuer : principal;
+  claim : string;
+  signature : string;
+}
+
+let cert_payload ~issuer ~subject ~claim = issuer ^ "\x00" ^ subject ^ "\x00" ^ claim
+
+let issue reg ~issuer ~subject ~claim =
+  Option.map
+    (fun secret ->
+      { subject; issuer; claim; signature = mac ~secret (cert_payload ~issuer ~subject ~claim) })
+    (Hashtbl.find_opt reg issuer)
+
+let verify reg cert =
+  match Hashtbl.find_opt reg cert.issuer with
+  | None -> false
+  | Some secret ->
+      String.equal
+        (mac ~secret (cert_payload ~issuer:cert.issuer ~subject:cert.subject ~claim:cert.claim))
+        cert.signature
+
+let certificate_to_term c =
+  Term.elem "certificate"
+    [
+      Term.elem "subject" [ Term.text c.subject ];
+      Term.elem "issuer" [ Term.text c.issuer ];
+      Term.elem "claim" [ Term.text c.claim ];
+      Term.elem "signature" [ Term.text c.signature ];
+    ]
+
+let certificate_of_term t =
+  let field name =
+    match
+      Term.find_all
+        (fun s -> match Term.label s with Some l -> String.equal l name | None -> false)
+        t
+    with
+    | Term.Elem { Term.children = [ Term.Text v ]; _ } :: _ -> Ok v
+    | _ -> Error (Fmt.str "certificate term lacks field %s" name)
+  in
+  let ( let* ) = Result.bind in
+  match t with
+  | Term.Elem { Term.label = "certificate"; _ } ->
+      let* subject = field "subject" in
+      let* issuer = field "issuer" in
+      let* claim = field "claim" in
+      let* signature = field "signature" in
+      Ok { subject; issuer; claim; signature }
+  | _ -> Error (Fmt.str "not a certificate term: %a" Term.pp t)

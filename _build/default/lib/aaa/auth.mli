@@ -1,0 +1,42 @@
+(** Authentication (Thesis 12): "establish that users of the service
+    really are who they claim to be".
+
+    Shared-secret tokens and issuer-signed certificates over a toy MAC
+    (an FNV-1a keyed hash — {e not} cryptography; the simulation needs
+    unforgeability only against honest-but-curious test code, and the
+    paper's point is language support, not crypto strength). *)
+
+open Xchange_data
+
+type principal = string
+
+type registry
+(** Maps principals to their shared secrets. *)
+
+val create : unit -> registry
+val register : registry -> principal -> secret:string -> unit
+val known : registry -> principal -> bool
+
+val token : registry -> principal -> message:string -> string option
+(** MAC of the message under the principal's secret; [None] for unknown
+    principals. *)
+
+val authenticate : registry -> principal -> message:string -> token:string -> bool
+
+(** {1 Certificates} *)
+
+type certificate = {
+  subject : principal;
+  issuer : principal;
+  claim : string;  (** e.g. ["bbb-member"] *)
+  signature : string;
+}
+
+val issue : registry -> issuer:principal -> subject:principal -> claim:string -> certificate option
+(** Signed with the issuer's secret; [None] if the issuer is unknown. *)
+
+val verify : registry -> certificate -> bool
+(** Valid iff the registry knows the issuer and the signature checks. *)
+
+val certificate_to_term : certificate -> Term.t
+val certificate_of_term : Term.t -> (certificate, string) result

@@ -1,0 +1,84 @@
+open Xchange_query
+
+type operation = Read | Write | Invoke
+type effect = Allow | Deny
+
+type entry = {
+  principal : string;
+  resource : string;
+  operation : operation option;
+  effect : effect;
+}
+
+type policy = entry list
+
+let entry ?operation ~principal ~resource effect = { principal; resource; operation; effect }
+
+let glob_matches pattern value =
+  let n = String.length pattern in
+  if n > 0 && pattern.[n - 1] = '*' then
+    let prefix = String.sub pattern 0 (n - 1) in
+    String.length value >= String.length prefix
+    && String.equal (String.sub value 0 (String.length prefix)) prefix
+  else String.equal pattern value
+
+let entry_matches e ~principal ~resource ~operation =
+  glob_matches e.principal principal
+  && glob_matches e.resource resource
+  && match e.operation with None -> true | Some op -> op = operation
+
+let decide policy ~principal ~resource ~operation =
+  match List.find_opt (fun e -> entry_matches e ~principal ~resource ~operation) policy with
+  | Some e -> e.effect
+  | None -> Deny
+
+let allowed policy ~principal ~resource ~operation =
+  decide policy ~principal ~resource ~operation = Allow
+
+(* Compile the policy into a pure condition on the principal variable.
+   First-match semantics become nested negations: entry i applies only
+   if no earlier entry matched. *)
+let guard policy ~principal_var ~resource ~operation inner =
+  let pvar = Builtin.ovar principal_var in
+  let principal_test pattern =
+    let n = String.length pattern in
+    if n > 0 && pattern.[n - 1] = '*' then
+      (* prefix test via regex-free comparison: p >= prefix && p < prefix+maxchar *)
+      let prefix = String.sub pattern 0 (n - 1) in
+      if prefix = "" then Condition.True
+      else
+        Condition.And
+          [
+            Condition.Cmp (Builtin.Ge, pvar, Builtin.ostr prefix);
+            Condition.Cmp (Builtin.Lt, pvar, Builtin.ostr (prefix ^ "\xff"));
+          ]
+    else Condition.Cmp (Builtin.Eq, pvar, Builtin.ostr pattern)
+  in
+  let relevant =
+    List.filter
+      (fun e ->
+        glob_matches e.resource resource
+        && match e.operation with None -> true | Some op -> op = operation)
+      policy
+  in
+  let rec compile = function
+    | [] -> Condition.False
+    | e :: rest -> (
+        let test = principal_test e.principal in
+        match e.effect with
+        | Allow -> Condition.Or [ test; Condition.And [ Condition.Not test; compile rest ] ]
+        | Deny -> Condition.And [ Condition.Not test; compile rest ])
+  in
+  Condition.And [ compile relevant; inner ]
+
+let pp_operation ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Invoke -> Fmt.string ppf "invoke"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s %s on %s for %a"
+    (match e.effect with Allow -> "allow" | Deny -> "deny")
+    e.principal e.resource
+    Fmt.(option ~none:(any "any operation") pp_operation)
+    e.operation

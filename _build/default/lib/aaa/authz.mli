@@ -1,0 +1,45 @@
+(** Authorization (Thesis 12): "control access to sensitive information
+    or services".
+
+    First-match access-control policies over (principal, resource,
+    operation) with [*]-suffix glob patterns; default deny.  The paper
+    notes authorization "can be treated as a simple condition in ECA
+    rules" — {!guard} turns a decision into exactly that, so service
+    rule sets can wrap their branches in an access check. *)
+
+type operation = Read | Write | Invoke
+
+type effect = Allow | Deny
+
+type entry = {
+  principal : string;  (** exact name or prefix glob like ["customer-*"] *)
+  resource : string;  (** path or prefix glob like ["/orders/*"] *)
+  operation : operation option;  (** [None] matches every operation *)
+  effect : effect;
+}
+
+type policy = entry list
+
+val entry : ?operation:operation -> principal:string -> resource:string -> effect -> entry
+
+val decide : policy -> principal:string -> resource:string -> operation:operation -> effect
+(** First matching entry wins; no match denies. *)
+
+val allowed : policy -> principal:string -> resource:string -> operation:operation -> bool
+
+val guard :
+  policy ->
+  principal_var:string ->
+  resource:string ->
+  operation:operation ->
+  Xchange_query.Condition.t ->
+  Xchange_query.Condition.t
+(** [guard p ~principal_var ~resource ~operation c] is a condition that
+    holds iff [c] holds {e and} the principal bound to [principal_var]
+    may perform the operation.  Implemented as a condition that tests
+    the decision through a comparison on the bound variable — the
+    authorization check becomes part of the rule's condition, as the
+    paper suggests.  Because conditions are data (not closures), the
+    policy is compiled into a disjunction of equality/prefix tests. *)
+
+val pp_entry : entry Fmt.t

@@ -1,0 +1,280 @@
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+
+type requirement = string list list
+
+type policy = {
+  item : string;
+  requires : requirement;
+  sensitive : bool;
+  policy_unlocked_by : requirement;
+}
+
+type party = { name : string; credentials : string list; policies : policy list }
+
+let freely = [ [] ]
+let never = []
+
+let policy ?(sensitive = false) ?(unlocked_by = freely) ~item requires =
+  { item; requires; sensitive; policy_unlocked_by = unlocked_by }
+
+type strategy = Reactive | Eager
+
+type step = {
+  actor : string;
+  sent_policies : string list;
+  sent_credentials : string list;
+  requested : string list;
+}
+
+type outcome = {
+  granted : bool;
+  rounds : int;
+  policies_sent : int;
+  credentials_sent : int;
+  bytes : int;
+  sensitive_policies_leaked : int;
+  transcript : step list;
+}
+
+(* ---- policies as rule sets (meta-circularity) ------------------------- *)
+
+let disclosed_doc = "/disclosed"
+
+let cred_condition name =
+  Condition.In
+    ( Condition.Local disclosed_doc,
+      Qterm.el "disclosed" [ Qterm.pos (Qterm.el "cred" [ Qterm.pos (Qterm.txt name) ]) ] )
+
+let requirement_condition (req : requirement) =
+  Condition.Or (List.map (fun conj -> Condition.And (List.map cred_condition conj)) req)
+
+let policy_rule ~party p =
+  let event =
+    Xchange_event.Event_query.on ~label:"request"
+      (Qterm.el "request" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.txt p.item) ]) ])
+  in
+  let disclose =
+    Action.raise_event ~to_:party ~label:"disclose"
+      (Construct.cel "disclose" [ Construct.cel "item" [ Construct.ctext p.item ] ])
+  in
+  Eca.make ~name:("disclose-" ^ p.item) ~on:event ~if_:(requirement_condition p.requires)
+    disclose
+
+let policy_ruleset ~party policies =
+  Ruleset.make ~rules:(List.map (policy_rule ~party) policies) ("policy-" ^ party)
+
+let policy_bytes ~party policies =
+  Xchange_lang.Meta.size_bytes (policy_ruleset ~party policies)
+
+let requirement_of_condition cond =
+  let cred_of = function
+    | Condition.In (_, Qterm.El { Qterm.children = [ Qterm.Pos (Qterm.El inner) ]; _ }) -> (
+        match inner.Qterm.children with
+        | [ Qterm.Pos (Qterm.Leaf (Qterm.Text_is name)) ] -> Some name
+        | _ -> None)
+    | _ -> None
+  in
+  match cond with
+  | Condition.Or disjuncts ->
+      Some
+        (List.filter_map
+           (fun d ->
+             match d with
+             | Condition.And conjs ->
+                 let creds = List.filter_map cred_of conjs in
+                 if List.length creds = List.length conjs then Some creds else None
+             | _ -> Option.map (fun c -> [ c ]) (cred_of d))
+           disjuncts)
+  | _ -> None
+
+let ruleset_policies rs =
+  List.filter_map
+    (fun (rule : Eca.t) ->
+      let item =
+        match rule.Eca.event with
+        | Xchange_event.Event_query.Atomic
+            { Xchange_event.Event_query.pattern = Qterm.El { Qterm.children = [ Qterm.Pos (Qterm.El inner) ]; _ }; _ } -> (
+            match inner.Qterm.children with
+            | [ Qterm.Pos (Qterm.Leaf (Qterm.Text_is item)) ] -> Some item
+            | _ -> None)
+        | _ -> None
+      in
+      match (item, rule.Eca.branches) with
+      | Some item, [ b ] ->
+          Option.map (fun req -> (item, req)) (requirement_of_condition b.Eca.condition)
+      | _, _ -> None)
+    rs.Ruleset.rules
+
+(* ---- the negotiation ---------------------------------------------------- *)
+
+module S = Set.Make (String)
+
+type side = {
+  party : party;
+  mutable disclosed : S.t;  (** own credentials already sent *)
+  mutable opp_disclosed : S.t;  (** opponent credentials received *)
+  mutable opp_policies : (string * requirement) list;  (** received policies *)
+  mutable requested_of_me : S.t;
+  mutable my_requests : S.t;  (** items requested from the opponent *)
+  mutable to_disclose : S.t;  (** own items this side intends to release *)
+  mutable policies_sent : S.t;
+  mutable first_turn_done : bool;
+}
+
+let side party =
+  {
+    party;
+    disclosed = S.empty;
+    opp_disclosed = S.empty;
+    opp_policies = [];
+    requested_of_me = S.empty;
+    my_requests = S.empty;
+    to_disclose = S.empty;
+    policies_sent = S.empty;
+    first_turn_done = false;
+  }
+
+let satisfied req creds = List.exists (fun conj -> List.for_all (fun c -> S.mem c creds) conj) req
+
+let find_policy party item = List.find_opt (fun p -> String.equal p.item item) party.policies
+
+(* estimated wire sizes *)
+let request_bytes item =
+  String.length (Xml.to_string (Term.elem "request" [ Term.elem "item" [ Term.text item ] ]))
+
+let credential_bytes item =
+  String.length (Xml.to_string (Term.elem "disclose" [ Term.elem "item" [ Term.text item ] ]))
+
+let take_turn strategy me opponent_name =
+  (* 1. policies to send *)
+  let candidate_policies =
+    match strategy with
+    | Eager when not me.first_turn_done -> me.party.policies
+    | Eager | Reactive ->
+        List.filter
+          (fun p ->
+            S.mem p.item me.requested_of_me
+            && (not (S.mem p.item me.policies_sent))
+            && satisfied p.policy_unlocked_by me.opp_disclosed)
+          me.party.policies
+  in
+  let fresh_policies =
+    List.filter (fun p -> not (S.mem p.item me.policies_sent)) candidate_policies
+  in
+  me.policies_sent <- List.fold_left (fun s p -> S.add p.item s) me.policies_sent fresh_policies;
+  me.first_turn_done <- true;
+  (* 2. credentials / grants to release: requested items, and items this
+     side decided to disclose to satisfy an opponent policy *)
+  let release_candidates = S.union me.requested_of_me me.to_disclose in
+  let releasable =
+    S.filter
+      (fun item ->
+        (not (S.mem item me.disclosed))
+        &&
+        match find_policy me.party item with
+        | Some p -> satisfied p.requires me.opp_disclosed
+        | None -> List.mem item me.party.credentials)
+      release_candidates
+  in
+  me.disclosed <- S.union me.disclosed releasable;
+  (* 3. plan: for items to release whose requirements are unmet, want the
+     opponent credentials of the first satisfiable-looking disjunct *)
+  let wanted = ref S.empty in
+  S.iter
+    (fun item ->
+      if not (S.mem item me.disclosed) then
+        match find_policy me.party item with
+        | Some p when p.requires <> [] ->
+            let disjunct = List.hd p.requires in
+            List.iter (fun c -> if not (S.mem c me.opp_disclosed) then wanted := S.add c !wanted) disjunct
+        | Some _ | None -> ())
+    release_candidates;
+  (* ... and for opponent policies received: to obtain a wanted opponent
+     item, commit to disclosing the credentials its first disjunct needs *)
+  List.iter
+    (fun (item, req) ->
+      if S.mem item me.my_requests && (not (S.mem item me.opp_disclosed)) && req <> [] then
+        let disjunct = List.hd req in
+        List.iter (fun c -> me.to_disclose <- S.add c me.to_disclose) disjunct)
+    me.opp_policies;
+  let new_requests = S.diff !wanted me.my_requests in
+  me.my_requests <- S.union me.my_requests new_requests;
+  ignore opponent_name;
+  (fresh_policies, S.elements releasable, S.elements new_requests)
+
+let receive me ~policies ~credentials ~requests =
+  List.iter
+    (fun (p : policy) ->
+      if not (List.mem_assoc p.item me.opp_policies) then
+        me.opp_policies <- me.opp_policies @ [ (p.item, p.requires) ])
+    policies;
+  List.iter (fun c -> me.opp_disclosed <- S.add c me.opp_disclosed) credentials;
+  List.iter (fun r -> me.requested_of_me <- S.add r me.requested_of_me) requests
+
+let negotiate ?(max_rounds = 20) ~strategy ~requester ~responder ~goal () =
+  let req_side = side requester and resp_side = side responder in
+  req_side.my_requests <- S.singleton goal;
+  resp_side.requested_of_me <- S.singleton goal;
+  let transcript = ref [] in
+  let policies_sent = ref 0 and credentials_sent = ref 0 and bytes = ref 0 in
+  let record actor (policies, credentials, requests) =
+    if policies <> [] || credentials <> [] || requests <> [] then begin
+      policies_sent := !policies_sent + List.length policies;
+      credentials_sent := !credentials_sent + List.length credentials;
+      bytes :=
+        !bytes
+        + (if policies = [] then 0 else policy_bytes ~party:actor.party.name policies)
+        + List.fold_left (fun acc c -> acc + credential_bytes c) 0 credentials
+        + List.fold_left (fun acc r -> acc + request_bytes r) 0 requests;
+      transcript :=
+        {
+          actor = actor.party.name;
+          sent_policies = List.map (fun (p : policy) -> p.item) policies;
+          sent_credentials = credentials;
+          requested = requests;
+        }
+        :: !transcript;
+      true
+    end
+    else false
+  in
+  let rec rounds i =
+    if i > max_rounds then i - 1
+    else begin
+      (* responder speaks first: it received the initial request *)
+      let resp_out = take_turn strategy resp_side requester.name in
+      let progress1 = record resp_side resp_out in
+      let policies, creds, reqs = resp_out in
+      receive req_side ~policies ~credentials:creds ~requests:reqs;
+      if S.mem goal req_side.opp_disclosed then i
+      else begin
+        let req_out = take_turn strategy req_side responder.name in
+        let progress2 = record req_side req_out in
+        let policies, creds, reqs = req_out in
+        receive resp_side ~policies ~credentials:creds ~requests:reqs;
+        if (not progress1) && not progress2 then i else rounds (i + 1)
+      end
+    end
+  in
+  let rounds_used = rounds 1 in
+  let granted = S.mem goal req_side.opp_disclosed in
+  (* a sensitive policy counts as leaked if its item was sent but the
+     item itself was never released by its owner *)
+  let leaked_for side_ =
+    List.length
+      (List.filter
+         (fun p ->
+           p.sensitive && S.mem p.item side_.policies_sent && not (S.mem p.item side_.disclosed))
+         side_.party.policies)
+  in
+  {
+    granted;
+    rounds = rounds_used;
+    policies_sent = !policies_sent;
+    credentials_sent = !credentials_sent;
+    bytes = !bytes;
+    sensitive_policies_leaked = leaked_for req_side + leaked_for resp_side;
+    transcript = List.rev !transcript;
+  }

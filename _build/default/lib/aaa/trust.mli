@@ -1,0 +1,84 @@
+(** Policy-based trust negotiation (Thesis 11).
+
+    The paper's fussbaelle.biz scenario: two parties that do not trust
+    each other exchange {e policies} — rule sets governing under what
+    conditions an item (a credential, a resource, a payment commitment)
+    will be disclosed — {e reactively}, a few rules at a time, instead of
+    all at once.  The thesis claims the reactive approach
+    (1) exchanges fewer rules, and (2) keeps sensitive policies private
+    until the negotiation has reached the stage that unlocks them.
+    Experiment E11 measures both against the eager baseline.
+
+    Policies are genuinely meta-circular: {!policy_ruleset} renders a
+    party's disclosure policy as an XChange rule set (one ECA rule per
+    item), and the negotiation transcript accounts message sizes by the
+    reified rule sets that would travel on the wire. *)
+
+open Xchange_rules
+
+type requirement = string list list
+(** Disjunctive normal form over opponent credential names: the
+    requirement holds when all names of {e some} disjunct have been
+    disclosed.  [\[\[\]\]] (one empty disjunct) is "freely available";
+    [\[\]] (no disjuncts) is "never". *)
+
+type policy = {
+  item : string;  (** the credential/resource this policy governs *)
+  requires : requirement;  (** opponent credentials needed to release the item *)
+  sensitive : bool;  (** the policy itself is confidential *)
+  policy_unlocked_by : requirement;  (** when the policy may be {e disclosed} *)
+}
+
+type party = {
+  name : string;
+  credentials : string list;  (** items this party can disclose as credentials *)
+  policies : policy list;  (** one per disclosable item *)
+}
+
+val policy :
+  ?sensitive:bool -> ?unlocked_by:requirement -> item:string -> requirement -> policy
+(** [unlocked_by] defaults to freely-disclosable. *)
+
+val freely : requirement
+val never : requirement
+
+type strategy =
+  | Reactive  (** disclose policies only for requested items, when unlocked *)
+  | Eager  (** send the complete policy set in the first message *)
+
+type step = {
+  actor : string;
+  sent_policies : string list;  (** items whose policies were disclosed *)
+  sent_credentials : string list;
+  requested : string list;  (** items newly requested from the opponent *)
+}
+
+type outcome = {
+  granted : bool;  (** the requester obtained the goal *)
+  rounds : int;
+  policies_sent : int;
+  credentials_sent : int;
+  bytes : int;  (** wire size of all reified policy rule sets and credentials *)
+  sensitive_policies_leaked : int;
+      (** sensitive policies disclosed although never needed for the
+          final proof (0 in a successful reactive run) *)
+  transcript : step list;
+}
+
+val negotiate :
+  ?max_rounds:int -> strategy:strategy -> requester:party -> responder:party ->
+  goal:string -> unit -> outcome
+(** Deterministic alternating negotiation for [goal] (an item of the
+    responder).  [max_rounds] defaults to 20. *)
+
+val policy_ruleset : party:string -> policy list -> Ruleset.t
+(** The policies as an XChange rule set: for each item, a rule
+    [on request{item} if disclosed(requirements) do disclose(item)].
+    This is what actually travels in a policy message. *)
+
+val policy_bytes : party:string -> policy list -> int
+(** Wire size of the reified rule set ({!Xchange_lang.Meta}). *)
+
+val ruleset_policies : Ruleset.t -> (string * requirement) list
+(** Inverse reading: extract (item, requirement) pairs from a received
+    policy rule set — the receiver "evaluates the customer's policy". *)

@@ -1,0 +1,1 @@
+lib/data/identity.ml: List Term

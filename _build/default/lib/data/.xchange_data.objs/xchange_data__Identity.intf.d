@@ -1,0 +1,1 @@
+lib/data/identity.mli: Path Term

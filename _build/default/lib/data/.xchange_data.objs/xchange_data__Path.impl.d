@@ -1,0 +1,1 @@
+lib/data/path.ml: Fmt List Option Stdlib String Term

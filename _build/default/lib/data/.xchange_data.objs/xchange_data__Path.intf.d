@@ -1,0 +1,1 @@
+lib/data/path.mli: Fmt Term

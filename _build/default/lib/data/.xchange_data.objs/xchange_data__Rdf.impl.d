@@ -1,0 +1,1 @@
+lib/data/rdf.ml: Buffer Float Fmt List Option Printf Result Set Stdlib String Term

@@ -1,0 +1,1 @@
+lib/data/rdf.mli: Fmt Term

@@ -1,0 +1,1 @@
+lib/data/term.ml: Bool Buffer Char Float Fmt Int64 List Stdlib String

@@ -1,0 +1,1 @@
+lib/data/topic_map.ml: Fmt List Map Rdf Result Stdlib String Term

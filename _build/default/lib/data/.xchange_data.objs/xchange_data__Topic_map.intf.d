@@ -1,0 +1,1 @@
+lib/data/topic_map.mli: Rdf Term

@@ -1,0 +1,1 @@
+lib/data/xml.ml: Buffer Char Fmt List Option Result String Term

@@ -1,0 +1,47 @@
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+let assign t =
+  Term.map_elements
+    (fun e -> if e.Term.id = Term.no_id then { e with Term.id = fresh () } else e)
+    t
+
+(* Pre-order traversal carrying the reversed path. *)
+let fold_with_paths f acc t =
+  let rec go acc rpath t =
+    let acc = f acc (List.rev rpath) t in
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, go acc (i :: rpath) c))
+      (0, acc) (Term.children t)
+    |> snd
+  in
+  go acc [] t
+
+let find_by_id t oid =
+  let exception Found of Path.t in
+  try
+    fold_with_paths
+      (fun () path sub -> if Term.elem_id sub = oid then raise (Found path))
+      () t;
+    None
+  with Found p -> Some p
+
+let oids t =
+  fold_with_paths
+    (fun acc path sub ->
+      let i = Term.elem_id sub in
+      if i <> Term.no_id then (i, path) :: acc else acc)
+    [] t
+  |> List.rev
+
+let find_equal t value =
+  fold_with_paths
+    (fun acc path sub -> if Term.equal sub value then path :: acc else acc)
+    [] t
+  |> List.rev
+
+let digest_index t =
+  fold_with_paths (fun acc path sub -> (Term.digest sub, path) :: acc) [] t |> List.rev

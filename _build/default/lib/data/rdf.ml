@@ -1,0 +1,430 @@
+type node =
+  | Iri of string
+  | Blank of string
+  | Lit of string
+  | Lit_num of float
+
+type triple = { s : node; p : string; o : node }
+
+let pp_node ppf = function
+  | Iri i -> Fmt.pf ppf "<%s>" i
+  | Blank b -> Fmt.pf ppf "_:%s" b
+  | Lit s -> Fmt.pf ppf "%S" s
+  | Lit_num f -> Fmt.float ppf f
+
+let pp_triple ppf t = Fmt.pf ppf "%a <%s> %a ." pp_node t.s t.p pp_node t.o
+
+let equal_node a b =
+  match (a, b) with
+  | Iri x, Iri y | Blank x, Blank y | Lit x, Lit y -> String.equal x y
+  | Lit_num x, Lit_num y -> Float.equal x y
+  | (Iri _ | Blank _ | Lit _ | Lit_num _), _ -> false
+
+let compare_triple = Stdlib.compare
+
+let rdf_type = "rdf:type"
+let rdfs_sub_class_of = "rdfs:subClassOf"
+let rdfs_sub_property_of = "rdfs:subPropertyOf"
+let rdfs_domain = "rdfs:domain"
+let rdfs_range = "rdfs:range"
+
+module Triple_set = Set.Make (struct
+  type t = triple
+
+  let compare = compare_triple
+end)
+
+type graph = { mutable triples : Triple_set.t }
+
+let create () = { triples = Triple_set.empty }
+
+let add g t =
+  if Triple_set.mem t g.triples then false
+  else begin
+    g.triples <- Triple_set.add t g.triples;
+    true
+  end
+
+let of_list l =
+  let g = create () in
+  List.iter (fun t -> ignore (add g t)) l;
+  g
+
+let remove g t =
+  if Triple_set.mem t g.triples then begin
+    g.triples <- Triple_set.remove t g.triples;
+    true
+  end
+  else false
+
+let mem g t = Triple_set.mem t g.triples
+let size g = Triple_set.cardinal g.triples
+let to_list g = Triple_set.elements g.triples
+let copy g = { triples = g.triples }
+
+type pat = Exact of node | Var of string
+type triple_pattern = { ps : pat; pp : pat; po : pat }
+type binding = (string * node) list
+
+let bind binding var node =
+  match List.assoc_opt var binding with
+  | Some existing -> if equal_node existing node then Some binding else None
+  | None -> Some (List.sort (fun (a, _) (b, _) -> String.compare a b) ((var, node) :: binding))
+
+let match_pat binding pat node =
+  match pat with
+  | Exact n -> if equal_node n node then Some binding else None
+  | Var v -> bind binding v node
+
+let match_triple binding pattern t =
+  let ( let* ) = Option.bind in
+  let* binding = match_pat binding pattern.ps t.s in
+  let* binding = match_pat binding pattern.pp (Iri t.p) in
+  match_pat binding pattern.po t.o
+
+let query g patterns =
+  let triples = to_list g in
+  let step bindings pattern =
+    List.concat_map
+      (fun binding -> List.filter_map (fun t -> match_triple binding pattern t) triples)
+      bindings
+  in
+  List.fold_left step [ [] ] patterns |> List.sort_uniq Stdlib.compare
+
+(* RDFS entailment, semi-naive: derive from (delta, full) pairs until no
+   new triples appear. *)
+let derive_from g delta =
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let each_delta f = Triple_set.iter f delta in
+  let each_full f = Triple_set.iter f g.triples in
+  each_delta (fun d ->
+      (* subClassOf transitivity, both orders of (delta, full) *)
+      if d.p = rdfs_sub_class_of then begin
+        each_full (fun t ->
+            if t.p = rdfs_sub_class_of && equal_node t.s d.o then emit { s = d.s; p = rdfs_sub_class_of; o = t.o };
+            if t.p = rdfs_sub_class_of && equal_node t.o d.s then emit { s = t.s; p = rdfs_sub_class_of; o = d.o };
+            if t.p = rdf_type && equal_node t.o d.s then emit { s = t.s; p = rdf_type; o = d.o })
+      end;
+      if d.p = rdfs_sub_property_of then begin
+        each_full (fun t ->
+            if t.p = rdfs_sub_property_of && equal_node t.s d.o then
+              emit { s = d.s; p = rdfs_sub_property_of; o = t.o };
+            if t.p = rdfs_sub_property_of && equal_node t.o d.s then
+              emit { s = t.s; p = rdfs_sub_property_of; o = d.o };
+            match d.s with
+            | Iri sub when t.p = sub -> (
+                match d.o with Iri super -> emit { s = t.s; p = super; o = t.o } | _ -> ())
+            | _ -> ())
+      end;
+      if d.p = rdf_type then
+        each_full (fun t ->
+            if t.p = rdfs_sub_class_of && equal_node t.s d.o then emit { s = d.s; p = rdf_type; o = t.o });
+      (* a fresh ordinary triple interacts with subPropertyOf, domain, range *)
+      each_full (fun t ->
+          (match t.s with
+          | Iri sub when sub = d.p && t.p = rdfs_sub_property_of -> (
+              match t.o with Iri super -> emit { s = d.s; p = super; o = d.o } | _ -> ())
+          | _ -> ());
+          if t.p = rdfs_domain && equal_node t.s (Iri d.p) then emit { s = d.s; p = rdf_type; o = t.o };
+          if t.p = rdfs_range && equal_node t.s (Iri d.p) then
+            match d.o with
+            | Iri _ | Blank _ -> emit { s = d.o; p = rdf_type; o = t.o }
+            | Lit _ | Lit_num _ -> ());
+      (* domain/range declarations arriving after data *)
+      if d.p = rdfs_domain then
+        each_full (fun t ->
+            if equal_node d.s (Iri t.p) then emit { s = t.s; p = rdf_type; o = d.o });
+      if d.p = rdfs_range then
+        each_full (fun t ->
+            if equal_node d.s (Iri t.p) then
+              match t.o with
+              | Iri _ | Blank _ -> emit { s = t.o; p = rdf_type; o = d.o }
+              | Lit _ | Lit_num _ -> ()));
+  !out
+
+let fixpoint_of derive g0 =
+  let g = copy g0 in
+  let rec loop delta =
+    if Triple_set.is_empty delta then g
+    else
+      let derived = derive g delta in
+      let fresh =
+        List.fold_left
+          (fun acc t -> if add g t then Triple_set.add t acc else acc)
+          Triple_set.empty derived
+      in
+      loop fresh
+  in
+  loop g.triples
+
+let rdfs_closure g0 = fixpoint_of derive_from g0
+
+(* ---- OWL fragment ---------------------------------------------------- *)
+
+let owl_same_as = "owl:sameAs"
+let owl_inverse_of = "owl:inverseOf"
+let owl_symmetric = "owl:SymmetricProperty"
+let owl_transitive = "owl:TransitiveProperty"
+
+let derive_owl g delta =
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let each_delta f = Triple_set.iter f delta in
+  let each_full f = Triple_set.iter f g.triples in
+  let is_declared kind p =
+    Triple_set.mem { s = Iri p; p = rdf_type; o = Iri kind } g.triples
+  in
+  each_delta (fun d ->
+      (* sameAs: symmetric, transitive *)
+      if d.p = owl_same_as then begin
+        emit { s = d.o; p = owl_same_as; o = d.s };
+        each_full (fun t ->
+            if t.p = owl_same_as && equal_node t.s d.o then emit { s = d.s; p = owl_same_as; o = t.o };
+            (* substitution of subjects and objects *)
+            if equal_node t.s d.s then emit { t with s = d.o };
+            if equal_node t.o d.s then emit { t with o = d.o })
+      end;
+      (* substitution when ordinary triples arrive after sameAs facts *)
+      each_full (fun t ->
+          if t.p = owl_same_as then begin
+            if equal_node d.s t.s then emit { d with s = t.o };
+            if equal_node d.o t.s then emit { d with o = t.o }
+          end);
+      (* declared symmetric properties *)
+      if is_declared owl_symmetric d.p then emit { s = d.o; p = d.p; o = d.s };
+      (* declared transitive properties *)
+      if is_declared owl_transitive d.p then
+        each_full (fun t ->
+            if t.p = d.p then begin
+              if equal_node t.s d.o then emit { s = d.s; p = d.p; o = t.o };
+              if equal_node t.o d.s then emit { s = t.s; p = d.p; o = d.o }
+            end);
+      (* a property freshly declared symmetric/transitive re-processes
+         existing edges *)
+      (if d.p = rdf_type && equal_node d.o (Iri owl_symmetric) then
+         match d.s with
+         | Iri p -> each_full (fun t -> if t.p = p then emit { s = t.o; p; o = t.s })
+         | Blank _ | Lit _ | Lit_num _ -> ());
+      (if d.p = rdf_type && equal_node d.o (Iri owl_transitive) then
+         match d.s with
+         | Iri p ->
+             each_full (fun t1 ->
+                 if t1.p = p then
+                   each_full (fun t2 ->
+                       if t2.p = p && equal_node t1.o t2.s then emit { s = t1.s; p; o = t2.o }))
+         | Blank _ | Lit _ | Lit_num _ -> ());
+      (* inverseOf, both directions, declarations in either order *)
+      (if d.p = owl_inverse_of then
+         match (d.s, d.o) with
+         | Iri p, Iri q ->
+             each_full (fun t ->
+                 if t.p = p then emit { s = t.o; p = q; o = t.s };
+                 if t.p = q then emit { s = t.o; p = p; o = t.s })
+         | _, _ -> ());
+      each_full (fun t ->
+          if t.p = owl_inverse_of then
+            match (t.s, t.o) with
+            | Iri p, Iri q ->
+                if d.p = p then emit { s = d.o; p = q; o = d.s };
+                if d.p = q then emit { s = d.o; p = p; o = d.s }
+            | _, _ -> ()));
+  !out
+
+let owl_closure g0 =
+  fixpoint_of (fun g delta -> derive_from g delta @ derive_owl g delta) g0
+
+(* ---- Turtle subset ---------------------------------------------------- *)
+
+let escape_lit s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let turtle_node = function
+  | Iri i -> "<" ^ i ^ ">"
+  | Blank b -> "_:" ^ b
+  | Lit s -> "\"" ^ escape_lit s ^ "\""
+  | Lit_num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+      else Printf.sprintf "%.17g" f
+
+let to_turtle g =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (turtle_node t.s);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (turtle_node (Iri t.p));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (turtle_node t.o);
+      Buffer.add_string buf " .\n")
+    (to_list g);
+  Buffer.contents buf
+
+exception Turtle_error of string
+
+let of_turtle src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Turtle_error (Fmt.str "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | Some '#' ->
+        while !pos < n && src.[!pos] <> '\n' do incr pos done;
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = ':' || c = '.' || c = '/' || c = '#'
+  in
+  let bare_name () =
+    let start = !pos in
+    while !pos < n && is_name_char src.[!pos] do incr pos done;
+    (* a trailing '.' is the statement terminator, not part of the name *)
+    while !pos > start && src.[!pos - 1] = '.' do decr pos done;
+    if !pos = start then fail "expected a name";
+    String.sub src start (!pos - start)
+  in
+  let node () =
+    skip_ws ();
+    match peek () with
+    | Some '<' ->
+        incr pos;
+        let start = !pos in
+        while !pos < n && src.[!pos] <> '>' do incr pos done;
+        if !pos >= n then fail "unterminated IRI";
+        let iri = String.sub src start (!pos - start) in
+        incr pos;
+        Iri iri
+    | Some '"' ->
+        incr pos;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          if !pos >= n then fail "unterminated literal"
+          else
+            match src.[!pos] with
+            | '"' -> incr pos
+            | '\\' when !pos + 1 < n ->
+                (match src.[!pos + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | c -> Buffer.add_char buf c);
+                pos := !pos + 2;
+                go ()
+            | c ->
+                Buffer.add_char buf c;
+                incr pos;
+                go ()
+        in
+        go ();
+        Lit (Buffer.contents buf)
+    | Some '_' when !pos + 1 < n && src.[!pos + 1] = ':' ->
+        pos := !pos + 2;
+        Blank (bare_name ())
+    | Some c when (c >= '0' && c <= '9') || c = '-' || c = '+' ->
+        let start = !pos in
+        incr pos;
+        while
+          !pos < n
+          && ((src.[!pos] >= '0' && src.[!pos] <= '9')
+             || src.[!pos] = '.' || src.[!pos] = 'e' || src.[!pos] = 'E' || src.[!pos] = '-')
+        do
+          incr pos
+        done;
+        (* a trailing '.' terminates the statement *)
+        let text = String.sub src start (!pos - start) in
+        let text, backtrack =
+          if String.length text > 1 && text.[String.length text - 1] = '.' then
+            (String.sub text 0 (String.length text - 1), true)
+          else (text, false)
+        in
+        if backtrack then decr pos;
+        (match float_of_string_opt text with
+        | Some f -> Lit_num f
+        | None -> fail (Fmt.str "bad number %S" text))
+    | Some 'a' when !pos + 1 >= n || not (is_name_char src.[!pos + 1]) ->
+        incr pos;
+        Iri rdf_type
+    | Some _ -> Iri (bare_name ())
+    | None -> fail "unexpected end of input"
+  in
+  try
+    let g = create () in
+    let rec statements () =
+      skip_ws ();
+      if !pos >= n then Ok g
+      else
+        let s = node () in
+        let p =
+          match node () with
+          | Iri p -> p
+          | Blank _ | Lit _ | Lit_num _ -> fail "predicate must be an IRI"
+        in
+        let o = node () in
+        skip_ws ();
+        (match peek () with
+        | Some '.' -> incr pos
+        | Some _ | None -> fail "expected '.'");
+        ignore (add g { s; p; o });
+        statements ()
+    in
+    statements ()
+  with Turtle_error msg -> Error msg
+
+let node_to_term = function
+  | Iri i -> Term.elem "iri" [ Term.text i ]
+  | Blank b -> Term.elem "blank" [ Term.text b ]
+  | Lit s -> Term.text s
+  | Lit_num f -> Term.num f
+
+let node_of_term t =
+  match t with
+  | Term.Elem { Term.label = "iri"; children = [ Term.Text i ]; _ } -> Ok (Iri i)
+  | Term.Elem { Term.label = "blank"; children = [ Term.Text b ]; _ } -> Ok (Blank b)
+  | Term.Text s -> Ok (Lit s)
+  | Term.Num f -> Ok (Lit_num f)
+  | Term.Bool b -> Ok (Lit (string_of_bool b))
+  | Term.Elem _ -> Error (Fmt.str "not an RDF node: %a" Term.pp t)
+
+let triple_to_term t =
+  Term.elem "triple"
+    [ Term.elem "s" [ node_to_term t.s ]; Term.elem "p" [ Term.text t.p ]; Term.elem "o" [ node_to_term t.o ] ]
+
+let triple_of_term t =
+  let ( let* ) = Result.bind in
+  match t with
+  | Term.Elem { Term.label = "triple"; children = [ s_el; p_el; o_el ]; _ } -> (
+      match (s_el, p_el, o_el) with
+      | ( Term.Elem { Term.label = "s"; children = [ s ]; _ },
+          Term.Elem { Term.label = "p"; children = [ Term.Text p ]; _ },
+          Term.Elem { Term.label = "o"; children = [ o ]; _ } ) ->
+          let* s = node_of_term s in
+          let* o = node_of_term o in
+          Ok { s; p; o }
+      | _, _, _ -> Error (Fmt.str "malformed triple term: %a" Term.pp t))
+  | _ -> Error (Fmt.str "not a triple term: %a" Term.pp t)
+
+let graph_to_term g = Term.elem ~ord:Term.Unordered "rdf" (List.map triple_to_term (to_list g))
+
+let graph_of_term t =
+  match t with
+  | Term.Elem { Term.label = "rdf"; children; _ } ->
+      let rec go acc = function
+        | [] -> Ok (of_list (List.rev acc))
+        | c :: rest -> (
+            match triple_of_term c with Ok tr -> go (tr :: acc) rest | Error e -> Error e)
+      in
+      go [] children
+  | _ -> Error (Fmt.str "not an rdf graph term: %a" Term.pp t)

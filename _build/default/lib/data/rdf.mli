@@ -1,0 +1,104 @@
+(** RDF triples, graphs, pattern queries, and RDFS inference.
+
+    The Semantic Web side of the data substrate (Section 2 of the
+    paper): reactive rules must be able to query and update RDF data and
+    to use simple RDFS inference ("inference from RDF triples"). *)
+
+type node =
+  | Iri of string
+  | Blank of string
+  | Lit of string
+  | Lit_num of float
+
+type triple = { s : node; p : string; o : node }
+
+val pp_node : node Fmt.t
+val pp_triple : triple Fmt.t
+val equal_node : node -> node -> bool
+val compare_triple : triple -> triple -> int
+
+(** {1 Well-known RDFS vocabulary} *)
+
+val rdf_type : string
+val rdfs_sub_class_of : string
+val rdfs_sub_property_of : string
+val rdfs_domain : string
+val rdfs_range : string
+
+(** {1 Graphs} *)
+
+type graph
+
+val create : unit -> graph
+val of_list : triple list -> graph
+val add : graph -> triple -> bool
+(** [true] if the triple was new. *)
+
+val remove : graph -> triple -> bool
+val mem : graph -> triple -> bool
+val size : graph -> int
+val to_list : graph -> triple list
+(** Triples in a deterministic order. *)
+
+val copy : graph -> graph
+
+(** {1 Pattern queries} *)
+
+type pat = Exact of node | Var of string
+type triple_pattern = { ps : pat; pp : pat; po : pat }
+
+type binding = (string * node) list
+(** Variable name to node, sorted by name. *)
+
+val query : graph -> triple_pattern list -> binding list
+(** Conjunctive (BGP) matching.  A predicate-position [Exact] pattern
+    must be an [Iri]; variables joining across patterns must agree. *)
+
+(** {1 RDFS inference} *)
+
+val rdfs_closure : graph -> graph
+(** Semi-naive fixpoint over the RDFS rules: transitivity of
+    [subClassOf] and [subPropertyOf], type propagation through
+    [subClassOf], property propagation through [subPropertyOf], and
+    [domain]/[range] typing.  Returns a new graph; the input is not
+    modified. *)
+
+(** {2 OWL vocabulary (fragment)} — the paper's actions cover
+    "insertions, deletions, or modifications of [...] OWL facts"; this
+    fragment gives those facts inference semantics. *)
+
+val owl_same_as : string
+val owl_inverse_of : string
+val owl_symmetric : string
+(** [owl:SymmetricProperty]: declared as
+    [(p rdf:type owl:SymmetricProperty)]. *)
+
+val owl_transitive : string
+(** [owl:TransitiveProperty]. *)
+
+val owl_closure : graph -> graph
+(** Fixpoint over the RDFS rules plus: symmetry of [owl:sameAs] and of
+    declared symmetric properties, transitivity of [owl:sameAs] and of
+    declared transitive properties, subject/object substitution under
+    [owl:sameAs], and [owl:inverseOf] propagation (both directions). *)
+
+(** {1 Turtle subset} — a textual wire format for graphs.
+
+    Supported: one triple per statement terminated by [.]; IRIs in
+    angle brackets or as bare CURIEs ([rdfs:subClassOf]); the [a]
+    keyword for [rdf:type]; double-quoted string literals with
+    backslash escapes; numeric literals; [_:name] blank nodes; [#]
+    comments.  Not supported: prefix declarations (CURIEs are kept as
+    opaque names), collections, predicate/object lists. *)
+
+val to_turtle : graph -> string
+val of_turtle : string -> (graph, string) result
+(** [of_turtle (to_turtle g)] re-reads [g] exactly (property-tested). *)
+
+(** {1 Term embedding} — triples as data terms, for carrying RDF in
+    events and documents. *)
+
+val triple_to_term : triple -> Term.t
+val triple_of_term : Term.t -> (triple, string) result
+val graph_to_term : graph -> Term.t
+val graph_of_term : Term.t -> (graph, string) result

@@ -1,0 +1,188 @@
+type ordering = Ordered | Unordered
+
+type t =
+  | Elem of elem
+  | Text of string
+  | Num of float
+  | Bool of bool
+
+and elem = {
+  id : int;
+  label : string;
+  attrs : (string * string) list;
+  ord : ordering;
+  children : t list;
+}
+
+let no_id = 0
+
+let check_attrs attrs =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then invalid_arg ("Term.elem: duplicate attribute " ^ a)
+        else dup rest
+    | [ _ ] | [] -> ()
+  in
+  dup sorted;
+  sorted
+
+let elem ?(ord = Ordered) ?(attrs = []) label children =
+  Elem { id = no_id; label; attrs = check_attrs attrs; ord; children }
+
+let text s = Text s
+let num f = Num f
+let int i = Num (float_of_int i)
+let bool_ b = Bool b
+
+let with_id i = function Elem e -> Elem { e with id = i } | leaf -> leaf
+
+let label = function Elem e -> Some e.label | Text _ | Num _ | Bool _ -> None
+let children = function Elem e -> e.children | Text _ | Num _ | Bool _ -> []
+
+let attr key = function
+  | Elem e -> List.assoc_opt key e.attrs
+  | Text _ | Num _ | Bool _ -> None
+
+let elem_id = function Elem e -> e.id | Text _ | Num _ | Bool _ -> no_id
+
+let float_is_int f = Float.is_integer f && Float.abs f < 1e15
+
+let string_of_num f =
+  if float_is_int f then string_of_int (int_of_float f) else string_of_float f
+
+let as_text = function
+  | Text s -> Some s
+  | Num f -> Some (string_of_num f)
+  | Bool b -> Some (string_of_bool b)
+  | Elem _ -> None
+
+let as_num = function
+  | Num f -> Some f
+  | Bool b -> Some (if b then 1. else 0.)
+  | Text s -> float_of_string_opt (String.trim s)
+  | Elem _ -> None
+
+(* Extensional comparison: ids are ignored and unordered children are
+   compared in canonical (sorted) order.  [compare] is the single source
+   of truth; [equal] derives from it. *)
+let rec compare a b =
+  match (a, b) with
+  | Text x, Text y -> String.compare x y
+  | Num x, Num y -> Float.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Elem x, Elem y -> compare_elems x y
+  | Text _, (Num _ | Bool _ | Elem _) -> -1
+  | (Num _ | Bool _ | Elem _), Text _ -> 1
+  | Num _, (Bool _ | Elem _) -> -1
+  | (Bool _ | Elem _), Num _ -> 1
+  | Bool _, Elem _ -> -1
+  | Elem _, Bool _ -> 1
+
+and compare_elems x y =
+  let c = String.compare x.label y.label in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare x.attrs y.attrs in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare x.ord y.ord in
+      if c <> 0 then c
+      else
+        let xs = canonical_children x and ys = canonical_children y in
+        compare_lists xs ys
+
+and canonical_children e =
+  match e.ord with
+  | Ordered -> e.children
+  | Unordered -> List.sort compare e.children
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+(* FNV-1a over a canonical byte rendering. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let digest t =
+  let h = ref fnv_offset in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) fnv_prime in
+  let str s = String.iter (fun c -> byte (Char.code c)) s in
+  let rec go = function
+    | Text s -> byte 1; str s
+    | Num f -> byte 2; str (string_of_float f)
+    | Bool b -> byte 3; byte (if b then 1 else 0)
+    | Elem e ->
+        byte 4;
+        str e.label;
+        byte (match e.ord with Ordered -> 5 | Unordered -> 6);
+        List.iter (fun (k, v) -> byte 7; str k; byte 8; str v) e.attrs;
+        List.iter (fun c -> byte 9; go c)
+          (canonical_children e);
+        byte 10
+  in
+  go t;
+  !h
+
+let rec size = function
+  | Text _ | Num _ | Bool _ -> 1
+  | Elem e -> List.fold_left (fun acc c -> acc + size c) 1 e.children
+
+let rec depth = function
+  | Text _ | Num _ | Bool _ -> 1
+  | Elem e -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+
+let rec fold f acc t =
+  let acc = f acc t in
+  match t with
+  | Elem e -> List.fold_left (fold f) acc e.children
+  | Text _ | Num _ | Bool _ -> acc
+
+let subterms t = List.rev (fold (fun acc s -> s :: acc) [] t)
+let find_all p t = List.filter p (subterms t)
+
+let rec map_elements f = function
+  | Elem e ->
+      let children = List.map (map_elements f) e.children in
+      Elem (f { e with children })
+  | (Text _ | Num _ | Bool _) as leaf -> leaf
+
+let strip_ids t = map_elements (fun e -> { e with id = no_id }) t
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Text s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | Num f -> Fmt.string ppf (string_of_num f)
+  | Bool b -> Fmt.bool ppf b
+  | Elem e ->
+      let o, c = match e.ord with Ordered -> ("[", "]") | Unordered -> ("{", "}") in
+      let pp_attr ppf (k, v) = Fmt.pf ppf "@%s=\"%s\"" k (escape v) in
+      if e.attrs = [] && e.children = [] then Fmt.pf ppf "%s%s%s" e.label o c
+      else
+        Fmt.pf ppf "@[<hv 2>%s%s%a%s%a%s@]" e.label o
+          Fmt.(list ~sep:comma pp_attr)
+          e.attrs
+          (if e.attrs <> [] && e.children <> [] then ", " else "")
+          Fmt.(list ~sep:comma pp)
+          e.children c
+
+let to_string t = Fmt.str "%a" pp t

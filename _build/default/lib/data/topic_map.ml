@@ -1,0 +1,185 @@
+type occurrence = { occ_type : string; value : string }
+
+type topic = {
+  id : string;
+  names : string list;
+  topic_type : string option;
+  occurrences : occurrence list;
+}
+
+type member = { role : string; player : string }
+type association = { assoc_type : string; members : member list }
+
+module Smap = Map.Make (String)
+
+type t = { by_id : topic Smap.t; assocs : association list (* sorted, unique *) }
+
+let empty = { by_id = Smap.empty; assocs = [] }
+
+let union_lists a b =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) a b
+
+let merge_topics a b =
+  {
+    id = a.id;
+    names = union_lists a.names b.names;
+    topic_type = (match a.topic_type with Some _ -> a.topic_type | None -> b.topic_type);
+    occurrences = union_lists a.occurrences b.occurrences;
+  }
+
+let add_topic t topic =
+  let merged =
+    match Smap.find_opt topic.id t.by_id with
+    | Some existing -> merge_topics existing topic
+    | None -> topic
+  in
+  { t with by_id = Smap.add topic.id merged t.by_id }
+
+let add_association t assoc =
+  if List.mem assoc t.assocs then t
+  else { t with assocs = List.sort Stdlib.compare (assoc :: t.assocs) }
+
+let topic ?(names = []) ?topic_type ?(occurrences = []) id =
+  {
+    id;
+    names;
+    topic_type;
+    occurrences = List.map (fun (occ_type, value) -> { occ_type; value }) occurrences;
+  }
+
+let association ~assoc_type members =
+  { assoc_type; members = List.map (fun (role, player) -> { role; player }) members }
+
+let find_topic t id = Smap.find_opt id t.by_id
+let topics t = List.map snd (Smap.bindings t.by_id)
+let associations t = t.assocs
+
+let topics_of_type t ty =
+  List.filter (fun topic -> topic.topic_type = Some ty) (topics t)
+
+let players t ~assoc_type ~role =
+  List.concat_map
+    (fun a ->
+      if String.equal a.assoc_type assoc_type then
+        List.filter_map (fun m -> if String.equal m.role role then Some m.player else None) a.members
+      else [])
+    t.assocs
+  |> List.sort_uniq String.compare
+
+let associations_with t ~player =
+  List.filter (fun a -> List.exists (fun m -> String.equal m.player player) a.members) t.assocs
+
+let merge a b =
+  let with_topics = Smap.fold (fun _ topic acc -> add_topic acc topic) b.by_id a in
+  List.fold_left add_association with_topics b.assocs
+
+(* ---- term embedding --------------------------------------------------- *)
+
+let topic_to_term topic =
+  Term.elem "topic"
+    ~attrs:[ ("id", topic.id) ]
+    (List.map (fun n -> Term.elem "name" [ Term.text n ]) topic.names
+    @ (match topic.topic_type with
+      | Some ty -> [ Term.elem "instanceOf" [ Term.text ty ] ]
+      | None -> [])
+    @ List.map
+        (fun o -> Term.elem "occurrence" ~attrs:[ ("type", o.occ_type) ] [ Term.text o.value ])
+        topic.occurrences)
+
+let association_to_term a =
+  Term.elem "association"
+    ~attrs:[ ("type", a.assoc_type) ]
+    (List.map
+       (fun m -> Term.elem "member" ~attrs:[ ("role", m.role) ] [ Term.text m.player ])
+       a.members)
+
+let to_term t =
+  Term.elem ~ord:Term.Unordered "topicMap"
+    (List.map topic_to_term (topics t) @ List.map association_to_term (associations t))
+
+let ( let* ) = Result.bind
+
+let topic_of_term term =
+  match term with
+  | Term.Elem { Term.label = "topic"; attrs; children; _ } -> (
+      match List.assoc_opt "id" attrs with
+      | None -> Error "topic without id"
+      | Some id ->
+          let rec gather names ty occs = function
+            | [] -> Ok { id; names = List.rev names; topic_type = ty; occurrences = List.rev occs }
+            | Term.Elem { Term.label = "name"; children = [ Term.Text n ]; _ } :: rest ->
+                gather (n :: names) ty occs rest
+            | Term.Elem { Term.label = "instanceOf"; children = [ Term.Text t ]; _ } :: rest ->
+                gather names (Some t) occs rest
+            | Term.Elem { Term.label = "occurrence"; attrs; children = [ Term.Text v ]; _ } :: rest
+              -> (
+                match List.assoc_opt "type" attrs with
+                | Some ot -> gather names ty ({ occ_type = ot; value = v } :: occs) rest
+                | None -> Error "occurrence without type")
+            | other :: _ -> Error (Fmt.str "unexpected topic child: %a" Term.pp other)
+          in
+          gather [] None [] children)
+  | _ -> Error (Fmt.str "not a topic term: %a" Term.pp term)
+
+let association_of_term term =
+  match term with
+  | Term.Elem { Term.label = "association"; attrs; children; _ } -> (
+      match List.assoc_opt "type" attrs with
+      | None -> Error "association without type"
+      | Some assoc_type ->
+          let rec gather members = function
+            | [] -> Ok { assoc_type; members = List.rev members }
+            | Term.Elem { Term.label = "member"; attrs; children = [ Term.Text player ]; _ }
+              :: rest -> (
+                match List.assoc_opt "role" attrs with
+                | Some role -> gather ({ role; player } :: members) rest
+                | None -> Error "member without role")
+            | other :: _ -> Error (Fmt.str "unexpected association child: %a" Term.pp other)
+          in
+          gather [] children)
+  | _ -> Error (Fmt.str "not an association term: %a" Term.pp term)
+
+let of_term term =
+  match term with
+  | Term.Elem { Term.label = "topicMap"; children; _ } ->
+      List.fold_left
+        (fun acc child ->
+          let* t = acc in
+          match Term.label child with
+          | Some "topic" ->
+              let* topic = topic_of_term child in
+              Ok (add_topic t topic)
+          | Some "association" ->
+              let* a = association_of_term child in
+              Ok (add_association t a)
+          | Some _ | None -> Error (Fmt.str "unexpected topic map entry: %a" Term.pp child))
+        (Ok empty) children
+  | _ -> Error (Fmt.str "not a topic map term: %a" Term.pp term)
+
+(* ---- RDF projection ---------------------------------------------------- *)
+
+let to_rdf t =
+  let g = Rdf.create () in
+  let add tr = ignore (Rdf.add g tr) in
+  List.iter
+    (fun topic ->
+      let s = Rdf.Iri topic.id in
+      (match topic.topic_type with
+      | Some ty -> add { Rdf.s; p = Rdf.rdf_type; o = Rdf.Iri ty }
+      | None -> ());
+      List.iter (fun n -> add { Rdf.s; p = "tm:name"; o = Rdf.Lit n }) topic.names;
+      List.iter (fun o -> add { Rdf.s; p = o.occ_type; o = Rdf.Lit o.value }) topic.occurrences)
+    (topics t);
+  List.iteri
+    (fun i a ->
+      match a.members with
+      | [ m1; m2 ] ->
+          (* binary: subject plays the first role in sorted role order *)
+          let first, second = if String.compare m1.role m2.role <= 0 then (m1, m2) else (m2, m1) in
+          add { Rdf.s = Rdf.Iri first.player; p = a.assoc_type; o = Rdf.Iri second.player }
+      | members ->
+          let node = Rdf.Blank (Fmt.str "assoc%d" i) in
+          add { Rdf.s = node; p = Rdf.rdf_type; o = Rdf.Iri a.assoc_type };
+          List.iter (fun m -> add { Rdf.s = node; p = m.role; o = Rdf.Iri m.player }) members)
+    (associations t);
+  g

@@ -1,0 +1,74 @@
+(** Topic Maps (ISO 13250, radically simplified).
+
+    The paper lists Topic Maps among the data formats reactive Web
+    applications handle.  This module models the core: {e topics} (with
+    names, a type, and typed occurrences) and {e associations} (typed
+    relationships whose members play roles), plus the operation that
+    defines the technology — {!merge} — and bridges into the rest of
+    the system: topic maps embed as data terms (so query terms and
+    update actions work on them) and project onto RDF (so BGP
+    conditions work on them). *)
+
+
+type occurrence = { occ_type : string; value : string }
+
+type topic = {
+  id : string;
+  names : string list;  (** base names; the first is primary *)
+  topic_type : string option;
+  occurrences : occurrence list;
+}
+
+type member = { role : string; player : string  (** topic id *) }
+
+type association = { assoc_type : string; members : member list }
+
+type t
+
+val empty : t
+
+val add_topic : t -> topic -> t
+(** Adding a topic with an existing id merges the two (names and
+    occurrences are unioned; a [None] type adopts the other's). *)
+
+val add_association : t -> association -> t
+(** Duplicate associations collapse. *)
+
+val topic : ?names:string list -> ?topic_type:string -> ?occurrences:(string * string) list ->
+  string -> topic
+
+val association : assoc_type:string -> (string * string) list -> association
+(** [(role, player)] pairs. *)
+
+(** {1 Access} *)
+
+val find_topic : t -> string -> topic option
+val topics : t -> topic list
+(** Sorted by id. *)
+
+val associations : t -> association list
+
+val topics_of_type : t -> string -> topic list
+
+val players : t -> assoc_type:string -> role:string -> string list
+(** Topic ids playing a role in associations of a type, sorted. *)
+
+val associations_with : t -> player:string -> association list
+
+(** {1 Merging} — the defining Topic Maps operation: topics with the
+    same id are unified, everything else is unioned. *)
+
+val merge : t -> t -> t
+
+(** {1 Bridges} *)
+
+val to_term : t -> Term.t
+val of_term : Term.t -> (t, string) result
+(** [of_term (to_term m)] = [m]. *)
+
+val to_rdf : t -> Rdf.graph
+(** Topic types become [rdf:type] triples, names [tm:name], occurrences
+    predicate triples ([occ_type] as predicate); binary associations
+    become one triple ([assoc_type] as predicate, members in role
+    order); wider associations are reified through a blank node with
+    one triple per role. *)

@@ -1,0 +1,1 @@
+lib/event/backward.ml: Array Clock Construct Event Event_query Float History Instance Int List Option Simulate String Subst Xchange_data Xchange_query

@@ -1,0 +1,1 @@
+lib/event/backward.mli: Clock Event Event_query History Instance

@@ -1,0 +1,1 @@
+lib/event/clock.ml: Fmt

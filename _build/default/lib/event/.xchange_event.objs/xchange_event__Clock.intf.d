@@ -1,0 +1,1 @@
+lib/event/clock.mli: Fmt

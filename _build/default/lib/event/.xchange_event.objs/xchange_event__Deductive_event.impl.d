@@ -1,0 +1,1 @@
+lib/event/deductive_event.ml: Construct Event Event_query Fmt Incremental Instance List Option String Xchange_query

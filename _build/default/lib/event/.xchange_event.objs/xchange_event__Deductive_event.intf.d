@@ -1,0 +1,1 @@
+lib/event/deductive_event.mli: Clock Construct Event Event_query Xchange_query

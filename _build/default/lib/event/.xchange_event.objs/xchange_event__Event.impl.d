@@ -1,0 +1,1 @@
+lib/event/event.ml: Clock Fmt Option Term Xchange_data

@@ -1,0 +1,1 @@
+lib/event/event.mli: Clock Fmt Term Xchange_data

@@ -1,0 +1,1 @@
+lib/event/event_query.ml: Clock Construct Fmt List Option Qterm Result String Xchange_query

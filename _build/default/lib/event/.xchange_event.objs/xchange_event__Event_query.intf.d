@@ -1,0 +1,1 @@
+lib/event/event_query.mli: Clock Construct Fmt Qterm Xchange_query

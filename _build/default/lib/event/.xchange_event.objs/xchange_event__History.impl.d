@@ -1,0 +1,1 @@
+lib/event/history.ml: Clock Event List

@@ -1,0 +1,1 @@
+lib/event/history.mli: Clock Event

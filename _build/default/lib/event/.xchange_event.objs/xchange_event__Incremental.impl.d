@@ -1,0 +1,1 @@
+lib/event/incremental.ml: Clock Construct Event Event_query Float Instance Int List Option Simulate String Subst Xchange_data Xchange_query

@@ -1,0 +1,1 @@
+lib/event/incremental.mli: Clock Event Event_query Instance

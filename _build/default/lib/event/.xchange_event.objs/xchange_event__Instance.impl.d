@@ -1,0 +1,1 @@
+lib/event/instance.ml: Clock Fmt Int List Stdlib Subst Xchange_query

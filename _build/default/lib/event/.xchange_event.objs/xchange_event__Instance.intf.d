@@ -1,0 +1,1 @@
+lib/event/instance.mli: Clock Fmt Subst Xchange_query

@@ -1,0 +1,21 @@
+(** Query-driven (backward-chaining) event query evaluation — the
+    baseline Thesis 6 argues against.
+
+    [answers q history ~now] re-evaluates the query over the {e entire}
+    history from scratch: "a non-incremental, query-driven evaluation
+    would have to check the entire history of events for an A when a B
+    is detected".  It defines the reference semantics: for every query
+    [q] and stream fed in time order, the cumulative detections of
+    {!Incremental} equal [answers q] over the full history (property
+    tested in the suite, cost compared in E6). *)
+
+val answers : Event_query.t -> History.t -> now:Clock.time -> Instance.t list
+(** All instances of the query over the retained history, restricted to
+    those detectable by time [now] (absence deadlines must have
+    passed). *)
+
+val detections_per_event :
+  Event_query.t -> Event.t list -> (Event.t * Instance.t list) list
+(** Replays a stream the way a query-driven engine would: after each
+    event, re-evaluate over the history so far and report the instances
+    not already reported (the per-event work that E6 measures). *)

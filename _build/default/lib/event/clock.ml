@@ -1,0 +1,18 @@
+type time = int
+type span = int
+
+let origin = 0
+let ms n = n
+let seconds n = n * 1000
+let minutes n = n * 60_000
+let hours n = n * 3_600_000
+let add t s = t + s
+let diff later earlier = max 0 (later - earlier)
+
+let pp_time ppf t = Fmt.pf ppf "t+%dms" t
+
+let pp_span ppf s =
+  if s mod 3_600_000 = 0 && s > 0 then Fmt.pf ppf "%dh" (s / 3_600_000)
+  else if s mod 60_000 = 0 && s > 0 then Fmt.pf ppf "%dmin" (s / 60_000)
+  else if s mod 1000 = 0 && s > 0 then Fmt.pf ppf "%ds" (s / 1000)
+  else Fmt.pf ppf "%dms" s

@@ -1,0 +1,25 @@
+(** Simulated time.
+
+    The whole system runs on a discrete simulated clock with millisecond
+    resolution, which makes every experiment deterministic and lets the
+    temporal dimension of event queries (Thesis 5) be tested exactly. *)
+
+type time = int
+(** Milliseconds since the start of the simulation. *)
+
+type span = int
+(** A duration in milliseconds; always non-negative. *)
+
+val origin : time
+
+val ms : int -> span
+val seconds : int -> span
+val minutes : int -> span
+val hours : int -> span
+
+val add : time -> span -> time
+val diff : time -> time -> span
+(** [diff later earlier]; negative results are truncated to 0. *)
+
+val pp_time : time Fmt.t
+val pp_span : span Fmt.t

@@ -1,0 +1,51 @@
+open Xchange_data
+
+type t = {
+  id : int;
+  label : string;
+  payload : Term.t;
+  sender : string;
+  recipient : string;
+  occurred_at : Clock.time;
+  received_at : Clock.time;
+  expires_at : Clock.time option;
+}
+
+let next_id = ref 0
+
+let make ?(sender = "") ?(recipient = "") ?received_at ?ttl ~occurred_at ~label payload =
+  incr next_id;
+  {
+    id = !next_id;
+    label;
+    payload;
+    sender;
+    recipient;
+    occurred_at;
+    received_at = Option.value ~default:occurred_at received_at;
+    expires_at = Option.map (Clock.add occurred_at) ttl;
+  }
+
+let received e at = { e with received_at = at }
+let time e = e.received_at
+
+let expired e now = match e.expires_at with Some t -> now > t | None -> false
+
+let to_term e =
+  Term.elem "event"
+    ~attrs:[ ("id", string_of_int e.id) ]
+    [
+      Term.elem "header"
+        [
+          Term.elem "label" [ Term.text e.label ];
+          Term.elem "sender" [ Term.text e.sender ];
+          Term.elem "recipient" [ Term.text e.recipient ];
+          Term.elem "occurred-at" [ Term.int e.occurred_at ];
+        ];
+      Term.elem "body" [ e.payload ];
+    ]
+
+let pp ppf e =
+  Fmt.pf ppf "#%d %s@%a %a" e.id e.label Clock.pp_time e.occurred_at Term.pp e.payload
+
+let reset_ids () = next_id := 0

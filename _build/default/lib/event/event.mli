@@ -1,0 +1,56 @@
+(** Atomic events: volatile data (Thesis 4).
+
+    An event is a message communicated between Web nodes: an envelope
+    (id, label, sender, recipient, occurrence and reception times, an
+    optional expiry) around a data-term payload.  Events are {e not}
+    modifiable and {e not} persistent — "spoken words": the only mutable
+    field in the whole system is the store, and making event data
+    persistent requires an explicit action (Thesis 8's
+    [Make_persistent]).
+
+    Event ids are globally unique and increase with creation order; the
+    deterministic simulator relies on this for tie-breaking temporal
+    order of events carrying the same timestamp. *)
+
+open Xchange_data
+
+type t = private {
+  id : int;
+  label : string;  (** event type, conventionally the payload's root label *)
+  payload : Term.t;
+  sender : string;  (** URI of the originating node; "" when local/synthetic *)
+  recipient : string;  (** URI of the target node; "" for broadcast/local *)
+  occurred_at : Clock.time;
+  received_at : Clock.time;  (** when the processing node saw it *)
+  expires_at : Clock.time option;  (** volatility bound *)
+}
+
+val make :
+  ?sender:string ->
+  ?recipient:string ->
+  ?received_at:Clock.time ->
+  ?ttl:Clock.span ->
+  occurred_at:Clock.time ->
+  label:string ->
+  Term.t ->
+  t
+(** [received_at] defaults to [occurred_at]; [ttl] sets
+    [expires_at = occurred_at + ttl]. *)
+
+val received : t -> Clock.time -> t
+(** The same event as seen by a node at reception time. *)
+
+val time : t -> Clock.time
+(** The time at which the processing node reacts to the event:
+    [received_at]. *)
+
+val expired : t -> Clock.time -> bool
+
+val to_term : t -> Term.t
+(** Envelope + payload as a data term, so that rules can query event
+    meta-data ("date when sent", SOAP header style). *)
+
+val pp : t Fmt.t
+
+val reset_ids : unit -> unit
+(** Reset the global id counter (test isolation only). *)

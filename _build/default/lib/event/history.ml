@@ -1,0 +1,35 @@
+type retention = Unbounded | Keep of Clock.span
+
+type t = {
+  retention : retention;
+  mutable items : Event.t list;  (** newest first *)
+  mutable now : Clock.time;
+  mutable seen : int;
+}
+
+let create ?(retention = Unbounded) () =
+  { retention; items = []; now = Clock.origin; seen = 0 }
+
+let apply_retention h =
+  match h.retention with
+  | Unbounded -> ()
+  | Keep span ->
+      let cutoff = h.now - span in
+      h.items <- List.filter (fun e -> Event.time e >= cutoff) h.items
+
+let add h e =
+  h.items <- e :: h.items;
+  h.seen <- h.seen + 1;
+  if Event.time e > h.now then h.now <- Event.time e;
+  apply_retention h
+
+let advance h t =
+  if t > h.now then begin
+    h.now <- t;
+    apply_retention h
+  end
+
+let now h = h.now
+let events h = List.rev h.items
+let length h = List.length h.items
+let total_seen h = h.seen

@@ -1,0 +1,30 @@
+(** Event history with retention control (Thesis 4).
+
+    The query-driven baseline ({!Backward}) must keep the whole event
+    history; Thesis 4 demands that volatile data "stays volatile, i.e.,
+    is disposed of after finite time".  A history is created with a
+    retention policy: [Unbounded] (the "shadow Web" hazard) or
+    [Keep span] (events older than the span are dropped as time
+    advances).  Experiment E4 contrasts the two. *)
+
+type retention = Unbounded | Keep of Clock.span
+
+type t
+
+val create : ?retention:retention -> unit -> t
+(** [retention] defaults to [Unbounded]. *)
+
+val add : t -> Event.t -> unit
+(** Events must be added in non-decreasing {!Event.time} order; the
+    history also advances its notion of "now" to the event's time. *)
+
+val advance : t -> Clock.time -> unit
+(** Move time forward, applying retention. *)
+
+val now : t -> Clock.time
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+val total_seen : t -> int
+(** All events ever added, including dropped ones. *)

@@ -1,0 +1,480 @@
+open Xchange_query
+
+type selection = Each | First | Last
+
+type input = Ev of Event.t | Now of Clock.time
+
+type node = {
+  mutable stored : Instance.t list;  (** newest last; pruned by [bound] *)
+  bound : Clock.span option;  (** [Some s]: prune when older than [now - s]; [None]: keep *)
+  kind : kind;
+}
+
+and kind =
+  | NAtomic of Event_query.atomic
+  | NAnd of node list
+  | NOr of node list
+  | NSeq of node list
+  | NWithin of node * Clock.span
+  | NAbsent of absent_state
+  | NTimes of int * node * Clock.span
+  | NAgg of acc_state
+  | NRises of acc_state
+
+and absent_state = {
+  a_start : node;
+  a_blocker : node;
+  a_span : Clock.span;
+  mutable pending : (Clock.time * Instance.t) list;  (** (deadline, start instance) *)
+}
+
+and acc_state = {
+  src : node;
+  acc_var : string;
+  acc_window : int;  (** values per aggregate; Rises keeps window+1 *)
+  acc_op : Construct.agg option;  (** [None] for Rises *)
+  acc_ratio : float;  (** Rises only *)
+  acc_bind : string;
+  src_vars : string list;
+  mutable groups : (Subst.t * (float * Instance.t) list) list;
+      (** group key -> retained (value, instance) entries, oldest first *)
+}
+
+(* ---- compilation ---------------------------------------------------- *)
+
+(* [ctx] is the span of the nearest enclosing window operator: children
+   joined by And/Seq below it can be pruned once older than it.
+   [stored_bound] is how long the parent keeps reading this node's
+   stored instances (Some 0 when the parent only consumes fresh ones).
+
+   Timer caveat: absence detections carry [t_end = deadline] but arrive
+   at the first activity after it, so a sibling of a timer-bearing
+   subtree may be joined arbitrarily late — such siblings (and the
+   stored state joined with late instances generally) must not be
+   window-pruned.  [has_timers] disables the window bound in exactly
+   those places; an engine [horizon] still caps them (an explicit
+   exactness/memory trade-off). *)
+let rec build ?horizon ~ctx ~stored_bound (q : Event_query.t) : node =
+  let mk kind bound = { stored = []; bound; kind } in
+  let effective_bound =
+    match (stored_bound, horizon) with
+    | Some b, Some h -> Some (min b h)
+    | Some b, None -> Some b
+    | None, h -> h
+  in
+  let join_children qs =
+    (* a child may be pruned by the window only if no sibling can hand
+       it a late (timer-completed) join partner *)
+    List.mapi
+      (fun i q ->
+        let sibling_timers =
+          List.exists Event_query.has_timers (List.filteri (fun j _ -> j <> i) qs)
+        in
+        let sb = if sibling_timers then None else ctx in
+        build ?horizon ~ctx ~stored_bound:sb q)
+      qs
+  in
+  match q with
+  | Event_query.Atomic a -> mk (NAtomic a) effective_bound
+  | Event_query.And qs -> mk (NAnd (join_children qs)) effective_bound
+  | Event_query.Seq qs -> mk (NSeq (join_children qs)) effective_bound
+  | Event_query.Or qs ->
+      mk (NOr (List.map (build ?horizon ~ctx ~stored_bound:(Some 0)) qs)) effective_bound
+  | Event_query.Within (q, span) ->
+      let inner_ctx = if Event_query.has_timers q then None else Some span in
+      mk (NWithin (build ?horizon ~ctx:inner_ctx ~stored_bound:(Some 0) q, span)) effective_bound
+  | Event_query.Absent (q1, q2, span) ->
+      (* the span bounds when blockers matter relative to the start's
+         END — it does not bound the start's own joins (ctx inherits) *)
+      let blocker_bound = if Event_query.has_timers q1 then None else Some span in
+      mk
+        (NAbsent
+           {
+             a_start = build ?horizon ~ctx ~stored_bound:(Some 0) q1;
+             a_blocker = build ?horizon ~ctx ~stored_bound:blocker_bound q2;
+             a_span = span;
+             pending = [];
+           })
+        effective_bound
+  | Event_query.Times (n, q, span) ->
+      let child_bound = if Event_query.has_timers q then None else Some span in
+      let child_ctx = if Event_query.has_timers q then None else Some span in
+      mk (NTimes (n, build ?horizon ~ctx:child_ctx ~stored_bound:child_bound q, span)) effective_bound
+  | Event_query.Agg spec ->
+      mk
+        (NAgg
+           {
+             src = build ?horizon ~ctx ~stored_bound:(Some 0) spec.Event_query.over;
+             acc_var = spec.Event_query.var;
+             acc_window = spec.Event_query.window;
+             acc_op = Some spec.Event_query.op;
+             acc_ratio = 1.;
+             acc_bind = spec.Event_query.bind;
+             src_vars = Event_query.vars spec.Event_query.over;
+             groups = [];
+           })
+        effective_bound
+  | Event_query.Rises spec ->
+      mk
+        (NRises
+           {
+             src = build ?horizon ~ctx ~stored_bound:(Some 0) spec.Event_query.r_over;
+             acc_var = spec.Event_query.r_var;
+             acc_window = spec.Event_query.r_window;
+             acc_op = None;
+             acc_ratio = spec.Event_query.r_ratio;
+             acc_bind = spec.Event_query.r_bind;
+             src_vars = Event_query.vars spec.Event_query.r_over;
+             groups = [];
+           })
+        effective_bound
+
+(* ---- stepping ------------------------------------------------------- *)
+
+let prune node now =
+  match node.bound with
+  | None -> ()
+  | Some b -> node.stored <- List.filter (fun i -> i.Instance.t_end >= now - b) node.stored
+
+let store node fresh = node.stored <- node.stored @ fresh
+
+(* Tuples with at least one fresh component, each enumerated exactly
+   once: the pivot is the first child contributing a fresh instance. *)
+let join_fresh ~ordered children_old_fresh =
+  let n = List.length children_old_fresh in
+  let pools pivot =
+    List.mapi
+      (fun i (old, fresh) ->
+        if i < pivot then old else if i = pivot then fresh else old @ fresh)
+      children_old_fresh
+  in
+  let extend_tuples pools =
+    match pools with
+    | [] -> []
+    | first :: rest ->
+        let rec extend acc last = function
+          | [] -> [ acc ]
+          | instances :: rest' ->
+              List.concat_map
+                (fun i ->
+                  if ordered && not (Instance.strictly_before last i) then []
+                  else
+                    match Instance.combine [ acc; i ] with
+                    | Some c -> extend c i rest'
+                    | None -> [])
+                instances
+        in
+        List.concat_map (fun i -> extend i i rest) first
+  in
+  let rec per_pivot pivot acc =
+    if pivot >= n then acc else per_pivot (pivot + 1) (extend_tuples (pools pivot) @ acc)
+  in
+  Instance.dedup (per_pivot 0 [])
+
+(* Size-n subsets combining within [span] and containing at least one
+   fresh instance: choose k >= 1 fresh and n-k old. *)
+let times_fresh n span old fresh =
+  let rec choose acc count pool =
+    if count = 0 then [ acc ]
+    else
+      match pool with
+      | [] -> []
+      | i :: rest ->
+          let with_i =
+            match Instance.combine [ acc; i ] with
+            | Some c when Instance.span c <= span -> choose c (count - 1) rest
+            | Some _ | None -> []
+          in
+          with_i @ choose acc count rest
+  in
+  (* enumerate: first fresh element picked by position in [fresh]; the
+     rest drawn from (later fresh ++ old) *)
+  let rec per_first = function
+    | [] -> []
+    | f :: rest -> choose f (n - 1) (rest @ old) @ per_first rest
+  in
+  if n = 0 then [] else Instance.dedup (per_first fresh)
+
+let numeric_of subst var = Option.bind (Subst.find var subst) Xchange_data.Term.as_num
+let avg vals = List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals)
+
+let group_key st subst =
+  Subst.restrict (List.filter (fun v -> not (String.equal v st.acc_var)) st.src_vars) subst
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let acc_feed st fresh =
+  (* process fresh source instances in canonical order (matches the
+     Backward arrival sort for time-ordered streams) *)
+  let fresh = List.sort Instance.compare fresh in
+  let keep = (match st.acc_op with Some _ -> st.acc_window | None -> st.acc_window + 1) in
+  List.concat_map
+    (fun i ->
+      match numeric_of i.Instance.subst st.acc_var with
+      | None -> []
+      | Some v ->
+          let key = group_key st i.Instance.subst in
+          let entries =
+            match List.find_opt (fun (k, _) -> Subst.equal k key) st.groups with
+            | Some (_, es) -> es
+            | None -> []
+          in
+          let entries = last_n (keep - 1) entries @ [ (v, i) ] in
+          st.groups <-
+            (key, entries) :: List.filter (fun (k, _) -> not (Subst.equal k key)) st.groups;
+          let vals = List.map fst entries in
+          let emit value slice =
+            let latest = snd (List.nth slice (List.length slice - 1)) in
+            match Subst.add st.acc_bind (Xchange_data.Term.num value) latest.Instance.subst with
+            | None -> []
+            | Some subst ->
+                let first = snd (List.hd slice) in
+                [
+                  Instance.timer subst ~t_start:first.Instance.t_start
+                    ~t_end:latest.Instance.t_end
+                    ~ids:
+                      (List.sort_uniq Int.compare
+                         (List.concat_map (fun (_, i) -> i.Instance.ids) slice));
+                ]
+          in
+          (match st.acc_op with
+          | Some op ->
+              if List.length entries < st.acc_window then []
+              else
+                let slice = last_n st.acc_window entries in
+                let vals = last_n st.acc_window vals in
+                let value =
+                  match op with
+                  | Construct.Count -> float_of_int (List.length vals)
+                  | Construct.Sum -> List.fold_left ( +. ) 0. vals
+                  | Construct.Avg -> avg vals
+                  | Construct.Min -> List.fold_left Float.min Float.infinity vals
+                  | Construct.Max -> List.fold_left Float.max Float.neg_infinity vals
+                in
+                emit value slice
+          | None ->
+              let w = st.acc_window in
+              if List.length entries < w + 1 then []
+              else
+                let slice = last_n (w + 1) entries in
+                let vals = last_n (w + 1) vals in
+                let old_avg = avg (List.filteri (fun j _ -> j < w) vals) in
+                let new_avg = avg (List.filteri (fun j _ -> j >= 1) vals) in
+                if new_avg >= st.acc_ratio *. old_avg then emit new_avg slice else []))
+    fresh
+
+let rec step node input ~now : Instance.t list =
+  prune node now;
+  let fresh =
+    match node.kind with
+    | NAtomic a -> (
+        match input with
+        | Now _ -> []
+        | Ev e ->
+            let label_ok =
+              match a.Event_query.label with
+              | Some l -> String.equal l e.Event.label
+              | None -> true
+            in
+            let sender_ok =
+              match a.Event_query.sender with
+              | Some s -> String.equal s e.Event.sender
+              | None -> true
+            in
+            if not (label_ok && sender_ok) then []
+            else
+              Simulate.matches a.Event_query.pattern e.Event.payload
+              |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id))
+    | NAnd children ->
+        let old_fresh =
+          List.map
+            (fun c ->
+              let old = c.stored in
+              let fresh = step c input ~now in
+              (old, fresh))
+            children
+        in
+        join_fresh ~ordered:false old_fresh
+    | NSeq children ->
+        let old_fresh =
+          List.map
+            (fun c ->
+              let old = c.stored in
+              let fresh = step c input ~now in
+              (old, fresh))
+            children
+        in
+        join_fresh ~ordered:true old_fresh
+    | NOr children -> Instance.dedup (List.concat_map (fun c -> step c input ~now) children)
+    | NWithin (child, span) ->
+        List.filter (fun i -> Instance.span i <= span) (step child input ~now)
+    | NAbsent st ->
+        let blocker_old = st.a_blocker.stored in
+        let fresh_starts = step st.a_start input ~now in
+        let fresh_blockers = step st.a_blocker input ~now in
+        (* fresh blockers cancel pending starts they join with *)
+        st.pending <-
+          List.filter
+            (fun (deadline, i1) ->
+              not
+                (List.exists
+                   (fun i2 ->
+                     Instance.strictly_before i1 i2
+                     && i2.Instance.t_start <= deadline
+                     && Option.is_some (Subst.merge i1.Instance.subst i2.Instance.subst))
+                   fresh_blockers))
+            st.pending;
+        (* fresh starts become pending unless an already-seen blocker
+           (stored or same-feed) blocks them *)
+        let all_blockers = blocker_old @ fresh_blockers in
+        List.iter
+          (fun i1 ->
+            let deadline = Clock.add i1.Instance.t_end st.a_span in
+            let blocked =
+              List.exists
+                (fun i2 ->
+                  Instance.strictly_before i1 i2
+                  && i2.Instance.t_start <= deadline
+                  && Option.is_some (Subst.merge i1.Instance.subst i2.Instance.subst))
+                all_blockers
+            in
+            if not blocked then st.pending <- (deadline, i1) :: st.pending)
+          fresh_starts;
+        (* resolve deadlines: strictly past on event feeds (an event at
+           exactly the deadline could still block), inclusive on explicit
+           time advances *)
+        let ripe deadline =
+          match input with Ev e -> deadline < Event.time e | Now t -> deadline <= t
+        in
+        let done_, waiting = List.partition (fun (d, _) -> ripe d) st.pending in
+        st.pending <- waiting;
+        List.map
+          (fun (deadline, i1) ->
+            Instance.timer i1.Instance.subst ~t_start:i1.Instance.t_start ~t_end:deadline
+              ~ids:i1.Instance.ids)
+          done_
+        |> Instance.dedup
+    | NTimes (n, child, span) ->
+        let old = child.stored in
+        let fresh = step child input ~now in
+        times_fresh n span old fresh
+    | NAgg st | NRises st ->
+        let fresh = step st.src input ~now in
+        Instance.dedup (acc_feed st fresh)
+  in
+  store node fresh;
+  fresh
+
+(* ---- engine --------------------------------------------------------- *)
+
+type t = {
+  q : Event_query.t;
+  root : node;
+  consume : bool;
+  selection : selection;
+  mutable clock : Clock.time;
+  mutable seen : int;
+  mutable reported : int;
+}
+
+let create ?(consume = false) ?(selection = Each) ?horizon q =
+  match Event_query.validate q with
+  | Error e -> Error e
+  | Ok () ->
+      Ok
+        {
+          q;
+          root = build ?horizon ~ctx:None ~stored_bound:(Some 0) q;
+          consume;
+          selection;
+          clock = Clock.origin;
+          seen = 0;
+          reported = 0;
+        }
+
+let create_exn ?consume ?selection ?horizon q =
+  match create ?consume ?selection ?horizon q with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Incremental.create: " ^ e)
+
+let rec purge_ids node ids =
+  let untouched i = not (List.exists (fun id -> List.mem id ids) i.Instance.ids) in
+  node.stored <- List.filter untouched node.stored;
+  match node.kind with
+  | NAtomic _ -> ()
+  | NAnd cs | NOr cs | NSeq cs -> List.iter (fun c -> purge_ids c ids) cs
+  | NWithin (c, _) -> purge_ids c ids
+  | NTimes (_, c, _) -> purge_ids c ids
+  | NAbsent st ->
+      st.pending <- List.filter (fun (_, i) -> untouched i) st.pending;
+      purge_ids st.a_start ids;
+      purge_ids st.a_blocker ids
+  | NAgg st | NRises st ->
+      st.groups <-
+        List.filter_map
+          (fun (k, entries) ->
+            match List.filter (fun (_, i) -> untouched i) entries with
+            | [] -> None
+            | kept -> Some (k, kept))
+          st.groups;
+      purge_ids st.src ids
+
+let select_and_consume t detections =
+  let picked =
+    match (t.selection, detections) with
+    | _, [] -> []
+    | Each, ds -> ds
+    | First, ds ->
+        [ List.fold_left (fun best d -> if Instance.compare d best < 0 then d else best) (List.hd ds) ds ]
+    | Last, ds ->
+        [ List.fold_left (fun best d -> if Instance.compare d best > 0 then d else best) (List.hd ds) ds ]
+  in
+  let picked =
+    if not t.consume then picked
+    else
+      (* consume left to right; drop detections sharing events with an
+         already-consumed one *)
+      List.fold_left
+        (fun kept d ->
+          let clashes = List.exists (fun k -> not (Instance.disjoint_ids k d)) kept in
+          if clashes then kept
+          else begin
+            purge_ids t.root d.Instance.ids;
+            kept @ [ d ]
+          end)
+        [] picked
+  in
+  t.reported <- t.reported + List.length picked;
+  picked
+
+let feed t e =
+  t.seen <- t.seen + 1;
+  if Event.time e > t.clock then t.clock <- Event.time e;
+  let detections = step t.root (Ev e) ~now:t.clock in
+  select_and_consume t detections
+
+let advance_to t time =
+  if time > t.clock then t.clock <- time;
+  let detections = step t.root (Now time) ~now:t.clock in
+  select_and_consume t detections
+
+let query t = t.q
+let now t = t.clock
+
+let rec count_node node =
+  let own = List.length node.stored in
+  match node.kind with
+  | NAtomic _ -> own
+  | NAnd cs | NOr cs | NSeq cs -> List.fold_left (fun acc c -> acc + count_node c) own cs
+  | NWithin (c, _) | NTimes (_, c, _) -> own + count_node c
+  | NAbsent st -> own + List.length st.pending + count_node st.a_start + count_node st.a_blocker
+  | NAgg st | NRises st ->
+      own
+      + List.fold_left (fun acc (_, entries) -> acc + List.length entries) 0 st.groups
+      + count_node st.src
+
+let live_instances t = count_node t.root
+let events_seen t = t.seen
+let detections_reported t = t.reported

@@ -1,0 +1,63 @@
+(** Data-driven, incremental evaluation of event queries (Thesis 6).
+
+    The query is compiled to an operator tree whose nodes store partial
+    matches; each incoming event extends the stored state and work done
+    in one evaluation step is never redone ("when event A is detected,
+    we remember this for later when B is detected").
+
+    {b Timers.}  Absence queries detect at a deadline, not at an event:
+    {!advance_to} moves the engine clock forward and emits detections
+    whose deadline has passed.  The caller contract for determinism: all
+    events with time <= t have been fed before [advance_to t] is called,
+    and events are fed in non-decreasing time order.
+
+    {b Garbage collection} (Thesis 4): a node's partial matches are
+    pruned as soon as every enclosing window makes them irrelevant.
+    Query parts under no window — e.g. a bare [And] — are retained
+    forever unless the engine is created with a [horizon]; E4 measures
+    this "shadow Web" growth.
+
+    {b Equivalence.}  With [consume = false] and [selection = Each], the
+    cumulative detections equal {!Backward.answers} over the same
+    stream (for streams respecting the timer contract above) — checked
+    by property tests.
+
+    {b Instance selection and consumption} (Thesis 5, Zimmer & Unland):
+    [selection] picks which simultaneous detections are reported;
+    [consume] uses up the constituent events of a reported detection so
+    they cannot support further detections. *)
+
+type selection = Each | First | Last
+
+type t
+
+val create :
+  ?consume:bool ->
+  ?selection:selection ->
+  ?horizon:Clock.span ->
+  Event_query.t ->
+  (t, string) result
+(** Compiles the query ({!Event_query.validate} is applied).
+    [consume] defaults to [false], [selection] to [Each], [horizon] to
+    none (unbounded retention for window-less query parts). *)
+
+val create_exn :
+  ?consume:bool -> ?selection:selection -> ?horizon:Clock.span -> Event_query.t -> t
+
+val feed : t -> Event.t -> Instance.t list
+(** Process one event; returns the detections it (or a deadline at or
+    before its time) completes. *)
+
+val advance_to : t -> Clock.time -> Instance.t list
+(** Move time forward; returns timer-driven detections (absence). *)
+
+val query : t -> Event_query.t
+val now : t -> Clock.time
+
+val live_instances : t -> int
+(** Number of stored partial matches across all operators (plus pending
+    absences and accumulation buffer entries) — the memory proxy
+    reported by E4. *)
+
+val events_seen : t -> int
+val detections_reported : t -> int

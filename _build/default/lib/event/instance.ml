@@ -1,0 +1,57 @@
+open Xchange_query
+
+type t = { subst : Subst.t; t_start : Clock.time; t_end : Clock.time; ids : int list }
+
+let atomic subst time id = { subst; t_start = time; t_end = time; ids = [ id ] }
+let timer subst ~t_start ~t_end ~ids = { subst; t_start; t_end; ids }
+
+let merge_ids a b = List.sort_uniq Int.compare (a @ b)
+
+let combine instances =
+  match instances with
+  | [] -> None
+  | first :: rest ->
+      let rec go acc = function
+        | [] -> Some acc
+        | i :: rest -> (
+            match Subst.merge acc.subst i.subst with
+            | None -> None
+            | Some subst ->
+                go
+                  {
+                    subst;
+                    t_start = min acc.t_start i.t_start;
+                    t_end = max acc.t_end i.t_end;
+                    ids = merge_ids acc.ids i.ids;
+                  }
+                  rest)
+      in
+      go first rest
+
+let max_id i = List.fold_left max 0 i.ids
+let min_id i = List.fold_left min max_int i.ids
+
+let strictly_before a b =
+  a.t_end < b.t_start || (a.t_end = b.t_start && max_id a < min_id b)
+
+let span i = Clock.diff i.t_end i.t_start
+
+let disjoint_ids a b = not (List.exists (fun id -> List.mem id b.ids) a.ids)
+
+let compare a b =
+  let c = Int.compare a.t_end b.t_end in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.t_start b.t_start in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.ids b.ids in
+      if c <> 0 then c else Subst.compare a.subst b.subst
+
+let equal a b = compare a b = 0
+let dedup l = List.sort_uniq compare l
+
+let pp ppf i =
+  Fmt.pf ppf "<[%a..%a] ids=%a %a>" Clock.pp_time i.t_start Clock.pp_time i.t_end
+    Fmt.(list ~sep:comma int)
+    i.ids Subst.pp i.subst

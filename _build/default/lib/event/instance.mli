@@ -1,0 +1,39 @@
+(** Event-query answers (detections and partial matches).
+
+    An instance records one way an event query was answered: the
+    variable bindings it extracted, the time interval it covers, and the
+    ids of the atomic events it is built from.  Composite instances are
+    {!combine}d from constituent instances; the temporal order used by
+    sequence queries is {!strictly_before}, which breaks timestamp ties
+    with event ids (ids increase with creation order). *)
+
+open Xchange_query
+
+type t = {
+  subst : Subst.t;
+  t_start : Clock.time;
+  t_end : Clock.time;
+  ids : int list;  (** ids of constituent atomic events, sorted, duplicate-free *)
+}
+
+val atomic : Subst.t -> Clock.time -> int -> t
+
+val timer : Subst.t -> t_start:Clock.time -> t_end:Clock.time -> ids:int list -> t
+(** An instance not anchored on a new event (absence detections). *)
+
+val combine : t list -> t option
+(** Merge of the substitutions (None on conflict); interval = envelope
+    of the constituents; ids = union. *)
+
+val strictly_before : t -> t -> bool
+(** [a] ends before [b] starts; ties on time are broken by comparing
+    [a]'s largest id with [b]'s smallest. *)
+
+val span : t -> Clock.span
+
+val disjoint_ids : t -> t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val dedup : t list -> t list
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/lang/meta.ml: Fmt Parser Printer String Term Xchange_data

@@ -1,0 +1,1 @@
+lib/lang/meta.mli: Ruleset Term Xchange_data Xchange_rules

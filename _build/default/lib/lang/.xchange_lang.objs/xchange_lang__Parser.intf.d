@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Action Condition Construct Event_query Qterm Ruleset Term Xchange_data Xchange_event Xchange_query Xchange_rules

@@ -1,0 +1,1 @@
+lib/lang/printer.mli: Action Builtin Clock Condition Construct Eca Event_query Fmt Qterm Ruleset Term Xchange_data Xchange_event Xchange_query Xchange_rules

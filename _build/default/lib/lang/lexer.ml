@@ -1,0 +1,180 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | NUMBER of float
+  | LBRACE
+  | RBRACE
+  | LLBRACE
+  | RRBRACE
+  | LBRACKET
+  | RBRACKET
+  | LLBRACKET
+  | RRBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | AT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | PIPE
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | VAR s -> Fmt.pf ppf "$%s" s
+  | STRING s -> Fmt.pf ppf "%S" s
+  | NUMBER f -> Fmt.float ppf f
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LLBRACE -> Fmt.string ppf "{{"
+  | RRBRACE -> Fmt.string ppf "}}"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LLBRACKET -> Fmt.string ppf "[["
+  | RRBRACKET -> Fmt.string ppf "]]"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf ","
+  | SEMI -> Fmt.string ppf ";"
+  | COLON -> Fmt.string ppf ":"
+  | AT -> Fmt.string ppf "@"
+  | EQ -> Fmt.string ppf "="
+  | NEQ -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | ARROW -> Fmt.string ppf "->"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | CARET -> Fmt.string ppf "^"
+  | PIPE -> Fmt.string ppf "|"
+  | EOF -> Fmt.string ppf "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '-' || c = '.'
+
+exception Lex_error of string
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let tokens = ref [] in
+  let emit pos token = tokens := { token; line = !line; col = pos - !bol + 1 } :: !tokens in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        bol := i + 1;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '#' then begin
+        let j = ref i in
+        while !j < n && src.[!j] <> '\n' do incr j done;
+        go !j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error (Fmt.str "unterminated string at line %d" !line))
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+                (match src.[j + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | c -> Buffer.add_char buf c);
+                str (j + 2)
+            | c ->
+                Buffer.add_char buf c;
+                str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit i (STRING (Buffer.contents buf));
+        go j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && (is_digit src.[!j] || src.[!j] = '.') do incr j done;
+        let text = String.sub src i (!j - i) in
+        match float_of_string_opt text with
+        | Some f ->
+            emit i (NUMBER f);
+            go !j
+        | None -> raise (Lex_error (Fmt.str "bad number %S at line %d" text !line))
+      end
+      else if c = '$' then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        if !j = i + 1 then raise (Lex_error (Fmt.str "empty variable name at line %d" !line));
+        emit i (VAR (String.sub src (i + 1) (!j - i - 1)));
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        (* trailing '-'/'.' belong to the next token, not the name *)
+        while !j > i && (src.[!j - 1] = '-' || src.[!j - 1] = '.') do decr j done;
+        emit i (IDENT (String.sub src i (!j - i)));
+        go !j
+      end
+      else
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "{{" -> emit i LLBRACE; go (i + 2)
+        | "}}" -> emit i RRBRACE; go (i + 2)
+        | "[[" -> emit i LLBRACKET; go (i + 2)
+        | "]]" -> emit i RRBRACKET; go (i + 2)
+        | "->" -> emit i ARROW; go (i + 2)
+        | "!=" -> emit i NEQ; go (i + 2)
+        | "<=" -> emit i LE; go (i + 2)
+        | ">=" -> emit i GE; go (i + 2)
+        | _ -> (
+            match c with
+            | '{' -> emit i LBRACE; go (i + 1)
+            | '}' -> emit i RBRACE; go (i + 1)
+            | '[' -> emit i LBRACKET; go (i + 1)
+            | ']' -> emit i RBRACKET; go (i + 1)
+            | '(' -> emit i LPAREN; go (i + 1)
+            | ')' -> emit i RPAREN; go (i + 1)
+            | ',' -> emit i COMMA; go (i + 1)
+            | ';' -> emit i SEMI; go (i + 1)
+            | ':' -> emit i COLON; go (i + 1)
+            | '@' -> emit i AT; go (i + 1)
+            | '=' -> emit i EQ; go (i + 1)
+            | '<' -> emit i LT; go (i + 1)
+            | '>' -> emit i GT; go (i + 1)
+            | '+' -> emit i PLUS; go (i + 1)
+            | '-' -> emit i MINUS; go (i + 1)
+            | '*' -> emit i STAR; go (i + 1)
+            | '/' -> emit i SLASH; go (i + 1)
+            | '^' -> emit i CARET; go (i + 1)
+            | '|' -> emit i PIPE; go (i + 1)
+            | c -> raise (Lex_error (Fmt.str "unexpected character %C at line %d" c !line)))
+  in
+  match go 0 with
+  | () -> Ok (List.rev !tokens)
+  | exception Lex_error msg -> Error msg

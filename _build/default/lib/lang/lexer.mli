@@ -1,0 +1,46 @@
+(** Lexer for the XChange-style surface syntax.
+
+    Identifiers may contain [-] and [.] (XML names like [set-cookie]
+    are common labels), so binary arithmetic operators must be
+    surrounded by spaces.  Labels containing other characters (e.g.
+    namespace colons) are written as string literals.  Comments run from
+    [#] to end of line. *)
+
+type token =
+  | IDENT of string
+  | VAR of string  (** [$x] *)
+  | STRING of string  (** double-quoted, with backslash escapes *)
+  | NUMBER of float
+  | LBRACE  (** [{] *)
+  | RBRACE
+  | LLBRACE  (** [{{] *)
+  | RRBRACE
+  | LBRACKET  (** [\[] *)
+  | RBRACKET
+  | LLBRACKET  (** [\[\[] *)
+  | RRBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | AT
+  | EQ  (** [=] *)
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW  (** [->] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET  (** [^], string concatenation *)
+  | PIPE
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+val tokenize : string -> (located list, string) result
+val pp_token : token Fmt.t

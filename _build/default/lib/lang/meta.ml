@@ -1,0 +1,18 @@
+open Xchange_data
+
+let ruleset_label = "xchange:ruleset"
+
+let ruleset_to_term rs =
+  Term.elem ruleset_label [ Term.text (Printer.ruleset_to_string rs) ]
+
+let ruleset_of_term t =
+  match t with
+  | Term.Elem { Term.label; children = [ Term.Text src ]; _ }
+    when String.equal label ruleset_label ->
+      Parser.parse_ruleset src
+  | Term.Elem _ | Term.Text _ | Term.Num _ | Term.Bool _ ->
+      Error (Fmt.str "not a reified rule set: %a" Term.pp t)
+
+let rules_event_payload = ruleset_to_term
+
+let size_bytes rs = String.length (Printer.ruleset_to_string rs)

@@ -1,0 +1,31 @@
+(** Meta-programming and meta-circularity (Thesis 11).
+
+    "Programs can have other programs as data and exploit their
+    semantics"; in the {e meta-circular} special case "the same language
+    is used on both levels".  Rule sets are reified as data terms whose
+    payload is the rule set in the {e same surface syntax} the engine
+    executes — the rules realising the exchange and the rules being
+    exchanged are written in one language.  Because
+    [Parser ∘ Printer = id] (property-tested), reification is lossless.
+
+    A reified rule set travels like any other event payload; a node with
+    [accept_rules] and a decoder installed (see
+    {!Xchange_web.Node.set_rule_decoder}) loads it on arrival.  The
+    trust-negotiation scenario of the paper is built on exactly this
+    ({!Xchange_aaa.Trust}). *)
+
+open Xchange_data
+open Xchange_rules
+
+val ruleset_label : string
+(** Root label of reified rule-set terms, ["xchange:ruleset"]. *)
+
+val ruleset_to_term : Ruleset.t -> Term.t
+val ruleset_of_term : Term.t -> (Ruleset.t, string) result
+
+val rules_event_payload : Ruleset.t -> Term.t
+(** Alias of {!ruleset_to_term}; the payload to send under the event
+    label {!Xchange_web.Node.rules_label}. *)
+
+val size_bytes : Ruleset.t -> int
+(** Wire size of the reified form (reported by E11). *)

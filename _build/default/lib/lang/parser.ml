@@ -1,0 +1,920 @@
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+let keywords =
+  [
+    "var"; "desc"; "without"; "regex"; "any"; "true"; "false"; "all"; "count"; "sum"; "avg";
+    "min"; "max"; "expr"; "and"; "or"; "seq"; "times"; "absent"; "rises"; "within"; "from";
+    "as"; "last"; "on"; "if"; "do"; "else"; "rule"; "ruleset"; "procedure"; "view"; "derive";
+    "emit"; "in"; "not"; "rdf"; "doc"; "uri"; "iri"; "blank"; "insert"; "into"; "at"; "pos";
+    "delete"; "matching"; "replace"; "with"; "create"; "drop"; "raise"; "to"; "ttl";
+    "persist"; "call"; "log"; "nop"; "fail"; "assert"; "retract"; "alt"; "atomic"; "then"; "size"; "after";
+    "consume"; "first"; "ms"; "s"; "h"; "event"; "lvar"; "labelled"; "optional";
+  ]
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.located list }
+
+let fail_at (l : Lexer.located) msg =
+  raise (Parse_error (Fmt.str "%s at line %d, column %d" msg l.Lexer.line l.Lexer.col))
+
+let peek st =
+  match st.toks with [] -> Lexer.{ token = EOF; line = 0; col = 0 } | l :: _ -> l
+
+let peek2 st = match st.toks with _ :: l :: _ -> Some l.Lexer.token | _ -> None
+let next st =
+  let l = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  l
+
+let expect st token what =
+  let l = next st in
+  if l.Lexer.token <> token then fail_at l (Fmt.str "expected %s, found %a" what Lexer.pp_token l.Lexer.token)
+
+let accept st token =
+  match st.toks with
+  | l :: rest when l.Lexer.token = token ->
+      st.toks <- rest;
+      true
+  | _ -> false
+
+(* names: identifiers or quoted strings *)
+let name st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.IDENT s | Lexer.STRING s -> s
+  | t -> fail_at l (Fmt.str "expected a name, found %a" Lexer.pp_token t)
+
+let ident st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.IDENT s -> s
+  | t -> fail_at l (Fmt.str "expected an identifier, found %a" Lexer.pp_token t)
+
+let string_lit st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.STRING s -> s
+  | t -> fail_at l (Fmt.str "expected a string, found %a" Lexer.pp_token t)
+
+let number st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.NUMBER f -> f
+  | t -> fail_at l (Fmt.str "expected a number, found %a" Lexer.pp_token t)
+
+let int_lit st =
+  let f = number st in
+  if Float.is_integer f then int_of_float f
+  else raise (Parse_error (Fmt.str "expected an integer, found %g" f))
+
+let is_kw st kw = match (peek st).Lexer.token with Lexer.IDENT s -> String.equal s kw | _ -> false
+
+let kw st kw_name =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.IDENT s when String.equal s kw_name -> ()
+  | t -> fail_at l (Fmt.str "expected '%s', found %a" kw_name Lexer.pp_token t)
+
+let accept_kw st kw_name =
+  if is_kw st kw_name then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+(* The lexer munches adjacent closing brackets into double tokens
+   ([\]\]], [}}]); nested structures must split them back (and,
+   symmetrically, merge two singles when a double is required). *)
+
+let replace_head st token =
+  match st.toks with
+  | l :: rest -> st.toks <- { l with Lexer.token } :: rest
+  | [] -> ()
+
+let at_closer st closer =
+  let t = (peek st).Lexer.token in
+  t = closer
+  || (closer = Lexer.RBRACKET && t = Lexer.RRBRACKET)
+  || (closer = Lexer.RBRACE && t = Lexer.RRBRACE)
+
+let rec expect_closer st closer what =
+  let t = (peek st).Lexer.token in
+  match (closer, t) with
+  | Lexer.RBRACKET, Lexer.RRBRACKET -> replace_head st Lexer.RBRACKET
+  | Lexer.RBRACE, Lexer.RRBRACE -> replace_head st Lexer.RBRACE
+  | Lexer.RRBRACKET, Lexer.RBRACKET ->
+      ignore (next st);
+      expect_closer st Lexer.RBRACKET what
+  | Lexer.RRBRACE, Lexer.RBRACE ->
+      ignore (next st);
+      expect_closer st Lexer.RBRACE what
+  | _, _ -> expect st closer what
+
+let accept_open_brace st =
+  match (peek st).Lexer.token with
+  | Lexer.LBRACE ->
+      ignore (next st);
+      true
+  | Lexer.LLBRACE ->
+      replace_head st Lexer.LBRACE;
+      true
+  | _ -> false
+
+let comma_list st ~stop parse_item =
+  if at_closer st stop then []
+  else
+    let rec go acc =
+      let item = parse_item st in
+      if accept st Lexer.COMMA then go (item :: acc) else List.rev (item :: acc)
+    in
+    go []
+
+(* ---- durations ------------------------------------------------------- *)
+
+let duration st =
+  let value = int_lit st in
+  match (peek st).Lexer.token with
+  | Lexer.IDENT "ms" -> ignore (next st); Clock.ms value
+  | Lexer.IDENT "s" -> ignore (next st); Clock.seconds value
+  | Lexer.IDENT "min" -> ignore (next st); Clock.minutes value
+  | Lexer.IDENT "h" -> ignore (next st); Clock.hours value
+  | _ -> Clock.ms value
+
+(* ---- query terms ------------------------------------------------------ *)
+
+let spec_of_opener = function
+  | Lexer.LBRACKET -> Some (Qterm.Total, Term.Ordered, Lexer.RBRACKET)
+  | Lexer.LBRACE -> Some (Qterm.Total, Term.Unordered, Lexer.RBRACE)
+  | Lexer.LLBRACKET -> Some (Qterm.Partial, Term.Ordered, Lexer.RRBRACKET)
+  | Lexer.LLBRACE -> Some (Qterm.Partial, Term.Unordered, Lexer.RRBRACE)
+  | _ -> None
+
+let rec qterm st : Qterm.t =
+  let l = peek st in
+  match l.Lexer.token with
+  | Lexer.IDENT "var" ->
+      ignore (next st);
+      let v = ident st in
+      if accept st Lexer.ARROW then Qterm.As (v, qterm st) else Qterm.Var v
+  | Lexer.IDENT "desc" ->
+      ignore (next st);
+      Qterm.Desc (qterm st)
+  | Lexer.IDENT "regex" ->
+      ignore (next st);
+      Qterm.Leaf (Qterm.Regex (string_lit st))
+  | Lexer.IDENT "any" ->
+      ignore (next st);
+      Qterm.Leaf Qterm.Leaf_any
+  | Lexer.IDENT "true" ->
+      ignore (next st);
+      Qterm.Leaf (Qterm.Bool_is true)
+  | Lexer.IDENT "false" ->
+      ignore (next st);
+      Qterm.Leaf (Qterm.Bool_is false)
+  | Lexer.NUMBER f ->
+      ignore (next st);
+      Qterm.Leaf (Qterm.Num_is f)
+  | Lexer.MINUS ->
+      ignore (next st);
+      Qterm.Leaf (Qterm.Num_is (-.number st))
+  | Lexer.IDENT "lvar" ->
+      ignore (next st);
+      let v = ident st in
+      element_pattern st (Qterm.L_var v)
+  | Lexer.STAR ->
+      ignore (next st);
+      element_pattern st Qterm.L_any
+  | Lexer.IDENT label -> (
+      match peek2 st with
+      | Some opener when Option.is_some (spec_of_opener opener) ->
+          ignore (next st);
+          element_pattern st (Qterm.L label)
+      | _ -> fail_at l (Fmt.str "unexpected identifier %s in query term" label))
+  | Lexer.STRING s -> (
+      match peek2 st with
+      | Some opener when Option.is_some (spec_of_opener opener) ->
+          ignore (next st);
+          element_pattern st (Qterm.L s)
+      | _ ->
+          ignore (next st);
+          Qterm.Leaf (Qterm.Text_is s))
+  | t -> fail_at l (Fmt.str "unexpected %a in query term" Lexer.pp_token t)
+
+and element_pattern st label =
+  let l = next st in
+  match spec_of_opener l.Lexer.token with
+  | None -> fail_at l "expected an opening bracket"
+  | Some (spec, ord, closer) ->
+      let attrs = ref [] in
+      let children =
+        comma_list st ~stop:closer (fun st ->
+            if accept st Lexer.AT then begin
+              let key = name st in
+              let pat =
+                if accept st Lexer.EQ then
+                  let l = peek st in
+                  match l.Lexer.token with
+                  | Lexer.STRING s -> ignore (next st); Qterm.A_is s
+                  | Lexer.IDENT "var" -> ignore (next st); Qterm.A_var (ident st)
+                  | t -> fail_at l (Fmt.str "expected attribute value, found %a" Lexer.pp_token t)
+                else Qterm.A_any
+              in
+              attrs := (key, pat) :: !attrs;
+              None
+            end
+            else if accept_kw st "without" then Some (Qterm.Without (qterm st))
+            else if accept_kw st "optional" then Some (Qterm.Opt (qterm st))
+            else Some (Qterm.Pos (qterm st)))
+      in
+      expect_closer st closer "a closing bracket";
+      Qterm.El
+        {
+          Qterm.label;
+          attrs = List.rev !attrs;
+          ord;
+          spec;
+          children = List.filter_map (fun c -> c) children;
+        }
+
+(* ---- operands --------------------------------------------------------- *)
+
+let rec operand st : Builtin.operand =
+  let lhs = mult_operand st in
+  let rec tail lhs =
+    match (peek st).Lexer.token with
+    | Lexer.PLUS -> ignore (next st); tail (Builtin.O_add (lhs, mult_operand st))
+    | Lexer.MINUS -> ignore (next st); tail (Builtin.O_sub (lhs, mult_operand st))
+    | Lexer.CARET -> ignore (next st); tail (Builtin.O_concat (lhs, mult_operand st))
+    | _ -> lhs
+  in
+  tail lhs
+
+and mult_operand st =
+  let lhs = unary_operand st in
+  let rec tail lhs =
+    match (peek st).Lexer.token with
+    | Lexer.STAR -> ignore (next st); tail (Builtin.O_mul (lhs, unary_operand st))
+    | Lexer.SLASH -> ignore (next st); tail (Builtin.O_div (lhs, unary_operand st))
+    | _ -> lhs
+  in
+  tail lhs
+
+and unary_operand st =
+  if accept st Lexer.MINUS then Builtin.O_neg (unary_operand st) else prim_operand st
+
+and prim_operand st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.VAR v -> Builtin.O_var v
+  | Lexer.NUMBER f -> Builtin.O_const (Term.num f)
+  | Lexer.STRING s -> Builtin.O_const (Term.text s)
+  | Lexer.IDENT "true" -> Builtin.O_const (Term.bool_ true)
+  | Lexer.IDENT "false" -> Builtin.O_const (Term.bool_ false)
+  | Lexer.IDENT "size" ->
+      expect st Lexer.LPAREN "'('";
+      let o = operand st in
+      expect st Lexer.RPAREN "')'";
+      Builtin.O_size o
+  | Lexer.IDENT "iri" -> (
+      expect st Lexer.LPAREN "'('";
+      match (peek st).Lexer.token with
+      | Lexer.STRING str ->
+          ignore (next st);
+          expect st Lexer.RPAREN "')'";
+          Builtin.O_const (Term.elem "iri" [ Term.text str ])
+      | _ ->
+          let o = operand st in
+          expect st Lexer.RPAREN "')'";
+          Builtin.O_iri o)
+  | Lexer.LPAREN ->
+      let o = operand st in
+      expect st Lexer.RPAREN "')'";
+      o
+  | t -> fail_at l (Fmt.str "unexpected %a in expression" Lexer.pp_token t)
+
+(* ---- construct terms --------------------------------------------------- *)
+
+let agg_of_ident = function
+  | "count" -> Some Construct.Count
+  | "sum" -> Some Construct.Sum
+  | "avg" -> Some Construct.Avg
+  | "min" -> Some Construct.Min
+  | "max" -> Some Construct.Max
+  | _ -> None
+
+let rec construct st : Construct.t =
+  let l = peek st in
+  match l.Lexer.token with
+  | Lexer.VAR v ->
+      ignore (next st);
+      Construct.C_var v
+  | Lexer.NUMBER f ->
+      ignore (next st);
+      Construct.C_num f
+  | Lexer.MINUS ->
+      ignore (next st);
+      Construct.C_num (-.number st)
+  | Lexer.IDENT "lvar" ->
+      ignore (next st);
+      let v = ident st in
+      construct_element st (`L_var v)
+  | Lexer.IDENT "true" ->
+      ignore (next st);
+      Construct.C_bool true
+  | Lexer.IDENT "false" ->
+      ignore (next st);
+      Construct.C_bool false
+  | Lexer.IDENT "all" ->
+      ignore (next st);
+      Construct.C_all (construct st)
+  | Lexer.IDENT "expr" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let o = operand st in
+      expect st Lexer.RPAREN "')'";
+      Construct.C_operand o
+  | Lexer.IDENT id when Option.is_some (agg_of_ident id) && peek2 st = Some Lexer.LPAREN ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let l = next st in
+      let v =
+        match l.Lexer.token with
+        | Lexer.VAR v -> v
+        | t -> fail_at l (Fmt.str "expected a variable, found %a" Lexer.pp_token t)
+      in
+      expect st Lexer.RPAREN "')'";
+      Construct.C_agg (Option.get (agg_of_ident id), v)
+  | Lexer.IDENT label -> (
+      match peek2 st with
+      | Some (Lexer.LBRACKET | Lexer.LBRACE) ->
+          ignore (next st);
+          construct_element st (`L label)
+      | _ -> fail_at l (Fmt.str "unexpected identifier %s in construct term" label))
+  | Lexer.STRING s -> (
+      match peek2 st with
+      | Some (Lexer.LBRACKET | Lexer.LBRACE) ->
+          ignore (next st);
+          construct_element st (`L s)
+      | _ ->
+          ignore (next st);
+          Construct.C_text s)
+  | t -> fail_at l (Fmt.str "unexpected %a in construct term" Lexer.pp_token t)
+
+and construct_element st label =
+  let l = next st in
+  let ord, closer =
+    match l.Lexer.token with
+    | Lexer.LBRACKET -> (Term.Ordered, Lexer.RBRACKET)
+    | Lexer.LBRACE -> (Term.Unordered, Lexer.RBRACE)
+    | t -> fail_at l (Fmt.str "expected '[' or '{', found %a" Lexer.pp_token t)
+  in
+  let attrs = ref [] in
+  let children =
+    comma_list st ~stop:closer (fun st ->
+        if accept st Lexer.AT then begin
+          let key = name st in
+          expect st Lexer.EQ "'='";
+          let l = next st in
+          let value =
+            match l.Lexer.token with
+            | Lexer.STRING s -> `A s
+            | Lexer.VAR v -> `A_var v
+            | t -> fail_at l (Fmt.str "expected attribute value, found %a" Lexer.pp_token t)
+          in
+          attrs := (key, value) :: !attrs;
+          None
+        end
+        else Some (construct st))
+  in
+  expect_closer st closer "a closing bracket";
+  Construct.C_el
+    {
+      Construct.label;
+      attrs = List.rev !attrs;
+      ord;
+      children = List.filter_map (fun c -> c) children;
+    }
+
+(* ---- conditions -------------------------------------------------------- *)
+
+let resource st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.IDENT "doc" ->
+      expect st Lexer.LPAREN "'('";
+      let s = string_lit st in
+      expect st Lexer.RPAREN "')'";
+      Condition.Local s
+  | Lexer.IDENT "uri" ->
+      expect st Lexer.LPAREN "'('";
+      let s = string_lit st in
+      expect st Lexer.RPAREN "')'";
+      Condition.Remote s
+  | Lexer.IDENT "view" ->
+      expect st Lexer.LPAREN "'('";
+      let s = name st in
+      expect st Lexer.RPAREN "')'";
+      Condition.View s
+  | t -> fail_at l (Fmt.str "expected doc(...), uri(...) or view(...), found %a" Lexer.pp_token t)
+
+let rdf_pat st =
+  let l = next st in
+  match l.Lexer.token with
+  | Lexer.VAR v -> Rdf.Var v
+  | Lexer.STRING s -> Rdf.Exact (Rdf.Lit s)
+  | Lexer.NUMBER f -> Rdf.Exact (Rdf.Lit_num f)
+  | Lexer.IDENT "iri" ->
+      expect st Lexer.LPAREN "'('";
+      let s = string_lit st in
+      expect st Lexer.RPAREN "')'";
+      Rdf.Exact (Rdf.Iri s)
+  | Lexer.IDENT "blank" ->
+      expect st Lexer.LPAREN "'('";
+      let s = string_lit st in
+      expect st Lexer.RPAREN "')'";
+      Rdf.Exact (Rdf.Blank s)
+  | t -> fail_at l (Fmt.str "expected an RDF node pattern, found %a" Lexer.pp_token t)
+
+let rec condition st : Condition.t =
+  let l = peek st in
+  match l.Lexer.token with
+  | Lexer.IDENT "true" when peek2 st <> Some Lexer.LPAREN ->
+      ignore (next st);
+      Condition.True
+  | Lexer.IDENT "false" when peek2 st <> Some Lexer.LPAREN ->
+      ignore (next st);
+      Condition.False
+  | Lexer.IDENT "in" ->
+      ignore (next st);
+      let res = resource st in
+      Condition.In (res, qterm st)
+  | Lexer.IDENT "rdf" ->
+      ignore (next st);
+      let res = resource st in
+      expect st Lexer.LBRACE "'{'";
+      let rec triples acc =
+        if at_closer st Lexer.RBRACE then begin
+          expect_closer st Lexer.RBRACE "'}'";
+          List.rev acc
+        end
+        else begin
+          expect st Lexer.LPAREN "'('";
+          let s = rdf_pat st in
+          let p = rdf_pat st in
+          let o = rdf_pat st in
+          expect st Lexer.RPAREN "')'";
+          triples ({ Rdf.ps = s; pp = p; po = o } :: acc)
+        end
+      in
+      Condition.In_rdf (res, triples [])
+  | Lexer.IDENT "and" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let cs = comma_list st ~stop:Lexer.RPAREN condition in
+      expect st Lexer.RPAREN "')'";
+      Condition.And cs
+  | Lexer.IDENT "or" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let cs = comma_list st ~stop:Lexer.RPAREN condition in
+      expect st Lexer.RPAREN "')'";
+      Condition.Or cs
+  | Lexer.IDENT "not" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let c = condition st in
+      expect st Lexer.RPAREN "')'";
+      Condition.Not c
+  | _ ->
+      let lhs = operand st in
+      let l = next st in
+      let cmp =
+        match l.Lexer.token with
+        | Lexer.EQ -> Builtin.Eq
+        | Lexer.NEQ -> Builtin.Neq
+        | Lexer.LT -> Builtin.Lt
+        | Lexer.LE -> Builtin.Le
+        | Lexer.GT -> Builtin.Gt
+        | Lexer.GE -> Builtin.Ge
+        | t -> fail_at l (Fmt.str "expected a comparison operator, found %a" Lexer.pp_token t)
+      in
+      Condition.Cmp (cmp, lhs, operand st)
+
+(* ---- event queries ----------------------------------------------------- *)
+
+let rec event_query st : Event_query.t =
+  let q = event_primary st in
+  let rec wrap q =
+    if accept_kw st "within" then wrap (Event_query.Within (q, duration st)) else q
+  in
+  wrap q
+
+and event_list st =
+  expect st Lexer.LBRACE "'{'";
+  let qs = comma_list st ~stop:Lexer.RBRACE event_query in
+  expect_closer st Lexer.RBRACE "'}'";
+  qs
+
+and event_primary st =
+  let l = peek st in
+  match l.Lexer.token with
+  | Lexer.IDENT "and" when peek2 st = Some Lexer.LBRACE ->
+      ignore (next st);
+      Event_query.And (event_list st)
+  | Lexer.IDENT "or" when peek2 st = Some Lexer.LBRACE ->
+      ignore (next st);
+      Event_query.Or (event_list st)
+  | Lexer.IDENT "seq" when peek2 st = Some Lexer.LBRACE ->
+      ignore (next st);
+      Event_query.Seq (event_list st)
+  | Lexer.IDENT "times" ->
+      ignore (next st);
+      let n = int_lit st in
+      expect st Lexer.LBRACE "'{'";
+      let q = event_query st in
+      expect_closer st Lexer.RBRACE "'}'";
+      kw st "within";
+      Event_query.Times (n, q, duration st)
+  | Lexer.IDENT "absent" ->
+      ignore (next st);
+      expect st Lexer.LBRACE "'{'";
+      let q1 = event_query st in
+      expect st Lexer.COMMA "','";
+      let q2 = event_query st in
+      expect_closer st Lexer.RBRACE "'}'";
+      kw st "within";
+      Event_query.Absent (q1, q2, duration st)
+  | Lexer.IDENT "rises" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let l = next st in
+      let v =
+        match l.Lexer.token with
+        | Lexer.VAR v -> v
+        | t -> fail_at l (Fmt.str "expected a variable, found %a" Lexer.pp_token t)
+      in
+      expect st Lexer.COMMA "','";
+      let window = int_lit st in
+      expect st Lexer.COMMA "','";
+      let ratio = number st in
+      expect st Lexer.RPAREN "')'";
+      expect st Lexer.LBRACE "'{'";
+      let over = event_query st in
+      expect_closer st Lexer.RBRACE "'}'";
+      kw st "as";
+      let bind = ident st in
+      Event_query.Rises
+        { Event_query.r_over = over; r_var = v; r_window = window; r_ratio = ratio; r_bind = bind }
+  | Lexer.IDENT id when Option.is_some (agg_of_ident id) && peek2 st = Some Lexer.LPAREN ->
+      ignore (next st);
+      expect st Lexer.LPAREN "'('";
+      let l = next st in
+      let v =
+        match l.Lexer.token with
+        | Lexer.VAR v -> v
+        | t -> fail_at l (Fmt.str "expected a variable, found %a" Lexer.pp_token t)
+      in
+      expect st Lexer.RPAREN "')'";
+      kw st "last";
+      let window = int_lit st in
+      expect st Lexer.LBRACE "'{'";
+      let over = event_query st in
+      expect_closer st Lexer.RBRACE "'}'";
+      kw st "as";
+      let bind = ident st in
+      Event_query.Agg
+        {
+          Event_query.over;
+          var = v;
+          window;
+          op = Option.get (agg_of_ident id);
+          bind;
+        }
+  | _ -> atomic_query st
+
+and atomic_query st =
+  (* (name ':')? qterm ('from' STRING)? *)
+  let label =
+    match ((peek st).Lexer.token, peek2 st) with
+    | (Lexer.IDENT l | Lexer.STRING l), Some Lexer.COLON ->
+        ignore (next st);
+        ignore (next st);
+        Some l
+    | _, _ -> None
+  in
+  let pattern = qterm st in
+  let sender = if accept_kw st "from" then Some (string_lit st) else None in
+  Event_query.Atomic { Event_query.label; pattern; sender }
+
+(* ---- actions ----------------------------------------------------------- *)
+
+let selector st =
+  if accept_kw st "at" then
+    let s = string_lit st in
+    match Path.parse_selector s with
+    | Ok sel -> sel
+    | Error e -> raise (Parse_error ("bad selector: " ^ e))
+  else []
+
+let rec action st : Action.t =
+  let l = peek st in
+  match l.Lexer.token with
+  | Lexer.LBRACE | Lexer.LLBRACE ->
+      ignore (accept_open_brace st);
+      let items =
+        if at_closer st Lexer.RBRACE then []
+        else
+          let rec go acc =
+            let a = action st in
+            if accept st Lexer.SEMI then go (a :: acc) else List.rev (a :: acc)
+          in
+          go []
+      in
+      expect_closer st Lexer.RBRACE "'}'";
+      Action.Seq items
+  | Lexer.IDENT "atomic" ->
+      ignore (next st);
+      if not (accept_open_brace st) then expect st Lexer.LBRACE "'{'";
+      let items =
+        if at_closer st Lexer.RBRACE then []
+        else
+          let rec go acc =
+            let a = action st in
+            if accept st Lexer.SEMI then go (a :: acc) else List.rev (a :: acc)
+          in
+          go []
+      in
+      expect_closer st Lexer.RBRACE "'}'";
+      Action.Atomic items
+  | Lexer.IDENT "alt" ->
+      ignore (next st);
+      if not (accept_open_brace st) then expect st Lexer.LBRACE "'{'";
+      let rec go acc =
+        let a = action st in
+        if accept st Lexer.PIPE then go (a :: acc) else List.rev (a :: acc)
+      in
+      let items = go [] in
+      expect_closer st Lexer.RBRACE "'}'";
+      Action.Alt items
+  | Lexer.IDENT "if" ->
+      ignore (next st);
+      let c = condition st in
+      kw st "then";
+      let a = action st in
+      kw st "else";
+      let b = action st in
+      Action.If (c, a, b)
+  | Lexer.IDENT "insert" ->
+      ignore (next st);
+      kw st "into";
+      let doc = operand st in
+      let sel = selector st in
+      let at = if accept_kw st "pos" then Some (int_lit st) else None in
+      let content = construct st in
+      Action.Insert { doc; selector = sel; at; content }
+  | Lexer.IDENT "delete" ->
+      ignore (next st);
+      kw st "from";
+      let doc = operand st in
+      let sel = selector st in
+      let pattern = if accept_kw st "matching" then Some (qterm st) else None in
+      Action.Delete { doc; selector = sel; pattern }
+  | Lexer.IDENT "replace" ->
+      ignore (next st);
+      kw st "in";
+      let doc = operand st in
+      let sel = selector st in
+      kw st "with";
+      let content = construct st in
+      Action.Replace { doc; selector = sel; content }
+  | Lexer.IDENT "create" ->
+      ignore (next st);
+      let doc = operand st in
+      let content = construct st in
+      Action.Create_doc { doc; content }
+  | Lexer.IDENT "drop" ->
+      ignore (next st);
+      Action.Delete_doc { doc = operand st }
+  | Lexer.IDENT "raise" ->
+      ignore (next st);
+      kw st "to";
+      let recipient = operand st in
+      let label = name st in
+      let payload = construct st in
+      let ttl = if accept_kw st "ttl" then Some (duration st) else None in
+      let delay = if accept_kw st "after" then Some (duration st) else None in
+      Action.Raise { recipient; label; payload; ttl; delay }
+  | Lexer.IDENT "persist" ->
+      ignore (next st);
+      let l = next st in
+      let v =
+        match l.Lexer.token with
+        | Lexer.VAR v -> v
+        | t -> fail_at l (Fmt.str "expected a variable, found %a" Lexer.pp_token t)
+      in
+      kw st "to";
+      Action.make_persistent ~doc:(string_lit st) v
+  | Lexer.IDENT "call" ->
+      ignore (next st);
+      let pname = name st in
+      expect st Lexer.LPAREN "'('";
+      let args = comma_list st ~stop:Lexer.RPAREN operand in
+      expect st Lexer.RPAREN "')'";
+      Action.Call (pname, args)
+  | Lexer.IDENT "log" ->
+      ignore (next st);
+      let fmt = string_lit st in
+      let rec args acc = if accept st Lexer.COMMA then args (operand st :: acc) else List.rev acc in
+      Action.Log (fmt, args [])
+  | Lexer.IDENT "nop" ->
+      ignore (next st);
+      Action.Nop
+  | Lexer.IDENT "fail" ->
+      ignore (next st);
+      Action.Fail (string_lit st)
+  | Lexer.IDENT "assert" ->
+      ignore (next st);
+      kw st "into";
+      let doc = operand st in
+      let triple = action_triple st in
+      Action.Rdf_assert { doc; triple }
+  | Lexer.IDENT "retract" ->
+      ignore (next st);
+      kw st "from";
+      let doc = operand st in
+      let triple = action_triple st in
+      Action.Rdf_retract { doc; triple }
+  | t -> fail_at l (Fmt.str "unexpected %a in action" Lexer.pp_token t)
+
+and action_triple st =
+  expect st Lexer.LPAREN "'('";
+  let s = operand st in
+  expect st Lexer.COMMA "','";
+  let p = operand st in
+  expect st Lexer.COMMA "','";
+  let o = operand st in
+  expect st Lexer.RPAREN "')'";
+  { Action.cs = s; cp = p; co = o }
+
+(* ---- rules and rule sets ------------------------------------------------ *)
+
+let rule_flags st =
+  let consume = ref false in
+  let selection = ref Xchange_event.Incremental.Each in
+  if accept st Lexer.LPAREN then begin
+    let rec go () =
+      (if accept_kw st "consume" then consume := true
+       else if accept_kw st "first" then selection := Xchange_event.Incremental.First
+       else if accept_kw st "last" then selection := Xchange_event.Incremental.Last
+       else
+         let l = peek st in
+         fail_at l "expected 'consume', 'first' or 'last'");
+      if accept st Lexer.COMMA then go ()
+    in
+    go ();
+    expect st Lexer.RPAREN "')'"
+  end;
+  (!consume, !selection)
+
+let rule st =
+  kw st "rule";
+  let rname = name st in
+  let consume, selection = rule_flags st in
+  expect st Lexer.COLON "':'";
+  kw st "on";
+  let event = event_query st in
+  let branches = ref [] in
+  let else_action = ref None in
+  let rec branch_loop () =
+    if accept_kw st "if" then begin
+      let c = condition st in
+      kw st "do";
+      let a = action st in
+      branches := { Eca.condition = c; action = a } :: !branches;
+      branch_loop ()
+    end
+    else if accept_kw st "do" then begin
+      let a = action st in
+      branches := { Eca.condition = Condition.True; action = a } :: !branches;
+      branch_loop ()
+    end
+    else if accept_kw st "else" then else_action := Some (action st)
+  in
+  branch_loop ();
+  if !branches = [] then raise (Parse_error (Fmt.str "rule %s has no action" rname));
+  {
+    Eca.name = rname;
+    event;
+    branches = List.rev !branches;
+    else_action = !else_action;
+    consume;
+    selection;
+  }
+
+let procedure st =
+  kw st "procedure";
+  let pname = name st in
+  expect st Lexer.LPAREN "'('";
+  let params = comma_list st ~stop:Lexer.RPAREN ident in
+  expect st Lexer.RPAREN "')'";
+  let body = action st in
+  (pname, { Action.params; body })
+
+let view st =
+  kw st "view";
+  let vname = name st in
+  let head = construct st in
+  kw st "from";
+  let body = condition st in
+  Deductive.rule ~view:vname ~head ~body
+
+let derive_rule st =
+  kw st "derive";
+  let dname = name st in
+  kw st "emit";
+  let label = name st in
+  let payload = construct st in
+  kw st "on";
+  let trigger = event_query st in
+  Xchange_event.Deductive_event.rule ~name:dname ~derives:label ~trigger ~payload
+
+let rec ruleset st =
+  kw st "ruleset";
+  let rname = name st in
+  expect st Lexer.LBRACE "'{'";
+  let rules = ref [] and procs = ref [] and views = ref [] and events = ref [] in
+  let children = ref [] in
+  let rec items () =
+    if is_kw st "ruleset" then begin
+      children := ruleset st :: !children;
+      items ()
+    end
+    else if is_kw st "rule" then begin
+      rules := rule st :: !rules;
+      items ()
+    end
+    else if is_kw st "procedure" then begin
+      procs := procedure st :: !procs;
+      items ()
+    end
+    else if is_kw st "view" then begin
+      views := view st :: !views;
+      items ()
+    end
+    else if is_kw st "derive" then begin
+      events := derive_rule st :: !events;
+      items ()
+    end
+  in
+  items ();
+  expect_closer st Lexer.RBRACE "'}'";
+  Ruleset.make ~rules:(List.rev !rules) ~procedures:(List.rev !procs)
+    ~views:(List.rev !views) ~event_rules:(List.rev !events)
+    ~children:(List.rev !children) rname
+
+(* ---- entry points -------------------------------------------------------- *)
+
+let run parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      match parse st with
+      | result ->
+          let l = peek st in
+          if l.Lexer.token = Lexer.EOF then Ok result
+          else
+            Error
+              (Fmt.str "trailing input at line %d, column %d (%a)" l.Lexer.line l.Lexer.col
+                 Lexer.pp_token l.Lexer.token)
+      | exception Parse_error msg -> Error msg)
+
+let parse_ruleset src = run ruleset src
+
+let parse_program src =
+  run
+    (fun st ->
+      let rec go acc = if is_kw st "ruleset" then go (ruleset st :: acc) else List.rev acc in
+      match go [] with
+      | [] -> raise (Parse_error "expected at least one ruleset")
+      | [ single ] -> single
+      | many -> Ruleset.make ~children:many "program")
+    src
+
+let parse_event_query src = run event_query src
+let parse_qterm src = run qterm src
+let parse_condition src = run condition src
+let parse_construct src = run construct src
+let parse_action src = run action src
+
+let parse_term src =
+  match parse_construct src with
+  | Error e -> Error e
+  | Ok c -> (
+      match Construct.instantiate c Subst.empty [] with
+      | Ok t -> Ok t
+      | Error e -> Error ("not a ground term: " ^ e))

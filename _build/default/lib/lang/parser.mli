@@ -1,0 +1,46 @@
+(** Recursive-descent parser for the XChange-style surface syntax.
+
+    The parser builds the library types directly (rule sets, ECA rules,
+    event queries, query and construct terms, conditions, actions) — the
+    surface language has no separate AST, which is what makes textual
+    meta-circularity (Thesis 11) exact: {!Printer} emits this grammar
+    and [parse (print x) = x].
+
+    Grammar sketch (see the test suite and the examples for living
+    documentation):
+    {v
+ruleset shop {
+  procedure ship(Item, Dest) {
+    insert into "/shipments" shipment[item[$Item], dest[$Dest]];
+    raise to $Dest picked pick[item[$Item]]
+  }
+  view gold gold[all name[$N]]
+    from in doc("/customers") customers{{customer{{name[var N], status["gold"]}}}}
+  rule handle-order: on order{{item[var Item], customer[var C]}}
+    if in view(gold) gold{{name[var C]}}
+    do call ship($Item, $C)
+    else raise to "clerk.example" review review[item[$Item]]
+}
+    v} *)
+
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+val parse_program : string -> (Ruleset.t, string) result
+(** One or more top-level rule sets; several are wrapped in a root set
+    named ["program"]. *)
+
+val parse_ruleset : string -> (Ruleset.t, string) result
+val parse_event_query : string -> (Event_query.t, string) result
+val parse_qterm : string -> (Qterm.t, string) result
+val parse_condition : string -> (Condition.t, string) result
+val parse_construct : string -> (Construct.t, string) result
+val parse_action : string -> (Action.t, string) result
+val parse_term : string -> (Term.t, string) result
+(** Ground data terms in the same syntax (constructs without
+    variables). *)
+
+val keywords : string list
+(** Reserved words; labels colliding with them must be quoted. *)

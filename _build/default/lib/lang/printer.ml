@@ -1,0 +1,386 @@
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+(* ---- lexical helpers -------------------------------------------------- *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_plain_ident s =
+  String.length s > 0
+  && is_ident_start s.[0]
+  && String.for_all
+       (fun c -> is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '.')
+       s
+  && s.[String.length s - 1] <> '-'
+  && s.[String.length s - 1] <> '.'
+  && not (List.mem s Parser.keywords)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let pp_name ppf s = Fmt.string ppf (if is_plain_ident s then s else quote s)
+let pp_string ppf s = Fmt.string ppf (quote s)
+
+(* shortest representation that parses back to the same float *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else
+    let rec try_prec p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else try_prec (p + 1)
+    in
+    try_prec 12
+
+let pp_number ppf f =
+  if f < 0. then Fmt.pf ppf "- %s" (float_repr (Float.abs f)) else Fmt.string ppf (float_repr f)
+
+let pp_duration ppf s =
+  if s mod 3_600_000 = 0 && s > 0 then Fmt.pf ppf "%d h" (s / 3_600_000)
+  else if s mod 60_000 = 0 && s > 0 then Fmt.pf ppf "%d min" (s / 60_000)
+  else if s mod 1000 = 0 && s > 0 then Fmt.pf ppf "%d s" (s / 1000)
+  else Fmt.pf ppf "%d ms" s
+
+(* ---- operands ---------------------------------------------------------- *)
+
+(* Precedence: additive(1) < multiplicative(2) < atoms(3). *)
+let rec pp_operand_prec prec ppf (o : Builtin.operand) =
+  let paren level body =
+    if level < prec then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match o with
+  | Builtin.O_var v -> Fmt.pf ppf "$%s" v
+  | Builtin.O_const (Term.Num f) ->
+      if f < 0. then Fmt.pf ppf "(%a)" pp_number f else pp_number ppf f
+  | Builtin.O_const (Term.Text s) -> pp_string ppf s
+  | Builtin.O_const (Term.Bool b) -> Fmt.bool ppf b
+  | Builtin.O_const (Term.Elem { Term.label = "iri"; children = [ Term.Text i ]; _ }) ->
+      Fmt.pf ppf "iri(%s)" (quote i)
+  | Builtin.O_const t ->
+      (* arbitrary term constants have no literal syntax; degrade to text *)
+      pp_string ppf (Term.to_string t)
+  | Builtin.O_add (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a + %a" (pp_operand_prec 1) a (pp_operand_prec 2) b)
+  | Builtin.O_sub (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a - %a" (pp_operand_prec 1) a (pp_operand_prec 2) b)
+  | Builtin.O_concat (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a ^ %a" (pp_operand_prec 1) a (pp_operand_prec 2) b)
+  | Builtin.O_mul (a, b) ->
+      paren 2 (fun ppf -> Fmt.pf ppf "%a * %a" (pp_operand_prec 2) a (pp_operand_prec 3) b)
+  | Builtin.O_div (a, b) ->
+      paren 2 (fun ppf -> Fmt.pf ppf "%a / %a" (pp_operand_prec 2) a (pp_operand_prec 3) b)
+  | Builtin.O_neg a -> Fmt.pf ppf "(- %a)" (pp_operand_prec 3) a
+  | Builtin.O_size a -> Fmt.pf ppf "size(%a)" (pp_operand_prec 1) a
+  | Builtin.O_iri a -> Fmt.pf ppf "iri(%a)" (pp_operand_prec 1) a
+
+let pp_operand ppf o = pp_operand_prec 1 ppf o
+
+(* operands appearing where a bare `true`/`false` would be read as a
+   condition keyword are parenthesised *)
+let pp_operand_guarded ppf o =
+  match o with
+  | Builtin.O_const (Term.Bool _) -> Fmt.pf ppf "(%a)" pp_operand o
+  | _ -> pp_operand ppf o
+
+(* ---- query terms -------------------------------------------------------- *)
+
+let brackets spec ord =
+  match (spec, ord) with
+  | Qterm.Total, Term.Ordered -> ("[", "]")
+  | Qterm.Total, Term.Unordered -> ("{", "}")
+  | Qterm.Partial, Term.Ordered -> ("[[", "]]")
+  | Qterm.Partial, Term.Unordered -> ("{{", "}}")
+
+let rec pp_qterm ppf (q : Qterm.t) =
+  match q with
+  | Qterm.Var v -> Fmt.pf ppf "var %s" v
+  | Qterm.As (v, inner) -> Fmt.pf ppf "var %s -> %a" v pp_qterm inner
+  | Qterm.Leaf Qterm.Leaf_any -> Fmt.string ppf "any"
+  | Qterm.Leaf (Qterm.Text_is s) -> pp_string ppf s
+  | Qterm.Leaf (Qterm.Num_is f) -> pp_number ppf f
+  | Qterm.Leaf (Qterm.Bool_is b) -> Fmt.bool ppf b
+  | Qterm.Leaf (Qterm.Regex r) -> Fmt.pf ppf "regex %s" (quote r)
+  | Qterm.Desc inner -> Fmt.pf ppf "desc %a" pp_qterm inner
+  | Qterm.El e ->
+      let o, c = brackets e.Qterm.spec e.Qterm.ord in
+      (match e.Qterm.label with
+      | Qterm.L s -> pp_name ppf s
+      | Qterm.L_var v -> Fmt.pf ppf "lvar %s " v
+      | Qterm.L_any -> Fmt.string ppf "*");
+      Fmt.string ppf o;
+      let items =
+        List.map
+          (fun (k, ap) ->
+            match ap with
+            | Qterm.A_is s -> Fmt.str "@%a = %s" pp_name k (quote s)
+            | Qterm.A_var v -> Fmt.str "@%a = var %s" pp_name k v
+            | Qterm.A_any -> Fmt.str "@%a" pp_name k)
+          e.Qterm.attrs
+        @ List.map
+            (fun child ->
+              match child with
+              | Qterm.Pos q -> Fmt.str "%a" pp_qterm q
+              | Qterm.Without q -> Fmt.str "without %a" pp_qterm q
+              | Qterm.Opt q -> Fmt.str "optional %a" pp_qterm q)
+            e.Qterm.children
+      in
+      Fmt.pf ppf "%s%s" (String.concat ", " items) c
+
+(* ---- construct terms ----------------------------------------------------- *)
+
+let agg_name = function
+  | Construct.Count -> "count"
+  | Construct.Sum -> "sum"
+  | Construct.Avg -> "avg"
+  | Construct.Min -> "min"
+  | Construct.Max -> "max"
+
+let rec pp_construct ppf (c : Construct.t) =
+  match c with
+  | Construct.C_var v -> Fmt.pf ppf "$%s" v
+  | Construct.C_text s -> pp_string ppf s
+  | Construct.C_num f -> pp_number ppf f
+  | Construct.C_bool b -> Fmt.bool ppf b
+  | Construct.C_operand o -> Fmt.pf ppf "expr(%a)" pp_operand o
+  | Construct.C_all inner -> Fmt.pf ppf "all %a" pp_construct inner
+  | Construct.C_agg (op, v) -> Fmt.pf ppf "%s($%s)" (agg_name op) v
+  | Construct.C_el e ->
+      let o, c =
+        match e.Construct.ord with Term.Ordered -> ("[", "]") | Term.Unordered -> ("{", "}")
+      in
+      (match e.Construct.label with
+      | `L s -> pp_name ppf s
+      | `L_var v -> Fmt.pf ppf "lvar %s " v);
+      Fmt.string ppf o;
+      let items =
+        List.map
+          (fun (k, a) ->
+            match a with
+            | `A s -> Fmt.str "@%a = %s" pp_name k (quote s)
+            | `A_var v -> Fmt.str "@%a = $%s" pp_name k v)
+          e.Construct.attrs
+        @ List.map (Fmt.str "%a" pp_construct) e.Construct.children
+      in
+      Fmt.pf ppf "%s%s" (String.concat ", " items) c
+
+let rec construct_of_term (t : Term.t) : Construct.t =
+  match t with
+  | Term.Text s -> Construct.C_text s
+  | Term.Num f -> Construct.C_num f
+  | Term.Bool b -> Construct.C_bool b
+  | Term.Elem e ->
+      Construct.C_el
+        {
+          Construct.label = `L e.Term.label;
+          attrs = List.map (fun (k, v) -> (k, `A v)) e.Term.attrs;
+          ord = e.Term.ord;
+          children = List.map construct_of_term e.Term.children;
+        }
+
+let pp_term ppf t = pp_construct ppf (construct_of_term t)
+
+(* ---- conditions ------------------------------------------------------------ *)
+
+let pp_resource ppf (r : Condition.resource) =
+  match r with
+  | Condition.Local s -> Fmt.pf ppf "doc(%s)" (quote s)
+  | Condition.Remote s -> Fmt.pf ppf "uri(%s)" (quote s)
+  | Condition.View s -> Fmt.pf ppf "view(%a)" pp_name s
+
+let pp_rdf_pat ppf (p : Rdf.pat) =
+  match p with
+  | Rdf.Var v -> Fmt.pf ppf "$%s" v
+  | Rdf.Exact (Rdf.Iri i) -> Fmt.pf ppf "iri(%s)" (quote i)
+  | Rdf.Exact (Rdf.Blank b) -> Fmt.pf ppf "blank(%s)" (quote b)
+  | Rdf.Exact (Rdf.Lit s) -> pp_string ppf s
+  | Rdf.Exact (Rdf.Lit_num f) -> pp_number ppf f
+
+let rec pp_condition ppf (c : Condition.t) =
+  match c with
+  | Condition.True -> Fmt.string ppf "true"
+  | Condition.False -> Fmt.string ppf "false"
+  | Condition.In (r, q) -> Fmt.pf ppf "in %a %a" pp_resource r pp_qterm q
+  | Condition.In_rdf (r, patterns) ->
+      let pp_triple ppf (tp : Rdf.triple_pattern) =
+        Fmt.pf ppf "(%a %a %a)" pp_rdf_pat tp.Rdf.ps pp_rdf_pat tp.Rdf.pp pp_rdf_pat tp.Rdf.po
+      in
+      Fmt.pf ppf "rdf %a {%a}" pp_resource r Fmt.(list ~sep:sp pp_triple) patterns
+  | Condition.And cs ->
+      Fmt.pf ppf "and(%a)" Fmt.(list ~sep:comma pp_condition) cs
+  | Condition.Or cs -> Fmt.pf ppf "or(%a)" Fmt.(list ~sep:comma pp_condition) cs
+  | Condition.Not c -> Fmt.pf ppf "not(%a)" pp_condition c
+  | Condition.Cmp (cmp, a, b) ->
+      let op =
+        match cmp with
+        | Builtin.Eq -> "="
+        | Builtin.Neq -> "!="
+        | Builtin.Lt -> "<"
+        | Builtin.Le -> "<="
+        | Builtin.Gt -> ">"
+        | Builtin.Ge -> ">="
+      in
+      Fmt.pf ppf "%a %s %a" pp_operand_guarded a op pp_operand b
+
+(* ---- event queries ----------------------------------------------------------- *)
+
+let rec pp_event_query ppf (q : Event_query.t) =
+  match q with
+  | Event_query.Atomic a ->
+      (match a.Event_query.label with
+      | Some l -> Fmt.pf ppf "%a: " pp_name l
+      | None -> ());
+      pp_qterm ppf a.Event_query.pattern;
+      (match a.Event_query.sender with
+      | Some s -> Fmt.pf ppf " from %s" (quote s)
+      | None -> ())
+  | Event_query.And qs -> Fmt.pf ppf "and{%a}" Fmt.(list ~sep:comma pp_event_query) qs
+  | Event_query.Or qs -> Fmt.pf ppf "or{%a}" Fmt.(list ~sep:comma pp_event_query) qs
+  | Event_query.Seq qs -> Fmt.pf ppf "seq{%a}" Fmt.(list ~sep:comma pp_event_query) qs
+  | Event_query.Within (q, s) ->
+      (* postfix 'within' chains associate left in the parser *)
+      Fmt.pf ppf "%a within %a" pp_event_query q pp_duration s
+  | Event_query.Absent (q1, q2, s) ->
+      Fmt.pf ppf "absent{%a, %a} within %a" pp_event_query q1 pp_event_query q2 pp_duration s
+  | Event_query.Times (n, q, s) ->
+      Fmt.pf ppf "times %d {%a} within %a" n pp_event_query q pp_duration s
+  | Event_query.Agg spec ->
+      Fmt.pf ppf "%s($%s) last %d {%a} as %s"
+        (agg_name spec.Event_query.op)
+        spec.Event_query.var spec.Event_query.window pp_event_query spec.Event_query.over
+        spec.Event_query.bind
+  | Event_query.Rises spec ->
+      Fmt.pf ppf "rises($%s, %d, %s) {%a} as %s" spec.Event_query.r_var
+        spec.Event_query.r_window
+        (float_repr spec.Event_query.r_ratio)
+        pp_event_query spec.Event_query.r_over spec.Event_query.r_bind
+
+(* ---- actions -------------------------------------------------------------------- *)
+
+let pp_selector_opt ppf (sel : Path.selector) =
+  if sel <> [] then Fmt.pf ppf " at %s" (quote (Fmt.str "%a" Path.pp_selector sel))
+
+let rec pp_action ppf (a : Action.t) =
+  match a with
+  | Action.Nop -> Fmt.string ppf "nop"
+  | Action.Fail m -> Fmt.pf ppf "fail %s" (quote m)
+  | Action.Log (fmt, args) ->
+      Fmt.pf ppf "log %s%a" (quote fmt)
+        Fmt.(list (fun ppf o -> Fmt.pf ppf ", %a" pp_operand o))
+        args
+  | Action.Insert { doc; selector; at; content } ->
+      Fmt.pf ppf "insert into %a%a%a %a" pp_operand_guarded doc pp_selector_opt selector
+        Fmt.(option (fun ppf i -> Fmt.pf ppf " pos %d" i))
+        at pp_construct content
+  | Action.Delete { doc; selector; pattern } ->
+      Fmt.pf ppf "delete from %a%a%a" pp_operand_guarded doc pp_selector_opt selector
+        Fmt.(option (fun ppf q -> Fmt.pf ppf " matching %a" pp_qterm q))
+        pattern
+  | Action.Replace { doc; selector; content } ->
+      Fmt.pf ppf "replace in %a%a with %a" pp_operand_guarded doc pp_selector_opt selector
+        pp_construct content
+  | Action.Create_doc
+      { doc = Builtin.O_const (Term.Text _) as doc; content = Construct.C_var v } ->
+      (* canonical form of make_persistent *)
+      Fmt.pf ppf "persist $%s to %a" v pp_doc_string doc
+  | Action.Create_doc { doc; content } ->
+      Fmt.pf ppf "create %a %a" pp_operand_guarded doc pp_construct content
+  | Action.Delete_doc { doc } -> Fmt.pf ppf "drop %a" pp_operand_guarded doc
+  | Action.Rdf_assert { doc; triple } ->
+      Fmt.pf ppf "assert into %a (%a, %a, %a)" pp_operand_guarded doc pp_operand triple.Action.cs
+        pp_operand triple.Action.cp pp_operand triple.Action.co
+  | Action.Rdf_retract { doc; triple } ->
+      Fmt.pf ppf "retract from %a (%a, %a, %a)" pp_operand_guarded doc pp_operand
+        triple.Action.cs pp_operand triple.Action.cp pp_operand triple.Action.co
+  | Action.Raise { recipient; label; payload; ttl; delay } ->
+      Fmt.pf ppf "raise to %a %a %a%a%a" pp_operand recipient pp_name label pp_construct payload
+        Fmt.(option (fun ppf t -> Fmt.pf ppf " ttl %a" pp_duration t))
+        ttl
+        Fmt.(option (fun ppf t -> Fmt.pf ppf " after %a" pp_duration t))
+        delay
+  | Action.Seq actions ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_action) actions
+  | Action.Atomic actions ->
+      Fmt.pf ppf "atomic {%a}" Fmt.(list ~sep:(any "; ") pp_action) actions
+  | Action.Alt actions ->
+      Fmt.pf ppf "alt {%a}" Fmt.(list ~sep:(any " | ") pp_action) actions
+  | Action.If (c, a, b) ->
+      Fmt.pf ppf "if %a then %a else %a" pp_condition c pp_action a pp_action b
+  | Action.Call (name, args) ->
+      Fmt.pf ppf "call %a(%a)" pp_name name Fmt.(list ~sep:comma pp_operand) args
+
+and pp_doc_string ppf (doc : Builtin.operand) =
+  match doc with
+  | Builtin.O_const (Term.Text s) -> pp_string ppf s
+  | other -> pp_operand ppf other
+
+(* ---- rules, views, procedures, rule sets ------------------------------------------ *)
+
+let pp_rule ppf (r : Eca.t) =
+  let flags =
+    (if r.Eca.consume then [ "consume" ] else [])
+    @
+    match r.Eca.selection with
+    | Xchange_event.Incremental.Each -> []
+    | Xchange_event.Incremental.First -> [ "first" ]
+    | Xchange_event.Incremental.Last -> [ "last" ]
+  in
+  Fmt.pf ppf "@[<v 2>rule %a%s:@ on %a" pp_name r.Eca.name
+    (if flags = [] then "" else "(" ^ String.concat ", " flags ^ ")")
+    pp_event_query r.Eca.event;
+  List.iter
+    (fun (b : Eca.branch) ->
+      match b.Eca.condition with
+      | Condition.True -> Fmt.pf ppf "@ do %a" pp_action b.Eca.action
+      | c -> Fmt.pf ppf "@ if %a@ do %a" pp_condition c pp_action b.Eca.action)
+    r.Eca.branches;
+  (match r.Eca.else_action with
+  | Some a -> Fmt.pf ppf "@ else %a" pp_action a
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+let pp_view ppf (v : Deductive.rule) =
+  Fmt.pf ppf "@[<v 2>view %a %a@ from %a@]" pp_name v.Deductive.view pp_construct
+    v.Deductive.head pp_condition v.Deductive.body
+
+let pp_derive ppf (d : Deductive_event.rule) =
+  Fmt.pf ppf "@[<v 2>derive %a emit %a %a@ on %a@]" pp_name d.Deductive_event.name pp_name
+    d.Deductive_event.derived_label pp_construct d.Deductive_event.payload pp_event_query
+    d.Deductive_event.trigger
+
+let pp_procedure ppf (name, (p : Action.proc)) =
+  Fmt.pf ppf "@[<v 2>procedure %a(%a) %a@]" pp_name name
+    Fmt.(list ~sep:comma string)
+    p.Action.params pp_action p.Action.body
+
+let rec pp_ruleset ppf (rs : Ruleset.t) =
+  Fmt.pf ppf "@[<v 2>ruleset %a {" pp_name rs.Ruleset.name;
+  List.iter (fun p -> Fmt.pf ppf "@ %a" pp_procedure p) rs.Ruleset.procedures;
+  List.iter (fun v -> Fmt.pf ppf "@ %a" pp_view v) rs.Ruleset.views;
+  List.iter (fun d -> Fmt.pf ppf "@ %a" pp_derive d) rs.Ruleset.event_rules;
+  List.iter (fun r -> Fmt.pf ppf "@ %a" pp_rule r) rs.Ruleset.rules;
+  List.iter (fun c -> Fmt.pf ppf "@ %a" pp_ruleset c) rs.Ruleset.children;
+  Fmt.pf ppf "@]@ }"
+
+let to_str pp x = Fmt.str "@[<v>%a@]" pp x
+let ruleset_to_string rs = to_str pp_ruleset rs
+let rule_to_string r = to_str pp_rule r
+let event_query_to_string q = to_str pp_event_query q
+let qterm_to_string q = to_str pp_qterm q
+let action_to_string a = to_str pp_action a
+let condition_to_string c = to_str pp_condition c
+let term_to_string t = to_str pp_term t

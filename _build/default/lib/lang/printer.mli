@@ -1,0 +1,32 @@
+(** Pretty-printer for the surface syntax.
+
+    Emits exactly the grammar {!Parser} accepts: for every value [x]
+    produced by the parser or built with the library constructors,
+    [Parser.parse_* (Printer.*_to_string x) = Ok x] (property-tested).
+    This exact round trip is what makes textual rule reification
+    ({!Meta}) lossless. *)
+
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+val pp_qterm : Qterm.t Fmt.t
+val pp_construct : Construct.t Fmt.t
+val pp_condition : Condition.t Fmt.t
+val pp_operand : Builtin.operand Fmt.t
+val pp_event_query : Event_query.t Fmt.t
+val pp_action : Action.t Fmt.t
+val pp_rule : Eca.t Fmt.t
+val pp_ruleset : Ruleset.t Fmt.t
+val pp_duration : Clock.span Fmt.t
+val pp_term : Term.t Fmt.t
+(** Ground data terms in construct syntax. *)
+
+val ruleset_to_string : Ruleset.t -> string
+val rule_to_string : Eca.t -> string
+val event_query_to_string : Event_query.t -> string
+val qterm_to_string : Qterm.t -> string
+val action_to_string : Action.t -> string
+val condition_to_string : Condition.t -> string
+val term_to_string : Term.t -> string

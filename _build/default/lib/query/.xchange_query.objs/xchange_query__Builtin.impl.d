@@ -1,0 +1,1 @@
+lib/query/builtin.ml: Float Fmt Option Result String Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/builtin.mli: Fmt Subst Term Xchange_data

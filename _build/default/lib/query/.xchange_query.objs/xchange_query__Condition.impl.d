@@ -1,0 +1,1 @@
+lib/query/condition.ml: Builtin Fmt List Option Qterm Rdf Simulate String Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/condition.mli: Builtin Fmt Qterm Rdf Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/construct.ml: Builtin Float Fmt List Result String Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/construct.mli: Builtin Fmt Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/deductive.ml: Condition Construct Fmt Hashtbl List Option Set String Subst Term Xchange_data

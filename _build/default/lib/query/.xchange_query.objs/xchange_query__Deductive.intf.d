@@ -1,0 +1,1 @@
+lib/query/deductive.mli: Condition Construct Hashtbl Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/qterm.ml: Fmt List Re String Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/qterm.mli: Fmt Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/simulate.ml: Bool Float Hashtbl List Qterm Re String Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/simulate.mli: Qterm Subst Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/subst.ml: Fmt List Map Option String Term Xchange_data

@@ -1,0 +1,1 @@
+lib/query/subst.mli: Fmt Term Xchange_data

@@ -1,0 +1,111 @@
+open Xchange_data
+
+type operand =
+  | O_var of string
+  | O_const of Term.t
+  | O_add of operand * operand
+  | O_sub of operand * operand
+  | O_mul of operand * operand
+  | O_div of operand * operand
+  | O_neg of operand
+  | O_concat of operand * operand
+  | O_size of operand
+  | O_iri of operand
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+let ovar v = O_var v
+let onum f = O_const (Term.num f)
+let ostr s = O_const (Term.text s)
+
+let ( let* ) = Result.bind
+
+let rec eval subst op =
+  match op with
+  | O_var v -> (
+      match Subst.find v subst with
+      | Some t -> Ok t
+      | None -> Error (Fmt.str "unbound variable %s" v))
+  | O_const t -> Ok t
+  | O_add (a, b) -> arith subst "+" ( +. ) a b
+  | O_sub (a, b) -> arith subst "-" ( -. ) a b
+  | O_mul (a, b) -> arith subst "*" ( *. ) a b
+  | O_div (a, b) ->
+      let* bv = numeric subst b in
+      if Float.equal bv 0. then Error "division by zero"
+      else
+        let* av = numeric subst a in
+        Ok (Term.num (av /. bv))
+  | O_neg a ->
+      let* av = numeric subst a in
+      Ok (Term.num (-.av))
+  | O_concat (a, b) ->
+      let* at = eval subst a in
+      let* bt = eval subst b in
+      let to_s t = Option.value ~default:(Term.to_string t) (Term.as_text t) in
+      Ok (Term.text (to_s at ^ to_s bt))
+  | O_size a ->
+      let* at = eval subst a in
+      Ok (Term.int (Term.size at))
+  | O_iri a -> (
+      let* at = eval subst a in
+      match Term.as_text at with
+      | Some s -> Ok (Term.elem "iri" [ Term.text s ])
+      | None -> Error (Fmt.str "iri() needs a textual value, got %a" Term.pp at))
+
+and numeric subst op =
+  let* t = eval subst op in
+  match Term.as_num t with
+  | Some f -> Ok f
+  | None -> Error (Fmt.str "not a number: %a" Term.pp t)
+
+and arith subst _name f a b =
+  let* av = numeric subst a in
+  let* bv = numeric subst b in
+  Ok (Term.num (f av bv))
+
+let test subst cmp a b =
+  let* at = eval subst a in
+  let* bt = eval subst b in
+  match cmp with
+  | Eq -> Ok (Term.equal at bt)
+  | Neq -> Ok (not (Term.equal at bt))
+  | Lt | Le | Gt | Ge -> (
+      let check c = match cmp with
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Eq | Neq -> assert false
+      in
+      match (Term.as_num at, Term.as_num bt) with
+      | Some x, Some y -> Ok (check (Float.compare x y))
+      | _, _ -> (
+          match (Term.as_text at, Term.as_text bt) with
+          | Some x, Some y -> Ok (check (String.compare x y))
+          | _, _ ->
+              Error
+                (Fmt.str "cannot order %a and %a" Term.pp at Term.pp bt)))
+
+let rec operand_vars = function
+  | O_var v -> [ v ]
+  | O_const _ -> []
+  | O_add (a, b) | O_sub (a, b) | O_mul (a, b) | O_div (a, b) | O_concat (a, b) ->
+      operand_vars a @ operand_vars b
+  | O_neg a | O_size a | O_iri a -> operand_vars a
+
+let rec pp_operand ppf = function
+  | O_var v -> Fmt.pf ppf "$%s" v
+  | O_const t -> Term.pp ppf t
+  | O_add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_operand a pp_operand b
+  | O_sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_operand a pp_operand b
+  | O_mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_operand a pp_operand b
+  | O_div (a, b) -> Fmt.pf ppf "(%a / %a)" pp_operand a pp_operand b
+  | O_neg a -> Fmt.pf ppf "(- %a)" pp_operand a
+  | O_concat (a, b) -> Fmt.pf ppf "(%a ^ %a)" pp_operand a pp_operand b
+  | O_size a -> Fmt.pf ppf "size(%a)" pp_operand a
+  | O_iri a -> Fmt.pf ppf "iri(%a)" pp_operand a
+
+let pp_cmp ppf c =
+  Fmt.string ppf
+    (match c with Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")

@@ -1,0 +1,39 @@
+(** Built-in operands, arithmetic, and comparisons over bindings.
+
+    Conditions and actions compute with the values delivered by event
+    and condition queries (Thesis 7: answers parameterize further
+    queries and the action). *)
+
+open Xchange_data
+
+type operand =
+  | O_var of string  (** value of a bound variable *)
+  | O_const of Term.t
+  | O_add of operand * operand
+  | O_sub of operand * operand
+  | O_mul of operand * operand
+  | O_div of operand * operand
+  | O_neg of operand
+  | O_concat of operand * operand  (** string concatenation *)
+  | O_size of operand  (** node count of a term *)
+  | O_iri of operand  (** wrap a textual value as an RDF IRI node term *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+val ovar : string -> operand
+val onum : float -> operand
+val ostr : string -> operand
+
+val eval : Subst.t -> operand -> (Term.t, string) result
+(** Arithmetic coerces through {!Term.as_num}; unbound variables and
+    non-numeric arguments of arithmetic are errors. *)
+
+val test : Subst.t -> cmp -> operand -> operand -> (bool, string) result
+(** [Eq]/[Neq] compare extensionally when either side is an element;
+    otherwise comparison is numeric when both sides coerce to numbers,
+    and lexicographic on text otherwise. *)
+
+val operand_vars : operand -> string list
+
+val pp_operand : operand Fmt.t
+val pp_cmp : cmp Fmt.t

@@ -1,0 +1,126 @@
+open Xchange_data
+
+type resource = Local of string | Remote of string | View of string
+
+type t =
+  | True
+  | False
+  | In of resource * Qterm.t
+  | In_rdf of resource * Rdf.triple_pattern list
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Cmp of Builtin.cmp * Builtin.operand * Builtin.operand
+
+type env = {
+  fetch : resource -> Term.t list;
+  fetch_rdf : resource -> Rdf.graph option;
+}
+
+let env_of_docs docs =
+  let fetch = function
+    | Local name | Remote name -> (
+        match List.assoc_opt name docs with Some d -> [ d ] | None -> [])
+    | View _ -> []
+  in
+  { fetch; fetch_rdf = (fun _ -> None) }
+
+let rdf_binding_to_subst binding =
+  List.fold_left
+    (fun acc (v, node) ->
+      Option.bind acc (fun s ->
+          let term =
+            match node with
+            | Rdf.Iri i -> Term.elem "iri" [ Term.text i ]
+            | Rdf.Blank b -> Term.elem "blank" [ Term.text b ]
+            | Rdf.Lit l -> Term.text l
+            | Rdf.Lit_num f -> Term.num f
+          in
+          Subst.add v term s))
+    (Some Subst.empty) binding
+
+(* Pre-bind pattern variables that the seed substitution already fixes,
+   so event bindings constrain RDF queries too. *)
+let seed_rdf_pattern subst (p : Rdf.triple_pattern) =
+  let fix pat =
+    match pat with
+    | Rdf.Var v -> (
+        match Subst.find v subst with
+        | None -> pat
+        | Some (Term.Elem { Term.label = "iri"; children = [ Term.Text i ]; _ }) ->
+            Rdf.Exact (Rdf.Iri i)
+        | Some (Term.Elem { Term.label = "blank"; children = [ Term.Text b ]; _ }) ->
+            Rdf.Exact (Rdf.Blank b)
+        | Some (Term.Text s) -> Rdf.Exact (Rdf.Lit s)
+        | Some (Term.Num f) -> Rdf.Exact (Rdf.Lit_num f)
+        | Some t -> Rdf.Exact (Rdf.Lit (Term.to_string t)))
+    | Rdf.Exact _ -> pat
+  in
+  { Rdf.ps = fix p.Rdf.ps; pp = fix p.Rdf.pp; po = fix p.Rdf.po }
+
+let rec eval env subst cond =
+  match cond with
+  | True -> Subst.set_single subst
+  | False -> Subst.set_empty
+  | In (res, q) ->
+      let docs = env.fetch res in
+      Subst.dedup
+        (List.concat_map (fun doc -> Simulate.matches_anywhere ~seed:subst q doc) docs)
+  | In_rdf (res, patterns) -> (
+      match env.fetch_rdf res with
+      | None -> Subst.set_empty
+      | Some g ->
+          let patterns = List.map (seed_rdf_pattern subst) patterns in
+          Rdf.query g patterns
+          |> List.filter_map rdf_binding_to_subst
+          |> List.filter_map (fun s -> Subst.merge subst s)
+          |> Subst.dedup)
+  | And conds ->
+      List.fold_left
+        (fun substs c -> Subst.dedup (List.concat_map (fun s -> eval env s c) substs))
+        (Subst.set_single subst) conds
+  | Or conds -> Subst.dedup (List.concat_map (eval env subst) conds)
+  | Not c -> if eval env subst c = [] then Subst.set_single subst else Subst.set_empty
+  | Cmp (cmp, a, b) -> (
+      match Builtin.test subst cmp a b with
+      | Ok true -> Subst.set_single subst
+      | Ok false | Error _ -> Subst.set_empty)
+
+let holds env subst cond = eval env subst cond <> []
+
+let rec vars = function
+  | True | False | Not _ -> []
+  | In (_, q) -> Qterm.vars q
+  | In_rdf (_, patterns) ->
+      List.concat_map
+        (fun (p : Rdf.triple_pattern) ->
+          List.filter_map
+            (function Rdf.Var v -> Some v | Rdf.Exact _ -> None)
+            [ p.Rdf.ps; p.Rdf.pp; p.Rdf.po ])
+        patterns
+  | And cs | Or cs -> List.concat_map vars cs
+  | Cmp (_, a, b) -> Builtin.operand_vars a @ Builtin.operand_vars b
+
+let vars c = List.sort_uniq String.compare (vars c)
+
+let pp_resource ppf = function
+  | Local s -> Fmt.pf ppf "doc(%S)" s
+  | Remote s -> Fmt.pf ppf "uri(%S)" s
+  | View s -> Fmt.pf ppf "view(%S)" s
+
+let pp_rdf_pat ppf (p : Rdf.triple_pattern) =
+  let pp_pat ppf = function
+    | Rdf.Exact n -> Rdf.pp_node ppf n
+    | Rdf.Var v -> Fmt.pf ppf "?%s" v
+  in
+  Fmt.pf ppf "(%a %a %a)" pp_pat p.Rdf.ps pp_pat p.Rdf.pp pp_pat p.Rdf.po
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | In (r, q) -> Fmt.pf ppf "in %a %a" pp_resource r Qterm.pp q
+  | In_rdf (r, ps) -> Fmt.pf ppf "rdf %a %a" pp_resource r Fmt.(list ~sep:sp pp_rdf_pat) ps
+  | And cs -> Fmt.pf ppf "(@[and %a@])" Fmt.(list ~sep:sp pp) cs
+  | Or cs -> Fmt.pf ppf "(@[or %a@])" Fmt.(list ~sep:sp pp) cs
+  | Not c -> Fmt.pf ppf "(not %a)" pp c
+  | Cmp (c, a, b) -> Fmt.pf ppf "%a %a %a" Builtin.pp_operand a Builtin.pp_cmp c Builtin.pp_operand b

@@ -1,0 +1,173 @@
+open Xchange_data
+
+type agg = Count | Sum | Avg | Min | Max
+
+type t =
+  | C_var of string
+  | C_text of string
+  | C_num of float
+  | C_bool of bool
+  | C_operand of Builtin.operand
+  | C_el of elem_c
+  | C_all of t
+  | C_agg of agg * string
+
+and elem_c = {
+  label : [ `L of string | `L_var of string ];
+  attrs : (string * [ `A of string | `A_var of string ]) list;
+  ord : Term.ordering;
+  children : t list;
+}
+
+let cel ?(ord = Term.Ordered) ?(attrs = []) label children =
+  C_el { label = `L label; attrs; ord; children }
+
+let cvar v = C_var v
+let ctext s = C_text s
+
+let rec free_vars = function
+  | C_var v -> [ v ]
+  | C_text _ | C_num _ | C_bool _ -> []
+  | C_operand op -> Builtin.operand_vars op
+  | C_el e ->
+      let lv = match e.label with `L_var v -> [ v ] | `L _ -> [] in
+      let avs =
+        List.filter_map (fun (_, a) -> match a with `A_var v -> Some v | `A _ -> None) e.attrs
+      in
+      lv @ avs @ List.concat_map free_vars e.children
+  | C_all c -> free_vars c
+  | C_agg (_, v) -> [ v ]
+
+let free_vars c = List.sort_uniq String.compare (free_vars c)
+
+let ( let* ) = Result.bind
+
+let rec results_map f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = results_map f rest in
+      Ok (y :: ys)
+
+let lookup subst v =
+  match Subst.find v subst with
+  | Some t -> Ok t
+  | None -> Error (Fmt.str "construct: unbound variable %s" v)
+
+let text_of subst v =
+  let* t = lookup subst v in
+  match Term.as_text t with
+  | Some s -> Ok s
+  | None -> Error (Fmt.str "construct: variable %s is not text-valued" v)
+
+let aggregate agg vals =
+  match agg with
+  | Count -> Ok (Term.int (List.length vals))
+  | Sum | Avg | Min | Max -> (
+      let* nums =
+        results_map
+          (fun t ->
+            match Term.as_num t with
+            | Some f -> Ok f
+            | None -> Error (Fmt.str "aggregate over non-number %a" Term.pp t))
+          vals
+      in
+      match (agg, nums) with
+      | _, [] -> Error "aggregate over empty answer set"
+      | Sum, _ -> Ok (Term.num (List.fold_left ( +. ) 0. nums))
+      | Avg, _ ->
+          Ok (Term.num (List.fold_left ( +. ) 0. nums /. float_of_int (List.length nums)))
+      | Min, n :: rest -> Ok (Term.num (List.fold_left Float.min n rest))
+      | Max, n :: rest -> Ok (Term.num (List.fold_left Float.max n rest))
+      | Count, _ -> assert false)
+
+let agg_values set v =
+  List.filter_map (fun s -> Subst.find v s) set
+  |> List.sort_uniq Term.compare
+
+let rec instantiate c subst set =
+  match c with
+  | C_var v -> lookup subst v
+  | C_text s -> Ok (Term.text s)
+  | C_num f -> Ok (Term.num f)
+  | C_bool b -> Ok (Term.bool_ b)
+  | C_operand op -> Builtin.eval subst op
+  | C_agg (agg, v) -> aggregate agg (agg_values set v)
+  | C_all _ -> Error "construct: 'all' is only allowed in children position"
+  | C_el e ->
+      let* label =
+        match e.label with `L s -> Ok s | `L_var v -> text_of subst v
+      in
+      let* attrs =
+        results_map
+          (fun (k, a) ->
+            match a with
+            | `A s -> Ok (k, s)
+            | `A_var v ->
+                let* s = text_of subst v in
+                Ok (k, s))
+          e.attrs
+      in
+      let* children = instantiate_children e.children subst set in
+      Ok (Term.elem ~ord:e.ord ~attrs label children)
+
+and instantiate_children cs subst set =
+  let* groups =
+    results_map
+      (fun c ->
+        match c with
+        | C_all inner -> expand_all inner subst set
+        | c ->
+            let* t = instantiate c subst set in
+            Ok [ t ])
+      cs
+  in
+  Ok (List.concat groups)
+
+and expand_all inner subst set =
+  let fvs = free_vars inner in
+  (* group the answer set by its projection on the free variables,
+     compatible with the enclosing binding *)
+  let compatible = List.filter_map (fun s -> Subst.merge subst s) set in
+  let projections = Subst.dedup (List.map (Subst.restrict fvs) compatible) in
+  results_map
+    (fun proj ->
+      match Subst.merge subst proj with
+      | Some s -> instantiate inner s set
+      | None -> Error "construct: inconsistent grouping projection")
+    projections
+
+let instantiate_all c set =
+  let fvs = free_vars c in
+  let projections = Subst.dedup (List.map (Subst.restrict fvs) set) in
+  results_map (fun proj -> instantiate c proj set) projections
+
+let pp_agg ppf a =
+  Fmt.string ppf
+    (match a with Count -> "count" | Sum -> "sum" | Avg -> "avg" | Min -> "min" | Max -> "max")
+
+let rec pp ppf = function
+  | C_var v -> Fmt.pf ppf "$%s" v
+  | C_text s -> Fmt.pf ppf "%S" s
+  | C_num f -> Fmt.float ppf f
+  | C_bool b -> Fmt.bool ppf b
+  | C_operand op -> Builtin.pp_operand ppf op
+  | C_all c -> Fmt.pf ppf "all %a" pp c
+  | C_agg (a, v) -> Fmt.pf ppf "%a($%s)" pp_agg a v
+  | C_el e ->
+      let o, c = match e.ord with Term.Ordered -> ("[", "]") | Term.Unordered -> ("{", "}") in
+      let pp_label ppf = function
+        | `L s -> Fmt.string ppf s
+        | `L_var v -> Fmt.pf ppf "$%s~" v
+      in
+      let pp_attr ppf (k, a) =
+        match a with
+        | `A s -> Fmt.pf ppf "@%s=%S" k s
+        | `A_var v -> Fmt.pf ppf "@%s=$%s" k v
+      in
+      let items =
+        List.map (Fmt.str "%a" pp_attr) e.attrs @ List.map (Fmt.str "%a" pp) e.children
+      in
+      Fmt.pf ppf "@[<hv 2>%a%s%a%s@]" pp_label e.label o
+        Fmt.(list ~sep:comma string)
+        items c

@@ -1,0 +1,57 @@
+(** Construct terms: building new data from query answers.
+
+    The output half of the query language (Thesis 7's "newly constructed
+    data" notion of answers, and Thesis 8's update payloads): a construct
+    term is a term with variables, instantiated with the bindings a
+    query produced.
+
+    [C_all] is Xcerpt's grouping construct: inside a parent's children
+    list it expands to one instance per distinct projection of the whole
+    binding {e set} onto its free variables; [C_agg] aggregates a
+    variable over the binding set. *)
+
+open Xchange_data
+
+type agg = Count | Sum | Avg | Min | Max
+
+type t =
+  | C_var of string
+  | C_text of string
+  | C_num of float
+  | C_bool of bool
+  | C_operand of Builtin.operand  (** computed value *)
+  | C_el of elem_c
+  | C_all of t  (** one instance per binding of the free variables *)
+  | C_agg of agg * string  (** aggregate of a variable over the binding set *)
+
+and elem_c = {
+  label : [ `L of string | `L_var of string ];
+  attrs : (string * [ `A of string | `A_var of string ]) list;
+  ord : Term.ordering;
+  children : t list;
+}
+
+val cel :
+  ?ord:Term.ordering ->
+  ?attrs:(string * [ `A of string | `A_var of string ]) list ->
+  string ->
+  t list ->
+  t
+
+val cvar : string -> t
+val ctext : string -> t
+
+val free_vars : t -> string list
+
+val instantiate : t -> Subst.t -> Subst.set -> (Term.t, string) result
+(** [instantiate c subst set] builds a term: plain variables come from
+    [subst]; [C_all] and [C_agg] consult the full answer set [set].
+    Errors on unbound variables, on [C_all]/[C_agg] in non-children
+    position, and on non-numeric aggregation input. *)
+
+val instantiate_all : t -> Subst.set -> (Term.t list, string) result
+(** One instance per distinct projection of the set onto the free
+    variables of [c] (the implicit top-level grouping of rule heads).
+    An empty answer set yields []. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,171 @@
+open Xchange_data
+
+type rule = { view : string; head : Construct.t; body : Condition.t }
+type program = rule list
+
+let rule ~view ~head ~body = { view; head; body }
+
+let rec referenced_views cond =
+  match cond with
+  | Condition.In (Condition.View v, _) | Condition.In_rdf (Condition.View v, _) -> [ v ]
+  | Condition.In (_, _) | Condition.In_rdf (_, _) -> []
+  | Condition.And cs | Condition.Or cs -> List.concat_map referenced_views cs
+  | Condition.Not c -> referenced_views c
+  | Condition.True | Condition.False | Condition.Cmp _ -> []
+
+let dependencies program =
+  let names = List.sort_uniq String.compare (List.map (fun r -> r.view) program) in
+  List.map
+    (fun name ->
+      let deps =
+        List.concat_map
+          (fun r -> if String.equal r.view name then referenced_views r.body else [])
+          program
+        |> List.sort_uniq String.compare
+      in
+      (name, deps))
+    names
+
+(* view references with the polarity of their occurrence *)
+let rec polar_refs ~neg cond =
+  match cond with
+  | Condition.In (Condition.View v, _) | Condition.In_rdf (Condition.View v, _) -> [ (v, neg) ]
+  | Condition.In (_, _) | Condition.In_rdf (_, _) -> []
+  | Condition.And cs | Condition.Or cs -> List.concat_map (polar_refs ~neg) cs
+  | Condition.Not c -> polar_refs ~neg:true c
+  | Condition.True | Condition.False | Condition.Cmp _ -> []
+
+let check_stratified program =
+  (* edge (v -> w, negated?) when a rule for v references w *)
+  let edges =
+    List.concat_map (fun r -> List.map (fun (w, neg) -> (r.view, w, neg)) (polar_refs ~neg:false r.body)) program
+  in
+  (* v is unstratified if v reaches itself along a path with >= 1
+     negative edge *)
+  let names = List.sort_uniq String.compare (List.map (fun r -> r.view) program) in
+  let reaches_self_negatively start =
+    (* states: (node, seen_negative) *)
+    let visited = Hashtbl.create 16 in
+    let rec go node seen_neg =
+      List.exists
+        (fun (v, w, neg) ->
+          if not (String.equal v node) then false
+          else
+            let seen' = seen_neg || neg in
+            if String.equal w start && seen' then true
+            else if Hashtbl.mem visited (w, seen') then false
+            else begin
+              Hashtbl.add visited (w, seen') ();
+              go w seen'
+            end)
+        edges
+    in
+    go start false
+  in
+  match List.filter reaches_self_negatively names with
+  | [] -> Ok ()
+  | bad ->
+      Error
+        (Fmt.str "unstratified negation through view(s): %s" (String.concat ", " bad))
+
+let recursive_views program =
+  let deps = dependencies program in
+  let edges name = match List.assoc_opt name deps with Some d -> d | None -> [] in
+  (* a view is recursive iff it can reach itself *)
+  let reaches_self start =
+    let visited = Hashtbl.create 8 in
+    let rec go name =
+      List.exists
+        (fun next ->
+          String.equal next start
+          ||
+          if Hashtbl.mem visited next then false
+          else begin
+            Hashtbl.add visited next ();
+            go next
+          end)
+        (edges name)
+    in
+    go start
+  in
+  List.filter_map (fun (name, _) -> if reaches_self name then Some name else None) deps
+
+let reachable program roots =
+  let deps = dependencies program in
+  let edges name = match List.assoc_opt name deps with Some d -> d | None -> [] in
+  let visited = Hashtbl.create 8 in
+  let rec go name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      List.iter go (edges name)
+    end
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun name () acc -> name :: acc) visited []
+  |> List.sort String.compare
+
+module Term_set = Set.Make (struct
+  type t = Term.t
+
+  let compare = Term.compare
+end)
+
+let materialize ?roots base_env program =
+  let program =
+    match roots with
+    | None -> program
+    | Some roots ->
+        let wanted = reachable program roots in
+        List.filter (fun r -> List.mem r.view wanted) program
+  in
+  let tables : (string, Term_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let get name = Option.value ~default:Term_set.empty (Hashtbl.find_opt tables name) in
+  let env =
+    {
+      Condition.fetch =
+        (fun res ->
+          match res with
+          | Condition.View v -> Term_set.elements (get v)
+          | Condition.Local _ | Condition.Remote _ -> base_env.Condition.fetch res);
+      fetch_rdf =
+        (fun res ->
+          match res with
+          | Condition.View _ -> None
+          | Condition.Local _ | Condition.Remote _ -> base_env.Condition.fetch_rdf res);
+    }
+  in
+  let round () =
+    List.fold_left
+      (fun changed r ->
+        let answers = Condition.eval env Subst.empty r.body in
+        match Construct.instantiate_all r.head answers with
+        | Error _ -> changed
+        | Ok instances ->
+            let table = get r.view in
+            let table' = List.fold_left (fun t i -> Term_set.add i t) table instances in
+            if Term_set.cardinal table' > Term_set.cardinal table then begin
+              Hashtbl.replace tables r.view table';
+              true
+            end
+            else changed)
+      false program
+  in
+  let rec fixpoint () = if round () then fixpoint () in
+  fixpoint ();
+  let result = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem result r.view) then
+        Hashtbl.replace result r.view (Term_set.elements (get r.view)))
+    program;
+  result
+
+let extend_env base_env program =
+  let fetch res =
+    match res with
+    | Condition.View v -> (
+        let tables = materialize ~roots:[ v ] base_env program in
+        match Hashtbl.find_opt tables v with Some ts -> ts | None -> [])
+    | Condition.Local _ | Condition.Remote _ -> base_env.Condition.fetch res
+  in
+  { Condition.fetch; fetch_rdf = base_env.Condition.fetch_rdf }

@@ -1,0 +1,180 @@
+open Xchange_data
+
+(* Regexes are referenced by their source text in query terms; compile
+   once per distinct pattern. *)
+let regex_cache : (string, Re.re) Hashtbl.t = Hashtbl.create 16
+
+let compiled_regex r =
+  match Hashtbl.find_opt regex_cache r with
+  | Some re -> re
+  | None ->
+      let re = Re.compile (Re.Pcre.re r) in
+      Hashtbl.add regex_cache r re;
+      re
+
+let match_leaf_pat pat t =
+  match (pat, t) with
+  | Qterm.Leaf_any, (Term.Text _ | Term.Num _ | Term.Bool _) -> true
+  | Qterm.Text_is s, _ -> (
+      match Term.as_text t with Some s' -> String.equal s s' | None -> false)
+  | Qterm.Num_is f, _ -> (
+      match Term.as_num t with Some f' -> Float.equal f f' | None -> false)
+  | Qterm.Bool_is b, Term.Bool b' -> Bool.equal b b'
+  | Qterm.Regex r, _ -> (
+      match Term.as_text t with
+      | Some s -> (
+          match Re.exec_opt (compiled_regex r) s with
+          | Some g -> String.equal (Re.Group.get g 0) s
+          | None -> false)
+      | None -> false)
+  | Qterm.Leaf_any, Term.Elem _ -> false
+  | Qterm.Bool_is _, (Term.Text _ | Term.Num _ | Term.Elem _) -> false
+
+let match_label pat label subst =
+  match pat with
+  | Qterm.L s -> if String.equal s label then [ subst ] else []
+  | Qterm.L_any -> [ subst ]
+  | Qterm.L_var v -> (
+      match Subst.add v (Term.text label) subst with Some s -> [ s ] | None -> [])
+
+let match_attr attrs (key, pat) subst =
+  match List.assoc_opt key attrs with
+  | None -> []
+  | Some value -> (
+      match pat with
+      | Qterm.A_any -> [ subst ]
+      | Qterm.A_is s -> if String.equal s value then [ subst ] else []
+      | Qterm.A_var v -> (
+          match Subst.add v (Term.text value) subst with Some s -> [ s ] | None -> []))
+
+(* The matcher threads a single substitution and returns the list of
+   extended substitutions (all alternatives). *)
+let rec match_term q t subst =
+  match q with
+  | Qterm.Var v -> (
+      match Subst.add v (Term.strip_ids t) subst with Some s -> [ s ] | None -> [])
+  | Qterm.As (v, q') -> (
+      match Subst.add v (Term.strip_ids t) subst with
+      | Some s -> match_term q' t s
+      | None -> [])
+  | Qterm.Leaf pat -> if match_leaf_pat pat t then [ subst ] else []
+  | Qterm.Desc q' -> match_desc q' t subst
+  | Qterm.El ep -> (
+      match t with
+      | Term.Elem e -> match_elem ep e subst
+      | Term.Text _ | Term.Num _ | Term.Bool _ -> [])
+
+and match_desc q t subst =
+  let here = match_term q t subst in
+  let below = List.concat_map (fun c -> match_desc q c subst) (Term.children t) in
+  Subst.dedup (here @ below)
+
+and match_elem ep e subst =
+  let after_label = match_label ep.Qterm.label e.Term.label subst in
+  let after_attrs =
+    List.fold_left
+      (fun substs attr_pat -> List.concat_map (match_attr e.Term.attrs attr_pat) substs)
+      after_label ep.Qterm.attrs
+  in
+  (* children patterns in order, with their kind: required or optional *)
+  let patterns =
+    List.filter_map
+      (function
+        | Qterm.Pos q -> Some (q, `Required)
+        | Qterm.Opt q -> Some (q, `Optional)
+        | Qterm.Without _ -> None)
+      ep.Qterm.children
+  in
+  let negatives =
+    List.filter_map
+      (function Qterm.Without q -> Some q | Qterm.Pos _ | Qterm.Opt _ -> None)
+      ep.Qterm.children
+  in
+  let has_optionals = List.exists (fun (_, kind) -> kind = `Optional) patterns in
+  let unordered = ep.Qterm.ord = Term.Unordered || e.Term.ord = Term.Unordered in
+  let total = ep.Qterm.spec = Qterm.Total in
+  let data = e.Term.children in
+  let after_children =
+    List.concat_map (fun s -> match_children ~unordered ~total patterns data s) after_attrs
+  in
+  let passes_negatives s =
+    List.for_all
+      (fun nq -> not (List.exists (fun c -> match_term nq c s <> []) data))
+      negatives
+  in
+  let answers = Subst.dedup (List.filter passes_negatives after_children) in
+  if has_optionals then maximal_only answers else answers
+
+(* Optional subterms bind "when possible": an answer that is a strict
+   sub-binding of another answer only exists because an optional pattern
+   was skipped although it could match — drop it. *)
+and maximal_only answers =
+  let subsumed_by bigger smaller =
+    (not (Subst.equal bigger smaller))
+    && List.length (Subst.domain smaller) < List.length (Subst.domain bigger)
+    && Subst.equal (Subst.restrict (Subst.domain smaller) bigger) smaller
+  in
+  List.filter
+    (fun s -> not (List.exists (fun s' -> subsumed_by s' s) answers))
+    answers
+
+and match_children ~unordered ~total patterns data subst =
+  match (unordered, total) with
+  | false, true ->
+      (* ordered, total: alignment covering every data child; optional
+         patterns may be skipped *)
+      let rec go ps ds subst =
+        match (ps, ds) with
+        | [], [] -> [ subst ]
+        | (p, kind) :: ps', d :: ds' ->
+            let used = List.concat_map (fun s -> go ps' ds' s) (match_term p d subst) in
+            let skipped = match kind with `Optional -> go ps' ds subst | `Required -> [] in
+            used @ skipped
+        | ((_, `Optional) :: ps'), [] -> go ps' [] subst
+        | ((_, `Required) :: _), [] | [], _ :: _ -> []
+      in
+      go patterns data subst
+  | false, false ->
+      (* ordered, partial: order-preserving injection (subsequence);
+         optional patterns may additionally be skipped outright *)
+      let rec go ps ds subst =
+        match (ps, ds) with
+        | [], _ -> [ subst ]
+        | ((_, `Optional) :: ps'), [] -> go ps' [] subst
+        | ((_, `Required) :: _), [] -> []
+        | ((p, kind) :: ps'), (d :: ds') ->
+            let used = List.concat_map (fun s -> go ps' ds' s) (match_term p d subst) in
+            let skipped_data = go ps ds' subst in
+            let skipped_pattern =
+              match kind with `Optional -> go ps' (d :: ds') subst | `Required -> []
+            in
+            used @ skipped_data @ skipped_pattern
+      in
+      go patterns data subst
+  | true, _ ->
+      (* unordered: injective assignment; total additionally requires the
+         assignment (with skipped optionals) to consume every data child *)
+      let rec go ps ds subst =
+        match ps with
+        | [] -> if total && ds <> [] then [] else [ subst ]
+        | (p, kind) :: ps' ->
+            let rec pick before after acc =
+              match after with
+              | [] -> acc
+              | d :: after' ->
+                  let solutions =
+                    List.concat_map
+                      (fun s -> go ps' (List.rev_append before after') s)
+                      (match_term p d subst)
+                  in
+                  pick (d :: before) after' (solutions @ acc)
+            in
+            let used = pick [] ds [] in
+            let skipped = match kind with `Optional -> go ps' ds subst | `Required -> [] in
+            used @ skipped
+      in
+      go patterns data subst
+
+let matches ?(seed = Subst.empty) q t = Subst.dedup (match_term q t seed)
+let matches_anywhere ?(seed = Subst.empty) q t = Subst.dedup (match_desc q t seed)
+let holds ?seed q t = matches ?seed q t <> []

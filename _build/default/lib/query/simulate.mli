@@ -1,0 +1,24 @@
+(** Simulation matching of query terms against ground data terms.
+
+    [matches q t] computes all ways the query term [q] simulates into
+    the data term [t], each as a substitution.  Matching can be seeded
+    with an initial substitution so that variables already bound (e.g.
+    by the event part of a rule) constrain the condition query —
+    Thesis 7's "parameterize further queries with delivered answers".
+
+    Complexity: children matching is backtracking search; unordered /
+    partial specifications are combinatorial in the worst case, which is
+    acceptable for the document sizes of Web rule programs (benchmarked
+    in E7). *)
+
+open Xchange_data
+
+val matches : ?seed:Subst.t -> Qterm.t -> Term.t -> Subst.set
+(** All solutions of matching [q] at the root of [t]. *)
+
+val matches_anywhere : ?seed:Subst.t -> Qterm.t -> Term.t -> Subst.set
+(** All solutions of matching [q] at the root or at any descendant —
+    equivalent to [matches (Desc q) t]. *)
+
+val holds : ?seed:Subst.t -> Qterm.t -> Term.t -> bool
+(** [matches] is non-empty. *)

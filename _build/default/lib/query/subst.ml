@@ -1,0 +1,50 @@
+open Xchange_data
+
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let domain s = List.map fst (M.bindings s)
+let find v s = M.find_opt v s
+
+let add v term s =
+  match M.find_opt v s with
+  | Some existing -> if Term.equal existing term then Some s else None
+  | None -> Some (M.add v term s)
+
+let merge a b =
+  let exception Conflict in
+  try
+    Some
+      (M.union
+         (fun _ x y -> if Term.equal x y then Some x else raise Conflict)
+         a b)
+  with Conflict -> None
+
+let of_list l =
+  List.fold_left
+    (fun acc (v, t) -> Option.bind acc (add v t))
+    (Some empty) l
+
+let to_list s = M.bindings s
+let restrict vars s = M.filter (fun v _ -> List.mem v vars) s
+let compare a b = M.compare Term.compare a b
+let equal a b = compare a b = 0
+
+let pp ppf s =
+  let pp_binding ppf (v, t) = Fmt.pf ppf "%s=%a" v Term.pp t in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_binding) (to_list s)
+
+type set = t list
+
+let set_empty = []
+let set_single s = [ s ]
+let dedup set = List.sort_uniq compare set
+let union a b = dedup (a @ b)
+
+let join a b =
+  List.concat_map (fun sa -> List.filter_map (fun sb -> merge sa sb) b) a |> dedup
+
+let pp_set ppf set = Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp) set

@@ -1,0 +1,49 @@
+(** Substitutions (variable bindings) and binding sets.
+
+    Query answers are delivered as bindings for variables (Thesis 7's
+    "notion of answers"): a {!t} maps variable names to data terms, and a
+    query produces a {!set} — one substitution per answer.  Bindings flow
+    between the event, condition, and action parts of a rule by
+    {!merge}-joining the substitution produced by each part. *)
+
+open Xchange_data
+
+type t
+(** An immutable finite map from variable names to terms. *)
+
+val empty : t
+val is_empty : t -> bool
+val domain : t -> string list
+val find : string -> t -> Term.t option
+
+val add : string -> Term.t -> t -> t option
+(** [None] if the variable is already bound to a different term
+    (extensional comparison). *)
+
+val merge : t -> t -> t option
+(** Join of two substitutions; [None] on conflicting bindings. *)
+
+val of_list : (string * Term.t) list -> t option
+val to_list : t -> (string * Term.t) list
+(** Sorted by variable name. *)
+
+val restrict : string list -> t -> t
+(** Keep only the listed variables. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+type set = t list
+(** A set of alternative substitutions (all answers of a query).  The
+    operations below maintain set semantics (sorted, duplicate-free). *)
+
+val set_empty : set
+val set_single : t -> set
+val dedup : set -> set
+val union : set -> set -> set
+
+val join : set -> set -> set
+(** All pairwise merges that succeed. *)
+
+val pp_set : set Fmt.t

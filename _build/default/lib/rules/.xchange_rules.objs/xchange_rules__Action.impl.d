@@ -1,0 +1,1 @@
+lib/rules/action.ml: Buffer Builtin Clock Condition Construct Fmt List Option Path Qterm Rdf Result String Subst Term Xchange_data Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/action.mli: Builtin Clock Condition Construct Fmt Path Qterm Rdf Subst Term Xchange_data Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/derive.ml: Condition Eca Event_query List Production Qterm Result String Xchange_event Xchange_query

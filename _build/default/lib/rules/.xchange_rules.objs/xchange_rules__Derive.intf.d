@@ -1,0 +1,1 @@
+lib/rules/derive.mli: Action Condition Eca Production Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/eca.ml: Action Condition Event_query Fmt Incremental Instance List Subst Xchange_event Xchange_query

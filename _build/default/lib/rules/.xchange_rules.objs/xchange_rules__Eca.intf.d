@@ -1,0 +1,1 @@
+lib/rules/eca.mli: Action Condition Event_query Fmt Incremental Instance Subst Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/engine.ml: Action Deductive Deductive_event Eca Event Event_query Fmt Incremental List Result Ruleset String Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/engine.mli: Action Clock Condition Eca Event Ruleset Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/production.ml: Action Condition List Subst Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/production.mli: Action Condition Subst Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/ruleset.ml: Action Deductive Eca Fmt List Option String Xchange_event Xchange_query

@@ -1,0 +1,1 @@
+lib/rules/ruleset.mli: Action Deductive Eca Xchange_event Xchange_query

@@ -1,0 +1,332 @@
+open Xchange_data
+open Xchange_event
+open Xchange_query
+
+type update =
+  | U_insert of { doc : string; selector : Path.selector; at : int option; content : Term.t }
+  | U_delete of { doc : string; selector : Path.selector; pattern : Qterm.t option }
+  | U_replace of { doc : string; selector : Path.selector; content : Term.t }
+  | U_create_doc of { doc : string; content : Term.t }
+  | U_delete_doc of { doc : string }
+  | U_rdf_assert of { doc : string; triple : Rdf.triple }
+  | U_rdf_retract of { doc : string; triple : Rdf.triple }
+
+let update_doc = function
+  | U_insert { doc; _ }
+  | U_delete { doc; _ }
+  | U_replace { doc; _ }
+  | U_create_doc { doc; _ }
+  | U_delete_doc { doc }
+  | U_rdf_assert { doc; _ }
+  | U_rdf_retract { doc; _ } ->
+      doc
+
+let with_update_doc u doc =
+  match u with
+  | U_insert r -> U_insert { r with doc }
+  | U_delete r -> U_delete { r with doc }
+  | U_replace r -> U_replace { r with doc }
+  | U_create_doc r -> U_create_doc { r with doc }
+  | U_delete_doc _ -> U_delete_doc { doc }
+  | U_rdf_assert r -> U_rdf_assert { r with doc }
+  | U_rdf_retract r -> U_rdf_retract { r with doc }
+
+type ops = {
+  update : update -> (int, string) result;
+  send :
+    recipient:string -> label:string -> ttl:Clock.span option -> delay:Clock.span option ->
+    Term.t -> unit;
+  log : string -> unit;
+  now : unit -> Clock.time;
+  checkpoint : unit -> unit -> unit;
+}
+
+type triple_c = { cs : Builtin.operand; cp : Builtin.operand; co : Builtin.operand }
+
+type t =
+  | Nop
+  | Fail of string
+  | Log of string * Builtin.operand list
+  | Insert of { doc : Builtin.operand; selector : Path.selector; at : int option; content : Construct.t }
+  | Delete of { doc : Builtin.operand; selector : Path.selector; pattern : Qterm.t option }
+  | Replace of { doc : Builtin.operand; selector : Path.selector; content : Construct.t }
+  | Create_doc of { doc : Builtin.operand; content : Construct.t }
+  | Delete_doc of { doc : Builtin.operand }
+  | Rdf_assert of { doc : Builtin.operand; triple : triple_c }
+  | Rdf_retract of { doc : Builtin.operand; triple : triple_c }
+  | Raise of {
+      recipient : Builtin.operand;
+      label : string;
+      payload : Construct.t;
+      ttl : Clock.span option;
+      delay : Clock.span option;
+    }
+  | Seq of t list
+  | Atomic of t list
+  | Alt of t list
+  | If of Condition.t * t * t
+  | Call of string * Builtin.operand list
+
+type proc = { params : string list; body : t }
+
+let docop s = Builtin.ostr s
+
+let insert ?at ~doc ?(selector = []) content =
+  Insert { doc = docop doc; selector; at; content }
+
+let delete ~doc ?(selector = []) ?pattern () = Delete { doc = docop doc; selector; pattern }
+let replace ~doc ~selector content = Replace { doc = docop doc; selector; content }
+let create_doc ~doc content = Create_doc { doc = docop doc; content }
+
+let raise_event ?ttl ?delay ~to_ ~label payload =
+  Raise { recipient = docop to_; label; payload; ttl; delay }
+
+let raise_event_to ?ttl ?delay ~to_ ~label payload =
+  Raise { recipient = to_; label; payload; ttl; delay }
+
+let make_persistent ~doc v = Create_doc { doc = docop doc; content = Construct.cvar v }
+
+let seq actions = Seq actions
+let atomic actions = Atomic actions
+let alt actions = Alt actions
+let call name args = Call (name, args)
+let log fmt args = Log (fmt, args)
+
+type outcome = { updates : int; events_sent : int }
+
+let no_outcome = { updates = 0; events_sent = 0 }
+let ( ++ ) a b = { updates = a.updates + b.updates; events_sent = a.events_sent + b.events_sent }
+
+let ( let* ) = Result.bind
+
+let eval_text subst operand =
+  let* t = Builtin.eval subst operand in
+  match Term.as_text t with
+  | Some s -> Ok s
+  | None -> Error (Fmt.str "expected a textual value, got %a" Term.pp t)
+
+let eval_node subst operand =
+  let* t = Builtin.eval subst operand in
+  match t with
+  | Term.Elem { Term.label = "iri"; children = [ Term.Text i ]; _ } -> Ok (Rdf.Iri i)
+  | Term.Elem { Term.label = "blank"; children = [ Term.Text b ]; _ } -> Ok (Rdf.Blank b)
+  | Term.Text s -> Ok (Rdf.Lit s)
+  | Term.Num f -> Ok (Rdf.Lit_num f)
+  | Term.Bool b -> Ok (Rdf.Lit (string_of_bool b))
+  | Term.Elem _ -> Error (Fmt.str "not an RDF node: %a" Term.pp t)
+
+let eval_triple subst tc =
+  let* s = eval_node subst tc.cs in
+  let* p = eval_text subst tc.cp in
+  let* o = eval_node subst tc.co in
+  Ok { Rdf.s; p; o }
+
+(* [%s] holes in log templates are filled left to right.  IRI node
+   terms render as <iri> for readability. *)
+let render_log subst fmt args =
+  let display t =
+    match t with
+    | Term.Elem { Term.label = "iri"; children = [ Term.Text i ]; _ } -> "<" ^ i ^ ">"
+    | t -> Option.value ~default:(Term.to_string t) (Term.as_text t)
+  in
+  let* values =
+    List.fold_left
+      (fun acc op ->
+        let* acc = acc in
+        let* t = Builtin.eval subst op in
+        Ok (acc @ [ display t ]))
+      (Ok []) args
+  in
+  let buf = Buffer.create (String.length fmt) in
+  let rec go i values =
+    if i >= String.length fmt then Ok (Buffer.contents buf)
+    else if i + 1 < String.length fmt && fmt.[i] = '%' && fmt.[i + 1] = 's' then
+      match values with
+      | v :: rest ->
+          Buffer.add_string buf v;
+          go (i + 2) rest
+      | [] -> Error "log: more %s holes than arguments"
+    else begin
+      Buffer.add_char buf fmt.[i];
+      go (i + 1) values
+    end
+  in
+  go 0 values
+
+let rec exec ~env ~ops ~procs ~subst ~answers action =
+  match action with
+  | Nop -> Ok no_outcome
+  | Fail msg -> Error msg
+  | Log (fmt, args) ->
+      let* line = render_log subst fmt args in
+      ops.log line;
+      Ok no_outcome
+  | Insert { doc; selector; at; content } ->
+      let* doc = eval_text subst doc in
+      let* content = Construct.instantiate content subst answers in
+      let* n = ops.update (U_insert { doc; selector; at; content }) in
+      Ok { no_outcome with updates = n }
+  | Delete { doc; selector; pattern } ->
+      let* doc = eval_text subst doc in
+      let pattern = Option.map (fun p -> seed_pattern subst p) pattern in
+      let* n = ops.update (U_delete { doc; selector; pattern }) in
+      Ok { no_outcome with updates = n }
+  | Replace { doc; selector; content } ->
+      let* doc = eval_text subst doc in
+      let* content = Construct.instantiate content subst answers in
+      let* n = ops.update (U_replace { doc; selector; content }) in
+      Ok { no_outcome with updates = n }
+  | Create_doc { doc; content } ->
+      let* doc = eval_text subst doc in
+      let* content = Construct.instantiate content subst answers in
+      let* n = ops.update (U_create_doc { doc; content }) in
+      Ok { no_outcome with updates = n }
+  | Delete_doc { doc } ->
+      let* doc = eval_text subst doc in
+      let* n = ops.update (U_delete_doc { doc }) in
+      Ok { no_outcome with updates = n }
+  | Rdf_assert { doc; triple } ->
+      let* doc = eval_text subst doc in
+      let* triple = eval_triple subst triple in
+      let* n = ops.update (U_rdf_assert { doc; triple }) in
+      Ok { no_outcome with updates = n }
+  | Rdf_retract { doc; triple } ->
+      let* doc = eval_text subst doc in
+      let* triple = eval_triple subst triple in
+      let* n = ops.update (U_rdf_retract { doc; triple }) in
+      Ok { no_outcome with updates = n }
+  | Raise { recipient; label; payload; ttl; delay } ->
+      let* recipient = eval_text subst recipient in
+      let* payload = Construct.instantiate payload subst answers in
+      ops.send ~recipient ~label ~ttl ~delay payload;
+      Ok { no_outcome with events_sent = 1 }
+  | Seq actions ->
+      List.fold_left
+        (fun acc a ->
+          let* acc = acc in
+          let* o = exec ~env ~ops ~procs ~subst ~answers a in
+          Ok (acc ++ o))
+        (Ok no_outcome) actions
+  | Atomic actions -> (
+      (* optimistic execution: sends are buffered, the store is
+         checkpointed; failure restores the checkpoint and drops the
+         buffered sends *)
+      let rollback = ops.checkpoint () in
+      let buffered = ref [] in
+      let tx_ops =
+        {
+          ops with
+          send =
+            (fun ~recipient ~label ~ttl ~delay payload ->
+              buffered := (recipient, label, ttl, delay, payload) :: !buffered);
+        }
+      in
+      match
+        List.fold_left
+          (fun acc a ->
+            let* acc = acc in
+            let* o = exec ~env ~ops:tx_ops ~procs ~subst ~answers a in
+            Ok (acc ++ o))
+          (Ok no_outcome) actions
+      with
+      | Ok outcome ->
+          List.iter
+            (fun (recipient, label, ttl, delay, payload) ->
+              ops.send ~recipient ~label ~ttl ~delay payload)
+            (List.rev !buffered);
+          Ok outcome
+      | Error e ->
+          rollback ();
+          Error (Fmt.str "transaction rolled back: %s" e))
+  | Alt actions ->
+      let rec try_each errors = function
+        | [] ->
+            Error
+              (Fmt.str "all alternatives failed: %s" (String.concat "; " (List.rev errors)))
+        | a :: rest -> (
+            match exec ~env ~ops ~procs ~subst ~answers a with
+            | Ok o -> Ok o
+            | Error e -> try_each (e :: errors) rest)
+      in
+      try_each [] actions
+  | If (cond, then_, else_) ->
+      if Condition.holds env subst cond then exec ~env ~ops ~procs ~subst ~answers then_
+      else exec ~env ~ops ~procs ~subst ~answers else_
+  | Call (name, args) -> (
+      match procs name with
+      | None -> Error (Fmt.str "unknown procedure %s" name)
+      | Some { params; body } ->
+          if List.length params <> List.length args then
+            Error
+              (Fmt.str "procedure %s expects %d argument(s), got %d" name (List.length params)
+                 (List.length args))
+          else
+            let* call_subst =
+              List.fold_left2
+                (fun acc param arg ->
+                  let* acc = acc in
+                  let* value = Builtin.eval subst arg in
+                  match Subst.add param value acc with
+                  | Some s -> Ok s
+                  | None -> Error (Fmt.str "duplicate parameter %s" param))
+                (Ok Subst.empty) params args
+            in
+            exec ~env ~ops ~procs ~subst:call_subst ~answers:[ call_subst ] body)
+
+(* Ground a delete pattern with the current bindings so that
+   "delete the order of THIS customer" works as expected. *)
+and seed_pattern subst pattern =
+  let ground v = Option.map (fun t -> t) (Subst.find v subst) in
+  let rec go q =
+    match q with
+    | Qterm.Var v -> (
+        match ground v with
+        | Some (Term.Text s) -> Qterm.Leaf (Qterm.Text_is s)
+        | Some (Term.Num f) -> Qterm.Leaf (Qterm.Num_is f)
+        | Some (Term.Bool b) -> Qterm.Leaf (Qterm.Bool_is b)
+        | Some (Term.Elem _) | None -> q)
+    | Qterm.As (v, inner) -> Qterm.As (v, go inner)
+    | Qterm.Leaf _ -> q
+    | Qterm.Desc inner -> Qterm.Desc (go inner)
+    | Qterm.El e ->
+        Qterm.El
+          {
+            e with
+            Qterm.children =
+              List.map
+                (function
+                  | Qterm.Pos p -> Qterm.Pos (go p)
+                  | Qterm.Without p -> Qterm.Without (go p)
+                  | Qterm.Opt p -> Qterm.Opt (go p))
+                e.Qterm.children;
+          }
+  in
+  go pattern
+
+let rec pp ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Fail m -> Fmt.pf ppf "fail(%S)" m
+  | Log (f, args) -> Fmt.pf ppf "log(%S%a)" f Fmt.(list (any ", " ++ Builtin.pp_operand)) args
+  | Insert { doc; selector; content; _ } ->
+      Fmt.pf ppf "insert into %a%a %a" Builtin.pp_operand doc Path.pp_selector selector
+        Construct.pp content
+  | Delete { doc; selector; pattern } ->
+      Fmt.pf ppf "delete from %a%a%a" Builtin.pp_operand doc Path.pp_selector selector
+        Fmt.(option (any " matching " ++ Qterm.pp))
+        pattern
+  | Replace { doc; selector; content } ->
+      Fmt.pf ppf "replace in %a%a with %a" Builtin.pp_operand doc Path.pp_selector selector
+        Construct.pp content
+  | Create_doc { doc; content } ->
+      Fmt.pf ppf "create %a = %a" Builtin.pp_operand doc Construct.pp content
+  | Delete_doc { doc } -> Fmt.pf ppf "drop %a" Builtin.pp_operand doc
+  | Rdf_assert { doc; _ } -> Fmt.pf ppf "assert triple into %a" Builtin.pp_operand doc
+  | Rdf_retract { doc; _ } -> Fmt.pf ppf "retract triple from %a" Builtin.pp_operand doc
+  | Raise { recipient; label; payload; _ } ->
+      Fmt.pf ppf "raise %s to %a %a" label Builtin.pp_operand recipient Construct.pp payload
+  | Seq actions -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:(any ";@ ") pp) actions
+  | Atomic actions -> Fmt.pf ppf "atomic (@[%a@])" Fmt.(list ~sep:(any ";@ ") pp) actions
+  | Alt actions -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:(any "@ else-try@ ") pp) actions
+  | If (c, a, b) -> Fmt.pf ppf "if %a then %a else %a" Condition.pp c pp a pp b
+  | Call (name, args) ->
+      Fmt.pf ppf "call %s(%a)" name Fmt.(list ~sep:comma Builtin.pp_operand) args

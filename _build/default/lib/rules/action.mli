@@ -1,0 +1,132 @@
+(** State-changing actions (Thesis 8).
+
+    "The most important actions are updating persistent data on the Web
+    and communicating with other Web sites (through raising new
+    events)."  Primitive actions are insertions, deletions, and
+    replacements of XML elements and RDF triples, event raising, and
+    logging; compound actions are sequences, alternatives ("other
+    compounds such as the specification of alternative actions are
+    needed, too"), conditionals, and procedure calls (Thesis 9).
+
+    Actions are interpreted against two capability records: the
+    {!Xchange_query.Condition.env} used to evaluate embedded conditions,
+    and an {!ops} record through which the host (a Web node, or a test
+    harness) exposes its store and its outbox.  Execution never touches
+    global state directly, which keeps rule processing local (Thesis 2). *)
+
+open Xchange_data
+open Xchange_event
+open Xchange_query
+
+(** A single store mutation, already instantiated (no variables). *)
+type update =
+  | U_insert of { doc : string; selector : Path.selector; at : int option; content : Term.t }
+      (** insert [content] as a child of every node selected *)
+  | U_delete of { doc : string; selector : Path.selector; pattern : Qterm.t option }
+      (** delete the selected nodes, or — with [pattern] — their children matching it *)
+  | U_replace of { doc : string; selector : Path.selector; content : Term.t }
+      (** replace every selected node *)
+  | U_create_doc of { doc : string; content : Term.t }
+  | U_delete_doc of { doc : string }
+  | U_rdf_assert of { doc : string; triple : Rdf.triple }
+  | U_rdf_retract of { doc : string; triple : Rdf.triple }
+
+val update_doc : update -> string
+(** The document a mutation targets. *)
+
+val with_update_doc : update -> string -> update
+(** The same mutation retargeted (used by the Web layer to strip the
+    host part when shipping an update to a remote node). *)
+
+(** Capabilities the host grants to actions. *)
+type ops = {
+  update : update -> (int, string) result;
+      (** apply a mutation; returns the number of nodes affected *)
+  send :
+    recipient:string -> label:string -> ttl:Clock.span option -> delay:Clock.span option ->
+    Term.t -> unit;
+      (** raise an event towards a (possibly remote) node; [delay]
+          postpones its departure (scheduled events for time-dependent
+          services) *)
+  log : string -> unit;
+  now : unit -> Clock.time;
+  checkpoint : unit -> unit -> unit;
+      (** [checkpoint ()] captures the store state and returns the
+          rollback thunk; used by transactional compounds.  Hosts that
+          cannot roll back may supply [fun () -> fun () -> ()], turning
+          [Atomic] into a plain sequence. *)
+}
+
+(** An RDF triple with variables, instantiated at execution time. *)
+type triple_c = { cs : Builtin.operand; cp : Builtin.operand; co : Builtin.operand }
+
+type t =
+  | Nop
+  | Fail of string  (** always fails (for alternatives and tests) *)
+  | Log of string * Builtin.operand list  (** Fmt-style [%s] holes filled with operands *)
+  | Insert of { doc : Builtin.operand; selector : Path.selector; at : int option; content : Construct.t }
+  | Delete of { doc : Builtin.operand; selector : Path.selector; pattern : Qterm.t option }
+  | Replace of { doc : Builtin.operand; selector : Path.selector; content : Construct.t }
+  | Create_doc of { doc : Builtin.operand; content : Construct.t }
+  | Delete_doc of { doc : Builtin.operand }
+  | Rdf_assert of { doc : Builtin.operand; triple : triple_c }
+  | Rdf_retract of { doc : Builtin.operand; triple : triple_c }
+  | Raise of {
+      recipient : Builtin.operand;
+      label : string;
+      payload : Construct.t;
+      ttl : Clock.span option;
+      delay : Clock.span option;
+    }
+  | Seq of t list  (** all in order; fails at the first failure (no rollback) *)
+  | Atomic of t list
+      (** all-or-nothing sequence: on failure the store is rolled back
+          to the checkpoint and no raised event leaves the node.
+          Within the transaction, reads {e do} see earlier writes
+          (execution is optimistic; rollback restores the
+          checkpoint). *)
+  | Alt of t list  (** try in order until one succeeds *)
+  | If of Condition.t * t * t  (** branch on the condition holding under the current bindings *)
+  | Call of string * Builtin.operand list  (** procedure invocation (Thesis 9) *)
+
+type proc = { params : string list; body : t }
+(** A procedural abstraction: the body executes with {e only} its
+    parameters bound (lexical isolation). *)
+
+(** {1 Constructors} *)
+
+val insert : ?at:int -> doc:string -> ?selector:Path.selector -> Construct.t -> t
+val delete : doc:string -> ?selector:Path.selector -> ?pattern:Qterm.t -> unit -> t
+val replace : doc:string -> selector:Path.selector -> Construct.t -> t
+val create_doc : doc:string -> Construct.t -> t
+val raise_event : ?ttl:Clock.span -> ?delay:Clock.span -> to_:string -> label:string -> Construct.t -> t
+val raise_event_to :
+  ?ttl:Clock.span -> ?delay:Clock.span -> to_:Builtin.operand -> label:string -> Construct.t -> t
+val make_persistent : doc:string -> string -> t
+(** [make_persistent ~doc v] stores the term bound to variable [v] as
+    document [doc] — the explicit volatile-to-persistent bridge of
+    Thesis 4. *)
+
+val seq : t list -> t
+val atomic : t list -> t
+val alt : t list -> t
+val call : string -> Builtin.operand list -> t
+val log : string -> Builtin.operand list -> t
+
+(** {1 Execution} *)
+
+type outcome = { updates : int; events_sent : int }
+
+val exec :
+  env:Condition.env ->
+  ops:ops ->
+  procs:(string -> proc option) ->
+  subst:Subst.t ->
+  answers:Subst.set ->
+  t ->
+  (outcome, string) result
+(** Runs the action under the substitution chosen for this firing;
+    [answers] is the full answer set, consulted by grouping constructs
+    ([C_all], [C_agg]) in payloads. *)
+
+val pp : t Fmt.t

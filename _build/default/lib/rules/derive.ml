@@ -1,0 +1,50 @@
+open Xchange_query
+open Xchange_event
+
+let ( let* ) = Result.bind
+
+let any_of_labels labels =
+  match labels with
+  | [] -> Error "derive: at least one update event label is required"
+  | [ l ] -> Ok (Event_query.on ~label:l (Qterm.var "_update"))
+  | ls ->
+      Ok
+        (Event_query.disj
+           (List.map (fun l -> Event_query.on ~label:l (Qterm.var "_update")) ls))
+
+
+let rec condition_docs cond =
+  match cond with
+  | Condition.In (Condition.Local d, _) | Condition.In_rdf (Condition.Local d, _) -> [ d ]
+  | Condition.In (_, _) | Condition.In_rdf (_, _) -> []
+  | Condition.And cs | Condition.Or cs -> List.concat_map condition_docs cs
+  | Condition.Not c -> condition_docs c
+  | Condition.True | Condition.False | Condition.Cmp _ -> []
+
+let condition_docs c = List.sort_uniq String.compare (condition_docs c)
+
+let update_trigger docs =
+  match docs with
+  | [] -> Error "derive: the condition reads no local resources"
+  | ds ->
+      let atom d =
+        Event_query.on ~label:"update"
+          (Qterm.el "update" ~attrs:[ ("doc", Qterm.A_is d) ] [])
+      in
+      Ok (match ds with [ d ] -> atom d | ds -> Event_query.disj (List.map atom ds))
+
+let eca_of_production_auto (rule : Production.rule) =
+  let* trigger = update_trigger (condition_docs rule.Production.condition) in
+  Ok
+    (Eca.make ~name:(rule.Production.name ^ ":as-eca") ~on:trigger
+       ~if_:rule.Production.condition rule.Production.action)
+
+let eca_of_production ~update_labels (rule : Production.rule) =
+  let* trigger = any_of_labels update_labels in
+  Ok
+    (Eca.make ~name:(rule.Production.name ^ ":as-eca") ~on:trigger
+       ~if_:rule.Production.condition rule.Production.action)
+
+let eca_of_constraint ~name ~update_labels ~violated ~repair =
+  let* trigger = any_of_labels update_labels in
+  Ok (Eca.make ~name ~on:trigger ~if_:violated repair)

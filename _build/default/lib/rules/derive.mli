@@ -1,0 +1,47 @@
+(** Deriving ECA rules from production rules and integrity constraints
+    (Thesis 1).
+
+    "In situations where production rules are more appropriate, it is
+    often possible to derive ECA rules automatically or
+    semi-automatically from production rules and provide an efficient
+    implementation mechanism this way", and "methods for [...]
+    transformation into other types of rules (e.g., derive ECA rules
+    from integrity constraints) have been well-studied".
+
+    The derivations here are the semi-automatic kind: the caller names
+    the update events after which the condition can have changed
+    (typically the labels of the events whose actions update the
+    condition's documents); the derived ECA rule re-checks the condition
+    on exactly those events instead of polling. *)
+
+open Xchange_query
+
+val eca_of_production :
+  update_labels:string list -> Production.rule -> (Eca.t, string) result
+(** [on (any of the update events) if C do A].  Note footnote 4 of the
+    paper: this ECA rule fires once per answer per triggering event; it
+    is equivalent to the production rule only when the action is
+    idempotent (tested in the suite with both an idempotent and a
+    non-idempotent action).  Fails on an empty label list. *)
+
+val eca_of_production_auto : Production.rule -> (Eca.t, string) result
+(** Fully automatic variant: the triggering events are derived from the
+    condition itself — the rule fires on the [update] events of exactly
+    the local documents and graphs the condition reads ("derive ECA
+    rules automatically ... from production rules").  Fails when the
+    condition reads no local resources (nothing could ever re-trigger
+    it). *)
+
+val condition_docs : Condition.t -> string list
+(** The local document/graph names a condition reads (through [Not] and
+    nested connectives); views contribute nothing (their base documents
+    must be listed by the caller or reached via [eca_of_production]). *)
+
+val eca_of_constraint :
+  name:string ->
+  update_labels:string list ->
+  violated:Condition.t ->
+  repair:Action.t ->
+  (Eca.t, string) result
+(** An integrity-maintenance rule: after any of the update events, if
+    the constraint is violated, run the repair action. *)

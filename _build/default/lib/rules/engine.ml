@@ -1,0 +1,168 @@
+open Xchange_query
+open Xchange_event
+
+type compiled = {
+  qualified : string;
+  rule : Eca.t;
+  scope : Ruleset.scope;
+  engine : Incremental.t;
+  stats : Eca.stats;
+  labels : string list option;
+      (** event labels the rule's query can react to; [None] = any
+          (some atomic sub-query has no label constraint) *)
+  needs_clock : bool;  (** the query contains absence operators *)
+}
+
+type t = {
+  root : Ruleset.t;
+  compiled : compiled list;
+  derivation : Deductive_event.t;
+  index : bool;
+  mutable seen : int;
+}
+
+let rule_labels rule =
+  let atoms = Xchange_event.Event_query.atoms rule.Eca.event in
+  let rec collect acc = function
+    | [] -> Some (List.sort_uniq String.compare acc)
+    | (a : Xchange_event.Event_query.atomic) :: rest -> (
+        match a.Xchange_event.Event_query.label with
+        | None -> None
+        | Some l -> collect (l :: acc) rest)
+  in
+  collect [] atoms
+
+let ( let* ) = Result.bind
+
+let create ?horizon ?(index = true) root =
+  let* () = Ruleset.validate root in
+  let* compiled =
+    List.fold_left
+      (fun acc (qualified, scope, rule) ->
+        let* acc = acc in
+        match
+          Incremental.create ~consume:rule.Eca.consume ~selection:rule.Eca.selection ?horizon
+            rule.Eca.event
+        with
+        | Error e -> Error (Fmt.str "rule %s: %s" qualified e)
+        | Ok engine ->
+            Ok
+              ({
+                 qualified;
+                 rule;
+                 scope;
+                 engine;
+                 stats = Eca.fresh_stats ();
+                 labels = rule_labels rule;
+                 needs_clock = Event_query.has_timers rule.Eca.event;
+               }
+              :: acc))
+      (Ok []) (Ruleset.scoped_rules root)
+  in
+  (* every scope's visible views must be stratified *)
+  let* () =
+    List.fold_left
+      (fun acc (qualified, scope, _) ->
+        let* () = acc in
+        match Deductive.check_stratified (Ruleset.views_in_scope scope) with
+        | Ok () -> Ok ()
+        | Error e -> Error (Fmt.str "rule %s: %s" qualified e))
+      (Ok ()) (Ruleset.scoped_rules root)
+  in
+  let* derivation = Deductive_event.compile ?horizon (Ruleset.all_event_rules root) in
+  Ok { root; compiled = List.rev compiled; derivation; index; seen = 0 }
+
+let create_exn ?horizon ?index root =
+  match create ?horizon ?index root with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Engine.create: " ^ e)
+
+type outcome = {
+  firings : Eca.firing list;
+  derived_events : Event.t list;
+  errors : (string * string) list;
+}
+
+let empty_outcome = { firings = []; derived_events = []; errors = [] }
+
+let fire_detections ~env ~ops cr detections acc =
+  List.fold_left
+    (fun acc detection ->
+      let scoped_env = Deductive.extend_env env (Ruleset.views_in_scope cr.scope) in
+      let procs name = Ruleset.lookup_procedure cr.scope name in
+      let results =
+        Eca.fire ~stats:cr.stats ~env:scoped_env ~ops ~procs cr.rule detection
+      in
+      List.fold_left
+        (fun acc result ->
+          match result with
+          | Ok firings -> { acc with firings = acc.firings @ firings }
+          | Error e -> { acc with errors = acc.errors @ [ (cr.qualified, e) ] })
+        acc results)
+    acc detections
+
+let handle_event t ~env ~ops event =
+  t.seen <- t.seen + 1;
+  if Event.expired event (ops.Action.now ()) then empty_outcome
+  else begin
+    let derived = Deductive_event.feed t.derivation event in
+    let all_events = event :: derived in
+    let acc =
+      List.fold_left
+        (fun acc cr ->
+          List.fold_left
+            (fun acc ev ->
+              let relevant =
+                (not t.index)
+                ||
+                match cr.labels with
+                | None -> true
+                | Some labels -> List.mem ev.Event.label labels
+              in
+              if relevant then
+                fire_detections ~env ~ops cr (Incremental.feed cr.engine ev) acc
+              else if cr.needs_clock then
+                (* skipped rules still observe time: resolve absence
+                   deadlines strictly before the event, exactly as a
+                   non-matching feed would *)
+                fire_detections ~env ~ops cr
+                  (Incremental.advance_to cr.engine (Event.time ev - 1))
+                  acc
+              else acc)
+            acc all_events)
+        { empty_outcome with derived_events = derived }
+        t.compiled
+    in
+    acc
+  end
+
+let advance t ~env ~ops time =
+  let derived = Deductive_event.advance_to t.derivation time in
+  let acc =
+    List.fold_left
+      (fun acc cr ->
+        let detections =
+          Incremental.advance_to cr.engine time
+          @ List.concat_map (fun ev -> Incremental.feed cr.engine ev) derived
+        in
+        fire_detections ~env ~ops cr detections acc)
+      { empty_outcome with derived_events = derived }
+      t.compiled
+  in
+  acc
+
+let load_ruleset t incoming =
+  let merged = { t.root with Ruleset.children = t.root.Ruleset.children @ [ incoming ] } in
+  create merged
+
+let ruleset t = t.root
+let rule_names t = List.map (fun cr -> cr.qualified) t.compiled
+let stats t = List.map (fun cr -> (cr.qualified, cr.stats)) t.compiled
+
+let total_condition_evaluations t =
+  List.fold_left (fun acc cr -> acc + cr.stats.Eca.condition_evaluations) 0 t.compiled
+
+let live_instances t =
+  List.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
+
+let events_seen t = t.seen

@@ -1,0 +1,56 @@
+(** The local reactive rule engine (Thesis 2).
+
+    One engine per Web site: "each Web site manages its own rule base
+    and determines locally which of the rules fire."  The engine owns
+    the compiled event-query state of every ECA rule and the node's
+    event derivation network; it acts on the world only through the
+    capability records it is handed ([env] for reading, [ops] for
+    writing), so global behaviour arises exclusively from event-based
+    communication and Web data access.
+
+    Expired events (Thesis 4) are dropped on arrival, before any rule
+    sees them. *)
+
+open Xchange_query
+open Xchange_event
+
+type t
+
+val create : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> (t, string) result
+(** Validates the rule set (duplicate names, unresolved procedure
+    calls), every rule's event query, and the (non-recursive) event
+    derivation program, then compiles one incremental engine per rule.
+
+    [index] (default true) dispatches events by label: a rule whose
+    query names only other labels is not fed the event (its absence
+    timers are still advanced, preserving semantics).  Ablation A2
+    measures the effect; disable it only for that comparison. *)
+
+val create_exn : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> t
+
+type outcome = {
+  firings : Eca.firing list;
+  derived_events : Event.t list;
+  errors : (string * string) list;  (** (qualified rule name, message) *)
+}
+
+val handle_event : t -> env:Condition.env -> ops:Action.ops -> Event.t -> outcome
+(** Feeds the event (and the events it derives) to every rule. *)
+
+val advance : t -> env:Condition.env -> ops:Action.ops -> Clock.time -> outcome
+(** Moves the engine clock: absence deadlines can fire rules. *)
+
+val load_ruleset : t -> Ruleset.t -> (t, string) result
+(** Meta-programming support (Thesis 11): a new rule set received as a
+    message is merged as a child of the engine's root rule set; the
+    result is a fresh engine sharing no event state with [t].  Existing
+    compiled state of [t] is unaffected. *)
+
+val ruleset : t -> Ruleset.t
+val rule_names : t -> string list
+val stats : t -> (string * Eca.stats) list
+val total_condition_evaluations : t -> int
+val live_instances : t -> int
+(** Stored partial matches across all rules (Thesis 4 memory proxy). *)
+
+val events_seen : t -> int

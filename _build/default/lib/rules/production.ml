@@ -1,0 +1,43 @@
+open Xchange_query
+
+type rule = { name : string; condition : Condition.t; action : Action.t }
+
+type stats = {
+  mutable cycles : int;
+  mutable condition_evaluations : int;
+  mutable firings : int;
+  mutable errors : int;
+}
+
+type state = { rule : rule; mutable previous : Subst.set }
+type t = { rules : state list; s : stats }
+
+let create rules =
+  {
+    rules = List.map (fun rule -> { rule; previous = [] }) rules;
+    s = { cycles = 0; condition_evaluations = 0; firings = 0; errors = 0 };
+  }
+
+let stats t = t.s
+
+let poll ~env ~ops ~procs t =
+  t.s.cycles <- t.s.cycles + 1;
+  List.concat_map
+    (fun st ->
+      t.s.condition_evaluations <- t.s.condition_evaluations + 1;
+      let answers = Condition.eval env Subst.empty st.rule.condition in
+      let fresh =
+        List.filter (fun a -> not (List.exists (Subst.equal a) st.previous)) answers
+      in
+      st.previous <- answers;
+      List.filter_map
+        (fun subst ->
+          match Action.exec ~env ~ops ~procs ~subst ~answers st.rule.action with
+          | Ok _ ->
+              t.s.firings <- t.s.firings + 1;
+              Some (st.rule.name, subst)
+          | Error _ ->
+              t.s.errors <- t.s.errors + 1;
+              None)
+        fresh)
+    t.rules

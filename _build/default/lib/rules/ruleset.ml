@@ -1,0 +1,116 @@
+open Xchange_query
+
+type t = {
+  name : string;
+  rules : Eca.t list;
+  procedures : (string * Action.proc) list;
+  views : Deductive.program;
+  event_rules : Xchange_event.Deductive_event.program;
+  children : t list;
+}
+
+let make ?(rules = []) ?(procedures = []) ?(views = []) ?(event_rules = []) ?(children = [])
+    name =
+  { name; rules; procedures; views; event_rules; children }
+
+type scope = t list
+(** innermost set first *)
+
+let rec scoped_rules_acc prefix chain set acc =
+  let qualified = if prefix = "" then set.name else prefix ^ "." ^ set.name in
+  let chain = set :: chain in
+  let acc =
+    List.fold_left
+      (fun acc rule -> (qualified ^ "." ^ rule.Eca.name, chain, rule) :: acc)
+      acc set.rules
+  in
+  List.fold_left (fun acc child -> scoped_rules_acc qualified chain child acc) acc set.children
+
+let scoped_rules set = List.rev (scoped_rules_acc "" [] set [])
+
+let lookup_procedure scope name =
+  List.find_map (fun set -> List.assoc_opt name set.procedures) scope
+
+let views_in_scope scope = List.concat_map (fun set -> set.views) scope
+
+let rec all_event_rules set =
+  set.event_rules @ List.concat_map all_event_rules set.children
+
+let rec all_procedures_acc prefix set acc =
+  let qualified = if prefix = "" then set.name else prefix ^ "." ^ set.name in
+  let acc =
+    List.fold_left (fun acc (n, p) -> (qualified ^ "." ^ n, p) :: acc) acc set.procedures
+  in
+  List.fold_left (fun acc child -> all_procedures_acc qualified child acc) acc set.children
+
+let all_procedures set = List.rev (all_procedures_acc "" set [])
+
+let find_rule set qualified_name =
+  List.find_map
+    (fun (qn, _, rule) -> if String.equal qn qualified_name then Some rule else None)
+    (scoped_rules set)
+
+let rule_count set = List.length (scoped_rules set)
+
+let rec called_procedures action =
+  match action with
+  | Action.Call (name, _) -> [ name ]
+  | Action.Seq actions | Action.Atomic actions | Action.Alt actions ->
+      List.concat_map called_procedures actions
+  | Action.If (_, a, b) -> called_procedures a @ called_procedures b
+  | Action.Nop | Action.Fail _ | Action.Log _ | Action.Insert _ | Action.Delete _
+  | Action.Replace _ | Action.Create_doc _ | Action.Delete_doc _ | Action.Rdf_assert _
+  | Action.Rdf_retract _ | Action.Raise _ ->
+      []
+
+let rule_actions rule =
+  List.map (fun b -> b.Eca.action) rule.Eca.branches
+  @ Option.to_list rule.Eca.else_action
+
+let dup_names names =
+  let sorted = List.sort String.compare names in
+  let rec find = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else find rest
+    | [ _ ] | [] -> None
+  in
+  find sorted
+
+let validate set =
+  let problems = ref [] in
+  let note msg = problems := msg :: !problems in
+  let rec check chain set =
+    let chain = set :: chain in
+    (match dup_names (List.map (fun r -> r.Eca.name) set.rules) with
+    | Some n -> note (Fmt.str "duplicate rule name %S in rule set %s" n set.name)
+    | None -> ());
+    (match dup_names (List.map fst set.procedures) with
+    | Some n -> note (Fmt.str "duplicate procedure name %S in rule set %s" n set.name)
+    | None -> ());
+    List.iter
+      (fun rule ->
+        List.iter
+          (fun action ->
+            List.iter
+              (fun proc ->
+                if Option.is_none (lookup_procedure chain proc) then
+                  note
+                    (Fmt.str "rule %s in set %s calls unknown procedure %s" rule.Eca.name
+                       set.name proc))
+              (called_procedures action))
+          (rule_actions rule))
+      set.rules;
+    (* procedure bodies may call procedures too *)
+    List.iter
+      (fun (pname, proc) ->
+        List.iter
+          (fun callee ->
+            if Option.is_none (lookup_procedure chain callee) then
+              note
+                (Fmt.str "procedure %s in set %s calls unknown procedure %s" pname set.name
+                   callee))
+          (called_procedures proc.Action.body))
+      set.procedures;
+    List.iter (check chain) set.children
+  in
+  check [] set;
+  match !problems with [] -> Ok () | p :: _ -> Error p

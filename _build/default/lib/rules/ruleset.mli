@@ -1,0 +1,61 @@
+(** Grouping of rules into named, hierarchical rule sets (Thesis 9).
+
+    "Grouping rules into separate, named rule sets and possibly also
+    building hierarchies of rule sets exposes the structure of a rule
+    program [...].  Also, rule sets could introduce scopes for
+    identifiers."
+
+    A rule set carries ECA rules, procedures, deductive views, and event
+    derivation rules, plus child rule sets.  Identifier resolution is
+    lexical: a rule in set [s] sees the procedures and views of [s] and
+    of its ancestors, with inner definitions shadowing outer ones —
+    name clashes between unrelated sets are thereby harmless. *)
+
+open Xchange_query
+
+type t = {
+  name : string;
+  rules : Eca.t list;
+  procedures : (string * Action.proc) list;
+  views : Deductive.program;
+  event_rules : Xchange_event.Deductive_event.program;
+  children : t list;
+}
+
+val make :
+  ?rules:Eca.t list ->
+  ?procedures:(string * Action.proc) list ->
+  ?views:Deductive.program ->
+  ?event_rules:Xchange_event.Deductive_event.program ->
+  ?children:t list ->
+  string ->
+  t
+
+type scope
+(** A rule's resolution context: its rule set and the ancestor chain. *)
+
+val scoped_rules : t -> (string * scope * Eca.t) list
+(** All rules of the hierarchy, each with its qualified name
+    ([set.subset.rule]) and resolution scope, in declaration order. *)
+
+val lookup_procedure : scope -> string -> Action.proc option
+(** Innermost-first resolution through the scope chain. *)
+
+val views_in_scope : scope -> Deductive.program
+(** Views visible from a scope (innermost definitions first). *)
+
+val all_event_rules : t -> Xchange_event.Deductive_event.program
+(** Event derivation rules of the whole hierarchy (they are global to
+    the node's event stream). *)
+
+val all_procedures : t -> (string * Action.proc) list
+(** Qualified names of every procedure in the hierarchy. *)
+
+val find_rule : t -> string -> Eca.t option
+(** By qualified name. *)
+
+val rule_count : t -> int
+
+val validate : t -> (unit, string) result
+(** Rejects duplicate rule names within one set, duplicate procedure
+    names within one set, and calls to procedures that resolve nowhere. *)

@@ -1,0 +1,1 @@
+lib/web/cookie.ml: Action Builtin Condition Construct Eca Qterm Ruleset Term Xchange_data Xchange_event Xchange_query Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/cookie.mli: Ruleset Xchange_data Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/message.ml: Clock Event Fmt String Term Xchange_data Xchange_event Xchange_rules Xml

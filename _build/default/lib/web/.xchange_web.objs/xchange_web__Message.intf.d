@@ -1,0 +1,1 @@
+lib/web/message.mli: Clock Event Fmt Term Xchange_data Xchange_event Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/network.ml: Clock Condition Event Hashtbl List Message Node Option Store String Transport Uri Xchange_event Xchange_query

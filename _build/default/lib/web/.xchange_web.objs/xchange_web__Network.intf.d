@@ -1,0 +1,1 @@
+lib/web/network.mli: Clock Message Node Term Transport Xchange_data Xchange_event

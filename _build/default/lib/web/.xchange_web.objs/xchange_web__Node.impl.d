@@ -1,0 +1,1 @@
+lib/web/node.ml: Action Clock Condition Engine Event Fmt List Message Option Ruleset Store String Term Uri Xchange_data Xchange_event Xchange_query Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/node.mli: Action Clock Condition Engine Event Message Ruleset Store Term Xchange_data Xchange_event Xchange_query Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/poll.ml: Clock Event Message Network Node Term Uri Xchange_data Xchange_event

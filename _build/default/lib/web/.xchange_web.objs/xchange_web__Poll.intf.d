@@ -1,0 +1,1 @@
+lib/web/poll.mli: Clock Network Xchange_event

@@ -1,0 +1,1 @@
+lib/web/pubsub.ml: Action Builtin Condition Construct Eca List Option Qterm Ruleset Simulate Store String Subst Term Xchange_data Xchange_event Xchange_query Xchange_rules

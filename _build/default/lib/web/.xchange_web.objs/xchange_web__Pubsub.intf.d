@@ -1,0 +1,1 @@
+lib/web/pubsub.mli: Ruleset Store Term Xchange_data Xchange_rules

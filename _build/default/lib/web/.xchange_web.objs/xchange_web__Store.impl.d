@@ -1,0 +1,1 @@
+lib/web/store.ml: Action Condition Fmt Hashtbl Identity Int64 List Option Path Rdf Result Simulate Stdlib String Term Uri Xchange_data Xchange_query Xchange_rules

@@ -1,0 +1,1 @@
+lib/web/store.mli: Action Condition Path Rdf Term Xchange_data Xchange_query Xchange_rules

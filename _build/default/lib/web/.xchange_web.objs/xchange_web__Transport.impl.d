@@ -1,0 +1,1 @@
+lib/web/transport.ml: Clock List Map Message Option Stdlib Xchange_event

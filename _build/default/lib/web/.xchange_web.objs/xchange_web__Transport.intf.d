@@ -1,0 +1,1 @@
+lib/web/transport.mli: Clock Message Xchange_event

@@ -1,0 +1,1 @@
+lib/web/uri.ml: Fmt String

@@ -1,0 +1,78 @@
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+
+let cookies_doc = "/cookies"
+
+let empty_jar () = Term.elem ~ord:Term.Unordered "cookies" []
+
+let set_rule =
+  let event =
+    Xchange_event.Event_query.on ~label:"set-cookie"
+      (Qterm.el "set-cookie"
+         [
+           Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]);
+           Qterm.pos (Qterm.el "value" [ Qterm.pos (Qterm.var "V") ]);
+         ])
+  in
+  let drop_old =
+    Action.delete ~doc:cookies_doc
+      ~pattern:
+        (Qterm.el "cookie" [ Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]) ])
+      ()
+  in
+  let insert_new =
+    Action.insert ~doc:cookies_doc
+      (Construct.cel "cookie"
+         [
+           Construct.cel "name" [ Construct.cvar "N" ];
+           Construct.cel "value" [ Construct.cvar "V" ];
+         ])
+  in
+  Eca.make ~name:"store-cookie" ~on:event (Action.seq [ drop_old; insert_new ])
+
+let get_rule =
+  let event =
+    Xchange_event.Event_query.on ~label:"get-cookie"
+      (Qterm.el "get-cookie"
+         [
+           Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]);
+           Qterm.pos (Qterm.el "reply-to" [ Qterm.pos (Qterm.var "R") ]);
+         ])
+  in
+  let have_cookie =
+    Condition.In
+      ( Condition.Local cookies_doc,
+        Qterm.el "cookies"
+          [
+            Qterm.pos
+              (Qterm.el "cookie"
+                 [
+                   Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]);
+                   Qterm.pos (Qterm.el "value" [ Qterm.pos (Qterm.var "V") ]);
+                 ]);
+          ] )
+  in
+  let answer =
+    Action.raise_event_to ~to_:(Builtin.ovar "R") ~label:"cookie"
+      (Construct.cel "cookie"
+         [
+           Construct.cel "name" [ Construct.cvar "N" ];
+           Construct.cel "value" [ Construct.cvar "V" ];
+         ])
+  in
+  let sorry =
+    Action.raise_event_to ~to_:(Builtin.ovar "R") ~label:"no-cookie"
+      (Construct.cel "no-cookie" [ Construct.cel "name" [ Construct.cvar "N" ] ])
+  in
+  Eca.make ~name:"return-cookie" ~on:event ~if_:have_cookie answer ~else_:sorry
+
+let client_ruleset () = Ruleset.make ~rules:[ set_rule; get_rule ] "cookie-client"
+
+let set_cookie ~name ~value =
+  Term.elem "set-cookie"
+    [ Term.elem "name" [ Term.text name ]; Term.elem "value" [ Term.text value ] ]
+
+let get_cookie ~name ~reply_to =
+  Term.elem "get-cookie"
+    [ Term.elem "name" [ Term.text name ]; Term.elem "reply-to" [ Term.text reply_to ] ]

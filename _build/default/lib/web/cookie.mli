@@ -1,0 +1,29 @@
+(** Cookies as reactive rules (Section 2 of the paper).
+
+    "A server can request a client to store information in a cookie
+    [...].  The server can then later retrieve this information."
+    The client side is just a small rule set: two ECA rules storing and
+    returning cookie data — a nice illustration of servers updating
+    client-side persistent data through events. *)
+
+open Xchange_rules
+
+val cookies_doc : string
+(** ["/cookies"] — where the client rule set keeps its jar. *)
+
+val empty_jar : unit -> Xchange_data.Term.t
+(** The initial jar document; add it to the client's store under
+    {!cookies_doc} before delivering cookie events. *)
+
+val client_ruleset : unit -> Ruleset.t
+(** Rules:
+    - on [set-cookie{name, value}]: replace any cookie of that name in
+      the jar and insert the new one;
+    - on [get-cookie{name, reply-to}]: if the jar holds the cookie,
+      raise [cookie{name, value}] to the requester; otherwise raise
+      [no-cookie{name}]. *)
+
+val set_cookie : name:string -> value:string -> Xchange_data.Term.t
+(** Payload builder for the server side. *)
+
+val get_cookie : name:string -> reply_to:string -> Xchange_data.Term.t

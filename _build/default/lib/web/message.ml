@@ -1,0 +1,76 @@
+open Xchange_data
+open Xchange_event
+
+type body =
+  | Event of Event.t
+  | Get of { req_id : int; path : string }
+  | Response of { req_id : int; doc : Term.t option }
+  | Update of Xchange_rules.Action.update
+
+type t = {
+  msg_id : int;
+  from_host : string;
+  to_host : string;
+  sent_at : Clock.time;
+  body : body;
+}
+
+let msg_counter = ref 0
+let req_counter = ref 0
+
+let make ~from_host ~to_host ~sent_at body =
+  incr msg_counter;
+  { msg_id = !msg_counter; from_host; to_host; sent_at; body }
+
+let fresh_req_id () =
+  incr req_counter;
+  !req_counter
+
+let reset_ids () =
+  msg_counter := 0;
+  req_counter := 0
+
+let body_term = function
+  | Event e -> Event.to_term e
+  | Get { req_id; path } ->
+      Term.elem "get" ~attrs:[ ("req", string_of_int req_id) ] [ Term.text path ]
+  | Response { req_id; doc } ->
+      Term.elem "response"
+        ~attrs:[ ("req", string_of_int req_id) ]
+        (match doc with Some d -> [ d ] | None -> [])
+  | Update u ->
+      (* rendered coarsely: kind + target (payload sizes dominated by content) *)
+      Term.elem "update-request"
+        ~attrs:[ ("doc", Xchange_rules.Action.update_doc u) ]
+        (match u with
+        | Xchange_rules.Action.U_insert { content; _ }
+        | Xchange_rules.Action.U_replace { content; _ }
+        | Xchange_rules.Action.U_create_doc { content; _ } ->
+            [ content ]
+        | Xchange_rules.Action.U_delete _ | Xchange_rules.Action.U_delete_doc _
+        | Xchange_rules.Action.U_rdf_assert _ | Xchange_rules.Action.U_rdf_retract _ ->
+            [])
+
+let to_term m =
+  Term.elem "envelope"
+    [
+      Term.elem "header"
+        [
+          Term.elem "from" [ Term.text m.from_host ];
+          Term.elem "to" [ Term.text m.to_host ];
+          Term.elem "sent-at" [ Term.int m.sent_at ];
+        ];
+      Term.elem "body" [ body_term m.body ];
+    ]
+
+let size_bytes m = String.length (Xml.to_string (to_term m))
+
+let pp ppf m =
+  let kind =
+    match m.body with
+    | Event e -> Fmt.str "event %s#%d" e.Event.label e.Event.id
+    | Get { path; _ } -> Fmt.str "GET %s" path
+    | Response _ -> "response"
+    | Update u -> Fmt.str "UPDATE %s" (Xchange_rules.Action.update_doc u)
+  in
+  Fmt.pf ppf "msg#%d %s->%s @%a [%s]" m.msg_id m.from_host m.to_host Clock.pp_time m.sent_at kind

@@ -1,0 +1,40 @@
+(** Messages exchanged between Web nodes.
+
+    The SOAP-inspired shape of Section 2: an envelope (header with
+    sending time and endpoints) around a body.  Three body kinds model
+    the infrastructure the paper builds on: [Event] (push communication,
+    Thesis 3), and [Get]/[Response] (the HTTP pull primitives used by
+    remote queries and by the polling baseline). *)
+
+open Xchange_data
+open Xchange_event
+
+type body =
+  | Event of Event.t
+  | Get of { req_id : int; path : string }
+  | Response of { req_id : int; doc : Term.t option }
+  | Update of Xchange_rules.Action.update
+      (** a remote update request (HTTP PUT/POST flavour): the target
+          path inside the update is already node-local *)
+
+type t = {
+  msg_id : int;
+  from_host : string;
+  to_host : string;
+  sent_at : Clock.time;
+  body : body;
+}
+
+val make : from_host:string -> to_host:string -> sent_at:Clock.time -> body -> t
+
+val size_bytes : t -> int
+(** Size of the serialised envelope + payload (XML rendering), the unit
+    of the traffic accounting in E3. *)
+
+val to_term : t -> Term.t
+(** The full envelope as a data term (what would go on the wire). *)
+
+val pp : t Fmt.t
+
+val fresh_req_id : unit -> int
+val reset_ids : unit -> unit

@@ -1,0 +1,168 @@
+open Xchange_query
+open Xchange_event
+
+type ticker = { period : Clock.span; mutable next : Clock.time; f : Clock.time -> unit }
+
+type t = {
+  transport : Transport.t;
+  nodes : (string, Node.t) Hashtbl.t;
+  mutable tickers : ticker list;
+  mutable time : Clock.time;
+  mutable remote_fetches : int;
+}
+
+let create ?latency ?drop ?record () =
+  {
+    transport = Transport.create ?latency ?drop ?record ();
+    nodes = Hashtbl.create 8;
+    tickers = [];
+    time = Clock.origin;
+    remote_fetches = 0;
+  }
+
+let add_node t node =
+  let h = Node.host node in
+  if Hashtbl.mem t.nodes h then invalid_arg ("Network.add_node: duplicate host " ^ h);
+  Hashtbl.replace t.nodes h node
+
+let node t host = Hashtbl.find_opt t.nodes host
+
+let node_exn t host =
+  match node t host with
+  | Some n -> n
+  | None -> invalid_arg ("Network.node_exn: unknown host " ^ host)
+
+let hosts t = List.sort String.compare (Hashtbl.fold (fun h _ acc -> h :: acc) t.nodes [])
+let trace t = Transport.trace t.transport
+let clock t = t.time
+let transport_stats t = Transport.stats t.transport
+let remote_fetches t = t.remote_fetches
+
+(* A node's query environment: local names resolve against its own
+   store; remote URIs against the owning node's store, with the
+   GET/Response pair accounted in the traffic statistics. *)
+let env_for t (me : Node.t) =
+  let local = Store.env (Node.store me) in
+  let fetch = function
+    | Condition.Local _ as res -> local.Condition.fetch res
+    | Condition.Remote uri as res ->
+        let host = Uri.host uri in
+        if host = "" || String.equal host (Node.host me) then local.Condition.fetch res
+        else (
+          match Hashtbl.find_opt t.nodes host with
+          | None -> []
+          | Some other ->
+              t.remote_fetches <- t.remote_fetches + 1;
+              let req_id = Message.fresh_req_id () in
+              let get =
+                Message.make ~from_host:(Node.host me) ~to_host:host ~sent_at:t.time
+                  (Message.Get { req_id; path = Uri.path uri })
+              in
+              let doc = Store.doc (Node.store other) (Uri.path uri) in
+              let resp =
+                Message.make ~from_host:host ~to_host:(Node.host me) ~sent_at:t.time
+                  (Message.Response { req_id; doc })
+              in
+              Transport.account_only t.transport get;
+              Transport.account_only t.transport resp;
+              Option.to_list doc)
+    | Condition.View _ -> []
+  in
+  let fetch_rdf = function
+    | Condition.Local _ as res -> local.Condition.fetch_rdf res
+    | Condition.Remote uri as res ->
+        let host = Uri.host uri in
+        if host = "" || String.equal host (Node.host me) then local.Condition.fetch_rdf res
+        else
+          Option.bind (Hashtbl.find_opt t.nodes host) (fun other ->
+              t.remote_fetches <- t.remote_fetches + 1;
+              Store.rdf (Node.store other) (Uri.path uri))
+    | Condition.View _ -> None
+  in
+  { Condition.fetch; fetch_rdf }
+
+let context_for t me =
+  {
+    Node.env = env_for t me;
+    send = (fun m -> Transport.send t.transport m);
+    now = (fun () -> t.time);
+  }
+
+let inject t ?(sender = "external") ~to_ ~label ?ttl payload =
+  let to_host = Uri.host to_ in
+  let event = Event.make ~sender ~recipient:to_ ~occurred_at:t.time ?ttl ~label payload in
+  Transport.send t.transport
+    (Message.make ~from_host:sender ~to_host ~sent_at:t.time (Message.Event event))
+
+let add_ticker t ?phase ~period f =
+  let first = Clock.add t.time (Option.value ~default:period phase) in
+  t.tickers <- t.tickers @ [ { period; next = first; f } ]
+
+let enable_heartbeat t ~period =
+  add_ticker t ~period (fun now ->
+      Hashtbl.iter
+        (fun _ n ->
+          let ctx = context_for t n in
+          ignore (Node.advance n ctx now))
+        t.nodes)
+
+let deliver t (m : Message.t) =
+  match Hashtbl.find_opt t.nodes m.Message.to_host with
+  | None -> () (* undeliverable: dropped, like the real Web *)
+  | Some n -> (
+      let ctx = context_for t n in
+      match m.Message.body with
+      | Message.Event e -> ignore (Node.receive_event n ctx e)
+      | Message.Get { req_id; path } ->
+          Node.receive_get n ctx ~from:m.Message.from_host ~req_id ~path
+      | Message.Response { req_id; doc } -> Node.receive_response n ctx ~req_id doc
+      | Message.Update u -> ignore (Node.receive_update n ctx ~from:m.Message.from_host u))
+
+let next_ticker_time t =
+  List.fold_left
+    (fun acc tk -> match acc with None -> Some tk.next | Some x -> Some (min x tk.next))
+    None t.tickers
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (min x y)
+
+let run t ~until =
+  let rec loop () =
+    match min_opt (Transport.next_due t.transport) (next_ticker_time t) with
+    | Some next when next <= until ->
+        t.time <- max t.time next;
+        (* deliveries first, then tickers due at the same instant *)
+        List.iter (deliver t) (Transport.pop_due t.transport ~now:t.time);
+        List.iter
+          (fun tk ->
+            if tk.next <= t.time then begin
+              tk.next <- Clock.add tk.next tk.period;
+              tk.f t.time
+            end)
+          t.tickers;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.time <- max t.time until;
+  Hashtbl.iter
+    (fun _ n ->
+      let ctx = context_for t n in
+      ignore (Node.advance n ctx t.time))
+    t.nodes;
+  (* timer firings may have queued messages due exactly now *)
+  List.iter (deliver t) (Transport.pop_due t.transport ~now:t.time)
+
+let quiescent t = Transport.pending t.transport = 0
+
+let run_until_quiet t ?(limit = 1_000_000_000) () =
+  let rec loop () =
+    match Transport.next_due t.transport with
+    | Some next when next <= limit ->
+        run t ~until:next;
+        loop ()
+    | Some _ | None -> t.time
+  in
+  loop ()

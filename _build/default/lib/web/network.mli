@@ -1,0 +1,70 @@
+(** The simulated Web: nodes + transport + a global clock.
+
+    A deterministic discrete-event simulation.  Messages are processed
+    in (delivery time, message id) order; periodic tasks (pollers,
+    engine heartbeats for absence rules) interleave at their scheduled
+    times.  Determinism is what lets every experiment in EXPERIMENTS.md
+    be re-run bit-for-bit.
+
+    Remote condition queries ([Condition.Remote uri]) are answered
+    synchronously from the target node's store but accounted as a
+    GET/Response message pair in the transport statistics, so that
+    "access persistent data from anywhere on the Web" (Thesis 2) has a
+    visible network cost. *)
+
+open Xchange_data
+open Xchange_event
+
+type t
+
+val create :
+  ?latency:(from:string -> to_:string -> Clock.span) ->
+  ?drop:(Message.t -> bool) ->
+  ?record:bool ->
+  unit ->
+  t
+(** [drop] injects message loss (see {!Transport.create}); [record]
+    keeps a full message trace (see {!trace}). *)
+
+val add_node : t -> Node.t -> unit
+(** Host names must be unique. *)
+
+val node : t -> string -> Node.t option
+val node_exn : t -> string -> Node.t
+val hosts : t -> string list
+
+val clock : t -> Clock.time
+val transport_stats : t -> Transport.stats
+
+val trace : t -> Message.t list
+(** Recorded messages in send order; empty unless created with
+    [record:true]. *)
+
+val remote_fetches : t -> int
+
+val context_for : t -> Node.t -> Node.context
+(** The capabilities the network grants a node (used internally and by
+    tests that drive nodes directly). *)
+
+val inject : t -> ?sender:string -> to_:string -> label:string -> ?ttl:Clock.span -> Term.t -> unit
+(** Send an external stimulus event to a node (queued through the
+    transport like any other message). *)
+
+val add_ticker : t -> ?phase:Clock.span -> period:Clock.span -> (Clock.time -> unit) -> unit
+(** Run a callback every [period] ms, first at [phase] (default:
+    [period]). *)
+
+val enable_heartbeat : t -> period:Clock.span -> unit
+(** Advance every node's engine each period, so absence deadlines fire
+    within [period] of their due time even on quiet nodes. *)
+
+val run : t -> until:Clock.time -> unit
+(** Process deliveries and tickers in time order up to (and including)
+    [until], then advance all engines to [until]. *)
+
+val run_until_quiet : t -> ?limit:Clock.time -> unit -> Clock.time
+(** Run until no messages remain queued (tickers do not hold the
+    simulation open); returns the final clock.  [limit] (default 10^9
+    ms) bounds runaway rule cascades. *)
+
+val quiescent : t -> bool

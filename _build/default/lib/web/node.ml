@@ -1,0 +1,221 @@
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+let rules_label = "xchange:rules"
+let max_cascade_depth = 32
+
+type t = {
+  host : string;
+  store : Store.t;
+  mutable engine : Engine.t;
+  horizon : Clock.span option;
+  accept_rules : bool;
+  mutable decoder : (Term.t -> (Ruleset.t, string) result) option;
+  mutable log_lines : string list;  (** newest first *)
+  mutable firings : int;
+  mutable errors : (string * string) list;
+  accept_updates : bool;
+  mutable response_handlers : (int * (Term.t option -> Clock.time -> unit)) list;
+}
+
+type context = {
+  env : Condition.env;
+  send : Message.t -> unit;
+  now : unit -> Clock.time;
+}
+
+let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host ruleset =
+  match Engine.create ?horizon ruleset with
+  | Error e -> Error e
+  | Ok engine ->
+      Ok
+        {
+          host;
+          store = Store.create ();
+          engine;
+          horizon;
+          accept_rules;
+          accept_updates;
+          decoder = None;
+          log_lines = [];
+          firings = 0;
+          errors = [];
+          response_handlers = [];
+        }
+
+let create_exn ?horizon ?accept_rules ?accept_updates ~host ruleset =
+  match create ?horizon ?accept_rules ?accept_updates ~host ruleset with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Node.create: " ^ e)
+
+let host t = t.host
+let store t = t.store
+let engine t = t.engine
+let set_rule_decoder t decoder = t.decoder <- Some decoder
+
+let note_error t rule msg = t.errors <- (rule, msg) :: t.errors
+
+(* Build the action capabilities for one processing step; update
+   notifications accumulate in [pending] as local events. *)
+let ops_for t ctx pending =
+  {
+    Action.update =
+      (fun u ->
+        let target = Action.update_doc u in
+        let target_host = Uri.host target in
+        if target_host <> "" && not (String.equal target_host t.host) then begin
+          (* a remote resource: ship the update to its owner (Thesis 8:
+             updates of Web resources anywhere; asynchronous, reported as
+             one affected node) *)
+          let u = Action.with_update_doc u (Uri.path target) in
+          ctx.send
+            (Message.make ~from_host:t.host ~to_host:target_host ~sent_at:(ctx.now ())
+               (Message.Update u));
+          Ok 1
+        end
+        else
+        match Store.apply t.store u with
+        | Error e -> Error e
+        | Ok (n, notifications) ->
+            List.iter
+              (fun { Store.summary; _ } ->
+                let ev =
+                  Event.make ~sender:t.host ~recipient:t.host ~occurred_at:(ctx.now ())
+                    ~label:"update" summary
+                in
+                pending := !pending @ [ ev ])
+              notifications;
+            Ok n);
+    send =
+      (fun ~recipient ~label ~ttl ~delay payload ->
+        let to_host = Uri.host recipient in
+        let to_host = if to_host = "" then t.host else to_host in
+        let departs = Clock.add (ctx.now ()) (Option.value ~default:0 delay) in
+        let event = Event.make ~sender:t.host ~recipient ~occurred_at:departs ?ttl ~label payload in
+        ctx.send
+          (Message.make ~from_host:t.host ~to_host ~sent_at:departs (Message.Event event)));
+    log = (fun line -> t.log_lines <- line :: t.log_lines);
+    now = ctx.now;
+    checkpoint =
+      (fun () ->
+        let b = Store.backup t.store in
+        let saved_pending = !pending in
+        fun () ->
+          Store.rollback t.store b;
+          (* rolled-back writes must not cascade update events either *)
+          pending := saved_pending);
+  }
+
+let merge_outcomes (a : Engine.outcome) (b : Engine.outcome) =
+  {
+    Engine.firings = a.Engine.firings @ b.Engine.firings;
+    derived_events = a.Engine.derived_events @ b.Engine.derived_events;
+    errors = a.Engine.errors @ b.Engine.errors;
+  }
+
+let empty_outcome = { Engine.firings = []; derived_events = []; errors = [] }
+
+let record t (outcome : Engine.outcome) =
+  t.firings <- t.firings + List.length outcome.Engine.firings;
+  t.errors <- List.rev_append outcome.Engine.errors t.errors;
+  outcome
+
+(* Run the engine on an event, then on the local update events its
+   actions produced, and so on — bounded. *)
+let cascade t ctx first =
+  let pending = ref [ first ] in
+  let ops = ops_for t ctx pending in
+  let rec go depth acc =
+    match !pending with
+    | [] -> acc
+    | e :: rest ->
+        pending := rest;
+        if depth > max_cascade_depth then begin
+          note_error t "<cascade>" "update cascade exceeded maximum depth";
+          acc
+        end
+        else
+          let outcome = Engine.handle_event t.engine ~env:ctx.env ~ops e in
+          go (depth + 1) (merge_outcomes acc outcome)
+  in
+  go 0 empty_outcome
+
+let load_rules t payload =
+  match t.decoder with
+  | None -> Error "no rule decoder installed"
+  | Some decode -> (
+      match decode payload with
+      | Error e -> Error e
+      | Ok ruleset -> (
+          match Engine.load_ruleset t.engine ruleset with
+          | Error e -> Error e
+          | Ok engine ->
+              t.engine <- engine;
+              Ok ()))
+
+let receive_event t ctx event =
+  if String.equal event.Event.label rules_label && t.accept_rules then begin
+    (match load_rules t event.Event.payload with
+    | Ok () -> ()
+    | Error e -> note_error t rules_label e);
+    empty_outcome
+  end
+  else record t (cascade t ctx (Event.received event (ctx.now ())))
+
+let receive_get t ctx ~from ~req_id ~path =
+  let doc = Store.doc t.store path in
+  ctx.send
+    (Message.make ~from_host:t.host ~to_host:from ~sent_at:(ctx.now ())
+       (Message.Response { req_id; doc }))
+
+let expect_response t ~req_id handler =
+  t.response_handlers <- (req_id, handler) :: t.response_handlers
+
+let receive_response t ctx ~req_id doc =
+  match List.assoc_opt req_id t.response_handlers with
+  | None -> ()
+  | Some handler ->
+      t.response_handlers <- List.remove_assoc req_id t.response_handlers;
+      handler doc (ctx.now ())
+
+let receive_update t ctx ~from update =
+  if not t.accept_updates then begin
+    note_error t "<remote-update>"
+      (Fmt.str "rejected remote update of %s from %s" (Action.update_doc update) from);
+    empty_outcome
+  end
+  else
+    match Store.apply t.store update with
+    | Error e ->
+        note_error t "<remote-update>" e;
+        empty_outcome
+    | Ok (_, notifications) ->
+        (* remote writes raise the same local update events as rule
+           actions, so derived ECA rules see them too *)
+        let outcome =
+          List.fold_left
+            (fun acc { Store.summary; _ } ->
+              let ev =
+                Event.make ~sender:from ~recipient:t.host ~occurred_at:(ctx.now ())
+                  ~label:"update" summary
+              in
+              merge_outcomes acc (cascade t ctx ev))
+            empty_outcome notifications
+        in
+        record t outcome
+
+let advance t ctx time =
+  let pending = ref [] in
+  let ops = ops_for t ctx pending in
+  let outcome = Engine.advance t.engine ~env:ctx.env ~ops time in
+  (* update events caused by timer firings cascade as usual *)
+  let outcome =
+    List.fold_left (fun acc e -> merge_outcomes acc (cascade t ctx e)) outcome !pending
+  in
+  record t outcome
+
+let logs t = List.rev t.log_lines
+let firings t = t.firings
+let errors t = List.rev t.errors

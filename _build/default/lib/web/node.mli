@@ -1,0 +1,88 @@
+(** A Web site: a host name, a persistent store, and a local rule engine
+    (Thesis 2).
+
+    The node is where everything meets: incoming event messages are
+    handed to the engine; actions update the local store or send new
+    messages; store updates are reflected back to the engine as local
+    ["update"] events (which is what lets derived ECA rules react to
+    data changes); and — Thesis 11 — a rule set received as an event
+    with label {!rules_label} is decoded and loaded into the engine,
+    provided a rule decoder has been installed and [accept_rules] is
+    set.
+
+    A node never touches other nodes directly: all remote interaction
+    goes through the [send] capability and the query [env] the network
+    layer provides. *)
+
+open Xchange_data
+open Xchange_query
+open Xchange_event
+open Xchange_rules
+
+type t
+
+val rules_label : string
+(** ["xchange:rules"] — events with this label carry reified rule sets. *)
+
+val create :
+  ?horizon:Clock.span ->
+  ?accept_rules:bool ->
+  ?accept_updates:bool ->
+  host:string ->
+  Ruleset.t ->
+  (t, string) result
+(** [accept_rules] opts in to loading rule sets received as events
+    (Thesis 11); [accept_updates] opts in to applying update requests
+    from remote nodes (Thesis 8).  Both default to [false] — the open
+    Web is an uncontrolled place (Thesis 12). *)
+
+val create_exn :
+  ?horizon:Clock.span ->
+  ?accept_rules:bool ->
+  ?accept_updates:bool ->
+  host:string ->
+  Ruleset.t ->
+  t
+
+val host : t -> string
+val store : t -> Store.t
+val engine : t -> Engine.t
+
+val set_rule_decoder : t -> (Term.t -> (Ruleset.t, string) result) -> unit
+(** Install the meta decoder (wired to {!Xchange_lang.Meta} by the
+    façade; injected here to keep the Web substrate independent of the
+    surface language). *)
+
+(** Capabilities granted by the hosting network. *)
+type context = {
+  env : Condition.env;  (** local + remote document access *)
+  send : Message.t -> unit;  (** transmit a message *)
+  now : unit -> Clock.time;
+}
+
+val receive_event : t -> context -> Event.t -> Engine.outcome
+(** Deliver one event: meta rule-loading, engine processing, and the
+    cascade of local update events (bounded to {!max_cascade_depth};
+    deeper cascades are reported as errors). *)
+
+val receive_get : t -> context -> from:string -> req_id:int -> path:string -> unit
+(** Answer an HTTP-style GET with a Response message. *)
+
+val receive_update : t -> context -> from:string -> Action.update -> Engine.outcome
+(** Apply an update request from a remote node (rejected, with an error
+    recorded, unless the node was created with [accept_updates]); the
+    resulting local [update] events cascade through the engine. *)
+
+val expect_response : t -> req_id:int -> (Term.t option -> Clock.time -> unit) -> unit
+val receive_response : t -> context -> req_id:int -> Term.t option -> unit
+
+val advance : t -> context -> Clock.time -> Engine.outcome
+(** Move the node's engine clock (absence rules may fire). *)
+
+val max_cascade_depth : int
+
+val logs : t -> string list
+(** Lines written by [Log] actions, oldest first. *)
+
+val firings : t -> int
+val errors : t -> (string * string) list

@@ -1,0 +1,45 @@
+open Xchange_data
+open Xchange_event
+
+let changed_label = "poll:changed"
+
+type stats = {
+  mutable polls : int;
+  mutable changes_seen : int;
+  mutable last_change_detected_at : Clock.time;
+}
+
+let attach net ~poller ~target ~period =
+  let me = Network.node_exn net poller in
+  let target_host = Uri.host target in
+  let target_path = Uri.path target in
+  let stats = { polls = 0; changes_seen = 0; last_change_detected_at = Clock.origin } in
+  let last = ref None in
+  let on_response doc now =
+    match doc with
+    | None -> ()
+    | Some d ->
+        let changed =
+          match !last with None -> true | Some prev -> not (Term.equal prev d)
+        in
+        last := Some d;
+        if changed then begin
+          stats.changes_seen <- stats.changes_seen + 1;
+          stats.last_change_detected_at <- now;
+          let ctx = Network.context_for net me in
+          let ev =
+            Event.make ~sender:poller ~recipient:poller ~occurred_at:now ~label:changed_label
+              (Term.elem "changed" [ Term.strip_ids d ])
+          in
+          ignore (Node.receive_event me ctx ev)
+        end
+  in
+  Network.add_ticker net ~period (fun now ->
+      stats.polls <- stats.polls + 1;
+      let req_id = Message.fresh_req_id () in
+      Node.expect_response me ~req_id on_response;
+      let ctx = Network.context_for net me in
+      ctx.Node.send
+        (Message.make ~from_host:poller ~to_host:target_host ~sent_at:now
+           (Message.Get { req_id; path = target_path })));
+  stats

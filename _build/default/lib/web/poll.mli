@@ -1,0 +1,31 @@
+(** Periodic polling — the communication paradigm Thesis 3 argues
+    against.
+
+    A poller GETs a remote resource every [period] ms, diffs the
+    response against the previous snapshot, and synthesises a local
+    event (label [changed_label]) when the resource changed.  Compared
+    with push (the producer's rule raising an event on update), polling
+    "causes more network traffic, increases reaction time, and requires
+    more local resources" — E3 measures all three. *)
+
+open Xchange_event
+
+val changed_label : string
+(** ["poll:changed"] — label of the synthesised change events. *)
+
+type stats = {
+  mutable polls : int;
+  mutable changes_seen : int;
+  mutable last_change_detected_at : Clock.time;
+}
+
+val attach :
+  Network.t ->
+  poller:string ->
+  target:string ->
+  period:Clock.span ->
+  stats
+(** [attach net ~poller ~target ~period] makes node [poller] poll the
+    resource [target] (a [host/path] URI).  Change events are delivered
+    to the poller's own engine with the polled document as payload,
+    wrapped as [changed\[<doc>\]]. *)

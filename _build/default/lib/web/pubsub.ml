@@ -1,0 +1,95 @@
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+
+let subscribers_doc = "/subscribers"
+
+let empty_register () = Term.elem ~ord:Term.Unordered "subscribers" []
+
+let topic_host_pattern label =
+  Qterm.el label
+    [
+      Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.var "T") ]);
+      Qterm.pos (Qterm.el "host" [ Qterm.pos (Qterm.var "H") ]);
+    ]
+
+let sub_entry_q =
+  Qterm.el "sub"
+    [
+      Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.var "T") ]);
+      Qterm.pos (Qterm.el "host" [ Qterm.pos (Qterm.var "H") ]);
+    ]
+
+let sub_entry_c =
+  Construct.cel "sub"
+    [
+      Construct.cel "topic" [ Construct.cvar "T" ];
+      Construct.cel "host" [ Construct.cvar "H" ];
+    ]
+
+let subscribe_rule =
+  (* idempotent: drop any previous entry for (T, H) first *)
+  Eca.make ~name:"subscribe"
+    ~on:(Xchange_event.Event_query.on ~label:"subscribe" (topic_host_pattern "subscribe"))
+    (Action.seq
+       [
+         Action.delete ~doc:subscribers_doc ~pattern:sub_entry_q ();
+         Action.insert ~doc:subscribers_doc sub_entry_c;
+       ])
+
+let unsubscribe_rule =
+  Eca.make ~name:"unsubscribe"
+    ~on:(Xchange_event.Event_query.on ~label:"unsubscribe" (topic_host_pattern "unsubscribe"))
+    (Action.delete ~doc:subscribers_doc ~pattern:sub_entry_q ())
+
+let fanout_rule =
+  (* one firing per subscriber answer: the per-answer ECA semantics does
+     the fan-out *)
+  let on_publish =
+    Xchange_event.Event_query.on ~label:"publish"
+      (Qterm.el "publish"
+         [
+           Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.var "T") ]);
+           Qterm.pos (Qterm.As ("B", Qterm.el "body" []));
+         ])
+  in
+  let subscriber_condition =
+    Condition.In
+      ( Condition.Local subscribers_doc,
+        Qterm.el "sub"
+          [
+            Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.var "T") ]);
+            Qterm.pos (Qterm.el "host" [ Qterm.pos (Qterm.var "H") ]);
+          ] )
+  in
+  Eca.make ~name:"fan-out" ~on:on_publish ~if_:subscriber_condition
+    (Action.raise_event_to ~to_:(Builtin.ovar "H") ~label:"notify"
+       (Construct.cel "notify"
+          [ Construct.cel "topic" [ Construct.cvar "T" ]; Construct.cvar "B" ]))
+
+let publisher_ruleset ?(name = "pubsub") () =
+  Ruleset.make ~rules:[ subscribe_rule; unsubscribe_rule; fanout_rule ] name
+
+let subscribe ~topic ~host =
+  Term.elem "subscribe" [ Term.elem "topic" [ Term.text topic ]; Term.elem "host" [ Term.text host ] ]
+
+let unsubscribe ~topic ~host =
+  Term.elem "unsubscribe" [ Term.elem "topic" [ Term.text topic ]; Term.elem "host" [ Term.text host ] ]
+
+let publish ~topic body =
+  Term.elem "publish" [ Term.elem "topic" [ Term.text topic ]; Term.elem "body" [ body ] ]
+
+let subscribers store ~topic =
+  match Store.doc store subscribers_doc with
+  | None -> []
+  | Some register ->
+      let q =
+        Qterm.el "sub"
+          [
+            Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.txt topic) ]);
+            Qterm.pos (Qterm.el "host" [ Qterm.pos (Qterm.var "H") ]);
+          ]
+      in
+      Simulate.matches_anywhere q register
+      |> List.filter_map (fun s -> Option.bind (Subst.find "H" s) Term.as_text)
+      |> List.sort_uniq String.compare

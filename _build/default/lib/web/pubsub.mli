@@ -1,0 +1,34 @@
+(** Publish/subscribe as plain reactive rules (Thesis 3).
+
+    Push requires the producer to know "other, interested Web sites".
+    On an open Web that interest is declared by the consumers: this
+    module provides the standard rule set a producer installs to manage
+    a subscriber register and fan out notifications — no broker, no
+    super-peer, just point-to-point events (the fan-out rule fires once
+    per answer of the subscriber query, which is exactly the ECA
+    per-answer semantics of {!Xchange_rules.Eca}).
+
+    Protocol (all payloads are ordinary data terms):
+    - [subscribe\[topic\[T\], host\[H\]\]] — H wants notifications for T;
+    - [unsubscribe\[topic\[T\], host\[H\]\]];
+    - [publish\[topic\[T\], body\[...\]\]] — producers publish through their
+      own node (often from another rule's action);
+    - subscribers receive [notify\[topic\[T\], body\[...\]\]]. *)
+
+open Xchange_data
+open Xchange_rules
+
+val subscribers_doc : string
+(** ["/subscribers"] — the register document. *)
+
+val empty_register : unit -> Term.t
+
+val publisher_ruleset : ?name:string -> unit -> Ruleset.t
+(** The three rules (subscribe, unsubscribe, fan out). *)
+
+val subscribe : topic:string -> host:string -> Term.t
+val unsubscribe : topic:string -> host:string -> Term.t
+val publish : topic:string -> Term.t -> Term.t
+
+val subscribers : Store.t -> topic:string -> string list
+(** Hosts currently subscribed to a topic, sorted. *)

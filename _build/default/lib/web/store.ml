@@ -1,0 +1,255 @@
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+
+type notification = { doc : string; summary : Term.t }
+
+type watch_state =
+  | Surrogate of { w_doc : string; oid : int; mutable last_digest : int64 }
+  | Extensional of { w_doc : string; value : Term.t }
+
+type t = {
+  docs : (string, Term.t) Hashtbl.t;
+  graphs : (string, Rdf.graph) Hashtbl.t;
+  watches : (int, watch_state) Hashtbl.t;
+  mutable next_watch : int;
+}
+
+type watch_id = int
+
+let create () =
+  { docs = Hashtbl.create 16; graphs = Hashtbl.create 4; watches = Hashtbl.create 8; next_watch = 0 }
+
+let add_doc t name d = Hashtbl.replace t.docs name (Identity.assign d)
+let doc t name = Hashtbl.find_opt t.docs name
+let doc_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.docs [])
+
+let remove_doc t name =
+  if Hashtbl.mem t.docs name then begin
+    Hashtbl.remove t.docs name;
+    true
+  end
+  else false
+
+let add_rdf t name g = Hashtbl.replace t.graphs name g
+let rdf t name = Hashtbl.find_opt t.graphs name
+let rdf_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.graphs [])
+
+let notify doc kind count = { doc; summary = Term.elem "update" ~attrs:[ ("doc", doc); ("kind", kind) ] [ Term.int count ] }
+
+(* Apply a path-wise rewrite to every selected node, deepest/last paths
+   first so earlier rewrites do not invalidate later paths. *)
+let rewrite_selected d selector f =
+  let selected = Path.select d selector in
+  let ordered = List.sort (fun (a, _) (b, _) -> Stdlib.compare b a) selected in
+  List.fold_left
+    (fun (d, n) (path, node) ->
+      match f d path node with Some d' -> (d', n + 1) | None -> (d, n))
+    (d, 0) ordered
+
+let get_doc t name =
+  match Hashtbl.find_opt t.docs name with
+  | Some d -> Ok d
+  | None -> Error (Fmt.str "no such document: %s" name)
+
+let ( let* ) = Result.bind
+
+let apply t (update : Action.update) =
+  match update with
+  | Action.U_insert { doc = name; selector; at; content } ->
+      let* d = get_doc t name in
+      let content = Identity.assign content in
+      let d', n =
+        rewrite_selected d selector (fun d path _node -> Path.insert_child ?at d path content)
+      in
+      if n = 0 then Error (Fmt.str "insert: selector matched nothing in %s" name)
+      else begin
+        Hashtbl.replace t.docs name d';
+        Ok (n, [ notify name "insert" n ])
+      end
+  | Action.U_delete { doc = name; selector; pattern } ->
+      let* d = get_doc t name in
+      let d', n =
+        match pattern with
+        | None -> rewrite_selected d selector (fun d path _ -> Path.delete d path)
+        | Some q ->
+            rewrite_selected d selector (fun d path node ->
+                (* delete children of the selected node matching q *)
+                let doomed =
+                  List.mapi (fun i c -> (i, c)) (Term.children node)
+                  |> List.filter (fun (_, c) -> Simulate.holds q c)
+                  |> List.rev_map (fun (i, _) -> path @ [ i ])
+                in
+                if doomed = [] then None
+                else
+                  List.fold_left
+                    (fun acc p -> match acc with Some d -> Path.delete d p | None -> None)
+                    (Some d) doomed)
+      in
+      Hashtbl.replace t.docs name d';
+      Ok (n, if n = 0 then [] else [ notify name "delete" n ])
+  | Action.U_replace { doc = name; selector; content } ->
+      let* d = get_doc t name in
+      let d', n =
+        rewrite_selected d selector (fun d path node ->
+            (* the replacement inherits the replaced element's surrogate
+               identity (Thesis 10) *)
+            let keep_oid = Term.elem_id node in
+            let content = Term.with_id keep_oid (Identity.assign content) in
+            Path.replace d path content)
+      in
+      if n = 0 then Error (Fmt.str "replace: selector matched nothing in %s" name)
+      else begin
+        Hashtbl.replace t.docs name d';
+        Ok (n, [ notify name "replace" n ])
+      end
+  | Action.U_create_doc { doc = name; content } ->
+      add_doc t name content;
+      Ok (1, [ notify name "create" 1 ])
+  | Action.U_delete_doc { doc = name } ->
+      if remove_doc t name then Ok (1, [ notify name "drop" 1 ])
+      else Error (Fmt.str "no such document: %s" name)
+  | Action.U_rdf_assert { doc = name; triple } ->
+      let g =
+        match Hashtbl.find_opt t.graphs name with
+        | Some g -> g
+        | None ->
+            let g = Rdf.create () in
+            Hashtbl.replace t.graphs name g;
+            g
+      in
+      let added = Rdf.add g triple in
+      Ok ((if added then 1 else 0), if added then [ notify name "assert" 1 ] else [])
+  | Action.U_rdf_retract { doc = name; triple } -> (
+      match Hashtbl.find_opt t.graphs name with
+      | None -> Error (Fmt.str "no such graph: %s" name)
+      | Some g ->
+          let removed = Rdf.remove g triple in
+          Ok ((if removed then 1 else 0), if removed then [ notify name "retract" 1 ] else []))
+
+let replace_at t ~doc:name path content =
+  let* d = get_doc t name in
+  match Path.get d path with
+  | None -> Error (Fmt.str "no node at %a in %s" Path.pp path name)
+  | Some node -> (
+      let keep_oid = Term.elem_id node in
+      let content = Term.with_id keep_oid (Identity.assign content) in
+      match Path.replace d path content with
+      | Some d' ->
+          Hashtbl.replace t.docs name d';
+          Ok ()
+      | None -> Error (Fmt.str "cannot replace at %a in %s" Path.pp path name))
+
+let env t =
+  let fetch = function
+    | Condition.Local name -> Option.to_list (doc t name)
+    | Condition.Remote uri -> Option.to_list (doc t (Uri.path uri))
+    | Condition.View _ -> []
+  in
+  let fetch_rdf = function
+    | Condition.Local name -> rdf t name
+    | Condition.Remote uri -> rdf t (Uri.path uri)
+    | Condition.View _ -> None
+  in
+  { Condition.fetch; fetch_rdf }
+
+type backup = { b_docs : (string * Term.t) list; b_graphs : (string * Rdf.graph) list }
+
+let backup t =
+  {
+    b_docs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.docs [];
+    b_graphs = Hashtbl.fold (fun k v acc -> (k, Rdf.copy v) :: acc) t.graphs [];
+  }
+
+let rollback t b =
+  Hashtbl.reset t.docs;
+  List.iter (fun (k, v) -> Hashtbl.replace t.docs k v) b.b_docs;
+  Hashtbl.reset t.graphs;
+  List.iter (fun (k, v) -> Hashtbl.replace t.graphs k v) b.b_graphs
+
+let snapshot t =
+  let docs =
+    List.map
+      (fun name ->
+        Term.elem "document" ~attrs:[ ("name", name) ] [ Term.strip_ids (Option.get (doc t name)) ])
+      (doc_names t)
+  in
+  let graphs =
+    List.map
+      (fun name ->
+        Term.elem "graph" ~attrs:[ ("name", name) ] [ Rdf.graph_to_term (Option.get (rdf t name)) ])
+      (rdf_names t)
+  in
+  Term.elem ~ord:Term.Unordered "store" (docs @ graphs)
+
+let restore term =
+  match term with
+  | Term.Elem { Term.label = "store"; children; _ } ->
+      let t = create () in
+      let rec load = function
+        | [] -> Ok t
+        | Term.Elem { Term.label = "document"; attrs; children = [ d ]; _ } :: rest -> (
+            match List.assoc_opt "name" attrs with
+            | Some name ->
+                add_doc t name d;
+                load rest
+            | None -> Error "document snapshot lacks a name")
+        | Term.Elem { Term.label = "graph"; attrs; children = [ g ]; _ } :: rest -> (
+            match (List.assoc_opt "name" attrs, Rdf.graph_of_term g) with
+            | Some name, Ok graph ->
+                add_rdf t name graph;
+                load rest
+            | None, _ -> Error "graph snapshot lacks a name"
+            | _, Error e -> Error e)
+        | other :: _ -> Error (Fmt.str "unexpected snapshot entry: %a" Term.pp other)
+      in
+      load children
+  | _ -> Error (Fmt.str "not a store snapshot: %a" Term.pp term)
+
+let fresh_watch t state =
+  t.next_watch <- t.next_watch + 1;
+  Hashtbl.replace t.watches t.next_watch state;
+  t.next_watch
+
+let watch_surrogate t ~doc:name path =
+  let* d = get_doc t name in
+  match Path.get d path with
+  | None -> Error (Fmt.str "no node at %a in %s" Path.pp path name)
+  | Some node ->
+      let oid = Term.elem_id node in
+      if oid = Term.no_id then Error "node has no surrogate identity (not an element)"
+      else Ok (fresh_watch t (Surrogate { w_doc = name; oid; last_digest = Term.digest node }))
+
+let watch_extensional t ~doc:name value =
+  let* d = get_doc t name in
+  if Identity.find_equal d value = [] then
+    Error (Fmt.str "value does not occur in %s" name)
+  else Ok (fresh_watch t (Extensional { w_doc = name; value }))
+
+type watch_status = [ `Unchanged | `Changed of Term.t | `Lost ]
+
+let poll_watch t id : watch_status =
+  match Hashtbl.find_opt t.watches id with
+  | None -> `Lost
+  | Some (Surrogate s) -> (
+      match doc t s.w_doc with
+      | None -> `Lost
+      | Some d -> (
+          match Identity.find_by_id d s.oid with
+          | None -> `Lost
+          | Some path -> (
+              match Path.get d path with
+              | None -> `Lost
+              | Some node ->
+                  let dg = Term.digest node in
+                  if Int64.equal dg s.last_digest then `Unchanged
+                  else begin
+                    s.last_digest <- dg;
+                    `Changed node
+                  end)))
+  | Some (Extensional e) -> (
+      match doc t e.w_doc with
+      | None -> `Lost
+      | Some d -> if Identity.find_equal d e.value = [] then `Lost else `Unchanged)
+
+let watch_count t = Hashtbl.length t.watches

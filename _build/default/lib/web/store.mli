@@ -1,0 +1,102 @@
+(** A node's persistent data: named XML documents and RDF graphs.
+
+    This is the "normal, persistent, modifiable" side of Thesis 4 —
+    written text, as opposed to the spoken words of events.  Updates go
+    through {!apply} (the primitive actions of Thesis 8) and produce
+    update notifications the hosting node can turn into local events
+    (the basis for deriving ECA rules from production rules, Thesis 1).
+
+    {b Identity (Thesis 10).}  Document elements carry surrogate ids
+    (assigned on load and on insertion).  A [U_replace] transfers the
+    replaced element's surrogate id to the replacement root — the object
+    keeps its identity while its value changes.  Watches come in the two
+    modes the paper contrasts:
+    - a {e surrogate} watch follows an element by oid and survives value
+      changes ([`Changed] reports with the item still tracked);
+    - an {e extensional} watch knows its item only by value; after the
+      value changes the item cannot be found any more ([`Lost]). *)
+
+open Xchange_data
+open Xchange_query
+open Xchange_rules
+
+type t
+
+type notification = { doc : string; summary : Term.t }
+(** What changed, as a data term [update\[...\]] suitable for a local
+    event payload. *)
+
+val create : unit -> t
+
+(** {1 Documents} *)
+
+val add_doc : t -> string -> Term.t -> unit
+(** Loads a document under a path name (surrogate ids are assigned). *)
+
+val doc : t -> string -> Term.t option
+val doc_names : t -> string list
+val remove_doc : t -> string -> bool
+
+(** {1 RDF graphs} *)
+
+val add_rdf : t -> string -> Rdf.graph -> unit
+val rdf : t -> string -> Rdf.graph option
+val rdf_names : t -> string list
+
+(** {1 Updates} *)
+
+val apply : t -> Action.update -> (int * notification list, string) result
+(** Applies a primitive update; the count is the number of affected
+    nodes/triples, with one notification per touched document. *)
+
+val replace_at : t -> doc:string -> Path.t -> Term.t -> (unit, string) result
+(** Positional single-node replace (used by hosts that edit documents
+    directly, e.g. the polling producer of E3 and the identity
+    experiment E10).  Like [U_replace], the replacement inherits the
+    replaced element's surrogate id. *)
+
+val env : t -> Condition.env
+(** Query environment over this store only ([Local]/[Remote] resolve by
+    path against this store; views resolve to nothing — the engine layers
+    views on top). *)
+
+(** {1 Snapshots} — the persistent side of a node, as one data term
+    (documents and RDF graphs; watches are runtime state and are not
+    included).  Used by the CLI to save/restore stores across runs. *)
+
+type backup
+
+val backup : t -> backup
+val rollback : t -> backup -> unit
+(** In-place restoration of documents and graphs (watches keep their
+    registrations).  Basis of transactional compound actions. *)
+
+val snapshot : t -> Term.t
+val restore : Term.t -> (t, string) result
+(** [restore (snapshot s)] has the same documents and graphs as [s]
+    (fresh surrogate ids). *)
+
+(** {1 Watches — Thesis 10} *)
+
+type watch_id
+
+val watch_surrogate : t -> doc:string -> Path.t -> (watch_id, string) result
+(** Track the element at the path by its surrogate id. *)
+
+val watch_extensional : t -> doc:string -> Term.t -> (watch_id, string) result
+(** Track an item by its current value (must occur in the document). *)
+
+type watch_status =
+  [ `Unchanged
+  | `Changed of Term.t  (** new value; tracking continues *)
+  | `Lost  (** the item can no longer be identified *)
+  ]
+
+val poll_watch : t -> watch_id -> watch_status
+(** Check a watch against the current document state.  A surrogate
+    watch reports [`Changed] (and keeps tracking) when the element's
+    value changed, [`Lost] only if the element was deleted.  An
+    extensional watch reports [`Lost] as soon as its remembered value no
+    longer occurs. *)
+
+val watch_count : t -> int

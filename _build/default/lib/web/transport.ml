@@ -1,0 +1,73 @@
+open Xchange_event
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable events : int;
+  mutable gets : int;
+  mutable responses : int;
+  mutable updates : int;
+  mutable dropped : int;
+}
+
+module Queue_key = struct
+  type t = Clock.time * int
+
+  let compare = Stdlib.compare
+end
+
+module Q = Map.Make (Queue_key)
+
+type t = {
+  lat : from:string -> to_:string -> Clock.span;
+  drop : Message.t -> bool;
+  mutable queue : Message.t Q.t;
+  s : stats;
+  record : bool;
+  mutable log : Message.t list;  (** newest first *)
+}
+
+let default_latency ~from:_ ~to_:_ = Clock.ms 5
+
+let create ?(latency = default_latency) ?(drop = fun _ -> false) ?(record = false) () =
+  {
+    lat = latency;
+    drop;
+    queue = Q.empty;
+    s = { messages = 0; bytes = 0; events = 0; gets = 0; responses = 0; updates = 0; dropped = 0 };
+    record;
+    log = [];
+  }
+
+let account t (m : Message.t) =
+  if t.record then t.log <- m :: t.log;
+  t.s.messages <- t.s.messages + 1;
+  t.s.bytes <- t.s.bytes + Message.size_bytes m;
+  match m.Message.body with
+  | Message.Event _ -> t.s.events <- t.s.events + 1
+  | Message.Get _ -> t.s.gets <- t.s.gets + 1
+  | Message.Response _ -> t.s.responses <- t.s.responses + 1
+  | Message.Update _ -> t.s.updates <- t.s.updates + 1
+
+let send t m =
+  account t m;
+  if t.drop m then t.s.dropped <- t.s.dropped + 1
+  else
+    let deliver_at =
+      Clock.add m.Message.sent_at (t.lat ~from:m.Message.from_host ~to_:m.Message.to_host)
+    in
+    t.queue <- Q.add (deliver_at, m.Message.msg_id) m t.queue
+
+let account_only t m = account t m
+
+let next_due t = Option.map (fun ((time, _), _) -> time) (Q.min_binding_opt t.queue)
+
+let pop_due t ~now =
+  let due, rest = Q.partition (fun (time, _) _ -> time <= now) t.queue in
+  t.queue <- rest;
+  List.map snd (Q.bindings due)
+
+let pending t = Q.cardinal t.queue
+let stats t = t.s
+let latency t ~from ~to_ = t.lat ~from ~to_
+let trace t = List.rev t.log

@@ -1,0 +1,55 @@
+open Xchange_event
+
+(** Point-to-point message transport (Thesis 3).
+
+    Messages travel directly between nodes — no broker, no super-peer —
+    through a deterministic discrete-event queue: each message is
+    delivered at [sent_at + latency(from, to)].  The transport keeps the
+    traffic statistics (messages, bytes, per-kind counts) that
+    experiments E2/E3 report. *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable events : int;
+  mutable gets : int;
+  mutable responses : int;
+  mutable updates : int;
+  mutable dropped : int;
+}
+
+type t
+
+val create :
+  ?latency:(from:string -> to_:string -> Clock.span) ->
+  ?drop:(Message.t -> bool) ->
+  ?record:bool ->
+  unit ->
+  t
+(** [latency] defaults to a constant 5 ms.  [drop] injects message loss:
+    dropped messages are accounted in the statistics (they were sent)
+    but never delivered — the failure mode absence rules compensate
+    for.  With [record] (default false), every message is kept for
+    {!trace}. *)
+
+val send : t -> Message.t -> unit
+(** Queue a message for delivery at [sent_at + latency]. *)
+
+val account_only : t -> Message.t -> unit
+(** Record a message in the statistics without queueing it (used for the
+    synchronous GET/Response pairs of remote condition queries). *)
+
+val next_due : t -> Clock.time option
+(** Delivery time of the earliest queued message. *)
+
+val pop_due : t -> now:Clock.time -> Message.t list
+(** All messages due at or before [now], in delivery order (time, then
+    message id). *)
+
+val pending : t -> int
+val stats : t -> stats
+val latency : t -> from:string -> to_:string -> Clock.span
+
+val trace : t -> Message.t list
+(** All recorded messages in send order ([] unless created with
+    [record]). *)

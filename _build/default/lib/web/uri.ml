@@ -1,0 +1,21 @@
+type t = { host : string; path : string }
+
+let strip_scheme s =
+  match String.index_opt s ':' with
+  | Some i
+    when i + 2 < String.length s && s.[i + 1] = '/' && s.[i + 2] = '/' ->
+      String.sub s (i + 3) (String.length s - i - 3)
+  | Some _ | None -> s
+
+let parse s =
+  let s = strip_scheme (String.trim s) in
+  match String.index_opt s '/' with
+  | None -> { host = s; path = "/" }
+  | Some 0 -> { host = ""; path = s }
+  | Some i -> { host = String.sub s 0 i; path = String.sub s i (String.length s - i) }
+
+let to_string u = u.host ^ u.path
+let host s = (parse s).host
+let path s = (parse s).path
+let equal a b = String.equal a.host b.host && String.equal a.path b.path
+let pp ppf u = Fmt.string ppf (to_string u)

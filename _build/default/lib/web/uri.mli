@@ -1,0 +1,21 @@
+(** Minimal URIs for the simulated Web.
+
+    A node is addressed by host; a resource by host + path, e.g.
+    ["http://shop.example/orders"].  The scheme is accepted and ignored
+    (the simulator is the transport). *)
+
+type t = { host : string; path : string }
+
+val parse : string -> t
+(** ["http://h/p"], ["h/p"], or just ["h"] (path defaults to ["/"]).
+    Never fails; pathological input degrades to a host-only URI. *)
+
+val to_string : t -> string
+val host : string -> string
+(** Host part of a URI string. *)
+
+val path : string -> string
+(** Path part (leading [/] included) of a URI string; ["/"] if none. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

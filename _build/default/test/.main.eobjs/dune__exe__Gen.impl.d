@@ -1,0 +1,1 @@
+test/gen.ml: Event Event_query Fmt List QCheck Qterm Term Xchange

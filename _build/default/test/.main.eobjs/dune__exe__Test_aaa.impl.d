@@ -1,0 +1,1 @@
+test/test_aaa.ml: Accounting Action Alcotest Auth Authz Condition Eca Event_query List Meta Network Node Option Qterm Result Ruleset Store Subst Term Trust Xchange

@@ -1,0 +1,1 @@
+test/test_condition.ml: Alcotest Builtin Condition List Option Qterm Rdf Subst Term Xchange

@@ -1,0 +1,1 @@
+test/test_construct.ml: Alcotest Builtin Construct List Option Result Subst Term Xchange

@@ -1,0 +1,1 @@
+test/test_deductive.ml: Action Alcotest Condition Construct Deductive Eca Engine Event_query Hashtbl List Qterm Ruleset Subst Term Xchange

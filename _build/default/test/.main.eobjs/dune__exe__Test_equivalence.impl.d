@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Backward Construct Event Event_query Fmt Gen History Incremental Instance List QCheck QCheck_alcotest Qterm Term Xchange

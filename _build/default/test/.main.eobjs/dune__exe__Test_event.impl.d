@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Clock Event Fmt History Instance List Option Qterm Simulate Subst Term Xchange

@@ -1,0 +1,1 @@
+test/test_event_query.ml: Alcotest Clock Construct Deductive_event Event Event_query Incremental Instance List Option Qterm Result String Subst Term Xchange

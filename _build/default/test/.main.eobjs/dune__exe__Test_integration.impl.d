@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Clock List Meta Network Node Option Parser Ruleset Store Term Transport Xchange Xml

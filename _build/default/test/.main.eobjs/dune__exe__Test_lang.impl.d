@@ -1,0 +1,1 @@
+test/test_lang.ml: Action Alcotest Builtin Clock Condition Construct Eca Event_query Fmt Gen Incremental List Meta Parser Printer QCheck QCheck_alcotest Qterm Ruleset Term Xchange

@@ -1,0 +1,1 @@
+test/test_misc.ml: Action Alcotest Authz Clock Construct Eca Edsl Event Fmt Incremental Instance List Message Network Option Parser Printer Qterm Ruleset Simulate String Subst Term Trust Xchange

@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Fmt Gen List Option Path QCheck QCheck_alcotest Term Xchange

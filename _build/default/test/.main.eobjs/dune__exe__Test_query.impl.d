@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Fmt Gen List Option QCheck QCheck_alcotest Qterm Simulate Subst Term Xchange

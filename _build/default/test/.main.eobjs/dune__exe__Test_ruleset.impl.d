@@ -1,0 +1,1 @@
+test/test_ruleset.ml: Action Alcotest Builtin Condition Construct Deductive Eca Engine Event Event_query List Option Qterm Result Ruleset Store String Term Xchange

@@ -1,0 +1,1 @@
+test/test_store.ml: Action Alcotest Condition List Option Path Qterm Rdf Result Simulate Store Term Xchange

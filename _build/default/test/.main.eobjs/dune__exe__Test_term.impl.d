@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Gen Int64 List QCheck QCheck_alcotest String Term Xchange

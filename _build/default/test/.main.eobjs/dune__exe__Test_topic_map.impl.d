@@ -1,0 +1,1 @@
+test/test_topic_map.ml: Alcotest List Option Qterm Rdf Simulate Subst Term Xchange Xchange_data

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Gen List Option QCheck QCheck_alcotest Result String Term Xchange Xml

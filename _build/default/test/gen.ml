@@ -1,0 +1,153 @@
+(* QCheck generators shared by the property suites. *)
+
+open Xchange
+
+let small_label = QCheck.Gen.oneofl [ "a"; "b"; "c"; "item"; "price"; "news" ]
+let small_text = QCheck.Gen.oneofl [ "x"; "y"; "z"; "gold"; "red"; "" ]
+let var_name = QCheck.Gen.oneofl [ "X"; "Y"; "Z"; "V"; "W" ]
+
+let ordering = QCheck.Gen.oneofl [ Term.Ordered; Term.Unordered ]
+
+(* data terms, size-bounded *)
+let term_gen : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_bound 12) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map Term.text small_text;
+            map (fun i -> Term.int i) (int_bound 100);
+            map Term.bool_ bool;
+          ]
+      else
+        frequency
+          [
+            (1, map Term.text small_text);
+            (1, map (fun i -> Term.int i) (int_bound 100));
+            ( 3,
+              map3
+                (fun label ord children -> Term.elem ~ord label children)
+                small_label ordering
+                (list_size (int_bound 3) (self (n / 2))) );
+          ])
+
+let term_arb = QCheck.make ~print:Term.to_string term_gen
+
+(* terms that are valid XML roots (element at top) *)
+let xml_term_gen =
+  QCheck.Gen.(
+    map3
+      (fun label ord children -> Term.elem ~ord label children)
+      small_label ordering
+      (list_size (int_bound 4) term_gen))
+
+let xml_term_arb = QCheck.make ~print:Term.to_string xml_term_gen
+
+(* query terms *)
+let leaf_pat_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Qterm.Leaf_any;
+      QCheck.Gen.map (fun s -> Qterm.Text_is s) small_text;
+      QCheck.Gen.map (fun i -> Qterm.Num_is (float_of_int i)) (QCheck.Gen.int_bound 100);
+      QCheck.Gen.map (fun b -> Qterm.Bool_is b) QCheck.Gen.bool;
+    ]
+
+let qterm_gen : Qterm.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_bound 8) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof [ map (fun v -> Qterm.Var v) var_name; map (fun p -> Qterm.Leaf p) leaf_pat_gen ]
+      else
+        frequency
+          [
+            (1, map (fun v -> Qterm.Var v) var_name);
+            (1, map (fun p -> Qterm.Leaf p) leaf_pat_gen);
+            (1, map2 (fun v q -> Qterm.As (v, q)) var_name (self (n / 2)));
+            (1, map (fun q -> Qterm.Desc q) (self (n / 2)));
+            ( 4,
+              let spec = oneofl [ Qterm.Total; Qterm.Partial ] in
+              let child =
+                frequency
+                  [
+                    (4, map Qterm.pos (self (n / 2)));
+                    (1, map Qterm.without (self (n / 2)));
+                    (1, map Qterm.opt (self (n / 2)));
+                  ]
+              in
+              map3
+                (fun label (spec, ord) children ->
+                  Qterm.El { Qterm.label = Qterm.L label; attrs = []; ord; spec; children })
+                small_label (pair spec ordering)
+                (list_size (int_bound 3) child) );
+          ])
+
+let qterm_arb = QCheck.make ~print:(Fmt.str "%a" Qterm.pp) qterm_gen
+
+(* event streams: (time, label, payload) with non-decreasing times *)
+let event_stream_gen ~labels ~max_len ~max_gap : Event.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let item =
+    triple (int_bound max_gap) (oneofl labels) term_gen
+  in
+  map
+    (fun items ->
+      let _, events =
+        List.fold_left
+          (fun (t, acc) (gap, label, payload) ->
+            let t = t + 1 + gap in
+            (t, Event.make ~occurred_at:t ~label payload :: acc))
+          (0, []) items
+      in
+      List.rev events)
+    (list_size (int_bound max_len) item)
+
+(* small event queries over the labels of [event_stream_gen] *)
+let event_query_gen : Event_query.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atomic =
+    map2
+      (fun label q -> Event_query.on ~label q)
+      (oneofl [ "a"; "b"; "c" ])
+      (oneof
+         [
+           return (Qterm.var "P");
+           map (fun l -> Qterm.el l [ Qterm.pos (Qterm.var "X") ]) small_label;
+           map (fun l -> Qterm.el l []) small_label;
+         ])
+  in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+      if n <= 0 then atomic
+      else
+        frequency
+          [
+            (2, atomic);
+            (1, map (fun qs -> Event_query.And qs) (list_size (int_range 1 2) (self (n / 2))));
+            (1, map (fun qs -> Event_query.Or qs) (list_size (int_range 1 2) (self (n / 2))));
+            (1, map (fun qs -> Event_query.Seq qs) (list_size (int_range 1 2) (self (n / 2))));
+            ( 1,
+              map2
+                (fun q w -> Event_query.Within (q, 1 + w))
+                (self (n / 2)) (int_bound 50) );
+            ( 1,
+              map3
+                (fun q1 q2 w -> Event_query.Absent (q1, q2, 1 + w))
+                atomic atomic (int_bound 30) );
+            (* absence over a composite start: exercises late-completing
+               starts against stored blockers *)
+            ( 1,
+              map3
+                (fun q1 q2 w ->
+                  Event_query.Absent (Event_query.And [ q1; q2 ], q1, 1 + w))
+                atomic atomic (int_bound 30) );
+            ( 1,
+              map2 (fun q w -> Event_query.Times (2, q, 1 + w)) atomic (int_bound 50) );
+            (* repetition over a composite *)
+            ( 1,
+              map3
+                (fun q1 q2 w ->
+                  Event_query.Times (2, Event_query.Within (Event_query.And [ q1; q2 ], 1 + w), 40))
+                atomic atomic (int_bound 20) );
+          ])
+
+let event_query_arb = QCheck.make ~print:(Fmt.str "%a" Event_query.pp) event_query_gen

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "xchange"
+    [
+      Test_term.suite;
+      Test_path.suite;
+      Test_xml.suite;
+      Test_rdf.suite;
+      Test_query.suite;
+      Test_construct.suite;
+      Test_condition.suite;
+      Test_deductive.suite;
+      Test_event.suite;
+      Test_event_query.suite;
+      Test_equivalence.suite;
+      Test_rules.suite;
+      Test_ruleset.suite;
+      Test_store.suite;
+      Test_web.suite;
+      Test_lang.suite;
+      Test_aaa.suite;
+      Test_extensions.suite;
+      Test_edge.suite;
+      Test_topic_map.suite;
+      Test_integration.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,221 @@
+open Xchange
+
+(* ---- authentication ---- *)
+
+let test_tokens () =
+  let reg = Auth.create () in
+  Auth.register reg "franz" ~secret:"s3cret";
+  let token = Option.get (Auth.token reg "franz" ~message:"order#1") in
+  Alcotest.(check bool) "valid token" true (Auth.authenticate reg "franz" ~message:"order#1" ~token);
+  Alcotest.(check bool) "wrong message" false (Auth.authenticate reg "franz" ~message:"order#2" ~token);
+  Alcotest.(check bool) "wrong token" false
+    (Auth.authenticate reg "franz" ~message:"order#1" ~token:"ffff");
+  Alcotest.(check bool) "unknown principal" false
+    (Auth.authenticate reg "mary" ~message:"order#1" ~token);
+  Alcotest.(check bool) "token needs registration" true (Auth.token reg "mary" ~message:"x" = None)
+
+let test_certificates () =
+  let reg = Auth.create () in
+  Auth.register reg "bbb.org" ~secret:"issuer-key";
+  let cert = Option.get (Auth.issue reg ~issuer:"bbb.org" ~subject:"shop" ~claim:"member") in
+  Alcotest.(check bool) "verifies" true (Auth.verify reg cert);
+  Alcotest.(check bool) "tampered claim fails" false
+    (Auth.verify reg { cert with Auth.claim = "gold-member" });
+  let strangers = Auth.create () in
+  Alcotest.(check bool) "unknown issuer fails" false (Auth.verify strangers cert);
+  (* term embedding *)
+  match Auth.certificate_of_term (Auth.certificate_to_term cert) with
+  | Ok c -> Alcotest.(check bool) "roundtrip verifies" true (Auth.verify reg c)
+  | Error e -> Alcotest.fail e
+
+(* ---- authorization ---- *)
+
+let shop_policy =
+  [
+    Authz.entry ~principal:"banned-*" ~resource:"*" Authz.Deny;
+    Authz.entry ~principal:"admin" ~resource:"*" Authz.Allow;
+    Authz.entry ~principal:"*" ~resource:"/catalog*" ~operation:Authz.Read Authz.Allow;
+    Authz.entry ~principal:"customer-*" ~resource:"/orders/*" ~operation:Authz.Write Authz.Allow;
+  ]
+
+let test_authz_decisions () =
+  let allowed = Authz.allowed shop_policy in
+  Alcotest.(check bool) "public catalog" true
+    (allowed ~principal:"anyone" ~resource:"/catalog/balls" ~operation:Authz.Read);
+  Alcotest.(check bool) "catalog not writable" false
+    (allowed ~principal:"anyone" ~resource:"/catalog/balls" ~operation:Authz.Write);
+  Alcotest.(check bool) "customer writes orders" true
+    (allowed ~principal:"customer-7" ~resource:"/orders/7" ~operation:Authz.Write);
+  Alcotest.(check bool) "default deny" false
+    (allowed ~principal:"customer-7" ~resource:"/admin" ~operation:Authz.Read);
+  Alcotest.(check bool) "first match wins" false
+    (allowed ~principal:"banned-admin" ~resource:"/catalog" ~operation:Authz.Read);
+  Alcotest.(check bool) "admin sees all" true
+    (allowed ~principal:"admin" ~resource:"/anything" ~operation:Authz.Invoke)
+
+let test_authz_guard_condition () =
+  (* the guard compiles into a pure condition on the bound principal *)
+  let guard = Authz.guard shop_policy ~principal_var:"P" ~resource:"/catalog/x" ~operation:Authz.Read Condition.True in
+  let env = Condition.env_of_docs [] in
+  let holds p =
+    let subst = Option.get (Subst.of_list [ ("P", Term.text p) ]) in
+    Condition.holds env subst guard
+  in
+  Alcotest.(check bool) "wildcard allows" true (holds "anyone");
+  Alcotest.(check bool) "deny prefix blocks" false (holds "banned-guy");
+  let strict =
+    Authz.guard shop_policy ~principal_var:"P" ~resource:"/orders/1" ~operation:Authz.Write Condition.True
+  in
+  let holds_strict p =
+    let subst = Option.get (Subst.of_list [ ("P", Term.text p) ]) in
+    Condition.holds env subst strict
+  in
+  Alcotest.(check bool) "customer allowed" true (holds_strict "customer-9");
+  Alcotest.(check bool) "outsider denied" false (holds_strict "visitor")
+
+(* ---- accounting (double reactivity) ---- *)
+
+let test_accounting_rules () =
+  let service =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"serve" ~on:(Event_query.on ~label:"order" (Qterm.var "E"))
+            (Action.log "served" []);
+        ]
+      "service"
+  in
+  let accounting = Accounting.ruleset ~service_labels:[ "order"; "quote" ] () in
+  let net = Network.create () in
+  let n =
+    node_exn ~host:"shop.example" (Ruleset.make ~children:[ service; accounting ] "root")
+  in
+  Store.add_doc (Node.store n) Accounting.default_log_doc (Accounting.log_document ());
+  Network.add_node net n;
+  for _ = 1 to 3 do
+    Network.inject net ~to_:"shop.example" ~label:"order" (Term.elem "order" [])
+  done;
+  Network.inject net ~to_:"shop.example" ~label:"quote" (Term.elem "quote" []);
+  Network.inject net ~to_:"shop.example" ~label:"untracked" (Term.elem "x" []);
+  ignore (Network.run_until_quiet net ());
+  (* the service kept serving *)
+  Alcotest.(check int) "service unaffected" 3 (List.length (Node.logs n));
+  let usages = Accounting.summary (Node.store n) () in
+  Alcotest.(check int) "two services tracked" 2 (List.length usages);
+  Alcotest.(check int) "order count" 3
+    (List.fold_left (fun acc u -> if u.Accounting.service = "order" then u.Accounting.count else acc) 0 usages);
+  Alcotest.(check int) "total" 4 (Accounting.total (Node.store n) ());
+  let amount = Accounting.bill ~rates:[ ("order", 2.5); ("quote", 1.) ] usages in
+  Alcotest.(check (float 1e-9)) "bill" 8.5 amount
+
+(* ---- trust negotiation (Thesis 11) ---- *)
+
+let customer =
+  {
+    Trust.name = "franz";
+    credentials = [ "credit-card"; "student-id" ];
+    policies =
+      [
+        Trust.policy ~sensitive:true ~item:"credit-card" [ [ "bbb-membership" ] ];
+        Trust.policy ~sensitive:true ~item:"student-id" Trust.never;
+      ];
+  }
+
+let shop =
+  {
+    Trust.name = "fussbaelle.biz";
+    credentials = [ "bbb-membership"; "purchase"; "tax-records" ];
+    policies =
+      [
+        Trust.policy ~item:"purchase" [ [ "credit-card" ] ];
+        Trust.policy ~item:"bbb-membership" Trust.freely;
+        Trust.policy ~sensitive:true ~item:"tax-records" Trust.never;
+      ];
+  }
+
+let test_reactive_negotiation_succeeds () =
+  let o =
+    Trust.negotiate ~strategy:Trust.Reactive ~requester:customer ~responder:shop
+      ~goal:"purchase" ()
+  in
+  Alcotest.(check bool) "deal closed" true o.Trust.granted;
+  Alcotest.(check bool) "few rounds" true (o.Trust.rounds <= 5);
+  (* only relevant policies travelled: purchase, credit-card, bbb-membership *)
+  Alcotest.(check bool) "relevant policies only" true (o.Trust.policies_sent <= 3);
+  Alcotest.(check int) "no needless sensitive disclosure" 0 o.Trust.sensitive_policies_leaked;
+  (* the credit card was actually disclosed at the end *)
+  Alcotest.(check bool) "credential flow" true (o.Trust.credentials_sent >= 3)
+
+let test_eager_leaks_and_costs_more () =
+  let reactive =
+    Trust.negotiate ~strategy:Trust.Reactive ~requester:customer ~responder:shop
+      ~goal:"purchase" ()
+  in
+  let eager =
+    Trust.negotiate ~strategy:Trust.Eager ~requester:customer ~responder:shop ~goal:"purchase" ()
+  in
+  Alcotest.(check bool) "eager also succeeds" true eager.Trust.granted;
+  Alcotest.(check bool) "eager ships more policies" true
+    (eager.Trust.policies_sent > reactive.Trust.policies_sent);
+  Alcotest.(check bool) "eager ships more bytes" true (eager.Trust.bytes > reactive.Trust.bytes);
+  Alcotest.(check bool) "eager leaks sensitive policies" true
+    (eager.Trust.sensitive_policies_leaked > 0)
+
+let test_negotiation_stuck () =
+  let paranoid =
+    {
+      Trust.name = "scrooge";
+      credentials = [ "gold" ];
+      policies = [ Trust.policy ~item:"gold" Trust.never ];
+    }
+  in
+  let o =
+    Trust.negotiate ~strategy:Trust.Reactive ~requester:customer ~responder:paranoid
+      ~goal:"gold" ()
+  in
+  Alcotest.(check bool) "no deal" false o.Trust.granted;
+  Alcotest.(check bool) "terminates" true (o.Trust.rounds <= 20)
+
+let test_policies_are_rulesets () =
+  (* meta-circularity: the wire format of a policy is an XChange ruleset *)
+  let rs = Trust.policy_ruleset ~party:"franz" shop.Trust.policies in
+  Alcotest.(check int) "one rule per policy" 3 (List.length rs.Ruleset.rules);
+  (* and it can be read back *)
+  let read = Trust.ruleset_policies rs in
+  Alcotest.(check int) "policies recovered" 3 (List.length read);
+  Alcotest.(check (option (list (list string)))) "purchase requirement survives"
+    (Some [ [ "credit-card" ] ])
+    (List.assoc_opt "purchase" read);
+  (* ... even after travelling through Meta reification *)
+  let rs' = Result.get_ok (Meta.ruleset_of_term (Meta.ruleset_to_term rs)) in
+  Alcotest.(check int) "wire roundtrip" 3 (List.length (Trust.ruleset_policies rs'))
+
+let test_policy_ruleset_is_loadable () =
+  (* a received policy ruleset is an executable rule set: loading it into
+     an engine and requesting an unlocked item raises a disclosure *)
+  let rs = Trust.policy_ruleset ~party:"franz" [ Trust.policy ~item:"bbb-membership" Trust.freely ] in
+  let net = Network.create () in
+  let n = node_exn ~host:"shop.example" rs in
+  Store.add_doc (Node.store n) "/disclosed" (Term.elem ~ord:Term.Unordered "disclosed" []);
+  Network.add_node net n;
+  Network.inject net ~to_:"shop.example" ~label:"request"
+    (Term.elem "request" [ Term.elem "item" [ Term.text "bbb-membership" ] ]);
+  ignore (Network.run_until_quiet net ());
+  (* the disclose event went to party "franz" — host unknown, dropped, but
+     the firing happened *)
+  Alcotest.(check int) "policy rule fired" 1 (Node.firings n)
+
+let suite =
+  ( "aaa",
+    [
+      Alcotest.test_case "shared-secret tokens" `Quick test_tokens;
+      Alcotest.test_case "certificates" `Quick test_certificates;
+      Alcotest.test_case "authorization decisions" `Quick test_authz_decisions;
+      Alcotest.test_case "authorization as rule condition" `Quick test_authz_guard_condition;
+      Alcotest.test_case "accounting is double reactivity" `Quick test_accounting_rules;
+      Alcotest.test_case "reactive negotiation closes the deal" `Quick test_reactive_negotiation_succeeds;
+      Alcotest.test_case "eager strategy costs more and leaks" `Quick test_eager_leaks_and_costs_more;
+      Alcotest.test_case "hopeless negotiation terminates" `Quick test_negotiation_stuck;
+      Alcotest.test_case "policies are rule sets (meta-circularity)" `Quick test_policies_are_rulesets;
+      Alcotest.test_case "policy rule sets are executable" `Quick test_policy_ruleset_is_loadable;
+    ] )

@@ -1,0 +1,126 @@
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+let mk l = Option.get (Subst.of_list l)
+
+let customers =
+  Term.elem ~ord:Term.Unordered "customers"
+    [
+      Term.elem "customer" [ Term.elem "name" [ Term.text "franz" ]; Term.elem "status" [ Term.text "gold" ] ];
+      Term.elem "customer" [ Term.elem "name" [ Term.text "mary" ]; Term.elem "status" [ Term.text "basic" ] ];
+    ]
+
+let env = Condition.env_of_docs [ ("/customers", customers) ]
+
+let gold_q =
+  Qterm.el "customer"
+    [
+      Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]);
+      Qterm.pos (Qterm.el "status" [ Qterm.pos (Qterm.txt "gold") ]);
+    ]
+
+let test_in () =
+  let answers = Condition.eval env Subst.empty (Condition.In (Condition.Local "/customers", gold_q)) in
+  Alcotest.(check int) "one gold customer" 1 (List.length answers);
+  Alcotest.(check (option term)) "franz" (Some (Term.text "franz")) (Subst.find "N" (List.hd answers))
+
+let test_in_missing_doc () =
+  Alcotest.(check int) "missing doc yields nothing" 0
+    (List.length (Condition.eval env Subst.empty (Condition.In (Condition.Local "/nope", gold_q))))
+
+let test_and_joins () =
+  let q2 = Qterm.el "customer" [ Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]) ] in
+  let cond =
+    Condition.And
+      [ Condition.In (Condition.Local "/customers", gold_q); Condition.In (Condition.Local "/customers", q2) ]
+  in
+  (* N must join: only franz *)
+  Alcotest.(check int) "joined" 1 (List.length (Condition.eval env Subst.empty cond))
+
+let test_or_unions () =
+  let cond =
+    Condition.Or
+      [
+        Condition.In (Condition.Local "/customers", gold_q);
+        Condition.Cmp (Builtin.Eq, Builtin.onum 1., Builtin.onum 1.);
+      ]
+  in
+  Alcotest.(check int) "union" 2 (List.length (Condition.eval env Subst.empty cond))
+
+let test_not () =
+  let absent = Condition.Not (Condition.In (Condition.Local "/customers", Qterm.el "robot" [])) in
+  Alcotest.(check bool) "negation holds" true (Condition.holds env Subst.empty absent);
+  let present = Condition.Not (Condition.In (Condition.Local "/customers", gold_q)) in
+  Alcotest.(check bool) "negation fails" false (Condition.holds env Subst.empty present);
+  (* Not exports no bindings *)
+  match Condition.eval env Subst.empty absent with
+  | [ s ] -> Alcotest.(check (list string)) "no bindings" [] (Subst.domain s)
+  | _ -> Alcotest.fail "expected exactly the seed"
+
+let test_cmp_with_seed () =
+  let seed = mk [ ("P", Term.num 5.) ] in
+  let c lo = Condition.Cmp (Builtin.Gt, Builtin.ovar "P", Builtin.onum lo) in
+  Alcotest.(check bool) "5 > 3" true (Condition.holds env seed (c 3.));
+  Alcotest.(check bool) "5 > 7 fails" false (Condition.holds env seed (c 7.));
+  (* evaluation errors make the comparison false, not a crash *)
+  Alcotest.(check bool) "unbound var is false" false
+    (Condition.holds env Subst.empty (Condition.Cmp (Builtin.Eq, Builtin.ovar "Q", Builtin.onum 1.)))
+
+let test_seed_flows_into_query () =
+  let seed = mk [ ("N", Term.text "mary") ] in
+  let q = Qterm.el "customer" [ Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]) ] in
+  let answers = Condition.eval env seed (Condition.In (Condition.Local "/customers", q)) in
+  Alcotest.(check int) "only mary" 1 (List.length answers)
+
+let test_rdf_condition () =
+  let g =
+    Rdf.of_list
+      [
+        { Rdf.s = Rdf.Iri "ball"; p = "price"; o = Rdf.Lit_num 10. };
+        { Rdf.s = Rdf.Iri "shoe"; p = "price"; o = Rdf.Lit_num 20. };
+      ]
+  in
+  let env =
+    {
+      Condition.fetch = (fun _ -> []);
+      fetch_rdf = (fun _ -> Some g);
+    }
+  in
+  let cond =
+    Condition.In_rdf
+      ( Condition.Local "/g",
+        [ { Rdf.ps = Rdf.Var "X"; pp = Rdf.Exact (Rdf.Iri "price"); po = Rdf.Var "P" } ] )
+  in
+  let answers = Condition.eval env Subst.empty cond in
+  Alcotest.(check int) "two prices" 2 (List.length answers);
+  (* a bound variable narrows the BGP *)
+  let seed = mk [ ("X", Term.elem "iri" [ Term.text "ball" ]) ] in
+  let narrowed = Condition.eval env seed cond in
+  Alcotest.(check int) "seeded" 1 (List.length narrowed);
+  Alcotest.(check (option term)) "price joined" (Some (Term.num 10.))
+    (Subst.find "P" (List.hd narrowed))
+
+let test_vars_analysis () =
+  let cond =
+    Condition.And
+      [
+        Condition.In (Condition.Local "/customers", gold_q);
+        Condition.Not (Condition.In (Condition.Local "/x", Qterm.var "HIDDEN"));
+        Condition.Cmp (Builtin.Lt, Builtin.ovar "P", Builtin.onum 1.);
+      ]
+  in
+  Alcotest.(check (list string)) "vars" [ "N"; "P" ] (Condition.vars cond)
+
+let suite =
+  ( "condition",
+    [
+      Alcotest.test_case "simple In query" `Quick test_in;
+      Alcotest.test_case "missing document" `Quick test_in_missing_doc;
+      Alcotest.test_case "conjunction joins bindings" `Quick test_and_joins;
+      Alcotest.test_case "disjunction unions answers" `Quick test_or_unions;
+      Alcotest.test_case "negation as failure" `Quick test_not;
+      Alcotest.test_case "comparisons with seeds" `Quick test_cmp_with_seed;
+      Alcotest.test_case "event bindings constrain conditions" `Quick test_seed_flows_into_query;
+      Alcotest.test_case "RDF BGP conditions" `Quick test_rdf_condition;
+      Alcotest.test_case "vars analysis" `Quick test_vars_analysis;
+    ] )

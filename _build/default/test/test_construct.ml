@@ -1,0 +1,167 @@
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+let mk l = Option.get (Subst.of_list l)
+
+let test_simple_instantiation () =
+  let c = Construct.cel "greeting" [ Construct.ctext "hi "; Construct.cvar "N" ] in
+  let s = mk [ ("N", Term.text "franz") ] in
+  match Construct.instantiate c s [ s ] with
+  | Ok t -> Alcotest.check term "built" (Term.elem "greeting" [ Term.text "hi "; Term.text "franz" ]) t
+  | Error e -> Alcotest.fail e
+
+let test_unbound_variable () =
+  match Construct.instantiate (Construct.cvar "Z") Subst.empty [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound variable accepted"
+
+let test_label_and_attr_vars () =
+  let c =
+    Construct.C_el
+      {
+        Construct.label = `L_var "L";
+        attrs = [ ("k", `A_var "V") ];
+        ord = Term.Ordered;
+        children = [];
+      }
+  in
+  let s = mk [ ("L", Term.text "dyn"); ("V", Term.text "x") ] in
+  (match Construct.instantiate c s [ s ] with
+  | Ok t ->
+      Alcotest.(check (option string)) "label" (Some "dyn") (Term.label t);
+      Alcotest.(check (option string)) "attr" (Some "x") (Term.attr "k" t)
+  | Error e -> Alcotest.fail e);
+  (* non-textual label is an error *)
+  let bad = mk [ ("L", Term.elem "e" []); ("V", Term.text "x") ] in
+  match Construct.instantiate c bad [ bad ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "element-valued label accepted"
+
+let answers_over_items =
+  [
+    mk [ ("I", Term.text "ball"); ("P", Term.num 10.) ];
+    mk [ ("I", Term.text "shoe"); ("P", Term.num 20.) ];
+    mk [ ("I", Term.text "shoe"); ("P", Term.num 20.) ];
+  ]
+
+let test_all_grouping () =
+  let c =
+    Construct.cel "cart" [ Construct.C_all (Construct.cel "item" [ Construct.cvar "I" ]) ]
+  in
+  match Construct.instantiate c Subst.empty answers_over_items with
+  | Ok t ->
+      (* duplicates collapse: ball and shoe *)
+      Alcotest.(check int) "grouped instances" 2 (List.length (Term.children t))
+  | Error e -> Alcotest.fail e
+
+let test_all_respects_outer_binding () =
+  let set =
+    [
+      mk [ ("C", Term.text "franz"); ("I", Term.text "ball") ];
+      mk [ ("C", Term.text "franz"); ("I", Term.text "shoe") ];
+      mk [ ("C", Term.text "mary"); ("I", Term.text "hat") ];
+    ]
+  in
+  let c =
+    Construct.cel "orders"
+      [ Construct.cvar "C"; Construct.C_all (Construct.cel "item" [ Construct.cvar "I" ]) ]
+  in
+  let outer = mk [ ("C", Term.text "franz") ] in
+  match Construct.instantiate c outer set with
+  | Ok t ->
+      (* only franz's items expand *)
+      Alcotest.(check int) "outer binding filters group" 3 (List.length (Term.children t))
+  | Error e -> Alcotest.fail e
+
+let test_aggregates () =
+  let check_agg op expected =
+    let c = Construct.C_agg (op, "P") in
+    match Construct.instantiate c Subst.empty answers_over_items with
+    | Ok t -> Alcotest.(check (option (float 1e-9))) "agg value" (Some expected) (Term.as_num t)
+    | Error e -> Alcotest.fail e
+  in
+  check_agg Construct.Count 2.;
+  (* distinct values: 10 and 20 *)
+  check_agg Construct.Sum 30.;
+  check_agg Construct.Avg 15.;
+  check_agg Construct.Min 10.;
+  check_agg Construct.Max 20.
+
+let test_agg_errors () =
+  (match Construct.instantiate (Construct.C_agg (Construct.Sum, "P")) Subst.empty [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty aggregate accepted");
+  let bad = [ mk [ ("P", Term.elem "e" []) ] ] in
+  match Construct.instantiate (Construct.C_agg (Construct.Sum, "P")) Subst.empty bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric aggregate accepted"
+
+let test_all_toplevel_rejected () =
+  match Construct.instantiate (Construct.C_all (Construct.cvar "X")) Subst.empty [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "'all' accepted outside children position"
+
+let test_operand_children () =
+  let c = Construct.cel "total" [ Construct.C_operand (Builtin.O_mul (Builtin.ovar "P", Builtin.onum 2.)) ] in
+  let s = mk [ ("P", Term.num 21.) ] in
+  match Construct.instantiate c s [ s ] with
+  | Ok t -> Alcotest.check term "computed" (Term.elem "total" [ Term.num 42. ]) t
+  | Error e -> Alcotest.fail e
+
+let test_instantiate_all () =
+  let c = Construct.cel "row" [ Construct.cvar "I" ] in
+  match Construct.instantiate_all c answers_over_items with
+  | Ok ts -> Alcotest.(check int) "one instance per distinct projection" 2 (List.length ts)
+  | Error e -> Alcotest.fail e
+
+let test_free_vars () =
+  let c =
+    Construct.cel "a"
+      [ Construct.cvar "X"; Construct.C_agg (Construct.Count, "Y"); Construct.C_operand (Builtin.ovar "Z") ]
+  in
+  Alcotest.(check (list string)) "free vars" [ "X"; "Y"; "Z" ] (Construct.free_vars c)
+
+(* ---- Builtin ---- *)
+
+let test_builtin_arith () =
+  let s = mk [ ("X", Term.num 10.); ("Y", Term.text "4") ] in
+  let eval op = Result.get_ok (Builtin.eval s op) in
+  Alcotest.check term "add coerces text" (Term.num 14.) (eval (Builtin.O_add (Builtin.ovar "X", Builtin.ovar "Y")));
+  Alcotest.check term "div" (Term.num 2.5) (eval (Builtin.O_div (Builtin.ovar "X", Builtin.ovar "Y")));
+  Alcotest.check term "neg" (Term.num (-10.)) (eval (Builtin.O_neg (Builtin.ovar "X")));
+  Alcotest.check term "concat" (Term.text "104") (eval (Builtin.O_concat (Builtin.ovar "X", Builtin.ovar "Y")));
+  Alcotest.check term "size" (Term.num 1.) (eval (Builtin.O_size (Builtin.ovar "X")));
+  (match Builtin.eval s (Builtin.O_div (Builtin.ovar "X", Builtin.onum 0.)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "division by zero accepted");
+  match Builtin.eval s (Builtin.ovar "missing") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound variable accepted"
+
+let test_builtin_cmp () =
+  let s = mk [ ("X", Term.num 10.); ("S", Term.text "abc") ] in
+  let t cmp a b = Result.get_ok (Builtin.test s cmp a b) in
+  Alcotest.(check bool) "numeric lt" true (t Builtin.Lt (Builtin.ovar "X") (Builtin.onum 11.));
+  Alcotest.(check bool) "text 9 < 10 numerically" true (t Builtin.Lt (Builtin.ostr "9") (Builtin.ostr "10"));
+  Alcotest.(check bool) "lexicographic fallback" true (t Builtin.Lt (Builtin.ovar "S") (Builtin.ostr "abd"));
+  Alcotest.(check bool) "eq extensional" true
+    (t Builtin.Eq (Builtin.O_const (Term.elem "a" [])) (Builtin.O_const (Term.elem "a" [])));
+  Alcotest.(check bool) "neq" true (t Builtin.Neq (Builtin.onum 1.) (Builtin.onum 2.))
+
+let suite =
+  ( "construct",
+    [
+      Alcotest.test_case "simple instantiation" `Quick test_simple_instantiation;
+      Alcotest.test_case "unbound variable is an error" `Quick test_unbound_variable;
+      Alcotest.test_case "label and attribute variables" `Quick test_label_and_attr_vars;
+      Alcotest.test_case "'all' grouping" `Quick test_all_grouping;
+      Alcotest.test_case "'all' respects outer bindings" `Quick test_all_respects_outer_binding;
+      Alcotest.test_case "aggregates" `Quick test_aggregates;
+      Alcotest.test_case "aggregate errors" `Quick test_agg_errors;
+      Alcotest.test_case "'all' rejected at top level" `Quick test_all_toplevel_rejected;
+      Alcotest.test_case "computed children" `Quick test_operand_children;
+      Alcotest.test_case "instantiate_all groups by free vars" `Quick test_instantiate_all;
+      Alcotest.test_case "free variables" `Quick test_free_vars;
+      Alcotest.test_case "builtin arithmetic" `Quick test_builtin_arith;
+      Alcotest.test_case "builtin comparisons" `Quick test_builtin_cmp;
+    ] )

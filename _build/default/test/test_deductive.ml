@@ -1,0 +1,190 @@
+open Xchange
+
+let docs =
+  [
+    ( "/staff",
+      Term.elem ~ord:Term.Unordered "staff"
+        [
+          Term.elem "emp" [ Term.elem "name" [ Term.text "ann" ]; Term.elem "boss" [ Term.text "bob" ] ];
+          Term.elem "emp" [ Term.elem "name" [ Term.text "bob" ]; Term.elem "boss" [ Term.text "cio" ] ];
+          Term.elem "emp" [ Term.elem "name" [ Term.text "cio" ]; Term.elem "boss" [ Term.text "cio" ] ];
+        ] );
+  ]
+
+let env = Condition.env_of_docs docs
+
+let reports_to_rule =
+  (* base case: direct boss *)
+  Deductive.rule ~view:"reports"
+    ~head:(Construct.cel "rep" [ Construct.cvar "A"; Construct.cvar "B" ])
+    ~body:
+      (Condition.In
+         ( Condition.Local "/staff",
+           Qterm.el "emp"
+             [
+               Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "A") ]);
+               Qterm.pos (Qterm.el "boss" [ Qterm.pos (Qterm.var "B") ]);
+             ] ))
+
+let reports_trans_rule =
+  (* recursive case: boss's boss *)
+  Deductive.rule ~view:"reports"
+    ~head:(Construct.cel "rep" [ Construct.cvar "A"; Construct.cvar "C" ])
+    ~body:
+      (Condition.And
+         [
+           Condition.In
+             ( Condition.View "reports",
+               Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "rep"
+                 [ Qterm.pos (Qterm.var "A"); Qterm.pos (Qterm.var "B") ] );
+           Condition.In
+             ( Condition.View "reports",
+               Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "rep"
+                 [ Qterm.pos (Qterm.var "B"); Qterm.pos (Qterm.var "C") ] );
+         ])
+
+let test_non_recursive_view () =
+  let tables = Deductive.materialize env [ reports_to_rule ] in
+  Alcotest.(check int) "3 direct edges" 3 (List.length (Hashtbl.find tables "reports"))
+
+let test_recursive_view_fixpoint () =
+  let tables = Deductive.materialize env [ reports_to_rule; reports_trans_rule ] in
+  let instances = Hashtbl.find tables "reports" in
+  (* direct: (ann,bob) (bob,cio) (cio,cio); derived: (ann,cio); via cio
+     self-loop nothing new beyond these *)
+  Alcotest.(check int) "transitive closure" 4 (List.length instances)
+
+let test_recursion_detection () =
+  Alcotest.(check (list string)) "recursive view detected" [ "reports" ]
+    (Deductive.recursive_views [ reports_to_rule; reports_trans_rule ]);
+  Alcotest.(check (list string)) "non-recursive clean" []
+    (Deductive.recursive_views [ reports_to_rule ])
+
+let test_mutual_recursion_detection () =
+  let r v dep =
+    Deductive.rule ~view:v ~head:(Construct.cel "x" [])
+      ~body:(Condition.In (Condition.View dep, Qterm.el "x" []))
+  in
+  let views = Deductive.recursive_views [ r "a" "b"; r "b" "a" ] in
+  Alcotest.(check (list string)) "mutual cycle" [ "a"; "b" ] views
+
+let test_dependencies () =
+  let deps = Deductive.dependencies [ reports_to_rule; reports_trans_rule ] in
+  Alcotest.(check (list (pair string (list string)))) "deps" [ ("reports", [ "reports" ]) ] deps
+
+let test_extend_env () =
+  let env' = Deductive.extend_env env [ reports_to_rule ] in
+  let q =
+    Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "rep"
+      [ Qterm.pos (Qterm.txt "ann"); Qterm.pos (Qterm.var "B") ]
+  in
+  let answers = Condition.eval env' Subst.empty (Condition.In (Condition.View "reports", q)) in
+  Alcotest.(check int) "view queryable" 1 (List.length answers);
+  (* base documents stay reachable *)
+  Alcotest.(check int) "base docs reachable" 1
+    (List.length (env'.Condition.fetch (Condition.Local "/staff")))
+
+let test_stratification () =
+  (* positive recursion is fine *)
+  (match Deductive.check_stratified [ reports_to_rule; reports_trans_rule ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* a view negatively depending on itself is rejected *)
+  let bad_self =
+    Deductive.rule ~view:"v" ~head:(Construct.cel "x" [])
+      ~body:(Condition.Not (Condition.In (Condition.View "v", Qterm.el "x" [])))
+  in
+  (match Deductive.check_stratified [ bad_self ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative self-recursion accepted");
+  (* ... also through an intermediate view *)
+  let v_uses_w =
+    Deductive.rule ~view:"v" ~head:(Construct.cel "x" [])
+      ~body:(Condition.In (Condition.View "w", Qterm.el "x" []))
+  in
+  let w_negates_v =
+    Deductive.rule ~view:"w" ~head:(Construct.cel "x" [])
+      ~body:(Condition.Not (Condition.In (Condition.View "v", Qterm.el "x" [])))
+  in
+  (match Deductive.check_stratified [ v_uses_w; w_negates_v ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative cycle accepted");
+  (* non-recursive negation is fine (stratified) *)
+  let uses_neg =
+    Deductive.rule ~view:"top" ~head:(Construct.cel "x" [])
+      ~body:(Condition.Not (Condition.In (Condition.View "reports", Qterm.el "rep" [])))
+  in
+  match Deductive.check_stratified [ reports_to_rule; uses_neg ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_engine_rejects_unstratified () =
+  let bad =
+    Deductive.rule ~view:"v" ~head:(Construct.cel "x" [])
+      ~body:(Condition.Not (Condition.In (Condition.View "v", Qterm.el "x" [])))
+  in
+  let rule =
+    Eca.make ~name:"r" ~on:(Event_query.on (Qterm.var "E"))
+      ~if_:(Condition.In (Condition.View "v", Qterm.el "x" []))
+      Action.Nop
+  in
+  match Engine.create (Ruleset.make ~rules:[ rule ] ~views:[ bad ] "s") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "engine accepted unstratified views"
+
+let test_view_avoids_replication () =
+  (* the Thesis 9 point: one view definition, two consumers *)
+  let env' = Deductive.extend_env env [ reports_to_rule ] in
+  let q b = Qterm.el "rep" [ Qterm.pos (Qterm.txt b) ] in
+  let both =
+    Condition.And
+      [
+        Condition.In (Condition.View "reports", q "ann");
+        Condition.In (Condition.View "reports", q "bob");
+      ]
+  in
+  Alcotest.(check bool) "both consumers see the view" true (Condition.holds env' Subst.empty both)
+
+let test_goal_directed () =
+  (* expensive irrelevant views are not computed when another view is
+     queried goal-directed *)
+  let touched = ref [] in
+  let env =
+    {
+      Condition.fetch =
+        (fun res ->
+          (match res with
+          | Condition.Local name -> touched := name :: !touched
+          | Condition.Remote _ | Condition.View _ -> ());
+          env.Condition.fetch res);
+      fetch_rdf = (fun _ -> None);
+    }
+  in
+  let irrelevant =
+    Deductive.rule ~view:"huge"
+      ~head:(Construct.cel "x" [ Construct.cvar "A" ])
+      ~body:(Condition.In (Condition.Local "/elsewhere", Qterm.el "y" [ Qterm.pos (Qterm.var "A") ]))
+  in
+  let program = [ reports_to_rule; irrelevant ] in
+  Alcotest.(check (list string)) "reachability" [ "reports" ]
+    (Deductive.reachable program [ "reports" ]);
+  let env' = Deductive.extend_env env program in
+  ignore (Condition.eval env' Subst.empty (Condition.In (Condition.View "reports", Qterm.el "rep" [])));
+  Alcotest.(check bool) "goal view's base read" true (List.mem "/staff" !touched);
+  Alcotest.(check bool) "irrelevant view's base never read" false
+    (List.mem "/elsewhere" !touched)
+
+let suite =
+  ( "deductive",
+    [
+      Alcotest.test_case "non-recursive view" `Quick test_non_recursive_view;
+      Alcotest.test_case "recursive view reaches fixpoint" `Quick test_recursive_view_fixpoint;
+      Alcotest.test_case "recursion detection" `Quick test_recursion_detection;
+      Alcotest.test_case "mutual recursion detection" `Quick test_mutual_recursion_detection;
+      Alcotest.test_case "dependency analysis" `Quick test_dependencies;
+      Alcotest.test_case "extend_env resolves views" `Quick test_extend_env;
+      Alcotest.test_case "views avoid query replication" `Quick test_view_avoids_replication;
+      Alcotest.test_case "stratified negation checking" `Quick test_stratification;
+      Alcotest.test_case "engine rejects unstratified views" `Quick test_engine_rejects_unstratified;
+      Alcotest.test_case "goal-directed materialisation" `Quick test_goal_directed;
+    ] )

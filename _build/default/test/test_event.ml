@@ -1,0 +1,86 @@
+open Xchange
+
+let test_clock () =
+  Alcotest.(check int) "units" 3_600_000 (Clock.hours 1);
+  Alcotest.(check int) "minutes" 120_000 (Clock.minutes 2);
+  Alcotest.(check int) "add" 1500 (Clock.add 500 (Clock.seconds 1));
+  Alcotest.(check int) "diff truncates" 0 (Clock.diff 1 5);
+  Alcotest.(check string) "pp span hours" "2h" (Fmt.str "%a" Clock.pp_span (Clock.hours 2));
+  Alcotest.(check string) "pp span ms" "250ms" (Fmt.str "%a" Clock.pp_span 250)
+
+let test_event_basics () =
+  let e = Event.make ~sender:"a.example" ~occurred_at:100 ~label:"ping" (Term.text "x") in
+  let e2 = Event.make ~occurred_at:100 ~label:"ping" (Term.text "x") in
+  Alcotest.(check bool) "ids unique and increasing" true (e2.Event.id > e.Event.id);
+  Alcotest.(check int) "received defaults to occurred" 100 (Event.time e);
+  let late = Event.received e 150 in
+  Alcotest.(check int) "reception time" 150 (Event.time late)
+
+let test_event_expiry () =
+  let e = Event.make ~occurred_at:100 ~ttl:50 ~label:"volatile" (Term.text "x") in
+  Alcotest.(check bool) "fresh" false (Event.expired e 140);
+  Alcotest.(check bool) "boundary inclusive" false (Event.expired e 150);
+  Alcotest.(check bool) "expired" true (Event.expired e 151);
+  let forever = Event.make ~occurred_at:100 ~label:"p" (Term.text "x") in
+  Alcotest.(check bool) "no ttl never expires" false (Event.expired forever max_int)
+
+let test_event_to_term () =
+  let e = Event.make ~sender:"s.example" ~occurred_at:7 ~label:"order" (Term.elem "order" []) in
+  let t = Event.to_term e in
+  Alcotest.(check int) "header queryable" 1
+    (List.length
+       (Simulate.matches_anywhere
+          (Qterm.el "sender" [ Qterm.pos (Qterm.txt "s.example") ])
+          t))
+
+let test_history_retention () =
+  let h = History.create ~retention:(History.Keep 100) () in
+  for i = 1 to 10 do
+    History.add h (Event.make ~occurred_at:(i * 50) ~label:"e" (Term.int i))
+  done;
+  Alcotest.(check int) "total seen" 10 (History.total_seen h);
+  Alcotest.(check bool) "bounded" true (History.length h <= 3);
+  History.advance h 10_000;
+  Alcotest.(check int) "all dropped after horizon" 0 (History.length h)
+
+let test_history_unbounded () =
+  let h = History.create () in
+  for i = 1 to 10 do
+    History.add h (Event.make ~occurred_at:i ~label:"e" (Term.int i))
+  done;
+  History.advance h 1_000_000;
+  Alcotest.(check int) "shadow web: nothing dropped" 10 (History.length h)
+
+let test_instance_combine () =
+  let s1 = Option.get (Subst.of_list [ ("X", Term.int 1) ]) in
+  let s2 = Option.get (Subst.of_list [ ("Y", Term.int 2) ]) in
+  let i1 = Instance.atomic s1 10 1 and i2 = Instance.atomic s2 20 2 in
+  (match Instance.combine [ i1; i2 ] with
+  | Some c ->
+      Alcotest.(check int) "envelope start" 10 c.Instance.t_start;
+      Alcotest.(check int) "envelope end" 20 c.Instance.t_end;
+      Alcotest.(check (list int)) "ids merged" [ 1; 2 ] c.Instance.ids
+  | None -> Alcotest.fail "compatible instances must combine");
+  let s1' = Option.get (Subst.of_list [ ("X", Term.int 9) ]) in
+  Alcotest.(check bool) "conflict rejected" true
+    (Instance.combine [ i1; Instance.atomic s1' 20 2 ] = None)
+
+let test_strictly_before () =
+  let i t id = Instance.atomic Subst.empty t id in
+  Alcotest.(check bool) "earlier time" true (Instance.strictly_before (i 1 5) (i 2 1));
+  Alcotest.(check bool) "same time, id order" true (Instance.strictly_before (i 5 1) (i 5 2));
+  Alcotest.(check bool) "same time, wrong id order" false (Instance.strictly_before (i 5 2) (i 5 1));
+  Alcotest.(check bool) "not before itself" false (Instance.strictly_before (i 5 1) (i 5 1))
+
+let suite =
+  ( "event",
+    [
+      Alcotest.test_case "clock arithmetic" `Quick test_clock;
+      Alcotest.test_case "event construction" `Quick test_event_basics;
+      Alcotest.test_case "volatility (expiry)" `Quick test_event_expiry;
+      Alcotest.test_case "envelope as data term" `Quick test_event_to_term;
+      Alcotest.test_case "history retention drops old events" `Quick test_history_retention;
+      Alcotest.test_case "unbounded history keeps everything" `Quick test_history_unbounded;
+      Alcotest.test_case "instance combination" `Quick test_instance_combine;
+      Alcotest.test_case "temporal order with id tie-break" `Quick test_strictly_before;
+    ] )

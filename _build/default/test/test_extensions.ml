@@ -1,0 +1,326 @@
+(* Tests for the extension features: optional subterms, publish/
+   subscribe, remote updates, and the Turtle subset. *)
+
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+
+(* ---- optional subterms (Xcerpt's optional) ---- *)
+
+let book ?isbn title =
+  Term.elem "book"
+    (Term.elem "title" [ Term.text title ]
+    :: (match isbn with Some i -> [ Term.elem "isbn" [ Term.text i ] ] | None -> []))
+
+let shelf = Term.elem ~ord:Term.Unordered "shelf" [ book "iliad" ~isbn:"123"; book "notes" ]
+
+let q_book =
+  Qterm.el "book"
+    [
+      Qterm.pos (Qterm.el "title" [ Qterm.pos (Qterm.var "T") ]);
+      Qterm.opt (Qterm.el "isbn" [ Qterm.pos (Qterm.var "I") ]);
+    ]
+
+let test_optional_binds_when_present () =
+  let answers = Simulate.matches_anywhere q_book shelf in
+  Alcotest.(check int) "both books answer" 2 (List.length answers);
+  let with_isbn =
+    List.find (fun s -> Subst.find "T" s = Some (Term.text "iliad")) answers
+  in
+  Alcotest.(check (option term)) "isbn bound when present" (Some (Term.text "123"))
+    (Subst.find "I" with_isbn);
+  let without_isbn =
+    List.find (fun s -> Subst.find "T" s = Some (Term.text "notes")) answers
+  in
+  Alcotest.(check (option term)) "isbn unbound when absent" None (Subst.find "I" without_isbn)
+
+let test_optional_is_maximal () =
+  (* the iliad must NOT additionally produce an answer without the isbn *)
+  let answers = Simulate.matches q_book (book "iliad" ~isbn:"123") in
+  Alcotest.(check int) "one (maximal) answer" 1 (List.length answers);
+  Alcotest.(check (option term)) "bound" (Some (Term.text "123"))
+    (Subst.find "I" (List.hd answers))
+
+let test_optional_in_total_spec () =
+  (* total pattern: every data child must be consumed; the optional
+     pattern covers the isbn when present and is skippable when not *)
+  let q =
+    Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "book"
+      [
+        Qterm.pos (Qterm.el "title" [ Qterm.pos (Qterm.var "T") ]);
+        Qterm.opt (Qterm.el "isbn" [ Qterm.pos (Qterm.var "I") ]);
+      ]
+  in
+  Alcotest.(check int) "with isbn" 1 (List.length (Simulate.matches q (book "a" ~isbn:"1")));
+  Alcotest.(check int) "without isbn" 1 (List.length (Simulate.matches q (book "a")));
+  (* an unconsumed extra child still fails the total spec *)
+  let extra = Term.elem "book" [ Term.elem "title" [ Term.text "a" ]; Term.elem "junk" [] ] in
+  Alcotest.(check int) "extra child fails total" 0 (List.length (Simulate.matches q extra))
+
+let test_optional_vars_and_syntax () =
+  Alcotest.(check (list string)) "optional vars counted" [ "I"; "T" ] (Qterm.vars q_book);
+  let src = {|book{{title{{var T}}, optional isbn{{var I}}}}|} in
+  match Parser.parse_qterm src with
+  | Ok q ->
+      Alcotest.(check bool) "parses to the same pattern" true (q = q_book);
+      let printed = Printer.qterm_to_string q in
+      Alcotest.(check bool) "roundtrips" true (Parser.parse_qterm printed = Ok q)
+  | Error e -> Alcotest.fail e
+
+let test_optional_in_conditions () =
+  (* unbound optional variables are simply absent from the answer; using
+     them in a construct is then an error the engine reports per rule *)
+  let env = Condition.env_of_docs [ ("/shelf", shelf) ] in
+  let answers =
+    Condition.eval env Subst.empty (Condition.In (Condition.Local "/shelf", q_book))
+  in
+  Alcotest.(check int) "two answers" 2 (List.length answers);
+  let bound = List.filter (fun s -> Subst.find "I" s <> None) answers in
+  Alcotest.(check int) "one carries the optional binding" 1 (List.length bound)
+
+(* ---- publish/subscribe ---- *)
+
+let test_pubsub () =
+  let net = Network.create () in
+  let producer = node_exn ~host:"prod.example" (Pubsub.publisher_ruleset ()) in
+  Store.add_doc (Node.store producer) Pubsub.subscribers_doc (Pubsub.empty_register ());
+  let consumer_rules host =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"recv"
+            ~on:
+              (Event_query.on ~label:"notify"
+                 (Qterm.el "notify" [ Qterm.pos (Qterm.el "topic" [ Qterm.pos (Qterm.var "T") ]) ]))
+            (Action.log "notified about %s" [ Builtin.ovar "T" ]);
+        ]
+      ("consumer-" ^ host)
+  in
+  let c1 = node_exn ~host:"c1.example" (consumer_rules "c1") in
+  let c2 = node_exn ~host:"c2.example" (consumer_rules "c2") in
+  List.iter (Network.add_node net) [ producer; c1; c2 ];
+  (* both subscribe to news; only c1 to sports *)
+  Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"news" ~host:"c1.example");
+  Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"news" ~host:"c2.example");
+  Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"sports" ~host:"c1.example");
+  (* duplicate subscription must not double-deliver *)
+  Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"news" ~host:"c1.example");
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "register" [ "c1.example"; "c2.example" ]
+    (Pubsub.subscribers (Node.store producer) ~topic:"news");
+  Network.inject net ~to_:"prod.example" ~label:"publish"
+    (Pubsub.publish ~topic:"news" (Term.text "headline"));
+  Network.inject net ~to_:"prod.example" ~label:"publish"
+    (Pubsub.publish ~topic:"sports" (Term.text "score"));
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "c1 got both topics"
+    [ "notified about news"; "notified about sports" ]
+    (List.sort String.compare (Node.logs c1));
+  Alcotest.(check (list string)) "c2 got news only" [ "notified about news" ] (Node.logs c2);
+  (* unsubscribe stops delivery *)
+  Network.inject net ~to_:"prod.example" ~label:"unsubscribe"
+    (Pubsub.unsubscribe ~topic:"news" ~host:"c2.example");
+  ignore (Network.run_until_quiet net ());
+  Network.inject net ~to_:"prod.example" ~label:"publish"
+    (Pubsub.publish ~topic:"news" (Term.text "more"));
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check int) "c2 unchanged after unsubscribe" 1 (List.length (Node.logs c2))
+
+(* ---- remote updates (Thesis 8 over Thesis 2) ---- *)
+
+let test_remote_update () =
+  let writer_rules =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"push-stock"
+            ~on:(Event_query.on ~label:"sale" (Qterm.el "sale" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "I") ]) ]))
+            (Action.insert ~doc:"warehouse.example/ledger" (Construct.cel "sold" [ Construct.cvar "I" ]));
+        ]
+      "shop"
+  in
+  let net = Network.create () in
+  let shop = node_exn ~host:"shop.example" writer_rules in
+  let warehouse = node_exn ~accept_updates:true ~host:"warehouse.example" (Ruleset.make "wh") in
+  Store.add_doc (Node.store warehouse) "/ledger" (Term.elem ~ord:Term.Unordered "ledger" []);
+  Network.add_node net shop;
+  Network.add_node net warehouse;
+  Network.inject net ~to_:"shop.example" ~label:"sale" (Term.elem "sale" [ Term.elem "item" [ Term.text "ball" ] ]);
+  ignore (Network.run_until_quiet net ());
+  let ledger = Option.get (Store.doc (Node.store warehouse) "/ledger") in
+  Alcotest.(check int) "remote insert applied" 1 (List.length (Term.children ledger));
+  Alcotest.(check bool) "update message accounted" true
+    ((Network.transport_stats net).Transport.updates >= 1)
+
+let test_remote_update_triggers_rules () =
+  (* a remote write raises the same local update events: derived rules see it *)
+  let monitor =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"audit"
+            ~on:(Event_query.on ~label:"update" (Qterm.el "update" ~attrs:[ ("doc", Qterm.A_is "/ledger") ] []))
+            (Action.log "ledger touched" []);
+        ]
+      "monitor"
+  in
+  let net = Network.create () in
+  let shop = node_exn ~host:"shop.example" (Ruleset.make "s") in
+  let warehouse = node_exn ~accept_updates:true ~host:"warehouse.example" monitor in
+  Store.add_doc (Node.store warehouse) "/ledger" (Term.elem ~ord:Term.Unordered "ledger" []);
+  Network.add_node net shop;
+  Network.add_node net warehouse;
+  (* drive the remote update straight through the shop's action layer *)
+  let ctx = Network.context_for net shop in
+  let ops_update =
+    Action.exec
+      ~env:ctx.Node.env
+      ~ops:
+        {
+          Action.update = (fun _ -> Alcotest.fail "should not reach local store");
+          send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
+          log = (fun _ -> ());
+          now = (fun () -> 0);
+          checkpoint = (fun () -> fun () -> ());
+        }
+      ~procs:(fun _ -> None) ~subst:Subst.empty ~answers:[]
+  in
+  ignore ops_update;
+  Network.inject net ~to_:"shop.example" ~label:"noop" (Term.text "x");
+  (* use a rule-free path: send the update message directly *)
+  let u =
+    Action.U_insert { doc = "/ledger"; selector = []; at = None; content = Term.elem "sold" [] }
+  in
+  let msg = Message.make ~from_host:"shop.example" ~to_host:"warehouse.example" ~sent_at:0 (Message.Update u) in
+  let ctx_wh = Network.context_for net warehouse in
+  ignore msg;
+  ignore (Node.receive_update warehouse ctx_wh ~from:"shop.example" u);
+  Alcotest.(check (list string)) "audit rule fired on remote write" [ "ledger touched" ]
+    (Node.logs warehouse)
+
+let test_remote_update_rejected_by_default () =
+  let net = Network.create () in
+  let closed = node_exn ~host:"closed.example" (Ruleset.make "c") in
+  Store.add_doc (Node.store closed) "/d" (Term.elem "d" []);
+  Network.add_node net closed;
+  let u = Action.U_insert { doc = "/d"; selector = []; at = None; content = Term.text "x" } in
+  let ctx = Network.context_for net closed in
+  ignore (Node.receive_update closed ctx ~from:"evil.example" u);
+  Alcotest.(check int) "nothing written" 0
+    (List.length (Term.children (Option.get (Store.doc (Node.store closed) "/d"))));
+  Alcotest.(check bool) "rejection recorded" true (Node.errors closed <> [])
+
+(* ---- snapshots & tracing ---- *)
+
+let test_store_snapshot_roundtrip () =
+  let s = Store.create () in
+  Store.add_doc s "/a" (Term.elem "a" [ Term.text "x" ]);
+  Store.add_doc s "/b" (Term.elem ~ord:Term.Unordered "b" [ Term.int 1; Term.int 2 ]);
+  Store.add_rdf s "/g" (Rdf.of_list [ { Rdf.s = Rdf.Iri "s"; p = "p"; o = Rdf.Lit "o" } ]);
+  match Store.restore (Store.snapshot s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+      Alcotest.(check (list string)) "docs" [ "/a"; "/b" ] (Store.doc_names s');
+      Alcotest.(check (list string)) "graphs" [ "/g" ] (Store.rdf_names s');
+      Alcotest.check term "doc content" (Term.elem "a" [ Term.text "x" ])
+        (Term.strip_ids (Option.get (Store.doc s' "/a")));
+      Alcotest.(check int) "graph content" 1 (Rdf.size (Option.get (Store.rdf s' "/g")));
+      (* and it survives an XML round trip, as the CLI uses it *)
+      let xml = Xml.to_string (Store.snapshot s) in
+      match Store.restore (Xml.parse_exn xml) with
+      | Ok s'' -> Alcotest.(check (list string)) "xml roundtrip" [ "/a"; "/b" ] (Store.doc_names s'')
+      | Error e -> Alcotest.fail e
+
+let test_snapshot_rejects_junk () =
+  match Store.restore (Term.text "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk snapshot accepted"
+
+let test_network_trace () =
+  let net = Network.create ~record:true () in
+  let n = node_exn ~host:"n.example" (Ruleset.make "s") in
+  Network.add_node net n;
+  Network.inject net ~to_:"n.example" ~label:"x" (Term.text "1");
+  Network.inject net ~to_:"n.example" ~label:"y" (Term.text "2");
+  ignore (Network.run_until_quiet net ());
+  let trace = Network.trace net in
+  Alcotest.(check int) "both recorded" 2 (List.length trace);
+  (* untraced networks record nothing *)
+  let quiet = Network.create () in
+  let m = node_exn ~host:"m.example" (Ruleset.make "s") in
+  Network.add_node quiet m;
+  Network.inject quiet ~to_:"m.example" ~label:"x" (Term.text "1");
+  ignore (Network.run_until_quiet quiet ());
+  Alcotest.(check int) "no recording by default" 0 (List.length (Network.trace quiet))
+
+(* ---- Turtle ---- *)
+
+let test_turtle_golden () =
+  let src =
+    {|# a comment
+      <alice> <knows> <bob> .
+      <alice> a <person> .
+      <alice> <age> 30 .
+      <alice> <motto> "carpe\n\"diem\"" .
+      _:x <p> _:y .
+      <s> rdfs:subClassOf <t> .|}
+  in
+  match Rdf.of_turtle src with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      Alcotest.(check int) "six triples" 6 (Rdf.size g);
+      Alcotest.(check bool) "a = rdf:type" true
+        (Rdf.mem g { Rdf.s = Rdf.Iri "alice"; p = Rdf.rdf_type; o = Rdf.Iri "person" });
+      Alcotest.(check bool) "number literal" true
+        (Rdf.mem g { Rdf.s = Rdf.Iri "alice"; p = "age"; o = Rdf.Lit_num 30. });
+      Alcotest.(check bool) "curie predicate" true
+        (Rdf.mem g { Rdf.s = Rdf.Iri "s"; p = Rdf.rdfs_sub_class_of; o = Rdf.Iri "t" })
+
+let test_turtle_errors () =
+  let bad s = match Rdf.of_turtle s with Error _ -> () | Ok _ -> Alcotest.fail ("accepted " ^ s) in
+  bad "<a> <b>";
+  bad "<a> \"lit\" <c> .";
+  bad "<a> <b> <c";
+  bad "<a> <b> \"unterminated .";
+  Alcotest.(check int) "empty input ok" 0 (Rdf.size (Result.get_ok (Rdf.of_turtle "  # only comments\n")))
+
+let triple_gen =
+  QCheck.Gen.(
+    let name = oneofl [ "alice"; "bob"; "p"; "q"; "rdf:type" ] in
+    let node =
+      oneof
+        [
+          map (fun n -> Rdf.Iri n) name;
+          map (fun n -> Rdf.Blank n) (oneofl [ "b1"; "b2" ]);
+          map (fun s -> Rdf.Lit s) (oneofl [ "x"; "hello world"; "quo\"te"; "" ]);
+          map (fun i -> Rdf.Lit_num (float_of_int i)) (int_bound 1000);
+        ]
+    in
+    map Rdf.of_list (list_size (int_bound 15) (map3 (fun s p o -> { Rdf.s; p; o }) node name node)))
+
+let prop_turtle_roundtrip =
+  QCheck.Test.make ~name:"turtle print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Rdf.to_turtle triple_gen) (fun g ->
+      match Rdf.of_turtle (Rdf.to_turtle g) with
+      | Ok g' -> Rdf.to_list g = Rdf.to_list g'
+      | Error e -> QCheck.Test.fail_reportf "%s on:@.%s" e (Rdf.to_turtle g))
+
+let suite =
+  ( "extensions",
+    [
+      Alcotest.test_case "optional binds when present" `Quick test_optional_binds_when_present;
+      Alcotest.test_case "optional answers are maximal" `Quick test_optional_is_maximal;
+      Alcotest.test_case "optional in total patterns" `Quick test_optional_in_total_spec;
+      Alcotest.test_case "optional vars and surface syntax" `Quick test_optional_vars_and_syntax;
+      Alcotest.test_case "optional flows through conditions" `Quick test_optional_in_conditions;
+      Alcotest.test_case "publish/subscribe rule set" `Quick test_pubsub;
+      Alcotest.test_case "remote updates (Thesis 8)" `Quick test_remote_update;
+      Alcotest.test_case "remote updates trigger local rules" `Quick test_remote_update_triggers_rules;
+      Alcotest.test_case "remote updates need opt-in" `Quick test_remote_update_rejected_by_default;
+      Alcotest.test_case "store snapshot roundtrip" `Quick test_store_snapshot_roundtrip;
+      Alcotest.test_case "snapshot rejects junk" `Quick test_snapshot_rejects_junk;
+      Alcotest.test_case "network message tracing" `Quick test_network_trace;
+      Alcotest.test_case "turtle parsing" `Quick test_turtle_golden;
+      Alcotest.test_case "turtle error cases" `Quick test_turtle_errors;
+      QCheck_alcotest.to_alcotest prop_turtle_roundtrip;
+    ] )

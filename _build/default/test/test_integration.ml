@@ -1,0 +1,172 @@
+(* End-to-end scenarios: several nodes, surface-syntax programs, the
+   full message/firing pipeline — the examples, with assertions. *)
+
+open Xchange
+
+let parse src = match Parser.parse_program src with Ok rs -> rs | Error e -> Alcotest.fail e
+
+let node_of host src =
+  match node_of_program ~host src with Ok n -> n | Error e -> Alcotest.fail (host ^ ": " ^ e)
+
+(* ---- the marketplace choreography ---- *)
+
+let test_marketplace_flow () =
+  let shop =
+    node_of "shop.example"
+      {|ruleset shop {
+          procedure ship(Item, Who) {
+            log "ship %s/%s", $Item, $Who;
+            raise to "warehouse.example" pick pick[item[$Item]]
+          }
+          view gold gold[all name[$N]]
+            from in doc("/customers") customers{{customer{{name[var N], status["gold"]}}}}
+          rule incoming:
+            on order{{item[var Item], customer[var Who]}}
+            if in view(gold) gold{{name[var Who]}}
+            do call ship($Item, $Who)
+            else raise to "bank.example" invoice invoice[customer[$Who], item[$Item]]
+          rule paid(consume):
+            on seq{order{{item[var Item], customer[var Who]}},
+                   payment{{customer[var Who]}}} within 2 h
+            do call ship($Item, $Who)
+        }|}
+  in
+  let warehouse =
+    node_of "warehouse.example"
+      {|ruleset wh {
+          rule pick: on pick{{item[var I]}} do insert into "/picks" p[$I]
+        }|}
+  in
+  let bank =
+    node_of "bank.example"
+      {|ruleset bank {
+          rule invoice:
+            on invoice{{customer[var W], item[var I]}}
+            do raise to "shop.example" payment payment[customer[$W], item[$I]]
+        }|}
+  in
+  Store.add_doc (Node.store shop) "/customers"
+    (Xml.parse_exn
+       {|<customers xch:unordered="true">
+           <customer><name>franz</name><status>gold</status></customer>
+           <customer><name>mary</name><status>basic</status></customer>
+         </customers>|});
+  Store.add_doc (Node.store warehouse) "/picks" (Term.elem ~ord:Term.Unordered "picks" []);
+  let net = Network.create () in
+  List.iter (Network.add_node net) [ shop; warehouse; bank ];
+  let order item who =
+    Term.elem "order" [ Term.elem "item" [ Term.text item ]; Term.elem "customer" [ Term.text who ] ]
+  in
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "ball" "franz");
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "whistle" "mary");
+  ignore (Network.run_until_quiet net ());
+  (* franz shipped directly; mary shipped after the bank's payment *)
+  let picks = Option.get (Store.doc (Node.store warehouse) "/picks") in
+  Alcotest.(check int) "both items picked" 2 (List.length (Term.children picks));
+  Alcotest.(check (list string)) "shipping order" [ "ship ball/franz"; "ship whistle/mary" ]
+    (Node.logs shop)
+
+(* ---- trust negotiation end-to-end over the network ---- *)
+
+let test_rules_exchange_then_service () =
+  (* a node receives its entire service as a rule-set message, then
+     serves — Thesis 11's mutual exchange made concrete *)
+  let blank = node_exn ~accept_rules:true ~host:"fresh.example" (Ruleset.make "empty") in
+  Store.add_doc (Node.store blank) "/log" (Term.elem ~ord:Term.Unordered "log" []);
+  let service =
+    parse
+      {|ruleset service {
+          rule serve: on ping{{var X}} do { insert into "/log" row[$X];
+                                            raise to "client.example" pong pong[$X] }
+        }|}
+  in
+  let client =
+    node_of "client.example"
+      {|ruleset client { rule r: on pong{{var X}} do log "pong %s", $X }|}
+  in
+  let net = Network.create () in
+  Network.add_node net blank;
+  Network.add_node net client;
+  (* ship the rules, then use the service *)
+  Network.inject net ~sender:"client.example" ~to_:"fresh.example" ~label:Node.rules_label
+    (Meta.ruleset_to_term service);
+  ignore (Network.run_until_quiet net ());
+  Network.inject net ~sender:"client.example" ~to_:"fresh.example" ~label:"ping"
+    (Term.elem "ping" [ Term.text "42" ]);
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "service built from received rules works" [ "pong 42" ]
+    (Node.logs client);
+  Alcotest.(check int) "service logged the request" 1
+    (List.length (Term.children (Option.get (Store.doc (Node.store blank) "/log"))))
+
+(* ---- accumulation + remote update + atomic, combined ---- *)
+
+let test_metering_pipeline () =
+  (* a meter node aggregates readings (Agg), and atomically records each
+     window both locally and on a remote collector (remote update inside
+     an atomic block) *)
+  let meter =
+    node_of "meter.example"
+      {|ruleset meter {
+          rule window:
+            on avg($V) last 3 {reading{{value[var V]}}} as A
+            do atomic {
+                 insert into "/windows" w[$A];
+                 insert into "collector.example/all-windows" w[from["meter"], avg[$A]]
+               }
+        }|}
+  in
+  let collector = node_exn ~accept_updates:true ~host:"collector.example" (Ruleset.make "c") in
+  Store.add_doc (Node.store meter) "/windows" (Term.elem ~ord:Term.Unordered "ws" []);
+  Store.add_doc (Node.store collector) "/all-windows" (Term.elem ~ord:Term.Unordered "all" []);
+  let net = Network.create () in
+  Network.add_node net meter;
+  Network.add_node net collector;
+  for i = 1 to 5 do
+    Network.run net ~until:(i * 100);
+    Network.inject net ~to_:"meter.example" ~label:"reading"
+      (Term.elem "reading" [ Term.elem "value" [ Term.num (float_of_int (10 * i)) ] ])
+  done;
+  ignore (Network.run_until_quiet net ());
+  (* windows complete at readings 3, 4, 5 *)
+  Alcotest.(check int) "local windows" 3
+    (List.length (Term.children (Option.get (Store.doc (Node.store meter) "/windows"))));
+  Alcotest.(check int) "collector mirrors them" 3
+    (List.length (Term.children (Option.get (Store.doc (Node.store collector) "/all-windows"))));
+  Alcotest.(check bool) "updates travelled as messages" true
+    ((Network.transport_stats net).Transport.updates = 3)
+
+(* ---- derived events feeding composite queries across the stack ---- *)
+
+let test_derived_events_in_rules () =
+  let monitor =
+    node_of "mon.example"
+      {|ruleset mon {
+          # the label prefix matters: it is what the stratification
+          # check uses to prove the derivation non-recursive
+          derive spike emit anomaly anomaly[v[$V]]
+            on reading: reading{{value[var V]}}
+          rule alert(consume):
+            on times 2 {anomaly{{}}} within 1 h
+            do log "two anomalies"
+        }|}
+  in
+  let net = Network.create () in
+  Network.add_node net monitor;
+  for i = 1 to 2 do
+    Network.run net ~until:(i * Clock.minutes 5);
+    Network.inject net ~to_:"mon.example" ~label:"reading"
+      (Term.elem "reading" [ Term.elem "value" [ Term.num 99. ] ])
+  done;
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "derived events drive composite rules" [ "two anomalies" ]
+    (Node.logs monitor)
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "marketplace choreography" `Quick test_marketplace_flow;
+      Alcotest.test_case "service shipped as rules, then used" `Quick test_rules_exchange_then_service;
+      Alcotest.test_case "metering: agg + atomic + remote update" `Quick test_metering_pipeline;
+      Alcotest.test_case "derived events drive composite rules" `Quick test_derived_events_in_rules;
+    ] )

@@ -1,0 +1,386 @@
+open Xchange
+
+(* ---- golden parses ---- *)
+
+let parse_q src = match Parser.parse_qterm src with Ok q -> q | Error e -> Alcotest.fail e
+let parse_eq src = match Parser.parse_event_query src with Ok q -> q | Error e -> Alcotest.fail e
+let parse_a src = match Parser.parse_action src with Ok a -> a | Error e -> Alcotest.fail e
+let parse_c src = match Parser.parse_condition src with Ok c -> c | Error e -> Alcotest.fail e
+let parse_rs src = match Parser.parse_ruleset src with Ok r -> r | Error e -> Alcotest.fail e
+
+let test_qterm_syntax () =
+  (match parse_q {|order{{item[var I], without refund[[]]}}|} with
+  | Qterm.El e ->
+      Alcotest.(check bool) "partial unordered" true
+        (e.Qterm.spec = Qterm.Partial && e.Qterm.ord = Term.Unordered);
+      Alcotest.(check int) "two children" 2 (List.length e.Qterm.children)
+  | _ -> Alcotest.fail "not an element pattern");
+  (match parse_q {|a[@k = "v", @j = var J, var X]|} with
+  | Qterm.El e -> Alcotest.(check int) "attrs separated" 2 (List.length e.Qterm.attrs)
+  | _ -> Alcotest.fail "not an element");
+  (match parse_q {|var X -> desc b{{}}|} with
+  | Qterm.As ("X", Qterm.Desc _) -> ()
+  | _ -> Alcotest.fail "as/desc shape");
+  match parse_q {|regex "[0-9]+"|} with
+  | Qterm.Leaf (Qterm.Regex _) -> ()
+  | _ -> Alcotest.fail "regex leaf"
+
+let test_nested_closers () =
+  (* ]] and }} must split/merge correctly at every nesting *)
+  ignore (parse_q {|a[b[c[var X]]]|});
+  ignore (parse_q {|a{{b{{c{{var X}}}}}}|});
+  ignore (parse_q {|a[[b[c[[var X]]]]]|});
+  ignore (parse_a {|{ {nop; nop}; nop }|});
+  ignore (parse_a {|{{nop}}|});
+  (* five closers lex as ]] ]] ] — split/merge must recurse *)
+  ignore (parse_q {|c[[b[[var X -> any, b{var W, 31, var X}, without c[var Z, any, true]]]]]|});
+  ignore (parse_q {|a[b[[c[[var X]]]]]|})
+
+let test_event_query_syntax () =
+  (match parse_eq {|and{a{{var X}}, b{{var Y}}} within 2 h|} with
+  | Event_query.Within (Event_query.And [ _; _ ], w) ->
+      Alcotest.(check int) "2 hours" (Clock.hours 2) w
+  | _ -> Alcotest.fail "and-within shape");
+  (match parse_eq {|order: var X from "shop.example"|} with
+  | Event_query.Atomic a ->
+      Alcotest.(check (option string)) "label" (Some "order") a.Event_query.label;
+      Alcotest.(check (option string)) "sender" (Some "shop.example") a.Event_query.sender
+  | _ -> Alcotest.fail "atomic shape");
+  (match parse_eq {|times 3 {outage{{server[var S]}}} within 1 h|} with
+  | Event_query.Times (3, _, w) -> Alcotest.(check int) "window" (Clock.hours 1) w
+  | _ -> Alcotest.fail "times shape");
+  (match parse_eq {|absent{cancel{{var P}}, rebook{{var P}}} within 2 h|} with
+  | Event_query.Absent (_, _, _) -> ()
+  | _ -> Alcotest.fail "absent shape");
+  (match parse_eq {|avg($P) last 5 {price{{var P}}} as A|} with
+  | Event_query.Agg spec ->
+      Alcotest.(check string) "binder" "A" spec.Event_query.bind;
+      Alcotest.(check int) "window" 5 spec.Event_query.window
+  | _ -> Alcotest.fail "agg shape");
+  match parse_eq {|rises($P, 5, 1.05) {price{{value[var P]}}} as A|} with
+  | Event_query.Rises spec -> Alcotest.(check (float 1e-9)) "ratio" 1.05 spec.Event_query.r_ratio
+  | _ -> Alcotest.fail "rises shape"
+
+let test_condition_syntax () =
+  (match parse_c {|and(in doc("/d") a{{var X}}, $X > 3 + 1)|} with
+  | Condition.And [ Condition.In _; Condition.Cmp (Builtin.Gt, _, Builtin.O_add _) ] -> ()
+  | _ -> Alcotest.fail "condition shape");
+  match parse_c {|rdf uri("h/g") {($S iri("knows") $O)}|} with
+  | Condition.In_rdf (Condition.Remote "h/g", [ _ ]) -> ()
+  | _ -> Alcotest.fail "rdf condition shape"
+
+let test_action_syntax () =
+  (match parse_a {|insert into "/d" at "/list" pos 0 item[$X]|} with
+  | Action.Insert { at = Some 0; selector = [ _ ]; _ } -> ()
+  | _ -> Alcotest.fail "insert shape");
+  (match parse_a {|alt { fail "a" | nop }|} with
+  | Action.Alt [ Action.Fail _; Action.Nop ] -> ()
+  | _ -> Alcotest.fail "alt shape");
+  (match parse_a {|if in doc("/d") a{{}} then nop else fail "x"|} with
+  | Action.If (_, Action.Nop, Action.Fail _) -> ()
+  | _ -> Alcotest.fail "if shape");
+  (match parse_a {|raise to $Who "pick-it" pick[$I] ttl 5 min|} with
+  | Action.Raise { ttl = Some t; label = "pick-it"; _ } ->
+      Alcotest.(check int) "ttl" (Clock.minutes 5) t
+  | _ -> Alcotest.fail "raise shape");
+  match parse_a {|persist $E to "/archive"|} with
+  | Action.Create_doc { content = Construct.C_var "E"; _ } -> ()
+  | _ -> Alcotest.fail "persist shape"
+
+let test_ruleset_syntax () =
+  let rs =
+    parse_rs
+      {|ruleset shop {
+          procedure ship(I) { insert into "/out" box[$I] }
+          view v row[$X] from in doc("/d") a{{var X}}
+          derive d emit alarm alarm[$X] on big{{var X}}
+          rule r1(consume, last): on a{{var X}} if true do call ship($X) else nop
+          ruleset nested { rule r2: on b{{}} do nop }
+        }|}
+  in
+  Alcotest.(check int) "rules incl nested" 2 (Ruleset.rule_count rs);
+  Alcotest.(check int) "procedures" 1 (List.length rs.Ruleset.procedures);
+  Alcotest.(check int) "views" 1 (List.length rs.Ruleset.views);
+  Alcotest.(check int) "event rules" 1 (List.length rs.Ruleset.event_rules);
+  let r1 = List.hd rs.Ruleset.rules in
+  Alcotest.(check bool) "consume flag" true r1.Eca.consume;
+  Alcotest.(check bool) "selection flag" true (r1.Eca.selection = Incremental.Last);
+  Alcotest.(check bool) "else present" true (r1.Eca.else_action <> None)
+
+let test_parse_errors () =
+  let bad f src = match f src with Error _ -> () | Ok _ -> Alcotest.fail ("accepted: " ^ src) in
+  bad Parser.parse_qterm "order{{";
+  bad Parser.parse_qterm "2bad[]";
+  bad Parser.parse_event_query "times 0.5 {a{{}}} within 5";
+  bad Parser.parse_action "insert \"/d\" x[]";
+  bad Parser.parse_ruleset "ruleset s { rule r: on a{{}} }";
+  bad Parser.parse_ruleset "ruleset s { rule r: on a{{}} do nop";
+  bad Parser.parse_condition "in doc(42) a{{}}";
+  (* trailing garbage *)
+  bad Parser.parse_qterm "a{{}} extra"
+
+let test_comments_and_strings () =
+  let rs = parse_rs "ruleset s { # a comment\n rule r: on a{{}} do log \"hi\\n\\\"there\\\"\" }" in
+  Alcotest.(check int) "comment skipped" 1 (Ruleset.rule_count rs)
+
+(* ---- printer round trips ---- *)
+
+let roundtrip_ruleset rs =
+  let printed = Printer.ruleset_to_string rs in
+  match Parser.parse_ruleset printed with
+  | Ok rs' -> rs = rs'
+  | Error e -> Alcotest.failf "reparse failed: %s@.--@.%s" e printed
+
+let test_golden_roundtrip () =
+  let src =
+    {|ruleset shop {
+        procedure ship(Item, Dest) {
+          insert into "/shipments" shipment[item[$Item], dest[$Dest]];
+          raise to $Dest picked pick[item[$Item]] ttl 5 min
+        }
+        view gold gold[all name[$N]]
+          from in doc("/customers") customers{{customer{{name[var N], status["gold"]}}}}
+        derive big emit alarm alarm[count($I)] on order{{item[var I]}}
+        rule handle(first): on seq{order{{item[var Item]}}, pay{{}}} within 2 h
+          if in view(gold) gold{{name[var C]}}
+          do call ship($Item, $C)
+          else raise to "clerk.example" review review[item[$Item]]
+        rule sla: on times 3 {outage{{server[var S]}}} within 1 h
+          do { log "storm on %s", $S; assert into "/g" (iri("s"), "status", "down") }
+        rule expr-heavy: on m{{v[var V]}}
+          if $V * 2 - 1 >= 3 / ($V + 1)
+          do insert into "/d" x[expr($V * $V), @k = "v", lvar V []]
+      }|}
+  in
+  let rs = parse_rs src in
+  Alcotest.(check bool) "golden roundtrip" true (roundtrip_ruleset rs)
+
+(* random construct/qterm/event-query roundtrips via generated rule sets *)
+
+let small_construct_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 6) @@ QCheck.Gen.fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun v -> Construct.C_var v) Gen.var_name;
+            map (fun s -> Construct.C_text s) Gen.small_text;
+            map (fun i -> Construct.C_num (float_of_int i)) (int_bound 100);
+            map (fun b -> Construct.C_bool b) bool;
+          ]
+      else
+        frequency
+          [
+            (1, map (fun v -> Construct.C_var v) Gen.var_name);
+            (1, map (fun v -> Construct.C_agg (Construct.Sum, v)) Gen.var_name);
+            (1, map (fun c -> Construct.C_all c) (self 0));
+            ( 4,
+              map3
+                (fun label ord children ->
+                  Construct.C_el { Construct.label = `L label; attrs = []; ord; children })
+                Gen.small_label Gen.ordering
+                (list_size (int_bound 3) (self (n / 2))) );
+          ])
+
+let prop_qterm_roundtrip =
+  QCheck.Test.make ~name:"print/parse qterm roundtrip" ~count:300 Gen.qterm_arb (fun q ->
+      let printed = Printer.qterm_to_string q in
+      match Parser.parse_qterm printed with
+      | Ok q' -> q = q'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let prop_event_query_roundtrip =
+  QCheck.Test.make ~name:"print/parse event query roundtrip" ~count:300 Gen.event_query_arb
+    (fun q ->
+      let printed = Printer.event_query_to_string q in
+      match Parser.parse_event_query printed with
+      | Ok q' -> q = q'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let prop_construct_roundtrip =
+  QCheck.Test.make ~name:"print/parse construct roundtrip" ~count:300
+    (QCheck.make small_construct_gen) (fun c ->
+      let printed = Fmt.str "%a" Printer.pp_construct c in
+      match Parser.parse_construct printed with
+      | Ok c' -> c = c'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let prop_ruleset_roundtrip =
+  QCheck.Test.make ~name:"print/parse ruleset roundtrip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         map2
+           (fun q c ->
+             Ruleset.make
+               ~rules:
+                 [
+                   Eca.make ~name:"r" ~on:q
+                     ~if_:(Condition.Cmp (Builtin.Le, Builtin.ovar "X", Builtin.onum 3.))
+                     (Action.insert ~doc:"/d" c);
+                 ]
+               "s")
+           Gen.event_query_gen small_construct_gen))
+    (fun rs ->
+      let printed = Printer.ruleset_to_string rs in
+      match Parser.parse_ruleset printed with
+      | Ok rs' -> rs = rs'
+      | Error e -> QCheck.Test.fail_reportf "%s on@.%s" e printed)
+
+(* actions: generator + roundtrip *)
+
+let small_operand_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 3) @@ QCheck.Gen.fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun v -> Builtin.O_var v) Gen.var_name;
+            map (fun i -> Builtin.O_const (Term.num (float_of_int i))) (int_bound 50);
+            map (fun s -> Builtin.O_const (Term.text s)) Gen.small_text;
+          ]
+      else
+        frequency
+          [
+            (2, map (fun v -> Builtin.O_var v) Gen.var_name);
+            (1, map2 (fun a b -> Builtin.O_add (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Builtin.O_mul (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Builtin.O_concat (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Builtin.O_neg a) (self (n / 2)));
+            (1, map (fun a -> Builtin.O_size a) (self (n / 2)));
+            (1, map (fun a -> Builtin.O_iri a) (return (Builtin.O_var "X")));
+          ])
+
+let action_gen =
+  let open QCheck.Gen in
+  let doc = map (fun s -> "/" ^ s) Gen.small_label in
+  let base =
+    oneof
+      [
+        return Action.Nop;
+        map (fun s -> Action.Fail s) Gen.small_text;
+        map2 (fun f args -> Action.Log (f, args)) (oneofl [ "x"; "a %s b"; "%s%s" ])
+          (list_size (int_bound 2) small_operand_gen);
+        map2 (fun d c -> Action.insert ~doc:d c) doc small_construct_gen;
+        map (fun d -> Action.delete ~doc:d ()) doc;
+        map2 (fun d q -> Action.delete ~doc:d ~pattern:q ()) doc Gen.qterm_gen;
+        map2 (fun d c -> Action.create_doc ~doc:d c) doc small_construct_gen;
+        map (fun d -> Action.Delete_doc { doc = Builtin.ostr d }) doc;
+        map2
+          (fun r c -> Action.raise_event ~to_:r ~label:"msg" c)
+          (oneofl [ "a.example"; "b.example" ])
+          small_construct_gen;
+        map (fun v -> Action.make_persistent ~doc:"/archive" v) Gen.var_name;
+        map2 (fun name args -> Action.call name args) (oneofl [ "p"; "q" ])
+          (list_size (int_bound 2) small_operand_gen);
+        map3
+          (fun d s p -> Action.Rdf_assert { doc = Builtin.ostr d; triple = { Action.cs = s; cp = Builtin.ostr p; co = s } })
+          doc small_operand_gen Gen.small_label;
+      ]
+  in
+  sized_size (int_bound 4) @@ QCheck.Gen.fix (fun self n ->
+      if n <= 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            (1, map (fun items -> Action.Seq items) (list_size (int_range 1 3) (self (n / 2))));
+            (1, map (fun items -> Action.Atomic items) (list_size (int_range 1 3) (self (n / 2))));
+            (1, map (fun items -> Action.Alt items) (list_size (int_range 1 3) (self (n / 2))));
+            ( 1,
+              map3
+                (fun c a b -> Action.If (c, a, b))
+                (oneofl
+                   [
+                     Condition.True;
+                     Condition.Cmp (Builtin.Le, Builtin.ovar "X", Builtin.onum 3.);
+                   ])
+                (self (n / 2)) (self (n / 2)) );
+          ])
+
+let prop_action_roundtrip =
+  QCheck.Test.make ~name:"print/parse action roundtrip" ~count:300 (QCheck.make action_gen)
+    (fun a ->
+      let printed = Printer.action_to_string a in
+      match Parser.parse_action printed with
+      | Ok a' -> a = a'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let prop_condition_roundtrip =
+  QCheck.Test.make ~name:"print/parse condition roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         sized_size (int_bound 3) @@ QCheck.Gen.fix (fun self n ->
+             let base =
+               oneof
+                 [
+                   return Condition.True;
+                   return Condition.False;
+                   map2
+                     (fun d q -> Condition.In (Condition.Local d, q))
+                     (map (fun s -> "/" ^ s) Gen.small_label)
+                     Gen.qterm_gen;
+                   map2
+                     (fun a b -> Condition.Cmp (Builtin.Lt, a, b))
+                     small_operand_gen small_operand_gen;
+                 ]
+             in
+             if n <= 0 then base
+             else
+               frequency
+                 [
+                   (2, base);
+                   (1, map (fun cs -> Condition.And cs) (list_size (int_range 1 2) (self (n / 2))));
+                   (1, map (fun cs -> Condition.Or cs) (list_size (int_range 1 2) (self (n / 2))));
+                   (1, map (fun c -> Condition.Not c) (self (n / 2)));
+                 ])))
+    (fun c ->
+      let printed = Printer.condition_to_string c in
+      match Parser.parse_condition printed with
+      | Ok c' -> c = c'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+(* ---- meta (Thesis 11) ---- *)
+
+let test_meta_roundtrip () =
+  let rs =
+    parse_rs
+      {|ruleset policy { rule p: on request{{item["cc"]}} if in doc("/disclosed") d{{cred["bbb"]}} do raise to "cust" disclose disclose[item["cc"]] }|}
+  in
+  match Meta.ruleset_of_term (Meta.ruleset_to_term rs) with
+  | Ok rs' -> Alcotest.(check bool) "lossless" true (rs = rs')
+  | Error e -> Alcotest.fail e
+
+let test_meta_rejects_junk () =
+  (match Meta.ruleset_of_term (Term.text "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted");
+  match Meta.ruleset_of_term (Term.elem Meta.ruleset_label [ Term.text "syntax error {" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad program accepted"
+
+let test_meta_size () =
+  let rs = Ruleset.make "s" in
+  Alcotest.(check bool) "size positive" true (Meta.size_bytes rs > 5)
+
+let suite =
+  ( "lang",
+    [
+      Alcotest.test_case "query term syntax" `Quick test_qterm_syntax;
+      Alcotest.test_case "nested bracket splitting" `Quick test_nested_closers;
+      Alcotest.test_case "event query syntax" `Quick test_event_query_syntax;
+      Alcotest.test_case "condition syntax" `Quick test_condition_syntax;
+      Alcotest.test_case "action syntax" `Quick test_action_syntax;
+      Alcotest.test_case "ruleset syntax" `Quick test_ruleset_syntax;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "comments and string escapes" `Quick test_comments_and_strings;
+      Alcotest.test_case "golden program roundtrip" `Quick test_golden_roundtrip;
+      QCheck_alcotest.to_alcotest prop_qterm_roundtrip;
+      QCheck_alcotest.to_alcotest prop_event_query_roundtrip;
+      QCheck_alcotest.to_alcotest prop_construct_roundtrip;
+      QCheck_alcotest.to_alcotest prop_ruleset_roundtrip;
+      QCheck_alcotest.to_alcotest prop_action_roundtrip;
+      QCheck_alcotest.to_alcotest prop_condition_roundtrip;
+      Alcotest.test_case "meta reification roundtrip" `Quick test_meta_roundtrip;
+      Alcotest.test_case "meta rejects junk" `Quick test_meta_rejects_junk;
+      Alcotest.test_case "meta wire size" `Quick test_meta_size;
+    ] )

@@ -1,0 +1,195 @@
+(* Long-tail coverage: printers, durations, EDSL shorthands, trust
+   branch selection, authorization wildcards, network odds and ends. *)
+
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+
+(* ---- duration and number printing roundtrips ---- *)
+
+let test_duration_printing () =
+  let roundtrip span =
+    let printed = Fmt.str "%a" Printer.pp_duration span in
+    (* reuse the raise-action grammar to re-parse the duration *)
+    match Parser.parse_action (Fmt.str "raise to \"x\" e e[] ttl %s" printed) with
+    | Ok (Action.Raise { ttl = Some t; _ }) -> t
+    | Ok _ | Error _ -> Alcotest.fail ("could not reparse duration " ^ printed)
+  in
+  List.iter
+    (fun s -> Alcotest.(check int) "duration roundtrip" s (roundtrip s))
+    [ 1; 250; 1000; 90_000; Clock.minutes 5; Clock.hours 2; Clock.hours 2 + 1 ]
+
+let test_number_printing () =
+  let roundtrip f =
+    match Parser.parse_construct (Fmt.str "%a" Printer.pp_construct (Construct.C_num f)) with
+    | Ok (Construct.C_num f') -> f'
+    | Ok _ -> Alcotest.fail "not a number"
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun f -> Alcotest.(check (float 0.)) "float roundtrip exact" f (roundtrip f))
+    [ 0.; 1.; -1.; 1.05; 3.14159265358979; 1e-3; 123456789.25; -0.75 ]
+
+let test_quoting_in_printer () =
+  (* labels colliding with keywords are quoted and re-read as the same *)
+  let q = Qterm.el "within" [ Qterm.pos (Qterm.el "rule" [ Qterm.pos (Qterm.var "X") ]) ] in
+  match Parser.parse_qterm (Printer.qterm_to_string q) with
+  | Ok q' -> Alcotest.(check bool) "keyword labels roundtrip" true (q = q')
+  | Error e -> Alcotest.fail e
+
+(* ---- the EDSL façade ---- *)
+
+let test_edsl () =
+  let open Edsl in
+  let rule =
+    rule ~name:"r"
+      ~on:(on ~label:"order" (q_el "order" [ q_pos (q_kv "item" "I") ]))
+      (Action.insert ~doc:"/d" (c_el "row" [ c_var "I" ]))
+  in
+  let engine = Incremental.create_exn rule.Eca.event in
+  let e =
+    Event.make ~occurred_at:1 ~label:"order" (t_el "order" [ t_el "item" [ t_txt "ball" ] ])
+  in
+  (match Incremental.feed engine e with
+  | [ d ] ->
+      Alcotest.check term "binding" (Term.text "ball") (Option.get (Subst.find "I" d.Instance.subst))
+  | _ -> Alcotest.fail "expected one detection");
+  Alcotest.(check (option (float 1e-9))) "t_num / t_int" (Some 4.) (Term.as_num (t_num 4.));
+  Alcotest.(check bool) "q_txt" true (Simulate.holds (q_child "a" (q_txt "x")) (t_el "a" [ t_txt "x" ]));
+  Alcotest.(check bool) "c_txt / c_kv" true
+    (Construct.instantiate (c_kv "a" "X")
+       (Option.get (Subst.of_list [ ("X", t_int 1) ]))
+       []
+    <> Error "")
+
+(* ---- trust: requirement branches and policy gating ---- *)
+
+let test_trust_multi_branch_requirement () =
+  (* the shop accepts credit card OR (student-id AND voucher); the
+     customer can only satisfy the second branch... but the negotiation
+     deterministically pursues the FIRST branch, so the deal fails —
+     documenting the (deliberate) non-exploring strategy *)
+  let customer =
+    {
+      Trust.name = "cust";
+      credentials = [ "credit-card" ];
+      policies = [ Trust.policy ~item:"credit-card" Trust.freely ];
+    }
+  in
+  let shop =
+    {
+      Trust.name = "shop";
+      credentials = [ "purchase" ];
+      policies = [ Trust.policy ~item:"purchase" [ [ "credit-card" ]; [ "student-id"; "voucher" ] ] ];
+    }
+  in
+  let o = Trust.negotiate ~strategy:Trust.Reactive ~requester:customer ~responder:shop ~goal:"purchase" () in
+  Alcotest.(check bool) "first branch satisfiable: deal" true o.Trust.granted
+
+let test_trust_policy_gating () =
+  (* a policy that is itself locked is not disclosed until the lock
+     opens *)
+  let customer =
+    {
+      Trust.name = "cust";
+      credentials = [ "credit-card"; "loyalty-card" ];
+      policies =
+        [
+          Trust.policy ~item:"loyalty-card" Trust.freely;
+          (* the credit-card policy is only disclosed to shops that
+             showed a bbb membership *)
+          Trust.policy ~sensitive:true ~unlocked_by:[ [ "bbb-membership" ] ]
+            ~item:"credit-card" [ [ "bbb-membership" ] ];
+        ];
+    }
+  in
+  let shop =
+    {
+      Trust.name = "shop";
+      credentials = [ "purchase"; "bbb-membership" ];
+      policies =
+        [
+          Trust.policy ~item:"purchase" [ [ "credit-card" ] ];
+          Trust.policy ~item:"bbb-membership" Trust.freely;
+        ];
+    }
+  in
+  let o = Trust.negotiate ~strategy:Trust.Reactive ~requester:customer ~responder:shop ~goal:"purchase" () in
+  Alcotest.(check bool) "gated policy still leads to a deal" true o.Trust.granted;
+  (* the gated policy was only sent after the membership arrived *)
+  let disclosure_round item =
+    let rec go i = function
+      | [] -> Alcotest.fail (item ^ " never sent")
+      | (s : Trust.step) :: rest ->
+          if List.mem item s.Trust.sent_policies then i else go (i + 1) rest
+    in
+    go 0 o.Trust.transcript
+  in
+  Alcotest.(check bool) "credit-card policy after membership" true
+    (disclosure_round "credit-card" > disclosure_round "bbb-membership")
+
+(* ---- authz corner cases ---- *)
+
+let test_authz_wildcards () =
+  let policy = [ Authz.entry ~principal:"*" ~resource:"*" Authz.Allow ] in
+  Alcotest.(check bool) "allow-all" true
+    (Authz.allowed policy ~principal:"anyone" ~resource:"/x" ~operation:Authz.Read);
+  Alcotest.(check bool) "empty policy denies" false
+    (Authz.allowed [] ~principal:"anyone" ~resource:"/x" ~operation:Authz.Read);
+  (* operation-specific entries do not leak to other operations *)
+  let p2 = [ Authz.entry ~operation:Authz.Read ~principal:"*" ~resource:"*" Authz.Allow ] in
+  Alcotest.(check bool) "read allowed" true
+    (Authz.allowed p2 ~principal:"x" ~resource:"/y" ~operation:Authz.Read);
+  Alcotest.(check bool) "write denied" false
+    (Authz.allowed p2 ~principal:"x" ~resource:"/y" ~operation:Authz.Write)
+
+(* ---- network odds and ends ---- *)
+
+let test_network_misc () =
+  let net = Network.create () in
+  let a = node_exn ~host:"a.example" (Ruleset.make "a") in
+  Network.add_node net a;
+  Alcotest.(check (list string)) "hosts" [ "a.example" ] (Network.hosts net);
+  Alcotest.(check bool) "node lookup" true (Network.node net "a.example" <> None);
+  Alcotest.(check bool) "missing node" true (Network.node net "b.example" = None);
+  (match Network.node_exn net "nope.example" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "node_exn on unknown host");
+  (* duplicate host rejected *)
+  match Network.add_node net (node_exn ~host:"a.example" (Ruleset.make "dup")) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate host accepted"
+
+let test_ticker_phase () =
+  let net = Network.create () in
+  let fired = ref [] in
+  Network.add_ticker net ~phase:10 ~period:100 (fun now -> fired := now :: !fired);
+  Network.run net ~until:250;
+  Alcotest.(check (list int)) "phase then period" [ 10; 110; 210 ] (List.rev !fired)
+
+let test_message_pp () =
+  let m =
+    Message.make ~from_host:"a" ~to_host:"b" ~sent_at:3 (Message.Get { req_id = 1; path = "/x" })
+  in
+  let s = Fmt.str "%a" Message.pp m in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions kind" true (contains s "GET /x")
+
+let suite =
+  ( "misc",
+    [
+      Alcotest.test_case "duration printing roundtrips" `Quick test_duration_printing;
+      Alcotest.test_case "number printing roundtrips" `Quick test_number_printing;
+      Alcotest.test_case "keyword labels are quoted" `Quick test_quoting_in_printer;
+      Alcotest.test_case "EDSL shorthands" `Quick test_edsl;
+      Alcotest.test_case "trust requirement branches" `Quick test_trust_multi_branch_requirement;
+      Alcotest.test_case "trust policy gating order" `Quick test_trust_policy_gating;
+      Alcotest.test_case "authorization wildcards" `Quick test_authz_wildcards;
+      Alcotest.test_case "network registry" `Quick test_network_misc;
+      Alcotest.test_case "ticker phase" `Quick test_ticker_phase;
+      Alcotest.test_case "message printing" `Quick test_message_pp;
+    ] )

@@ -1,0 +1,109 @@
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let doc =
+  Term.elem "library"
+    [
+      Term.elem "shelf" [ Term.elem "book" [ Term.text "iliad" ]; Term.elem "dvd" [] ];
+      Term.elem "shelf" [ Term.elem "book" [ Term.text "odyssey" ] ];
+      Term.elem "desk" [ Term.elem "book" [ Term.text "notes" ] ];
+    ]
+
+let sel s = match Path.parse_selector s with Ok x -> x | Error e -> Alcotest.fail e
+
+let test_parse_selector () =
+  Alcotest.(check int) "three steps" 3 (List.length (sel "/a/b/c"));
+  Alcotest.(check int) "descendant" 1 (List.length (sel "//book"));
+  Alcotest.(check int) "root" 0 (List.length (sel "/"));
+  (match Path.parse_selector "/a//" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty step accepted");
+  Alcotest.(check string)
+    "pp roundtrip" "/a//b/*"
+    (Fmt.str "%a" Path.pp_selector (sel "/a//b/*"))
+
+let test_select_child () =
+  let hits = Path.select doc (sel "/shelf") in
+  Alcotest.(check int) "two shelves" 2 (List.length hits);
+  let books = Path.select doc (sel "/shelf/book") in
+  Alcotest.(check int) "books on shelves" 2 (List.length books)
+
+let test_select_descendant () =
+  let books = Path.select doc (sel "//book") in
+  Alcotest.(check int) "all books" 3 (List.length books);
+  let any = Path.select doc (sel "/*") in
+  Alcotest.(check int) "all top children" 3 (List.length any)
+
+let test_select_excludes_self () =
+  let self = Path.select doc (sel "//library") in
+  Alcotest.(check int) "descendant axis excludes context" 0 (List.length self)
+
+let test_get () =
+  Alcotest.(check (option term)) "get root" (Some doc) (Path.get doc []);
+  Alcotest.(check (option term))
+    "get nested" (Some (Term.text "odyssey"))
+    (Path.get doc [ 1; 0; 0 ]);
+  Alcotest.(check (option term)) "out of range" None (Path.get doc [ 9 ])
+
+let test_replace () =
+  let t = Term.elem "a" [ Term.text "x" ] in
+  let t' = Option.get (Path.replace t [ 0 ] (Term.text "y")) in
+  Alcotest.check term "replaced" (Term.elem "a" [ Term.text "y" ]) t';
+  Alcotest.check term "replace root" (Term.text "r") (Option.get (Path.replace t [] (Term.text "r")));
+  Alcotest.(check (option term)) "invalid path" None (Path.replace t [ 5 ] (Term.text "y"))
+
+let test_delete () =
+  let t = Term.elem "a" [ Term.text "x"; Term.text "y" ] in
+  Alcotest.check term "delete first" (Term.elem "a" [ Term.text "y" ])
+    (Option.get (Path.delete t [ 0 ]));
+  Alcotest.(check (option term)) "cannot delete root" None (Path.delete t []);
+  Alcotest.(check (option term)) "bad index" None (Path.delete t [ 7 ])
+
+let test_insert_child () =
+  let t = Term.elem "a" [ Term.text "x" ] in
+  Alcotest.check term "append"
+    (Term.elem "a" [ Term.text "x"; Term.text "y" ])
+    (Option.get (Path.insert_child t [] (Term.text "y")));
+  Alcotest.check term "prepend"
+    (Term.elem "a" [ Term.text "y"; Term.text "x" ])
+    (Option.get (Path.insert_child ~at:0 t [] (Term.text "y")));
+  Alcotest.(check (option term)) "cannot insert into leaf" None
+    (Path.insert_child t [ 0 ] (Term.text "y"))
+
+let prop_select_paths_valid =
+  QCheck.Test.make ~name:"selected paths resolve to the selected node" ~count:200
+    Gen.xml_term_arb (fun t ->
+      let hits = Path.select t [ (Path.Descendant, Path.Any) ] in
+      List.for_all
+        (fun (p, node) ->
+          match Path.get t p with Some found -> Term.equal found node | None -> false)
+        hits)
+
+let prop_replace_get =
+  QCheck.Test.make ~name:"get after replace yields replacement" ~count:200 Gen.xml_term_arb
+    (fun t ->
+      let hits = Path.select t [ (Path.Descendant, Path.Any) ] in
+      match hits with
+      | [] -> true
+      | (p, _) :: _ -> (
+          let marker = Term.text "MARK" in
+          match Path.replace t p marker with
+          | None -> false
+          | Some t' -> (
+              match Path.get t' p with Some got -> Term.equal got marker | None -> false)))
+
+let suite =
+  ( "path",
+    [
+      Alcotest.test_case "selector parsing" `Quick test_parse_selector;
+      Alcotest.test_case "child selection" `Quick test_select_child;
+      Alcotest.test_case "descendant selection" `Quick test_select_descendant;
+      Alcotest.test_case "descendant excludes self" `Quick test_select_excludes_self;
+      Alcotest.test_case "positional get" `Quick test_get;
+      Alcotest.test_case "replace" `Quick test_replace;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "insert child" `Quick test_insert_child;
+      QCheck_alcotest.to_alcotest prop_select_paths_valid;
+      QCheck_alcotest.to_alcotest prop_replace_get;
+    ] )

@@ -1,0 +1,328 @@
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+let subst_set = Alcotest.testable Subst.pp_set (fun a b -> Subst.dedup a = Subst.dedup b)
+
+(* ---- Subst ---- *)
+
+let test_subst_add_merge () =
+  let s = Option.get (Subst.add "X" (Term.text "a") Subst.empty) in
+  Alcotest.(check (option term)) "find" (Some (Term.text "a")) (Subst.find "X" s);
+  Alcotest.(check bool) "conflicting add" true (Subst.add "X" (Term.text "b") s = None);
+  Alcotest.(check bool) "compatible add" true (Subst.add "X" (Term.text "a") s <> None);
+  let s2 = Option.get (Subst.add "Y" (Term.int 1) Subst.empty) in
+  let merged = Option.get (Subst.merge s s2) in
+  Alcotest.(check (list string)) "domain" [ "X"; "Y" ] (Subst.domain merged)
+
+let test_subst_join () =
+  let mk l = Option.get (Subst.of_list l) in
+  let a = [ mk [ ("X", Term.text "1") ]; mk [ ("X", Term.text "2") ] ] in
+  let b = [ mk [ ("X", Term.text "2"); ("Y", Term.text "q") ] ] in
+  let joined = Subst.join a b in
+  Alcotest.(check int) "only compatible pairs" 1 (List.length joined);
+  Alcotest.(check (option term)) "kept Y" (Some (Term.text "q")) (Subst.find "Y" (List.hd joined))
+
+let test_subst_restrict () =
+  let s = Option.get (Subst.of_list [ ("X", Term.int 1); ("Y", Term.int 2) ]) in
+  Alcotest.(check (list string)) "restricted" [ "X" ] (Subst.domain (Subst.restrict [ "X" ] s))
+
+(* ---- Simulate ---- *)
+
+let matches q t = Simulate.matches q t
+let n_matches q t = List.length (matches q t)
+
+let data =
+  Term.elem "order"
+    [
+      Term.elem "item" [ Term.text "ball" ];
+      Term.elem "item" [ Term.text "shoe" ];
+      Term.elem "customer" ~attrs:[ ("vip", "yes") ] [ Term.text "franz" ];
+    ]
+
+let test_var_binds () =
+  let q = Qterm.el ~spec:Qterm.Partial "order" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "I") ]) ] in
+  let answers = matches q data in
+  Alcotest.(check int) "two items" 2 (List.length answers);
+  let values = List.filter_map (Subst.find "I") answers in
+  Alcotest.check (Alcotest.list term) "values" [ Term.text "ball"; Term.text "shoe" ]
+    (List.sort Term.compare values)
+
+let test_total_vs_partial () =
+  let d = Term.elem "a" [ Term.text "x"; Term.text "y" ] in
+  Alcotest.(check int) "partial with one child matches" 1
+    (n_matches (Qterm.el ~ord:Term.Ordered ~spec:Qterm.Partial "a" [ Qterm.pos (Qterm.txt "x") ]) d);
+  Alcotest.(check int) "total with one child fails" 0
+    (n_matches (Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "a" [ Qterm.pos (Qterm.txt "x") ]) d);
+  Alcotest.(check int) "total with both children matches" 1
+    (n_matches
+       (Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "a"
+          [ Qterm.pos (Qterm.txt "x"); Qterm.pos (Qterm.txt "y") ])
+       d)
+
+let test_ordered_vs_unordered () =
+  let d = Term.elem ~ord:Term.Ordered "a" [ Term.text "x"; Term.text "y" ] in
+  let swapped ord spec = Qterm.el ~ord ~spec "a" [ Qterm.pos (Qterm.txt "y"); Qterm.pos (Qterm.txt "x") ] in
+  Alcotest.(check int) "ordered pattern respects order" 0
+    (n_matches (swapped Term.Ordered Qterm.Total) d);
+  Alcotest.(check int) "unordered pattern ignores order" 1
+    (n_matches (swapped Term.Unordered Qterm.Total) d);
+  (* unordered data makes even ordered patterns order-insensitive *)
+  let du = Term.elem ~ord:Term.Unordered "a" [ Term.text "x"; Term.text "y" ] in
+  Alcotest.(check int) "unordered data" 1 (n_matches (swapped Term.Ordered Qterm.Total) du)
+
+let test_ordered_partial_subsequence () =
+  let d = Term.elem "a" [ Term.text "1"; Term.text "2"; Term.text "3" ] in
+  let q13 = Qterm.el ~ord:Term.Ordered ~spec:Qterm.Partial "a" [ Qterm.pos (Qterm.txt "1"); Qterm.pos (Qterm.txt "3") ] in
+  let q31 = Qterm.el ~ord:Term.Ordered ~spec:Qterm.Partial "a" [ Qterm.pos (Qterm.txt "3"); Qterm.pos (Qterm.txt "1") ] in
+  Alcotest.(check int) "subsequence ok" 1 (n_matches q13 d);
+  Alcotest.(check int) "wrong order" 0 (n_matches q31 d)
+
+let test_injectivity () =
+  (* two pattern children cannot consume the same data child *)
+  let d = Term.elem "a" [ Term.text "x" ] in
+  let q =
+    Qterm.el ~ord:Term.Unordered ~spec:Qterm.Partial "a"
+      [ Qterm.pos (Qterm.txt "x"); Qterm.pos (Qterm.txt "x") ]
+  in
+  Alcotest.(check int) "injective" 0 (n_matches q d);
+  (* with two copies the match succeeds; both embeddings produce the
+     same (empty) substitution, so there is one answer *)
+  let d2 = Term.elem "a" [ Term.text "x"; Term.text "x" ] in
+  Alcotest.(check int) "two copies available" 1 (n_matches q d2)
+
+let test_without () =
+  let q_no_vip =
+    Qterm.el "order" [ Qterm.without (Qterm.el "customer" ~attrs:[ ("vip", Qterm.A_is "yes") ] []) ]
+  in
+  Alcotest.(check int) "vip present blocks" 0 (n_matches q_no_vip data);
+  let q_no_refund = Qterm.el "order" [ Qterm.without (Qterm.el "refund" []) ] in
+  Alcotest.(check int) "absent matches" 1 (n_matches q_no_refund data)
+
+let test_without_with_bindings () =
+  (* without sees the bindings of positive siblings *)
+  let d =
+    Term.elem ~ord:Term.Unordered "r"
+      [
+        Term.elem "item" [ Term.text "a" ];
+        Term.elem "item" [ Term.text "b" ];
+        Term.elem "banned" [ Term.text "a" ];
+      ]
+  in
+  let q =
+    Qterm.el "r"
+      [
+        Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "X") ]);
+        Qterm.without (Qterm.el "banned" [ Qterm.pos (Qterm.var "X") ]);
+      ]
+  in
+  let answers = matches q d in
+  Alcotest.(check int) "only unbanned item" 1 (List.length answers);
+  Alcotest.(check (option term)) "b survives" (Some (Term.text "b"))
+    (Subst.find "X" (List.hd answers))
+
+let test_desc () =
+  let d = Term.elem "a" [ Term.elem "b" [ Term.elem "c" [ Term.text "deep" ] ] ] in
+  let q = Qterm.desc (Qterm.el "c" [ Qterm.pos (Qterm.var "X") ]) in
+  let answers = matches q d in
+  Alcotest.(check int) "found at depth" 1 (List.length answers);
+  Alcotest.(check int) "anywhere variant agrees" 1
+    (List.length (Simulate.matches_anywhere (Qterm.el "c" [ Qterm.pos (Qterm.var "X") ]) d))
+
+let test_label_var_and_any () =
+  let d = Term.elem "thing" [ Term.text "v" ] in
+  let q = Qterm.El { Qterm.label = Qterm.L_var "L"; attrs = []; ord = Term.Unordered; spec = Qterm.Partial; children = [] } in
+  (match matches q d with
+  | [ s ] -> Alcotest.(check (option term)) "label bound" (Some (Term.text "thing")) (Subst.find "L" s)
+  | _ -> Alcotest.fail "expected one answer");
+  let qany = Qterm.El { Qterm.label = Qterm.L_any; attrs = []; ord = Term.Unordered; spec = Qterm.Partial; children = [] } in
+  Alcotest.(check int) "wildcard label" 1 (n_matches qany d)
+
+let test_attrs () =
+  let q = Qterm.el "customer" ~attrs:[ ("vip", Qterm.A_var "V") ] [] in
+  (match Simulate.matches_anywhere q data with
+  | [ s ] -> Alcotest.(check (option term)) "attr bound" (Some (Term.text "yes")) (Subst.find "V" s)
+  | _ -> Alcotest.fail "expected one answer");
+  Alcotest.(check int) "missing attr" 0
+    (List.length (Simulate.matches_anywhere (Qterm.el "customer" ~attrs:[ ("zz", Qterm.A_any) ] []) data))
+
+let test_regex () =
+  let d = Term.elem "a" [ Term.text "hello42" ] in
+  Alcotest.(check int) "full match required" 1
+    (n_matches (Qterm.el "a" [ Qterm.pos (Qterm.regex "[a-z]+\\d+") ]) d);
+  Alcotest.(check int) "partial regex rejected" 0
+    (n_matches (Qterm.el "a" [ Qterm.pos (Qterm.regex "[a-z]+") ]) d)
+
+let test_seeding () =
+  let q = Qterm.el ~spec:Qterm.Partial "order" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "I") ]) ] in
+  let seed = Option.get (Subst.of_list [ ("I", Term.text "ball") ]) in
+  Alcotest.(check int) "seed constrains" 1 (List.length (Simulate.matches ~seed q data))
+
+let test_shared_var_join () =
+  let d =
+    Term.elem ~ord:Term.Unordered "db"
+      [
+        Term.elem "emp" [ Term.text "ann"; Term.text "it" ];
+        Term.elem "emp" [ Term.text "bob"; Term.text "hr" ];
+        Term.elem "dept" [ Term.text "it" ];
+      ]
+  in
+  let q =
+    Qterm.el "db"
+      [
+        Qterm.pos (Qterm.el ~ord:Term.Ordered ~spec:Qterm.Total "emp" [ Qterm.pos (Qterm.var "N"); Qterm.pos (Qterm.var "D") ]);
+        Qterm.pos (Qterm.el "dept" [ Qterm.pos (Qterm.var "D") ]);
+      ]
+  in
+  let answers = matches q d in
+  Alcotest.(check int) "join on D" 1 (List.length answers);
+  Alcotest.(check (option term)) "ann" (Some (Term.text "ann")) (Subst.find "N" (List.hd answers))
+
+let test_qterm_validate () =
+  (match Qterm.validate (Qterm.el "a" [ Qterm.without (Qterm.var "X") ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "without-only variable accepted");
+  (match Qterm.validate (Qterm.Leaf (Qterm.Regex "[")) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad regex accepted");
+  match
+    Qterm.validate
+      (Qterm.el "a" [ Qterm.pos (Qterm.var "X"); Qterm.without (Qterm.el "b" [ Qterm.pos (Qterm.var "X") ]) ])
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_qterm_vars () =
+  let q =
+    Qterm.el "a"
+      [ Qterm.pos (Qterm.As ("W", Qterm.var "X")); Qterm.without (Qterm.var "N") ]
+  in
+  Alcotest.(check (list string)) "vars exclude negated" [ "W"; "X" ] (Qterm.vars q)
+
+let prop_var_matches_everything =
+  QCheck.Test.make ~name:"var matches any term, binding it" ~count:200 Gen.term_arb (fun t ->
+      match matches (Qterm.var "X") t with
+      | [ s ] -> Subst.find "X" s = Some (Term.strip_ids t)
+      | _ -> false)
+
+let prop_total_self_match =
+  QCheck.Test.make ~name:"a term matches its own exact pattern" ~count:200 Gen.xml_term_arb
+    (fun t ->
+      (* derive the exact total pattern of a term *)
+      let rec pattern_of t =
+        match t with
+        | Term.Text s -> Qterm.Leaf (Qterm.Text_is s)
+        | Term.Num f -> Qterm.Leaf (Qterm.Num_is f)
+        | Term.Bool b -> Qterm.Leaf (Qterm.Bool_is b)
+        | Term.Elem e ->
+            Qterm.El
+              {
+                Qterm.label = Qterm.L e.Term.label;
+                attrs = List.map (fun (k, v) -> (k, Qterm.A_is v)) e.Term.attrs;
+                ord = e.Term.ord;
+                spec = Qterm.Total;
+                children = List.map (fun c -> Qterm.pos (pattern_of c)) e.Term.children;
+              }
+      in
+      matches (pattern_of t) t <> [])
+
+let prop_partial_weaker_than_total =
+  QCheck.Test.make ~name:"total match implies partial match" ~count:200
+    (QCheck.pair Gen.qterm_arb Gen.term_arb) (fun (q, t) ->
+      let rec relax q =
+        match q with
+        | Qterm.El e -> Qterm.El { e with Qterm.spec = Qterm.Partial; children = List.map relax_child e.Qterm.children }
+        | Qterm.As (v, inner) -> Qterm.As (v, relax inner)
+        | Qterm.Desc inner -> Qterm.Desc (relax inner)
+        | Qterm.Var _ | Qterm.Leaf _ -> q
+      and relax_child = function
+        | Qterm.Pos p -> Qterm.Pos (relax p)
+        | Qterm.Without w -> Qterm.Without w
+        | Qterm.Opt p -> Qterm.Opt (relax p)
+      in
+      let total_answers = matches q t in
+      total_answers = [] || matches (relax q) t <> [])
+
+let prop_seed_restricts =
+  QCheck.Test.make ~name:"seeded answers are a subset of unseeded" ~count:200
+    (QCheck.pair Gen.qterm_arb Gen.term_arb) (fun (q, t) ->
+      let all = matches q t in
+      match all with
+      | [] -> true
+      | first :: _ ->
+          let seeded = Simulate.matches ~seed:first q t in
+          List.for_all (fun s -> List.exists (Subst.equal s) all) seeded
+          && List.exists (Subst.equal first) seeded)
+
+let subst_gen =
+  QCheck.Gen.(
+    map
+      (fun pairs ->
+        List.fold_left
+          (fun s (v, t) -> match Subst.add v t s with Some s' -> s' | None -> s)
+          Subst.empty pairs)
+      (list_size (int_bound 4) (pair Gen.var_name Gen.term_gen)))
+
+let subst_arb = QCheck.make ~print:(Fmt.str "%a" Subst.pp) subst_gen
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative" ~count:300 (QCheck.pair subst_arb subst_arb)
+    (fun (a, b) ->
+      match (Subst.merge a b, Subst.merge b a) with
+      | Some x, Some y -> Subst.equal x y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:300
+    (QCheck.triple subst_arb subst_arb subst_arb) (fun (a, b, c) ->
+      let lhs = Option.bind (Subst.merge a b) (fun ab -> Subst.merge ab c) in
+      let rhs = Option.bind (Subst.merge b c) (fun bc -> Subst.merge a bc) in
+      match (lhs, rhs) with
+      | Some x, Some y -> Subst.equal x y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_merge_identity =
+  QCheck.Test.make ~name:"empty is a merge identity" ~count:300 subst_arb (fun s ->
+      match Subst.merge s Subst.empty with Some s' -> Subst.equal s s' | None -> false)
+
+let prop_restrict_domain =
+  QCheck.Test.make ~name:"restrict keeps only named variables" ~count:300 subst_arb (fun s ->
+      match Subst.domain s with
+      | [] -> true
+      | v :: _ ->
+          let r = Subst.restrict [ v ] s in
+          Subst.domain r = [ v ] && Subst.find v r = Subst.find v s)
+
+let suite =
+  ( "query",
+    [
+      Alcotest.test_case "substitution add/merge" `Quick test_subst_add_merge;
+      Alcotest.test_case "binding-set join" `Quick test_subst_join;
+      Alcotest.test_case "restriction" `Quick test_subst_restrict;
+      Alcotest.test_case "variables bind extracted data" `Quick test_var_binds;
+      Alcotest.test_case "total vs partial breadth" `Quick test_total_vs_partial;
+      Alcotest.test_case "ordered vs unordered" `Quick test_ordered_vs_unordered;
+      Alcotest.test_case "ordered partial = subsequence" `Quick test_ordered_partial_subsequence;
+      Alcotest.test_case "children matching is injective" `Quick test_injectivity;
+      Alcotest.test_case "without (negated subterms)" `Quick test_without;
+      Alcotest.test_case "without sees sibling bindings" `Quick test_without_with_bindings;
+      Alcotest.test_case "descendant matching" `Quick test_desc;
+      Alcotest.test_case "label variables and wildcards" `Quick test_label_var_and_any;
+      Alcotest.test_case "attribute patterns" `Quick test_attrs;
+      Alcotest.test_case "regex leaves (full match)" `Quick test_regex;
+      Alcotest.test_case "seeded matching" `Quick test_seeding;
+      Alcotest.test_case "shared variables join" `Quick test_shared_var_join;
+      Alcotest.test_case "qterm validation" `Quick test_qterm_validate;
+      Alcotest.test_case "qterm vars analysis" `Quick test_qterm_vars;
+      QCheck_alcotest.to_alcotest prop_var_matches_everything;
+      QCheck_alcotest.to_alcotest prop_total_self_match;
+      QCheck_alcotest.to_alcotest prop_partial_weaker_than_total;
+      QCheck_alcotest.to_alcotest prop_seed_restricts;
+      QCheck_alcotest.to_alcotest prop_merge_commutative;
+      QCheck_alcotest.to_alcotest prop_merge_associative;
+      QCheck_alcotest.to_alcotest prop_merge_identity;
+      QCheck_alcotest.to_alcotest prop_restrict_domain;
+    ] )
+
+let _ = subst_set

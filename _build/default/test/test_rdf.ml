@@ -1,0 +1,222 @@
+open Xchange
+
+let iri s = Rdf.Iri s
+let tr s p o = { Rdf.s; p; o }
+
+let test_graph_basics () =
+  let g = Rdf.create () in
+  Alcotest.(check bool) "add fresh" true (Rdf.add g (tr (iri "a") "p" (Rdf.Lit "x")));
+  Alcotest.(check bool) "add dup" false (Rdf.add g (tr (iri "a") "p" (Rdf.Lit "x")));
+  Alcotest.(check int) "size" 1 (Rdf.size g);
+  Alcotest.(check bool) "mem" true (Rdf.mem g (tr (iri "a") "p" (Rdf.Lit "x")));
+  Alcotest.(check bool) "remove" true (Rdf.remove g (tr (iri "a") "p" (Rdf.Lit "x")));
+  Alcotest.(check bool) "remove absent" false (Rdf.remove g (tr (iri "a") "p" (Rdf.Lit "x")));
+  Alcotest.(check int) "empty" 0 (Rdf.size g)
+
+let test_copy_isolated () =
+  let g = Rdf.of_list [ tr (iri "a") "p" (iri "b") ] in
+  let g2 = Rdf.copy g in
+  ignore (Rdf.add g2 (tr (iri "c") "p" (iri "d")));
+  Alcotest.(check int) "original untouched" 1 (Rdf.size g)
+
+let sample_graph () =
+  Rdf.of_list
+    [
+      tr (iri "alice") "knows" (iri "bob");
+      tr (iri "bob") "knows" (iri "carol");
+      tr (iri "alice") "age" (Rdf.Lit_num 30.);
+      tr (iri "bob") "age" (Rdf.Lit_num 40.);
+    ]
+
+let test_query_single () =
+  let g = sample_graph () in
+  let answers =
+    Rdf.query g [ { Rdf.ps = Rdf.Var "X"; pp = Rdf.Exact (iri "knows"); po = Rdf.Var "Y" } ]
+  in
+  Alcotest.(check int) "two knows edges" 2 (List.length answers)
+
+let test_query_join () =
+  let g = sample_graph () in
+  let answers =
+    Rdf.query g
+      [
+        { Rdf.ps = Rdf.Var "X"; pp = Rdf.Exact (iri "knows"); po = Rdf.Var "Y" };
+        { Rdf.ps = Rdf.Var "Y"; pp = Rdf.Exact (iri "knows"); po = Rdf.Var "Z" };
+      ]
+  in
+  Alcotest.(check int) "one 2-hop path" 1 (List.length answers);
+  match answers with
+  | [ binding ] ->
+      Alcotest.(check bool) "X=alice" true (Rdf.equal_node (List.assoc "X" binding) (iri "alice"));
+      Alcotest.(check bool) "Z=carol" true (Rdf.equal_node (List.assoc "Z" binding) (iri "carol"))
+  | _ -> Alcotest.fail "expected exactly one answer"
+
+let test_query_same_var_twice () =
+  let g = Rdf.of_list [ tr (iri "a") "p" (iri "a"); tr (iri "a") "p" (iri "b") ] in
+  let answers =
+    Rdf.query g [ { Rdf.ps = Rdf.Var "X"; pp = Rdf.Exact (iri "p"); po = Rdf.Var "X" } ]
+  in
+  Alcotest.(check int) "reflexive only" 1 (List.length answers)
+
+let test_rdfs_subclass () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "dog") Rdf.rdfs_sub_class_of (iri "mammal");
+        tr (iri "mammal") Rdf.rdfs_sub_class_of (iri "animal");
+        tr (iri "rex") Rdf.rdf_type (iri "dog");
+      ]
+  in
+  let c = Rdf.rdfs_closure g in
+  Alcotest.(check bool) "transitivity" true
+    (Rdf.mem c (tr (iri "dog") Rdf.rdfs_sub_class_of (iri "animal")));
+  Alcotest.(check bool) "type propagation" true (Rdf.mem c (tr (iri "rex") Rdf.rdf_type (iri "animal")));
+  Alcotest.(check int) "input untouched" 3 (Rdf.size g)
+
+let test_rdfs_subproperty () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "hasBoss") Rdf.rdfs_sub_property_of (iri "knows");
+        tr (iri "alice") "hasBoss" (iri "bob");
+      ]
+  in
+  let c = Rdf.rdfs_closure g in
+  Alcotest.(check bool) "property propagation" true (Rdf.mem c (tr (iri "alice") "knows" (iri "bob")))
+
+let test_rdfs_domain_range () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "teaches") Rdf.rdfs_domain (iri "teacher");
+        tr (iri "teaches") Rdf.rdfs_range (iri "course");
+        tr (iri "ann") "teaches" (iri "math");
+        tr (iri "ann") "likes" (Rdf.Lit "tea");
+        tr (iri "likes") Rdf.rdfs_range (iri "thing");
+      ]
+  in
+  let c = Rdf.rdfs_closure g in
+  Alcotest.(check bool) "domain typing" true (Rdf.mem c (tr (iri "ann") Rdf.rdf_type (iri "teacher")));
+  Alcotest.(check bool) "range typing" true (Rdf.mem c (tr (iri "math") Rdf.rdf_type (iri "course")));
+  Alcotest.(check bool) "no literal typing" false
+    (Rdf.mem c (tr (Rdf.Lit "tea") Rdf.rdf_type (iri "thing")))
+
+let test_rdfs_declaration_after_data () =
+  (* domain declared in the same graph as pre-existing data must apply *)
+  let g =
+    Rdf.of_list
+      [ tr (iri "x") "p" (iri "y"); tr (iri "p") Rdf.rdfs_domain (iri "c") ]
+  in
+  let c = Rdf.rdfs_closure g in
+  Alcotest.(check bool) "late declaration applies" true (Rdf.mem c (tr (iri "x") Rdf.rdf_type (iri "c")))
+
+let test_term_roundtrip () =
+  let t = tr (iri "a") "p" (Rdf.Lit_num 3.5) in
+  (match Rdf.triple_of_term (Rdf.triple_to_term t) with
+  | Ok t' -> Alcotest.(check int) "triple roundtrip" 0 (Rdf.compare_triple t t')
+  | Error e -> Alcotest.fail e);
+  let g = sample_graph () in
+  match Rdf.graph_of_term (Rdf.graph_to_term g) with
+  | Ok g' -> Alcotest.(check int) "graph roundtrip" (Rdf.size g) (Rdf.size g')
+  | Error e -> Alcotest.fail e
+
+let test_owl_same_as () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "clark") Rdf.owl_same_as (iri "superman");
+        tr (iri "clark") "worksAt" (iri "planet");
+        tr (iri "lois") "loves" (iri "superman");
+      ]
+  in
+  let c = Rdf.owl_closure g in
+  Alcotest.(check bool) "symmetric" true (Rdf.mem c (tr (iri "superman") Rdf.owl_same_as (iri "clark")));
+  Alcotest.(check bool) "subject substitution" true
+    (Rdf.mem c (tr (iri "superman") "worksAt" (iri "planet")));
+  Alcotest.(check bool) "object substitution" true (Rdf.mem c (tr (iri "lois") "loves" (iri "clark")))
+
+let test_owl_property_characteristics () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "marriedTo") Rdf.rdf_type (Rdf.Iri Rdf.owl_symmetric);
+        tr (iri "ann") "marriedTo" (iri "bob");
+        tr (iri "ancestorOf") Rdf.rdf_type (Rdf.Iri Rdf.owl_transitive);
+        tr (iri "x") "ancestorOf" (iri "y");
+        tr (iri "y") "ancestorOf" (iri "z");
+      ]
+  in
+  let c = Rdf.owl_closure g in
+  Alcotest.(check bool) "symmetry" true (Rdf.mem c (tr (iri "bob") "marriedTo" (iri "ann")));
+  Alcotest.(check bool) "transitivity" true (Rdf.mem c (tr (iri "x") "ancestorOf" (iri "z")));
+  (* declaration arriving conceptually "after" the data still applies *)
+  let g2 =
+    Rdf.of_list
+      [
+        tr (iri "p") "ancestorOf" (iri "q");
+        tr (iri "q") "ancestorOf" (iri "r");
+        tr (iri "ancestorOf") Rdf.rdf_type (Rdf.Iri Rdf.owl_transitive);
+      ]
+  in
+  Alcotest.(check bool) "late declaration" true
+    (Rdf.mem (Rdf.owl_closure g2) (tr (iri "p") "ancestorOf" (iri "r")))
+
+let test_owl_inverse () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "hasChild") Rdf.owl_inverse_of (iri "hasParent");
+        tr (iri "ann") "hasChild" (iri "bob");
+        tr (iri "carl") "hasParent" (iri "dora");
+      ]
+  in
+  let c = Rdf.owl_closure g in
+  Alcotest.(check bool) "forward" true (Rdf.mem c (tr (iri "bob") "hasParent" (iri "ann")));
+  Alcotest.(check bool) "backward" true (Rdf.mem c (tr (iri "dora") "hasChild" (iri "carl")))
+
+let test_owl_closure_includes_rdfs () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "dog") Rdf.rdfs_sub_class_of (iri "animal");
+        tr (iri "rex") Rdf.rdf_type (iri "dog");
+        tr (iri "rex") Rdf.owl_same_as (iri "rexy");
+      ]
+  in
+  let c = Rdf.owl_closure g in
+  Alcotest.(check bool) "rdfs typing" true (Rdf.mem c (tr (iri "rex") Rdf.rdf_type (iri "animal")));
+  Alcotest.(check bool) "owl x rdfs interplay" true
+    (Rdf.mem c (tr (iri "rexy") Rdf.rdf_type (iri "animal")))
+
+let test_closure_idempotent () =
+  let g =
+    Rdf.of_list
+      [
+        tr (iri "a") Rdf.rdfs_sub_class_of (iri "b");
+        tr (iri "b") Rdf.rdfs_sub_class_of (iri "c");
+        tr (iri "x") Rdf.rdf_type (iri "a");
+      ]
+  in
+  let c1 = Rdf.rdfs_closure g in
+  let c2 = Rdf.rdfs_closure c1 in
+  Alcotest.(check int) "closure is a fixpoint" (Rdf.size c1) (Rdf.size c2)
+
+let suite =
+  ( "rdf",
+    [
+      Alcotest.test_case "graph add/remove/mem" `Quick test_graph_basics;
+      Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+      Alcotest.test_case "single-pattern query" `Quick test_query_single;
+      Alcotest.test_case "join query" `Quick test_query_join;
+      Alcotest.test_case "repeated variable in pattern" `Quick test_query_same_var_twice;
+      Alcotest.test_case "RDFS subclass closure" `Quick test_rdfs_subclass;
+      Alcotest.test_case "RDFS subproperty closure" `Quick test_rdfs_subproperty;
+      Alcotest.test_case "RDFS domain/range typing" `Quick test_rdfs_domain_range;
+      Alcotest.test_case "declarations after data" `Quick test_rdfs_declaration_after_data;
+      Alcotest.test_case "term embedding roundtrip" `Quick test_term_roundtrip;
+      Alcotest.test_case "owl:sameAs semantics" `Quick test_owl_same_as;
+      Alcotest.test_case "owl symmetric/transitive properties" `Quick test_owl_property_characteristics;
+      Alcotest.test_case "owl:inverseOf" `Quick test_owl_inverse;
+      Alcotest.test_case "owl closure subsumes RDFS" `Quick test_owl_closure_includes_rdfs;
+      Alcotest.test_case "closure idempotent" `Quick test_closure_idempotent;
+    ] )

@@ -1,0 +1,128 @@
+open Xchange
+module Tm = Xchange_data.Topic_map
+
+let sample () =
+  Tm.empty
+  |> fun t ->
+  Tm.add_topic t (Tm.topic ~names:[ "Puccini" ] ~topic_type:"composer" "puccini")
+  |> fun t ->
+  Tm.add_topic t
+    (Tm.topic ~names:[ "Tosca" ] ~topic_type:"opera"
+       ~occurrences:[ ("premiere-year", "1900") ]
+       "tosca")
+  |> fun t ->
+  Tm.add_association t
+    (Tm.association ~assoc_type:"composed-by" [ ("work", "tosca"); ("composer", "puccini") ])
+
+let test_basics () =
+  let t = sample () in
+  Alcotest.(check int) "two topics" 2 (List.length (Tm.topics t));
+  Alcotest.(check int) "one association" 1 (List.length (Tm.associations t));
+  (match Tm.find_topic t "tosca" with
+  | Some topic ->
+      Alcotest.(check (list string)) "names" [ "Tosca" ] topic.Tm.names;
+      Alcotest.(check (option string)) "type" (Some "opera") topic.Tm.topic_type
+  | None -> Alcotest.fail "tosca missing");
+  Alcotest.(check int) "typed lookup" 1 (List.length (Tm.topics_of_type t "opera"));
+  Alcotest.(check (list string)) "players" [ "puccini" ]
+    (Tm.players t ~assoc_type:"composed-by" ~role:"composer");
+  Alcotest.(check int) "associations of a player" 1
+    (List.length (Tm.associations_with t ~player:"tosca"))
+
+let test_topic_unification () =
+  (* adding the same id merges names/occurrences — no duplicate topics *)
+  let t = sample () in
+  let t =
+    Tm.add_topic t
+      (Tm.topic ~names:[ "Giacomo Puccini" ] ~occurrences:[ ("born", "1858") ] "puccini")
+  in
+  Alcotest.(check int) "still two topics" 2 (List.length (Tm.topics t));
+  match Tm.find_topic t "puccini" with
+  | Some topic ->
+      Alcotest.(check (list string)) "names unioned" [ "Puccini"; "Giacomo Puccini" ] topic.Tm.names;
+      Alcotest.(check (option string)) "type kept" (Some "composer") topic.Tm.topic_type;
+      Alcotest.(check int) "occurrence added" 1 (List.length topic.Tm.occurrences)
+  | None -> Alcotest.fail "puccini missing"
+
+let test_merge_maps () =
+  let other =
+    Tm.add_topic Tm.empty (Tm.topic ~names:[ "La Bohème" ] ~topic_type:"opera" "boheme")
+    |> fun t ->
+    Tm.add_topic t (Tm.topic ~occurrences:[ ("died", "1924") ] "puccini")
+    |> fun t ->
+    Tm.add_association t
+      (Tm.association ~assoc_type:"composed-by" [ ("work", "boheme"); ("composer", "puccini") ])
+  in
+  let merged = Tm.merge (sample ()) other in
+  Alcotest.(check int) "three topics" 3 (List.length (Tm.topics merged));
+  Alcotest.(check int) "two associations" 2 (List.length (Tm.associations merged));
+  Alcotest.(check (list string)) "both works" [ "boheme"; "tosca" ]
+    (Tm.players merged ~assoc_type:"composed-by" ~role:"work");
+  (* merging is idempotent *)
+  let again = Tm.merge merged merged in
+  Alcotest.(check int) "idempotent topics" 3 (List.length (Tm.topics again));
+  Alcotest.(check int) "idempotent associations" 2 (List.length (Tm.associations again))
+
+let test_term_roundtrip () =
+  let t = sample () in
+  match Tm.of_term (Tm.to_term t) with
+  | Ok t' ->
+      Alcotest.(check int) "topics survive" 2 (List.length (Tm.topics t'));
+      Alcotest.(check int) "associations survive" 1 (List.length (Tm.associations t'));
+      Alcotest.(check bool) "occurrence survives" true
+        ((Option.get (Tm.find_topic t' "tosca")).Tm.occurrences
+        = [ { Tm.occ_type = "premiere-year"; value = "1900" } ])
+  | Error e -> Alcotest.fail e
+
+let test_term_rejects_junk () =
+  (match Tm.of_term (Term.text "x") with Error _ -> () | Ok _ -> Alcotest.fail "junk accepted");
+  match Tm.of_term (Term.elem "topicMap" [ Term.elem "topic" [] ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "id-less topic accepted"
+
+let test_queryable_as_term () =
+  (* the whole point of the embedding: query topic maps with query terms *)
+  let q =
+    Qterm.el "topic"
+      ~attrs:[ ("id", Qterm.A_var "Id") ]
+      [ Qterm.pos (Qterm.el "instanceOf" [ Qterm.pos (Qterm.txt "opera") ]) ]
+  in
+  let answers = Simulate.matches_anywhere q (Tm.to_term (sample ())) in
+  Alcotest.(check int) "operas found by pattern" 1 (List.length answers);
+  Alcotest.(check (option string)) "id extracted" (Some "tosca")
+    (Option.bind (Subst.find "Id" (List.hd answers)) Term.as_text)
+
+let test_rdf_projection () =
+  let g = Tm.to_rdf (sample ()) in
+  Alcotest.(check bool) "typing triple" true
+    (Rdf.mem g { Rdf.s = Rdf.Iri "tosca"; p = Rdf.rdf_type; o = Rdf.Iri "opera" });
+  Alcotest.(check bool) "occurrence triple" true
+    (Rdf.mem g { Rdf.s = Rdf.Iri "tosca"; p = "premiere-year"; o = Rdf.Lit "1900" });
+  (* binary association: subject plays the alphabetically first role
+     (composer < work) *)
+  Alcotest.(check bool) "association triple" true
+    (Rdf.mem g { Rdf.s = Rdf.Iri "puccini"; p = "composed-by"; o = Rdf.Iri "tosca" });
+  (* n-ary associations reify *)
+  let t3 =
+    Tm.add_association (sample ())
+      (Tm.association ~assoc_type:"premiere"
+         [ ("work", "tosca"); ("city", "rome"); ("year", "y1900") ])
+  in
+  let g3 = Tm.to_rdf t3 in
+  let reified =
+    Rdf.query g3
+      [ { Rdf.ps = Rdf.Var "A"; pp = Rdf.Exact (Rdf.Iri Rdf.rdf_type); po = Rdf.Exact (Rdf.Iri "premiere") } ]
+  in
+  Alcotest.(check int) "reification node" 1 (List.length reified)
+
+let suite =
+  ( "topic-map",
+    [
+      Alcotest.test_case "topics, associations, lookups" `Quick test_basics;
+      Alcotest.test_case "same-id topics unify" `Quick test_topic_unification;
+      Alcotest.test_case "map merging" `Quick test_merge_maps;
+      Alcotest.test_case "term embedding roundtrip" `Quick test_term_roundtrip;
+      Alcotest.test_case "malformed terms rejected" `Quick test_term_rejects_junk;
+      Alcotest.test_case "queryable through query terms" `Quick test_queryable_as_term;
+      Alcotest.test_case "RDF projection" `Quick test_rdf_projection;
+    ] )

@@ -1,0 +1,264 @@
+open Xchange
+
+let term = Alcotest.testable Term.pp Term.equal
+
+(* ---- Uri / Message / Transport unit tests ---- *)
+
+let test_uri () =
+  let u = Uri.parse "http://shop.example/orders/new" in
+  Alcotest.(check string) "host" "shop.example" u.Uri.host;
+  Alcotest.(check string) "path" "/orders/new" u.Uri.path;
+  Alcotest.(check string) "no scheme" "shop.example" (Uri.host "shop.example/x");
+  Alcotest.(check string) "bare host" "/" (Uri.path "shop.example");
+  Alcotest.(check string) "roundtrip" "a/b" (Uri.to_string (Uri.parse "a/b"))
+
+let test_message_size () =
+  let e = Event.make ~occurred_at:0 ~label:"x" (Term.elem "x" [ Term.text "payload" ]) in
+  let m = Message.make ~from_host:"a" ~to_host:"b" ~sent_at:0 (Message.Event e) in
+  Alcotest.(check bool) "positive size" true (Message.size_bytes m > 40)
+
+let test_transport_ordering () =
+  let tr = Transport.create ~latency:(fun ~from:_ ~to_:_ -> 10) () in
+  let msg t = Message.make ~from_host:"a" ~to_host:"b" ~sent_at:t (Message.Get { req_id = t; path = "/" }) in
+  Transport.send tr (msg 5);
+  Transport.send tr (msg 1);
+  Alcotest.(check (option int)) "earliest first" (Some 11) (Transport.next_due tr);
+  let due = Transport.pop_due tr ~now:11 in
+  Alcotest.(check int) "only the due one" 1 (List.length due);
+  Alcotest.(check int) "one pending" 1 (Transport.pending tr);
+  Alcotest.(check int) "stats count both" 2 (Transport.stats tr).Transport.messages
+
+(* ---- end-to-end scenarios over the simulated Web ---- *)
+
+let order item = Term.elem "order" [ Term.elem "item" [ Term.text item ] ]
+
+(* A shop that forwards orders to a warehouse (push), which records them. *)
+let shop_rules () =
+  let on_order =
+    Event_query.on ~label:"order" (Qterm.el "order" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "I") ]) ])
+  in
+  Ruleset.make
+    ~rules:
+      [
+        Eca.make ~name:"forward" ~on:on_order
+          (Action.raise_event ~to_:"warehouse.example" ~label:"pick"
+             (Construct.cel "pick" [ Construct.cel "item" [ Construct.cvar "I" ] ]));
+      ]
+    "shop"
+
+let warehouse_rules () =
+  let on_pick =
+    Event_query.on ~label:"pick" (Qterm.el "pick" [ Qterm.pos (Qterm.el "item" [ Qterm.pos (Qterm.var "I") ]) ])
+  in
+  Ruleset.make
+    ~rules:
+      [
+        Eca.make ~name:"store-pick" ~on:on_pick
+          (Action.insert ~doc:"/picks" (Construct.cel "p" [ Construct.cvar "I" ]));
+      ]
+    "warehouse"
+
+let test_push_pipeline () =
+  let net = Network.create () in
+  let shop = node_exn ~host:"shop.example" (shop_rules ()) in
+  let warehouse = node_exn ~host:"warehouse.example" (warehouse_rules ()) in
+  Store.add_doc (Node.store warehouse) "/picks" (Term.elem ~ord:Term.Unordered "picks" []);
+  Network.add_node net shop;
+  Network.add_node net warehouse;
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "ball");
+  Network.inject net ~to_:"shop.example" ~label:"order" (order "shoe");
+  ignore (Network.run_until_quiet net ());
+  let picks = Option.get (Store.doc (Node.store warehouse) "/picks") in
+  Alcotest.(check int) "both orders reached the warehouse" 2 (List.length (Term.children picks));
+  Alcotest.(check bool) "network quiescent" true (Network.quiescent net);
+  (* 2 injected + 2 forwarded *)
+  Alcotest.(check int) "messages" 4 (Network.transport_stats net).Transport.messages
+
+let test_remote_condition_query () =
+  let rules =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"check" ~on:(Event_query.on ~label:"probe" (Qterm.var "E"))
+            ~if_:
+              (Condition.In
+                 ( Condition.Remote "data.example/catalog",
+                   Qterm.el "product" [ Qterm.pos (Qterm.var "P") ] ))
+            (Action.log "found %s" [ Builtin.ovar "P" ]);
+        ]
+      "asker"
+  in
+  let net = Network.create () in
+  let asker = node_exn ~host:"asker.example" rules in
+  let data = node_exn ~host:"data.example" (Ruleset.make "empty") in
+  Store.add_doc (Node.store data) "/catalog"
+    (Term.elem ~ord:Term.Unordered "catalog" [ Term.elem "product" [ Term.text "ball" ] ]);
+  Network.add_node net asker;
+  Network.add_node net data;
+  Network.inject net ~to_:"asker.example" ~label:"probe" (Term.text "?");
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "remote data reached the condition" [ "found ball" ] (Node.logs asker);
+  Alcotest.(check bool) "remote fetch accounted" true (Network.remote_fetches net > 0);
+  Alcotest.(check bool) "GET/Response pair accounted" true
+    ((Network.transport_stats net).Transport.gets > 0)
+
+let test_update_events_trigger_rules () =
+  (* an ECA rule derived from a production rule reacts to local updates *)
+  let prod =
+    {
+      Production.name = "alarm";
+      condition =
+        Condition.In (Condition.Local "/stock", Qterm.el "low" [ Qterm.pos (Qterm.var "W") ]);
+      action = Action.log "low stock: %s" [ Builtin.ovar "W" ];
+    }
+  in
+  let eca = Result.get_ok (Derive.eca_of_production ~update_labels:[ "update" ] prod) in
+  let writer =
+    Eca.make ~name:"write" ~on:(Event_query.on ~label:"deplete" (Qterm.var "E"))
+      (Action.insert ~doc:"/stock" (Construct.cel "low" [ Construct.ctext "widgets" ]))
+  in
+  let net = Network.create () in
+  let n = node_exn ~host:"n.example" (Ruleset.make ~rules:[ writer; eca ] "s") in
+  Store.add_doc (Node.store n) "/stock" (Term.elem ~ord:Term.Unordered "stock" []);
+  Network.add_node net n;
+  Network.inject net ~to_:"n.example" ~label:"deplete" (Term.text "!");
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "update event fired derived rule" [ "low stock: widgets" ]
+    (Node.logs n)
+
+let test_heartbeat_fires_absence () =
+  (* a node with no traffic still detects absence via the heartbeat *)
+  let q =
+    Event_query.absent
+      (Event_query.on ~label:"ping" (Qterm.var "E"))
+      ~then_absent:(Event_query.on ~label:"pong" (Qterm.var "F"))
+      ~for_:100
+  in
+  let rules = Ruleset.make ~rules:[ Eca.make ~name:"watch" ~on:q (Action.log "no pong!" []) ] "w" in
+  let net = Network.create () in
+  let n = node_exn ~host:"w.example" rules in
+  Network.add_node net n;
+  Network.enable_heartbeat net ~period:50;
+  Network.inject net ~to_:"w.example" ~label:"ping" (Term.text "x");
+  Network.run net ~until:1000;
+  Alcotest.(check (list string)) "absence detected on quiet node" [ "no pong!" ] (Node.logs n)
+
+let test_poll_vs_push_latency () =
+  let net = Network.create ~latency:(fun ~from:_ ~to_:_ -> 5) () in
+  let producer = node_exn ~host:"prod.example" (Ruleset.make "p") in
+  Store.add_doc (Node.store producer) "/feed" (Term.elem "feed" [ Term.int 1 ]);
+  let consumer_rules =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"react" ~on:(Event_query.on ~label:Poll.changed_label (Qterm.var "D"))
+            (Action.log "saw change" []);
+        ]
+      "c"
+  in
+  let consumer = node_exn ~host:"cons.example" consumer_rules in
+  Network.add_node net producer;
+  Network.add_node net consumer;
+  let stats = Poll.attach net ~poller:"cons.example" ~target:"prod.example/feed" ~period:100 in
+  Network.run net ~until:250;
+  (* initial snapshot counts as the first change *)
+  Alcotest.(check int) "initial snapshot" 1 stats.Poll.changes_seen;
+  (* mutate the producer's document *)
+  ignore
+    (Store.apply (Node.store producer)
+       (Action.U_replace { doc = "/feed"; selector = []; content = Term.elem "feed" [ Term.int 2 ] }));
+  Network.run net ~until:1000;
+  Alcotest.(check int) "change detected by polling" 2 stats.Poll.changes_seen;
+  Alcotest.(check bool) "poll traffic happened" true ((Network.transport_stats net).Transport.gets >= 9);
+  Alcotest.(check (list string)) "consumer rule ran" [ "saw change"; "saw change" ] (Node.logs consumer)
+
+let test_cookie_roundtrip () =
+  let net = Network.create () in
+  let client = node_exn ~host:"client.example" (Cookie.client_ruleset ()) in
+  Store.add_doc (Node.store client) Cookie.cookies_doc (Cookie.empty_jar ());
+  let server_rules =
+    Ruleset.make
+      ~rules:
+        [
+          Eca.make ~name:"recv" ~on:(Event_query.on ~label:"cookie" (Qterm.el "cookie" [ Qterm.pos (Qterm.el "value" [ Qterm.pos (Qterm.var "V") ]) ]))
+            (Action.log "cookie says %s" [ Builtin.ovar "V" ]);
+        ]
+      "server"
+  in
+  let server = node_exn ~host:"server.example" server_rules in
+  Network.add_node net client;
+  Network.add_node net server;
+  Network.inject net ~sender:"server.example" ~to_:"client.example" ~label:"set-cookie"
+    (Cookie.set_cookie ~name:"basket" ~value:"3 balls");
+  ignore (Network.run_until_quiet net ());
+  Network.inject net ~sender:"server.example" ~to_:"client.example" ~label:"get-cookie"
+    (Cookie.get_cookie ~name:"basket" ~reply_to:"server.example");
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "server got the cookie back" [ "cookie says 3 balls" ]
+    (Node.logs server);
+  (* overwrite semantics *)
+  Network.inject net ~sender:"server.example" ~to_:"client.example" ~label:"set-cookie"
+    (Cookie.set_cookie ~name:"basket" ~value:"4 balls");
+  ignore (Network.run_until_quiet net ());
+  let jar = Option.get (Store.doc (Node.store client) Cookie.cookies_doc) in
+  Alcotest.(check int) "one cookie per name" 1 (List.length (Term.children jar))
+
+let test_rules_as_messages () =
+  (* Thesis 11: ship a rule set to a node as an event *)
+  let net = Network.create () in
+  let n = node_exn ~accept_rules:true ~host:"n.example" (Ruleset.make "base") in
+  Network.add_node net n;
+  Alcotest.(check int) "no rules yet" 0 (List.length (Engine.rule_names (Node.engine n)));
+  let incoming =
+    Result.get_ok
+      (Parser.parse_ruleset
+         {|ruleset patch { rule greet: on hello{{var X}} do log "hi %s", $X }|})
+  in
+  Network.inject net ~to_:"n.example" ~label:Node.rules_label (Meta.ruleset_to_term incoming);
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check int) "rule installed" 1 (List.length (Engine.rule_names (Node.engine n)));
+  Network.inject net ~to_:"n.example" ~label:"hello" (Term.elem "hello" [ Term.text "world" ]);
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "loaded rule fires" [ "hi world" ] (Node.logs n)
+
+let test_rules_rejected_without_optin () =
+  let net = Network.create () in
+  let n = node_exn ~accept_rules:false ~host:"n.example" (Ruleset.make "base") in
+  Network.add_node net n;
+  let incoming = Ruleset.make "evil" in
+  Network.inject net ~to_:"n.example" ~label:Node.rules_label (Meta.ruleset_to_term incoming);
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check int) "not installed" 0 (List.length (Engine.rule_names (Node.engine n)))
+
+let test_volatile_event_dropped_in_transit () =
+  let rules =
+    Ruleset.make
+      ~rules:[ Eca.make ~name:"r" ~on:(Event_query.on ~label:"flash" (Qterm.var "E")) (Action.log "got it" []) ]
+      "s"
+  in
+  let net = Network.create ~latency:(fun ~from:_ ~to_:_ -> 500) () in
+  let n = node_exn ~host:"slow.example" rules in
+  Network.add_node net n;
+  (* ttl 100ms but 500ms latency: expired on arrival (Thesis 4) *)
+  Network.inject net ~to_:"slow.example" ~label:"flash" ~ttl:100 (Term.text "x");
+  ignore (Network.run_until_quiet net ());
+  Alcotest.(check (list string)) "expired event never processed" [] (Node.logs n)
+
+let suite =
+  ( "web",
+    [
+      Alcotest.test_case "uri parsing" `Quick test_uri;
+      Alcotest.test_case "message sizing" `Quick test_message_size;
+      Alcotest.test_case "transport ordering and stats" `Quick test_transport_ordering;
+      Alcotest.test_case "push pipeline shop->warehouse" `Quick test_push_pipeline;
+      Alcotest.test_case "remote documents in conditions (Thesis 2)" `Quick test_remote_condition_query;
+      Alcotest.test_case "update events trigger derived rules" `Quick test_update_events_trigger_rules;
+      Alcotest.test_case "heartbeat fires absence on quiet nodes" `Quick test_heartbeat_fires_absence;
+      Alcotest.test_case "polling detects changes (Thesis 3 baseline)" `Quick test_poll_vs_push_latency;
+      Alcotest.test_case "cookies via rules (Section 2)" `Quick test_cookie_roundtrip;
+      Alcotest.test_case "rule sets as messages (Thesis 11)" `Quick test_rules_as_messages;
+      Alcotest.test_case "rule loading requires opt-in" `Quick test_rules_rejected_without_optin;
+      Alcotest.test_case "expired events dropped (Thesis 4)" `Quick test_volatile_event_dropped_in_transit;
+    ] )
+
+let _ = term
