@@ -972,7 +972,9 @@ let a3 () =
             match Hashtbl.find_opt tables v with Some ts -> ts | None -> [])
         | Condition.Local _ | Condition.Remote _ -> env.Condition.fetch res
       in
-      let env' = { Condition.fetch; fetch_rdf = env.Condition.fetch_rdf } in
+      let env' =
+        { Condition.fetch; fetch_rdf = env.Condition.fetch_rdf; cached_match = Condition.no_cached_match }
+      in
       let (), ms = time_ms (fun () -> for _ = 1 to evals do ignore (Condition.eval env' Subst.empty goal) done) in
       ms
     in

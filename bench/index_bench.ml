@@ -1,0 +1,218 @@
+(* Hot-path indexing benchmarks (the perf companion of HACKING.md
+   "Performance architecture"): label dispatch vs full rule scan,
+   term-index-pruned matching vs full traversal, and memoized store
+   queries vs fresh evaluation.  Prints tables and emits machine-readable
+   BENCH_index.json.  [~smoke] runs a fast subset (wired into
+   `dune runtest`) that additionally checks indexed = naive answers. *)
+
+open Xchange
+
+let null_ops =
+  {
+    Action.update = (fun _ -> Ok 0);
+    send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
+    log = (fun _ -> ());
+    now = (fun () -> 0);
+    checkpoint = (fun () -> fun () -> ());
+  }
+
+let empty_env = Condition.env_of_docs []
+
+(* Sys.time has coarse resolution; keep ratios finite on tiny smoke runs *)
+let speedup naive indexed = naive /. Float.max indexed 0.001
+
+(* ---- event dispatch: n rules, each on its own label ---- *)
+
+let dispatch_case ~rules:n ~events:m =
+  let rules =
+    List.init n (fun i ->
+        Eca.make ~name:(Printf.sprintf "r%d" i)
+          ~on:(Event_query.on ~label:(Printf.sprintf "l%d" i) (Qterm.var "X"))
+          Action.Nop)
+  in
+  let ruleset = Ruleset.make ~rules "bench" in
+  let events =
+    List.init m (fun j ->
+        Event.make ~occurred_at:(j + 1) ~label:(Printf.sprintf "l%d" (j mod n)) (Term.int j))
+  in
+  let run index =
+    let engine = Engine.create_exn ~index ruleset in
+    Util.time_ms (fun () ->
+        List.fold_left
+          (fun acc ev ->
+            acc
+            + List.length
+                (Engine.handle_event engine ~env:empty_env ~ops:null_ops ev).Engine.firings)
+          0 events)
+  in
+  let fired_indexed, indexed_ms = run true in
+  let fired_naive, naive_ms = run false in
+  if fired_indexed <> fired_naive then
+    failwith
+      (Printf.sprintf "dispatch bench: %d indexed firings vs %d naive" fired_indexed fired_naive);
+  (n, m, fired_naive, naive_ms, indexed_ms)
+
+(* ---- document matching: rare-label query over large documents ---- *)
+
+let needle_query = Qterm.el "needle" [ Qterm.pos (Qterm.var "X") ]
+
+let doc_of_nodes nodes =
+  let items = max 2 (nodes / 3) in
+  Term.elem ~ord:Term.Unordered "db"
+    (List.init items (fun i ->
+         if i mod 500 = 250 then Term.elem "needle" [ Term.text (Printf.sprintf "n%d" i) ]
+         else Term.elem "item" [ Term.elem "name" [ Term.text (Printf.sprintf "p%d" (i mod 97)) ] ]))
+
+let doc_match_case ~nodes ~queries =
+  let doc = doc_of_nodes nodes in
+  let naive_answers, naive_ms =
+    Util.time_ms (fun () ->
+        let last = ref [] in
+        for _ = 1 to queries do
+          last := Simulate.matches_anywhere needle_query doc
+        done;
+        !last)
+  in
+  let index, build_ms = Util.time_ms (fun () -> Term_index.build doc) in
+  let indexed_answers, indexed_ms =
+    Util.time_ms (fun () ->
+        let last = ref [] in
+        for _ = 1 to queries do
+          last := Simulate.matches_anywhere ~index needle_query doc
+        done;
+        !last)
+  in
+  if not (List.equal Subst.equal naive_answers indexed_answers) then
+    failwith "doc-match bench: indexed answers differ from naive";
+  (Term_index.nodes index, queries, List.length naive_answers, naive_ms, build_ms, indexed_ms)
+
+(* ---- store query cache: repeated queries over an unchanged doc ---- *)
+
+let cache_case ~nodes ~repeats =
+  let store = Store.create () in
+  Store.add_doc store "/db" (doc_of_nodes nodes);
+  let doc = Option.get (Store.doc store "/db") in
+  let naive_answers, naive_ms =
+    Util.time_ms (fun () ->
+        let last = ref [] in
+        for _ = 1 to repeats do
+          last := Simulate.matches_anywhere needle_query doc
+        done;
+        !last)
+  in
+  let cached_answers, cached_ms =
+    Util.time_ms (fun () ->
+        let last = ref [] in
+        for _ = 1 to repeats do
+          last := Store.query store ~doc:"/db" needle_query
+        done;
+        !last)
+  in
+  if not (List.equal Subst.equal naive_answers cached_answers) then
+    failwith "cache bench: cached answers differ from naive";
+  let st = Store.stats store in
+  ( nodes,
+    repeats,
+    naive_ms,
+    cached_ms,
+    st.Store.query_cache_hits,
+    st.Store.query_cache_misses )
+
+(* ---- JSON emission (hand-rolled; no deps) ---- *)
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr elems = "[" ^ String.concat ", " elems ^ "]"
+let fi k v = Printf.sprintf "%S: %d" k v
+let ff k v = Printf.sprintf "%S: %.3f" k v
+
+let run ~smoke () =
+  let dispatch_sizes, doc_sizes, cache_spec =
+    if smoke then ([ (10, 200); (100, 200) ], [ (1_000, 5) ], (1_000, 50))
+    else
+      ( [ (10, 5_000); (100, 5_000); (1_000, 5_000) ],
+        [ (1_000, 20); (10_000, 20); (100_000, 20) ],
+        (10_000, 200) )
+  in
+  Fmt.pr "@.# Hot-path indexing benchmarks%s@." (if smoke then " (smoke)" else "");
+
+  let dispatch =
+    List.map (fun (n, m) -> dispatch_case ~rules:n ~events:m) dispatch_sizes
+  in
+  Util.print_table ~title:"event dispatch: full scan vs label table"
+    ~header:[ "rules"; "events"; "firings"; "scan ms"; "indexed ms"; "speedup" ]
+    (List.map
+       (fun (n, m, fired, naive, indexed) ->
+         [
+           string_of_int n; Util.si m; Util.si fired; Util.f2 naive; Util.f2 indexed;
+           Util.f1 (speedup naive indexed) ^ "x";
+         ])
+       dispatch);
+
+  let doc_match =
+    List.map (fun (nodes, q) -> doc_match_case ~nodes ~queries:q) doc_sizes
+  in
+  Util.print_table ~title:"document matching: full traversal vs term index"
+    ~header:[ "nodes"; "queries"; "answers"; "naive ms"; "build ms"; "indexed ms"; "speedup" ]
+    (List.map
+       (fun (nodes, q, answers, naive, build, indexed) ->
+         [
+           Util.si nodes; string_of_int q; string_of_int answers; Util.f2 naive;
+           Util.f2 build; Util.f2 indexed; Util.f1 (speedup naive indexed) ^ "x";
+         ])
+       doc_match);
+
+  let nodes, repeats = cache_spec in
+  let cache = [ cache_case ~nodes ~repeats ] in
+  Util.print_table ~title:"store queries: fresh evaluation vs digest-keyed memo"
+    ~header:[ "nodes"; "repeats"; "naive ms"; "cached ms"; "hits"; "misses"; "speedup" ]
+    (List.map
+       (fun (nodes, repeats, naive, cached, hits, misses) ->
+         [
+           Util.si nodes; string_of_int repeats; Util.f2 naive; Util.f2 cached;
+           string_of_int hits; string_of_int misses; Util.f1 (speedup naive cached) ^ "x";
+         ])
+       cache);
+
+  let json =
+    obj
+      [
+        Printf.sprintf "%S: %s" "smoke" (string_of_bool smoke);
+        Printf.sprintf "%S: %s" "dispatch"
+          (arr
+             (List.map
+                (fun (n, m, fired, naive, indexed) ->
+                  obj
+                    [
+                      fi "rules" n; fi "events" m; fi "firings" fired; ff "naive_ms" naive;
+                      ff "indexed_ms" indexed; ff "speedup" (speedup naive indexed);
+                    ])
+                dispatch));
+        Printf.sprintf "%S: %s" "doc_match"
+          (arr
+             (List.map
+                (fun (nodes, q, answers, naive, build, indexed) ->
+                  obj
+                    [
+                      fi "nodes" nodes; fi "queries" q; fi "answers" answers;
+                      ff "naive_ms" naive; ff "build_ms" build; ff "indexed_ms" indexed;
+                      ff "speedup" (speedup naive indexed);
+                    ])
+                doc_match));
+        Printf.sprintf "%S: %s" "query_cache"
+          (arr
+             (List.map
+                (fun (nodes, repeats, naive, cached, hits, misses) ->
+                  obj
+                    [
+                      fi "nodes" nodes; fi "repeats" repeats; ff "naive_ms" naive;
+                      ff "cached_ms" cached; fi "hits" hits; fi "misses" misses;
+                      ff "speedup" (speedup naive cached);
+                    ])
+                cache));
+      ]
+  in
+  let oc = open_out "BENCH_index.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_index.json@."

@@ -30,9 +30,11 @@ module Path = Xchange_data.Path
 module Xml = Xchange_data.Xml
 module Rdf = Xchange_data.Rdf
 module Identity = Xchange_data.Identity
+module Term_index = Xchange_data.Term_index
 module Topic_map = Xchange_data.Topic_map
 
 (* query *)
+module Lru = Xchange_query.Lru
 module Subst = Xchange_query.Subst
 module Qterm = Xchange_query.Qterm
 module Simulate = Xchange_query.Simulate

@@ -1,0 +1,44 @@
+type t = {
+  digest : int64;
+  nodes : int;
+  by_label : (string, Path.t list) Hashtbl.t;  (* document order *)
+  by_leaf : (string, Path.t list) Hashtbl.t;
+}
+
+let push tbl key path =
+  Hashtbl.replace tbl key
+    (path :: (match Hashtbl.find_opt tbl key with Some ps -> ps | None -> []))
+
+let build doc =
+  let by_label = Hashtbl.create 32 in
+  let by_leaf = Hashtbl.create 32 in
+  let nodes = ref 0 in
+  (* Paths are accumulated reversed (both the path itself and each
+     bucket) and flipped once at the end. *)
+  let rec go rpath t =
+    incr nodes;
+    match t with
+    | Term.Elem e ->
+        push by_label e.Term.label rpath;
+        List.fold_left (fun i c -> go (i :: rpath) c; i + 1) 0 e.Term.children
+        |> ignore
+    | (Term.Text _ | Term.Num _ | Term.Bool _) as leaf -> (
+        match Term.as_text leaf with
+        | Some s -> push by_leaf s rpath
+        | None -> ())
+  in
+  go [] doc;
+  let flip tbl = Hashtbl.filter_map_inplace (fun _ ps -> Some (List.rev_map List.rev ps)) tbl in
+  flip by_label;
+  flip by_leaf;
+  { digest = Term.digest doc; nodes = !nodes; by_label; by_leaf }
+
+let digest t = t.digest
+let nodes t = t.nodes
+let distinct_labels t = Hashtbl.length t.by_label
+
+let paths_with_label t l =
+  match Hashtbl.find_opt t.by_label l with Some ps -> ps | None -> []
+
+let paths_with_leaf t s =
+  match Hashtbl.find_opt t.by_leaf s with Some ps -> ps | None -> []

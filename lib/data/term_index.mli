@@ -1,0 +1,37 @@
+(** Per-document term index: element labels and leaf texts to node paths.
+
+    The hot paths of the system repeatedly ask "where in this document
+    can a pattern with root label [l] (or a leaf with text [s]) possibly
+    match?" — {!Xchange_query.Simulate.matches_anywhere} and
+    {!Path.select} answer it today by traversing the whole document.  A
+    {!t} is a one-pass inverted index over a single document answering
+    both questions in O(1) + output size, so matching only visits
+    candidate subtrees.
+
+    An index is a snapshot of one document version: it records the
+    document's extensional {!Term.digest} at build time, and the paths
+    it returns are positional, so any mutation of the document
+    invalidates it.  {!Xchange_web.Store} owns the lifecycle — it builds
+    indexes lazily per document and drops them on every update; the
+    digest doubles as the memoization key for the store's query cache. *)
+
+type t
+
+val build : Term.t -> t
+(** One pre-order traversal of the document. *)
+
+val digest : t -> int64
+(** [Term.digest] of the indexed document, computed at build time. *)
+
+val nodes : t -> int
+(** Number of indexed nodes (elements and leaves). *)
+
+val distinct_labels : t -> int
+
+val paths_with_label : t -> string -> Path.t list
+(** Paths of all elements carrying the label, in document (pre-)order.
+    Includes the root when it matches. *)
+
+val paths_with_leaf : t -> string -> Path.t list
+(** Paths of all scalar leaves whose {!Term.as_text} rendering equals
+    the string, in document order. *)

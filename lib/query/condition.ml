@@ -15,7 +15,10 @@ type t =
 type env = {
   fetch : resource -> Term.t list;
   fetch_rdf : resource -> Rdf.graph option;
+  cached_match : resource -> seed:Subst.t -> Qterm.t -> Subst.set option;
 }
+
+let no_cached_match _ ~seed:_ _ = None
 
 let env_of_docs docs =
   let fetch = function
@@ -23,7 +26,7 @@ let env_of_docs docs =
         match List.assoc_opt name docs with Some d -> [ d ] | None -> [])
     | View _ -> []
   in
-  { fetch; fetch_rdf = (fun _ -> None) }
+  { fetch; fetch_rdf = (fun _ -> None); cached_match = no_cached_match }
 
 let rdf_binding_to_subst binding =
   List.fold_left
@@ -62,10 +65,13 @@ let rec eval env subst cond =
   match cond with
   | True -> Subst.set_single subst
   | False -> Subst.set_empty
-  | In (res, q) ->
-      let docs = env.fetch res in
-      Subst.dedup
-        (List.concat_map (fun doc -> Simulate.matches_anywhere ~seed:subst q doc) docs)
+  | In (res, q) -> (
+      match env.cached_match res ~seed:subst q with
+      | Some answers -> answers
+      | None ->
+          let docs = env.fetch res in
+          Subst.dedup
+            (List.concat_map (fun doc -> Simulate.matches_anywhere ~seed:subst q doc) docs))
   | In_rdf (res, patterns) -> (
       match env.fetch_rdf res with
       | None -> Subst.set_empty

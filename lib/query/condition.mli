@@ -30,7 +30,18 @@ type env = {
   fetch : resource -> Term.t list;
       (** instances of a resource; [] when absent or unreachable *)
   fetch_rdf : resource -> Rdf.graph option;
+  cached_match : resource -> seed:Subst.t -> Qterm.t -> Subst.set option;
+      (** fast path for [In]: when the provider can answer "all matches
+          of this query in this resource under this seed" itself
+          (typically memoized and index-pruned, see
+          {!Xchange_web.Store}), it returns [Some answers] and [fetch] +
+          {!Simulate} are bypassed; [None] falls back to fetching and
+          matching.  Must deliver exactly the answers the fallback
+          would.  Use {!no_cached_match} when there is no fast path. *)
 }
+
+val no_cached_match : resource -> seed:Subst.t -> Qterm.t -> Subst.set option
+(** Always [None] — the trivial {!env.cached_match}. *)
 
 val env_of_docs : (string * Term.t) list -> env
 (** A closed environment over named documents (no RDF, no views beyond

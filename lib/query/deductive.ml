@@ -132,6 +132,12 @@ let materialize ?roots base_env program =
           match res with
           | Condition.View _ -> None
           | Condition.Local _ | Condition.Remote _ -> base_env.Condition.fetch_rdf res);
+      cached_match =
+        (fun res ~seed q ->
+          match res with
+          | Condition.View _ -> None
+          | Condition.Local _ | Condition.Remote _ ->
+              base_env.Condition.cached_match res ~seed q);
     }
   in
   let round () =
@@ -168,4 +174,9 @@ let extend_env base_env program =
         match Hashtbl.find_opt tables v with Some ts -> ts | None -> [])
     | Condition.Local _ | Condition.Remote _ -> base_env.Condition.fetch res
   in
-  { Condition.fetch; fetch_rdf = base_env.Condition.fetch_rdf }
+  let cached_match res ~seed q =
+    match res with
+    | Condition.View _ -> None
+    | Condition.Local _ | Condition.Remote _ -> base_env.Condition.cached_match res ~seed q
+  in
+  { Condition.fetch; fetch_rdf = base_env.Condition.fetch_rdf; cached_match }

@@ -1,15 +1,17 @@
 open Xchange_data
 
 (* Regexes are referenced by their source text in query terms; compile
-   once per distinct pattern. *)
-let regex_cache : (string, Re.re) Hashtbl.t = Hashtbl.create 16
+   once per distinct pattern.  The cache is bounded (rule programs are
+   finite but adversarial or generated query streams are not) — least
+   recently used patterns are recompiled if they come back. *)
+let regex_cache : (string, Re.re) Lru.t = Lru.create ~cap:256
 
 let compiled_regex r =
-  match Hashtbl.find_opt regex_cache r with
+  match Lru.find regex_cache r with
   | Some re -> re
   | None ->
       let re = Re.compile (Re.Pcre.re r) in
-      Hashtbl.add regex_cache r re;
+      Lru.add regex_cache r re;
       re
 
 let match_leaf_pat pat t =
@@ -109,14 +111,23 @@ and match_elem ep e subst =
    sub-binding of another answer only exists because an optional pattern
    was skipped although it could match — drop it. *)
 and maximal_only answers =
-  let subsumed_by bigger smaller =
-    (not (Subst.equal bigger smaller))
-    && List.length (Subst.domain smaller) < List.length (Subst.domain bigger)
-    && Subst.equal (Subst.restrict (Subst.domain smaller) bigger) smaller
-  in
-  List.filter
-    (fun s -> not (List.exists (fun s' -> subsumed_by s' s) answers))
-    answers
+  match answers with
+  | [] | [ _ ] -> answers
+  | _ ->
+      (* when every answer binds the same number of variables no answer
+         can be a strict sub-binding of another — skip the O(n^2) scan *)
+      let cards = List.map Subst.cardinal answers in
+      let mn = List.fold_left min max_int cards and mx = List.fold_left max 0 cards in
+      if mn = mx then answers
+      else
+        let subsumed_by bigger smaller =
+          (not (Subst.equal bigger smaller))
+          && Subst.cardinal smaller < Subst.cardinal bigger
+          && Subst.equal (Subst.restrict (Subst.domain smaller) bigger) smaller
+        in
+        List.filter
+          (fun s -> not (List.exists (fun s' -> subsumed_by s' s) answers))
+          answers
 
 and match_children ~unordered ~total patterns data subst =
   match (unordered, total) with
@@ -176,5 +187,42 @@ and match_children ~unordered ~total patterns data subst =
       go patterns data subst
 
 let matches ?(seed = Subst.empty) q t = Subst.dedup (match_term q t seed)
-let matches_anywhere ?(seed = Subst.empty) q t = Subst.dedup (match_desc q t seed)
+
+(* [matches_anywhere (Desc q)] and [matches_anywhere q] deliver the same
+   answer set (the unions over all subterms coincide), so outer [Desc]
+   wrappers can be peeled before looking for an anchor. *)
+let rec peel_desc = function Qterm.Desc q -> peel_desc q | q -> q
+
+(* Which nodes can root-match [q]: elements with one exact label, or
+   scalar leaves with one exact text — the two shapes a {!Term_index}
+   can enumerate directly.  [As] binds the node [q'] matches, so it
+   keeps its anchor; anything else ([Var], [L_var], [L_any], inner
+   [Desc]...) can sit on arbitrary nodes. *)
+let rec anchor = function
+  | Qterm.El { Qterm.label = Qterm.L l; _ } -> Some (`Label l)
+  | Qterm.Leaf (Qterm.Text_is s) -> Some (`Leaf s)
+  | Qterm.As (_, q) -> anchor q
+  | Qterm.Var _ | Qterm.Leaf _ | Qterm.El _ | Qterm.Desc _ -> None
+
+let matches_anywhere ?index ?(seed = Subst.empty) q t =
+  match index with
+  | None -> Subst.dedup (match_desc q t seed)
+  | Some idx -> (
+      let q' = peel_desc q in
+      match anchor q' with
+      | None -> Subst.dedup (match_desc q t seed)
+      | Some a ->
+          let paths =
+            match a with
+            | `Label l -> Term_index.paths_with_label idx l
+            | `Leaf s -> Term_index.paths_with_leaf idx s
+          in
+          Subst.dedup
+            (List.concat_map
+               (fun p ->
+                 match Path.get t p with
+                 | Some node -> match_term q' node seed
+                 | None -> [])
+               paths))
+
 let holds ?seed q t = matches ?seed q t <> []

@@ -16,9 +16,17 @@ open Xchange_data
 val matches : ?seed:Subst.t -> Qterm.t -> Term.t -> Subst.set
 (** All solutions of matching [q] at the root of [t]. *)
 
-val matches_anywhere : ?seed:Subst.t -> Qterm.t -> Term.t -> Subst.set
+val matches_anywhere :
+  ?index:Term_index.t -> ?seed:Subst.t -> Qterm.t -> Term.t -> Subst.set
 (** All solutions of matching [q] at the root or at any descendant —
-    equivalent to [matches (Desc q) t]. *)
+    equivalent to [matches (Desc q) t].
+
+    [index] must be a {!Term_index.t} built from this exact document
+    value (the store maintains that invariant).  Queries whose root
+    requires one exact element label or leaf text then only visit the
+    candidate nodes the index lists instead of every subterm; all other
+    queries fall back to the full traversal.  Results are identical
+    either way ({!Subst.set}s are canonically sorted). *)
 
 val holds : ?seed:Subst.t -> Qterm.t -> Term.t -> bool
 (** [matches] is non-empty. *)

@@ -6,6 +6,7 @@ type t = Term.t M.t
 
 let empty = M.empty
 let is_empty = M.is_empty
+let cardinal = M.cardinal
 let domain s = List.map fst (M.bindings s)
 let find v s = M.find_opt v s
 
@@ -41,7 +42,42 @@ type set = t list
 
 let set_empty = []
 let set_single s = [ s ]
-let dedup set = List.sort_uniq compare set
+
+(* Deduplication is the inner loop of matching ([Simulate.match_desc]
+   calls it at every node).  Full [Term.compare]-based sorting of a
+   duplicate-heavy list does O(n log n) deep comparisons; instead,
+   bucket by a cheap canonical fingerprint (variable names + extensional
+   term digests), keep one representative per distinct substitution
+   (verified by [equal] within a bucket, so digest collisions cannot
+   drop answers), and sort only the survivors.  Small lists keep the
+   direct sort — fewer allocations. *)
+let fingerprint s =
+  M.fold
+    (fun v t acc -> (acc * 31) + Hashtbl.hash v + Int64.to_int (Term.digest t))
+    s 17
+
+let dedup set =
+  match set with
+  | [] | [ _ ] -> set
+  | _ when List.compare_length_with set 16 <= 0 -> List.sort_uniq compare set
+  | _ ->
+      let buckets = Hashtbl.create 64 in
+      let uniq =
+        List.fold_left
+          (fun acc s ->
+            let k = fingerprint s in
+            let bucket =
+              match Hashtbl.find_opt buckets k with Some b -> b | None -> []
+            in
+            if List.exists (fun s' -> equal s s') bucket then acc
+            else begin
+              Hashtbl.replace buckets k (s :: bucket);
+              s :: acc
+            end)
+          [] set
+      in
+      List.sort compare uniq
+
 let union a b = dedup (a @ b)
 
 let join a b =

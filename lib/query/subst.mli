@@ -13,6 +13,10 @@ type t
 
 val empty : t
 val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of bound variables. *)
+
 val domain : t -> string list
 val find : string -> t -> Term.t option
 

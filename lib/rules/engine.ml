@@ -13,12 +13,27 @@ type compiled = {
   needs_clock : bool;  (** the query contains absence operators *)
 }
 
+type index_stats = {
+  mutable dispatch_lookups : int;
+  mutable rules_fed : int;
+  mutable rules_skipped : int;
+  mutable clock_advances : int;
+}
+
+let fresh_index_stats () =
+  { dispatch_lookups = 0; rules_fed = 0; rules_skipped = 0; clock_advances = 0 }
+
 type t = {
   root : Ruleset.t;
-  compiled : compiled list;
+  compiled : compiled array;  (** in declaration order *)
+  by_label : (string, int list) Hashtbl.t;
+      (** event label -> indices of rules that can react, ascending *)
+  wildcard : int list;  (** rules reacting to any label ([labels = None]) *)
+  clocked : int list;  (** rules with absence timers to advance when skipped *)
   derivation : Deductive_event.t;
   index : bool;
   mutable seen : int;
+  istats : index_stats;
 }
 
 let rule_labels rule =
@@ -70,7 +85,38 @@ let create ?horizon ?(index = true) root =
       (Ok ()) (Ruleset.scoped_rules root)
   in
   let* derivation = Deductive_event.compile ?horizon (Ruleset.all_event_rules root) in
-  Ok { root; compiled = List.rev compiled; derivation; index; seen = 0 }
+  let compiled = Array.of_list (List.rev compiled) in
+  (* Discrimination structures: one hash lookup per event replaces the
+     per-event scan over all rules (Thesis 7: never re-scan). *)
+  let by_label = Hashtbl.create (max 16 (Array.length compiled)) in
+  let wildcard = ref [] and clocked = ref [] in
+  Array.iteri
+    (fun i cr ->
+      (match cr.labels with
+      | None -> wildcard := i :: !wildcard
+      | Some ls ->
+          List.iter
+            (fun l ->
+              let bucket =
+                match Hashtbl.find_opt by_label l with Some b -> b | None -> []
+              in
+              Hashtbl.replace by_label l (i :: bucket))
+            ls);
+      if cr.needs_clock then clocked := i :: !clocked)
+    compiled;
+  Hashtbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) by_label;
+  Ok
+    {
+      root;
+      compiled;
+      by_label;
+      wildcard = List.rev !wildcard;
+      clocked = List.rev !clocked;
+      derivation;
+      index;
+      seen = 0;
+      istats = fresh_index_stats ();
+    }
 
 let create_exn ?horizon ?index root =
   match create ?horizon ?index root with
@@ -85,6 +131,11 @@ type outcome = {
 
 let empty_outcome = { firings = []; derived_events = []; errors = [] }
 
+(* Outcomes are accumulated with [firings] and [errors] reversed (cons /
+   rev_append instead of the quadratic [acc @ new]); [finish] restores
+   processing order once per entry point. *)
+let finish acc = { acc with firings = List.rev acc.firings; errors = List.rev acc.errors }
+
 let fire_detections ~env ~ops cr detections acc =
   List.fold_left
     (fun acc detection ->
@@ -96,10 +147,34 @@ let fire_detections ~env ~ops cr detections acc =
       List.fold_left
         (fun acc result ->
           match result with
-          | Ok firings -> { acc with firings = acc.firings @ firings }
-          | Error e -> { acc with errors = acc.errors @ [ (cr.qualified, e) ] })
+          | Ok firings -> { acc with firings = List.rev_append firings acc.firings }
+          | Error e -> { acc with errors = (cr.qualified, e) :: acc.errors })
         acc results)
     acc detections
+
+(* Rule indices that must see this event batch, ascending (= declaration
+   order, so firings come out exactly as the full scan produced them):
+   the dispatch buckets of the batch's labels, rules without a label
+   constraint, and — because skipped rules still observe time — every
+   rule with absence timers.  All other rules would be no-ops: their
+   label sets cannot match and they have no deadlines to resolve. *)
+let dispatch t all_events =
+  if not t.index then List.init (Array.length t.compiled) Fun.id
+  else begin
+    t.istats.dispatch_lookups <- t.istats.dispatch_lookups + 1;
+    let buckets =
+      List.concat_map
+        (fun ev ->
+          match Hashtbl.find_opt t.by_label ev.Event.label with
+          | Some bucket -> bucket
+          | None -> [])
+        all_events
+    in
+    let visit = List.sort_uniq Int.compare (t.wildcard @ t.clocked @ buckets) in
+    t.istats.rules_skipped <-
+      t.istats.rules_skipped + (Array.length t.compiled - List.length visit);
+    visit
+  end
 
 let handle_event t ~env ~ops event =
   t.seen <- t.seen + 1;
@@ -109,7 +184,8 @@ let handle_event t ~env ~ops event =
     let all_events = event :: derived in
     let acc =
       List.fold_left
-        (fun acc cr ->
+        (fun acc i ->
+          let cr = t.compiled.(i) in
           List.fold_left
             (fun acc ev ->
               let relevant =
@@ -119,27 +195,31 @@ let handle_event t ~env ~ops event =
                 | None -> true
                 | Some labels -> List.mem ev.Event.label labels
               in
-              if relevant then
+              if relevant then begin
+                if t.index then t.istats.rules_fed <- t.istats.rules_fed + 1;
                 fire_detections ~env ~ops cr (Incremental.feed cr.engine ev) acc
-              else if cr.needs_clock then
+              end
+              else if cr.needs_clock then begin
                 (* skipped rules still observe time: resolve absence
                    deadlines strictly before the event, exactly as a
                    non-matching feed would *)
+                t.istats.clock_advances <- t.istats.clock_advances + 1;
                 fire_detections ~env ~ops cr
                   (Incremental.advance_to cr.engine (Event.time ev - 1))
                   acc
+              end
               else acc)
             acc all_events)
         { empty_outcome with derived_events = derived }
-        t.compiled
+        (dispatch t all_events)
     in
-    acc
+    finish acc
   end
 
 let advance t ~env ~ops time =
   let derived = Deductive_event.advance_to t.derivation time in
   let acc =
-    List.fold_left
+    Array.fold_left
       (fun acc cr ->
         let detections =
           Incremental.advance_to cr.engine time
@@ -149,20 +229,22 @@ let advance t ~env ~ops time =
       { empty_outcome with derived_events = derived }
       t.compiled
   in
-  acc
+  finish acc
 
 let load_ruleset t incoming =
   let merged = { t.root with Ruleset.children = t.root.Ruleset.children @ [ incoming ] } in
   create merged
 
 let ruleset t = t.root
-let rule_names t = List.map (fun cr -> cr.qualified) t.compiled
-let stats t = List.map (fun cr -> (cr.qualified, cr.stats)) t.compiled
+let rule_names t = Array.to_list (Array.map (fun cr -> cr.qualified) t.compiled)
+let stats t = Array.to_list (Array.map (fun cr -> (cr.qualified, cr.stats)) t.compiled)
 
 let total_condition_evaluations t =
-  List.fold_left (fun acc cr -> acc + cr.stats.Eca.condition_evaluations) 0 t.compiled
+  Array.fold_left (fun acc cr -> acc + cr.stats.Eca.condition_evaluations) 0 t.compiled
 
 let live_instances t =
-  List.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
+  Array.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
 
 let events_seen t = t.seen
+let index_stats t = t.istats
+let dispatch_labels t = Hashtbl.length t.by_label

@@ -21,10 +21,15 @@ val create : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> (t, string) resu
     calls), every rule's event query, and the (non-recursive) event
     derivation program, then compiles one incremental engine per rule.
 
-    [index] (default true) dispatches events by label: a rule whose
+    [index] (default true) dispatches events through a precomputed
+    [label -> rules] hash table (plus a wildcard bucket for rules
+    without a label constraint): an event only touches rules that can
+    react to it, instead of scanning the whole rule base.  A rule whose
     query names only other labels is not fed the event (its absence
-    timers are still advanced, preserving semantics).  Ablation A2
-    measures the effect; disable it only for that comparison. *)
+    timers are still advanced, preserving semantics — a separate
+    clock-observer bucket).  Outcomes are identical with and without the
+    index (property-tested); ablation A2 measures the effect; disable it
+    only for that comparison. *)
 
 val create_exn : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> t
 
@@ -54,3 +59,19 @@ val live_instances : t -> int
 (** Stored partial matches across all rules (Thesis 4 memory proxy). *)
 
 val events_seen : t -> int
+
+(** {1 Dispatch observability} *)
+
+type index_stats = {
+  mutable dispatch_lookups : int;  (** event batches routed through the table *)
+  mutable rules_fed : int;  (** (rule, event) feeds that passed dispatch *)
+  mutable rules_skipped : int;  (** rules not even visited for a batch *)
+  mutable clock_advances : int;
+      (** timer-only advances of skipped absence rules *)
+}
+
+val index_stats : t -> index_stats
+(** Counters since [create]; all zero when [index] is false. *)
+
+val dispatch_labels : t -> int
+(** Distinct labels in the dispatch table. *)

@@ -79,7 +79,20 @@ let env_for t (me : Node.t) =
               Store.rdf (Node.store other) (Uri.path uri))
     | Condition.View _ -> None
   in
-  { Condition.fetch; fetch_rdf }
+  (* Only resources served by [me]'s own store take its memoized fast
+     path; cross-host fetches must go through [fetch] so the GET/Response
+     traffic stays accounted. *)
+  let cached_match res ~seed q =
+    match res with
+    | Condition.Local _ -> local.Condition.cached_match res ~seed q
+    | Condition.Remote uri ->
+        let host = Uri.host uri in
+        if host = "" || String.equal host (Node.host me) then
+          local.Condition.cached_match res ~seed q
+        else None
+    | Condition.View _ -> None
+  in
+  { Condition.fetch; fetch_rdf; cached_match }
 
 let context_for t me =
   {

@@ -8,25 +8,77 @@ type watch_state =
   | Surrogate of { w_doc : string; oid : int; mutable last_digest : int64 }
   | Extensional of { w_doc : string; value : Term.t }
 
+(* The query cache key: the document's extensional digest (captured by
+   its term index), the query term itself, and a digest fingerprint of
+   the seed substitution.  Keying by the full seed keeps cached answers
+   byte-for-byte those of a fresh evaluation — optional and negated
+   subpatterns make seeded matching irreducible to joining unseeded
+   answers.  Stale digests age out of the LRU by themselves. *)
+type query_key = int64 * Qterm.t * (string * int64) list
+
 type t = {
   docs : (string, Term.t) Hashtbl.t;
   graphs : (string, Rdf.graph) Hashtbl.t;
   watches : (int, watch_state) Hashtbl.t;
   mutable next_watch : int;
+  indexes : (string, Term_index.t) Hashtbl.t;  (** per current doc version *)
+  qcache : (query_key, Subst.set) Lru.t;
+  mutable index_builds : int;
+  mutable index_invalidations : int;
+  mutable indexed_selects : int;
 }
 
 type watch_id = int
 
-let create () =
-  { docs = Hashtbl.create 16; graphs = Hashtbl.create 4; watches = Hashtbl.create 8; next_watch = 0 }
+let default_cache_capacity = 512
 
-let add_doc t name d = Hashtbl.replace t.docs name (Identity.assign d)
+let create ?(cache_capacity = default_cache_capacity) () =
+  {
+    docs = Hashtbl.create 16;
+    graphs = Hashtbl.create 4;
+    watches = Hashtbl.create 8;
+    next_watch = 0;
+    indexes = Hashtbl.create 16;
+    qcache = Lru.create ~cap:cache_capacity;
+    index_builds = 0;
+    index_invalidations = 0;
+    indexed_selects = 0;
+  }
+
+(* Every document mutation drops the document's index; cached query
+   answers need no eager flush because their keys embed the digest of
+   the version they were computed on. *)
+let invalidate_index t name =
+  if Hashtbl.mem t.indexes name then begin
+    Hashtbl.remove t.indexes name;
+    t.index_invalidations <- t.index_invalidations + 1
+  end
+
+let existing_index t name = Hashtbl.find_opt t.indexes name
+
+let index_for t name =
+  match Hashtbl.find_opt t.indexes name with
+  | Some idx -> Some idx
+  | None -> (
+      match Hashtbl.find_opt t.docs name with
+      | None -> None
+      | Some d ->
+          let idx = Term_index.build d in
+          t.index_builds <- t.index_builds + 1;
+          Hashtbl.replace t.indexes name idx;
+          Some idx)
+
+let add_doc t name d =
+  invalidate_index t name;
+  Hashtbl.replace t.docs name (Identity.assign d)
+
 let doc t name = Hashtbl.find_opt t.docs name
 let doc_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.docs [])
 
 let remove_doc t name =
   if Hashtbl.mem t.docs name then begin
     Hashtbl.remove t.docs name;
+    invalidate_index t name;
     true
   end
   else false
@@ -38,9 +90,12 @@ let rdf_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: ac
 let notify doc kind count = { doc; summary = Term.elem "update" ~attrs:[ ("doc", doc); ("kind", kind) ] [ Term.int count ] }
 
 (* Apply a path-wise rewrite to every selected node, deepest/last paths
-   first so earlier rewrites do not invalidate later paths. *)
-let rewrite_selected d selector f =
-  let selected = Path.select d selector in
+   first so earlier rewrites do not invalidate later paths.  When the
+   document still has a live term index, descendant/tag selector steps
+   prune through it instead of traversing. *)
+let rewrite_selected ?index d selector f =
+  let label_paths = Option.map (fun idx l -> Term_index.paths_with_label idx l) index in
+  let selected = Path.select ?label_paths d selector in
   let ordered = List.sort (fun (a, _) (b, _) -> Stdlib.compare b a) selected in
   List.fold_left
     (fun (d, n) (path, node) ->
@@ -54,26 +109,39 @@ let get_doc t name =
 
 let ( let* ) = Result.bind
 
+(* The index of the document's current version, for selector pruning
+   inside updates: use it if a query already built it, but do not build
+   one just for a mutation that is about to invalidate it. *)
+let update_index t name =
+  match existing_index t name with
+  | Some idx ->
+      t.indexed_selects <- t.indexed_selects + 1;
+      Some idx
+  | None -> None
+
 let apply t (update : Action.update) =
   match update with
   | Action.U_insert { doc = name; selector; at; content } ->
       let* d = get_doc t name in
       let content = Identity.assign content in
       let d', n =
-        rewrite_selected d selector (fun d path _node -> Path.insert_child ?at d path content)
+        rewrite_selected ?index:(update_index t name) d selector (fun d path _node ->
+            Path.insert_child ?at d path content)
       in
       if n = 0 then Error (Fmt.str "insert: selector matched nothing in %s" name)
       else begin
         Hashtbl.replace t.docs name d';
+        invalidate_index t name;
         Ok (n, [ notify name "insert" n ])
       end
   | Action.U_delete { doc = name; selector; pattern } ->
       let* d = get_doc t name in
+      let index = update_index t name in
       let d', n =
         match pattern with
-        | None -> rewrite_selected d selector (fun d path _ -> Path.delete d path)
+        | None -> rewrite_selected ?index d selector (fun d path _ -> Path.delete d path)
         | Some q ->
-            rewrite_selected d selector (fun d path node ->
+            rewrite_selected ?index d selector (fun d path node ->
                 (* delete children of the selected node matching q *)
                 let doomed =
                   List.mapi (fun i c -> (i, c)) (Term.children node)
@@ -87,11 +155,12 @@ let apply t (update : Action.update) =
                     (Some d) doomed)
       in
       Hashtbl.replace t.docs name d';
+      if n > 0 then invalidate_index t name;
       Ok (n, if n = 0 then [] else [ notify name "delete" n ])
   | Action.U_replace { doc = name; selector; content } ->
       let* d = get_doc t name in
       let d', n =
-        rewrite_selected d selector (fun d path node ->
+        rewrite_selected ?index:(update_index t name) d selector (fun d path node ->
             (* the replacement inherits the replaced element's surrogate
                identity (Thesis 10) *)
             let keep_oid = Term.elem_id node in
@@ -101,6 +170,7 @@ let apply t (update : Action.update) =
       if n = 0 then Error (Fmt.str "replace: selector matched nothing in %s" name)
       else begin
         Hashtbl.replace t.docs name d';
+        invalidate_index t name;
         Ok (n, [ notify name "replace" n ])
       end
   | Action.U_create_doc { doc = name; content } ->
@@ -137,8 +207,27 @@ let replace_at t ~doc:name path content =
       match Path.replace d path content with
       | Some d' ->
           Hashtbl.replace t.docs name d';
+          invalidate_index t name;
           Ok ()
       | None -> Error (Fmt.str "cannot replace at %a in %s" Path.pp path name))
+
+let seed_fingerprint seed =
+  List.map (fun (v, term) -> (v, Term.digest term)) (Subst.to_list seed)
+
+let query t ~doc:name ?(seed = Subst.empty) q =
+  match Hashtbl.find_opt t.docs name with
+  | None -> Subst.set_empty
+  | Some d -> (
+      match index_for t name with
+      | None -> Simulate.matches_anywhere ~seed q d
+      | Some idx -> (
+          let key = (Term_index.digest idx, q, seed_fingerprint seed) in
+          match Lru.find t.qcache key with
+          | Some answers -> answers
+          | None ->
+              let answers = Simulate.matches_anywhere ~index:idx ~seed q d in
+              Lru.add t.qcache key answers;
+              answers))
 
 let env t =
   let fetch = function
@@ -151,7 +240,13 @@ let env t =
     | Condition.Remote uri -> rdf t (Uri.path uri)
     | Condition.View _ -> None
   in
-  { Condition.fetch; fetch_rdf }
+  let cached_match res ~seed q =
+    match res with
+    | Condition.Local name -> Some (query t ~doc:name ~seed q)
+    | Condition.Remote uri -> Some (query t ~doc:(Uri.path uri) ~seed q)
+    | Condition.View _ -> None
+  in
+  { Condition.fetch; fetch_rdf; cached_match }
 
 type backup = { b_docs : (string * Term.t) list; b_graphs : (string * Rdf.graph) list }
 
@@ -162,6 +257,8 @@ let backup t =
   }
 
 let rollback t b =
+  t.index_invalidations <- t.index_invalidations + Hashtbl.length t.indexes;
+  Hashtbl.reset t.indexes;
   Hashtbl.reset t.docs;
   List.iter (fun (k, v) -> Hashtbl.replace t.docs k v) b.b_docs;
   Hashtbl.reset t.graphs;
@@ -253,3 +350,28 @@ let poll_watch t id : watch_status =
       | Some d -> if Identity.find_equal d e.value = [] then `Lost else `Unchanged)
 
 let watch_count t = Hashtbl.length t.watches
+
+type stats = {
+  query_cache_hits : int;
+  query_cache_misses : int;
+  query_cache_evictions : int;
+  query_cache_entries : int;
+  index_builds : int;
+  index_invalidations : int;
+  live_indexes : int;
+  indexed_selects : int;
+}
+
+let stats t =
+  {
+    query_cache_hits = Lru.hits t.qcache;
+    query_cache_misses = Lru.misses t.qcache;
+    query_cache_evictions = Lru.evictions t.qcache;
+    query_cache_entries = Lru.length t.qcache;
+    index_builds = t.index_builds;
+    index_invalidations = t.index_invalidations;
+    live_indexes = Hashtbl.length t.indexes;
+    indexed_selects = t.indexed_selects;
+  }
+
+let index t name = index_for t name

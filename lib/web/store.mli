@@ -26,7 +26,9 @@ type notification = { doc : string; summary : Term.t }
 (** What changed, as a data term [update\[...\]] suitable for a local
     event payload. *)
 
-val create : unit -> t
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] bounds the memoized-query LRU (default 512
+    entries); pass [1] to effectively disable cross-query reuse. *)
 
 (** {1 Documents} *)
 
@@ -58,7 +60,44 @@ val replace_at : t -> doc:string -> Path.t -> Term.t -> (unit, string) result
 val env : t -> Condition.env
 (** Query environment over this store only ([Local]/[Remote] resolve by
     path against this store; views resolve to nothing — the engine layers
-    views on top). *)
+    views on top).  [In] conditions are answered through {!query} — i.e.
+    index-pruned and memoized. *)
+
+(** {1 Hot-path indexing and memoization}
+
+    The store owns one {!Term_index} per document, built lazily on the
+    first query and dropped on every mutation of that document
+    ({!apply}, {!replace_at}, {!add_doc}, {!remove_doc}, {!rollback}).
+    Query answers are memoized in an LRU keyed by
+    [(document digest, query, seed fingerprint)] — repeated conditions
+    and polls over an unchanged document are O(1); entries of stale
+    document versions age out by eviction since their digest key can
+    never be looked up again. *)
+
+val query : t -> doc:string -> ?seed:Subst.t -> Qterm.t -> Subst.set
+(** All matches of the query anywhere in the named document, exactly as
+    [Simulate.matches_anywhere ~seed q] on {!doc} — but candidate-pruned
+    through the document's term index and memoized.  [] when the
+    document does not exist. *)
+
+val index : t -> string -> Term_index.t option
+(** The (lazily built) index of the document's current version; [None]
+    if the document does not exist. *)
+
+type stats = {
+  query_cache_hits : int;
+  query_cache_misses : int;
+  query_cache_evictions : int;
+  query_cache_entries : int;
+  index_builds : int;
+  index_invalidations : int;
+  live_indexes : int;
+  indexed_selects : int;
+      (** update-selector evaluations that pruned through a live index *)
+}
+
+val stats : t -> stats
+(** Counters since [create] (observability for E-experiments). *)
 
 (** {1 Snapshots} — the persistent side of a node, as one data term
     (documents and RDF graphs; watches are runtime state and are not

@@ -12,6 +12,7 @@ let () =
       Test_event.suite;
       Test_event_query.suite;
       Test_equivalence.suite;
+      Test_perf_index.suite;
       Test_rules.suite;
       Test_ruleset.suite;
       Test_store.suite;

@@ -84,6 +84,7 @@ let test_rdf_condition () =
     {
       Condition.fetch = (fun _ -> []);
       fetch_rdf = (fun _ -> Some g);
+      cached_match = Condition.no_cached_match;
     }
   in
   let cond =

@@ -158,6 +158,7 @@ let test_goal_directed () =
           | Condition.Remote _ | Condition.View _ -> ());
           env.Condition.fetch res);
       fetch_rdf = (fun _ -> None);
+      cached_match = Condition.no_cached_match;
     }
   in
   let irrelevant =
