@@ -126,7 +126,7 @@ let e2 () =
     let net = Network.create () in
     let host i = Printf.sprintf "site%d.example" i in
     for i = 0 to k - 1 do
-      Network.add_node net (node_exn ~host:(host i) (ring_rules (host i) (host ((i + 1) mod k))))
+      Network.add_node_exn net (node_exn ~host:(host i) (ring_rules (host i) (host ((i + 1) mod k))))
     done;
     Network.inject net ~to_:(host 0) ~label:"token" (Term.elem "token" [ Term.int hops ]);
     let t = Network.run_until_quiet net () in
@@ -178,10 +178,10 @@ let e2 () =
         "coordinator"
     in
     for i = 0 to k - 1 do
-      Network.add_node net (node_exn ~host:(host i) (site_rules (host i)))
+      Network.add_node_exn net (node_exn ~host:(host i) (site_rules (host i)))
     done;
     let coord = node_exn ~host:coordinator coord_rules in
-    Network.add_node net coord;
+    Network.add_node_exn net coord;
     Network.inject net ~to_:(host 0) ~label:"token" (Term.elem "token" [ Term.int hops ]);
     let t = Network.run_until_quiet net () in
     let stats = Network.transport_stats net in
@@ -230,8 +230,8 @@ let e3 () =
     let producer = node_exn ~host:"producer.example" producer_rules in
     Store.add_doc (Node.store producer) "/feed" (Term.elem "feed" [ Term.int 0 ]);
     let consumer = node_exn ~host:"consumer.example" (Ruleset.make "consumer") in
-    Network.add_node net producer;
-    Network.add_node net consumer;
+    Network.add_node_exn net producer;
+    Network.add_node_exn net consumer;
     (net, producer)
   in
   (* drive the producer's changes through its own store so push rules see

@@ -7,14 +7,18 @@
      dune exec bench/main.exe e3 e6      # selected experiments
      dune exec bench/main.exe micro      # micro-benchmarks only
      dune exec bench/main.exe index      # hot-path indexing benchmarks
-     dune exec bench/main.exe --smoke    # fast index smoke (runs in `dune runtest`)
+     dune exec bench/main.exe sched      # scheduler / degraded-network benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched smoke (runs in `dune runtest`)
 *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
   let args = List.filter (fun a -> a <> "--smoke") args in
-  if smoke then Index_bench.run ~smoke:true ()
+  if smoke then begin
+    Index_bench.run ~smoke:true ();
+    Sched_bench.run ~smoke:true ()
+  end
   else begin
     let wanted name = args = [] || List.mem name args in
     Fmt.pr "# XChange-OCaml evaluation — Twelve Theses on Reactive Rules for the Web@.";
@@ -22,5 +26,6 @@ let () =
       (fun (name, f) -> if wanted name then f ())
       Experiments.all;
     if wanted "index" then Index_bench.run ~smoke:false ();
+    if wanted "sched" then Sched_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

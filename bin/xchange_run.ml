@@ -104,7 +104,7 @@ let run_cmd path docs events_file until host verbose load save show_trace =
     (fun (name, file) -> Store.add_doc (Node.store node) name (Xml.parse_exn (read_file file)))
     docs;
   let net = Network.create ~record:show_trace () in
-  Network.add_node net node;
+  Network.add_node_exn net node;
   Network.enable_heartbeat net ~period:(max 1 (until / 100));
   let events =
     match events_file with

@@ -65,8 +65,8 @@ let () =
   let nav = node_exn ~host:"nav.example" nav_rules in
 
   let net = Network.create () in
-  Network.add_node net directory;
-  Network.add_node net nav;
+  Network.add_node_exn net directory;
+  Network.add_node_exn net nav;
 
   (* the navigation device subscribes to the city-centre district *)
   Network.inject net ~to_:"directory.example" ~label:"subscribe"

@@ -78,7 +78,7 @@ let () =
   Store.add_rdf (Node.store tutor) "/profile" (Rdf.create ());
 
   let net = Network.create () in
-  Network.add_node net tutor;
+  Network.add_node_exn net tutor;
 
   Network.inject net ~to_:"tutor.example" ~label:"test-result"
     (test_result ~student:"franz" ~topic:"algebra" ~score:35.);

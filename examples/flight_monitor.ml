@@ -61,7 +61,7 @@ let () =
   Store.add_doc (Node.store agency) "/audit" (Term.elem ~ord:Term.Unordered "audit" []);
 
   let net = Network.create () in
-  Network.add_node net agency;
+  Network.add_node_exn net agency;
   Network.enable_heartbeat net ~period:(Clock.minutes 15);
 
   let at t f = if Network.clock net < t then Network.run net ~until:t; f () in

@@ -110,7 +110,7 @@ let () =
          </stock>|});
 
   let net = Network.create () in
-  List.iter (Network.add_node net) [ shop; warehouse; bank ];
+  List.iter (Network.add_node_exn net) [ shop; warehouse; bank ];
   Network.enable_heartbeat net ~period:(Clock.minutes 10);
 
   (* franz (gold) ships immediately; mary pays through the bank first *)

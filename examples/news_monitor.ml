@@ -43,8 +43,8 @@ let () =
     | Ok n -> n
     | Error e -> failwith e
   in
-  Network.add_node net site;
-  Network.add_node net reader;
+  Network.add_node_exn net site;
+  Network.add_node_exn net reader;
   ignore (Poll.attach net ~poller:"reader.example" ~target:"news.example/news" ~period:(Clock.seconds 10));
 
   (* watch the election article both ways *)

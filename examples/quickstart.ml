@@ -44,7 +44,7 @@ let () =
 
   (* 2. a (simulated) Web around it *)
   let net = Network.create () in
-  Network.add_node net shop;
+  Network.add_node_exn net shop;
 
   (* 3. events arrive as messages *)
   Network.inject net ~to_:"shop.example" ~label:"order" (order ~item:"ball" ~customer:"franz");

@@ -54,8 +54,8 @@ let () =
   Store.add_doc (Node.store trader) "/indicators" (Term.elem ~ord:Term.Unordered "indicators" []);
 
   let net = Network.create () in
-  Network.add_node net trader;
-  Network.add_node net broker;
+  Network.add_node_exn net trader;
+  Network.add_node_exn net broker;
 
   (* two interleaved feeds: ACME trends up, DULL is flat *)
   let acme = [ 100.; 101.; 99.; 100.; 100.; 140.; 155.; 150.; 160.; 185. ] in

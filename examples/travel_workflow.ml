@@ -105,7 +105,7 @@ let () =
        {|<routes xch:unordered="true"><route><carrier>prefair</carrier><dest>HQ</dest></route></routes>|});
 
   let net = Network.create () in
-  List.iter (Network.add_node net) [ hr; booking; finance; employee ];
+  List.iter (Network.add_node_exn net) [ hr; booking; finance; employee ];
   Network.enable_heartbeat net ~period:(Clock.hours 1);
 
   let request who dest cost =

@@ -17,8 +17,9 @@
       event queries (Theses 4-6)
     - {!Action}, {!Eca}, {!Production}, {!Derive}, {!Ruleset}, {!Engine}
       — reactive rules (Theses 1, 8, 9)
-    - {!Uri}, {!Message}, {!Store}, {!Transport}, {!Node}, {!Network},
-      {!Poll}, {!Cookie} — the Web substrate (Theses 2, 3, 10)
+    - {!Uri}, {!Message}, {!Store}, {!Sched}, {!Transport}, {!Node},
+      {!Network}, {!Poll}, {!Cookie} — the Web substrate (Theses 2, 3,
+      10), all sharing one discrete-event timeline ({!Sched})
     - {!Lexer}, {!Parser}, {!Printer}, {!Meta} — the surface language
       and meta-programming (Thesis 11)
     - {!Auth}, {!Authz}, {!Accounting}, {!Trust} — AAA (Theses 11, 12)
@@ -65,6 +66,7 @@ module Engine = Xchange_rules.Engine
 module Uri = Xchange_web.Uri
 module Message = Xchange_web.Message
 module Store = Xchange_web.Store
+module Sched = Xchange_web.Sched
 module Transport = Xchange_web.Transport
 module Node = Xchange_web.Node
 module Network = Xchange_web.Network

@@ -478,3 +478,23 @@ let rec count_node node =
 let live_instances t = count_node t.root
 let events_seen t = t.seen
 let detections_reported t = t.reported
+
+let min_opt a b =
+  match (a, b) with None, x | x, None -> x | Some x, Some y -> Some (min x y)
+
+let rec node_deadline node =
+  match node.kind with
+  | NAtomic _ -> None
+  | NAnd cs | NOr cs | NSeq cs ->
+      List.fold_left (fun acc c -> min_opt acc (node_deadline c)) None cs
+  | NWithin (c, _) | NTimes (_, c, _) -> node_deadline c
+  | NAbsent st ->
+      let own =
+        List.fold_left
+          (fun acc (deadline, _) -> min_opt acc (Some deadline))
+          None st.pending
+      in
+      min_opt own (min_opt (node_deadline st.a_start) (node_deadline st.a_blocker))
+  | NAgg st | NRises st -> node_deadline st.src
+
+let next_deadline t = node_deadline t.root

@@ -61,3 +61,9 @@ val live_instances : t -> int
 
 val events_seen : t -> int
 val detections_reported : t -> int
+
+val next_deadline : t -> Clock.time option
+(** Earliest pending absence deadline, if any — the time by which
+    {!advance_to} must be called for a timer detection to fire on
+    schedule.  Lets a discrete-event scheduler wake the engine exactly
+    when a deadline is due instead of relying on periodic heartbeats. *)

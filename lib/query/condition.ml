@@ -109,6 +109,15 @@ let rec vars = function
 
 let vars c = List.sort_uniq String.compare (vars c)
 
+let rec resources = function
+  | True | False | Cmp _ -> []
+  | In (r, _) -> [ (`Doc, r) ]
+  | In_rdf (r, _) -> [ (`Rdf, r) ]
+  | And cs | Or cs -> List.concat_map resources cs
+  | Not c -> resources c
+
+let resources c = List.sort_uniq Stdlib.compare (resources c)
+
 let pp_resource ppf = function
   | Local s -> Fmt.pf ppf "doc(%S)" s
   | Remote s -> Fmt.pf ppf "uri(%S)" s

@@ -57,4 +57,11 @@ val holds : env -> Subst.t -> t -> bool
 val vars : t -> string list
 (** Variables the condition can bind (negated subconditions excluded). *)
 
+val resources : t -> ([ `Doc | `Rdf ] * resource) list
+(** Every resource the condition can touch, tagged with the kind of
+    fetch ([`Doc] for [In], [`Rdf] for [In_rdf]), deduplicated.  Being a
+    static property of the condition (resources are literals, never
+    computed), this is what lets the Web substrate prefetch remote
+    documents before evaluation. *)
+
 val pp : t Fmt.t

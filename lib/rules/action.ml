@@ -92,6 +92,13 @@ let alt actions = Alt actions
 let call name args = Call (name, args)
 let log fmt args = Log (fmt, args)
 
+let rec conditions = function
+  | If (c, then_, else_) -> (c :: conditions then_) @ conditions else_
+  | Seq ts | Atomic ts | Alt ts -> List.concat_map conditions ts
+  | Nop | Fail _ | Log _ | Insert _ | Delete _ | Replace _ | Create_doc _ | Delete_doc _
+  | Rdf_assert _ | Rdf_retract _ | Raise _ | Call _ ->
+      []
+
 type outcome = { updates : int; events_sent : int }
 
 let no_outcome = { updates = 0; events_sent = 0 }

@@ -110,8 +110,14 @@ val make_persistent : doc:string -> string -> t
 val seq : t list -> t
 val atomic : t list -> t
 val alt : t list -> t
+
 val call : string -> Builtin.operand list -> t
 val log : string -> Builtin.operand list -> t
+
+val conditions : t -> Condition.t list
+(** Every condition embedded in the action ([If] branches, recursively
+    through compounds) — the static inputs the Web substrate must be
+    able to prefetch for. *)
 
 (** {1 Execution} *)
 

@@ -32,6 +32,10 @@ type t = {
   clocked : int list;  (** rules with absence timers to advance when skipped *)
   derivation : Deductive_event.t;
   index : bool;
+  remote_deps : ([ `Doc | `Rdf ] * string) list;
+      (** remote URIs any rule/view/procedure condition can touch *)
+  clocked_remote_deps : ([ `Doc | `Rdf ] * string) list;
+      (** remote URIs reachable from timer-bearing rules only *)
   mutable seen : int;
   istats : index_stats;
 }
@@ -48,6 +52,31 @@ let rule_labels rule =
   collect [] atoms
 
 let ( let* ) = Result.bind
+
+(* Static remote-resource analysis: every condition a compiled rule can
+   evaluate — its branches, conditions embedded in its actions, and the
+   bodies of the views visible from its scope.  Resources are literals
+   in the condition language, so this is complete: the Web substrate
+   prefetches exactly these URIs through real round-trips before
+   handing an event to the engine. *)
+let rule_conditions cr =
+  let branch_conds = List.map (fun b -> b.Eca.condition) cr.rule.Eca.branches in
+  let action_conds =
+    List.concat_map Action.conditions
+      (List.map (fun b -> b.Eca.action) cr.rule.Eca.branches
+      @ Option.to_list cr.rule.Eca.else_action)
+  in
+  let view_conds =
+    List.map (fun (r : Deductive.rule) -> r.Deductive.body) (Ruleset.views_in_scope cr.scope)
+  in
+  branch_conds @ action_conds @ view_conds
+
+let remote_of conds =
+  List.concat_map Condition.resources conds
+  |> List.filter_map (function
+       | kind, Condition.Remote uri -> Some (kind, uri)
+       | _, (Condition.Local _ | Condition.View _) -> None)
+  |> List.sort_uniq Stdlib.compare
 
 let create ?horizon ?(index = true) root =
   let* () = Ruleset.validate root in
@@ -105,6 +134,21 @@ let create ?horizon ?(index = true) root =
       if cr.needs_clock then clocked := i :: !clocked)
     compiled;
   Hashtbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) by_label;
+  let proc_conds =
+    List.concat_map
+      (fun (_, (p : Action.proc)) -> Action.conditions p.Action.body)
+      (Ruleset.all_procedures root)
+  in
+  let deps_of crs =
+    remote_of (List.concat_map rule_conditions crs @ proc_conds)
+  in
+  let all_crs = Array.to_list compiled in
+  let remote_deps = deps_of all_crs in
+  let clocked_remote_deps =
+    match List.filter (fun cr -> cr.needs_clock) all_crs with
+    | [] -> []  (* no timer can fire, so advancing needs no prefetch *)
+    | clocked_crs -> deps_of clocked_crs
+  in
   Ok
     {
       root;
@@ -114,6 +158,8 @@ let create ?horizon ?(index = true) root =
       clocked = List.rev !clocked;
       derivation;
       index;
+      remote_deps;
+      clocked_remote_deps;
       seen = 0;
       istats = fresh_index_stats ();
     }
@@ -248,3 +294,13 @@ let live_instances t =
 let events_seen t = t.seen
 let index_stats t = t.istats
 let dispatch_labels t = Hashtbl.length t.by_label
+let remote_resources t = t.remote_deps
+let clocked_remote_resources t = t.clocked_remote_deps
+
+let min_opt a b =
+  match (a, b) with None, x | x, None -> x | Some x, Some y -> Some (min x y)
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc cr -> min_opt acc (Incremental.next_deadline cr.engine))
+    None t.compiled

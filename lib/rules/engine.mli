@@ -60,6 +60,29 @@ val live_instances : t -> int
 
 val events_seen : t -> int
 
+(** {1 Scheduler integration (Theses 2-3, 10)}
+
+    The engine never talks to the network itself, but the Web substrate
+    needs two static facts to drive it from a discrete-event scheduler:
+    which remote resources rule processing can read (prefetched through
+    real Get/Response round-trips before the engine runs), and when the
+    next rule timer is due (scheduled as an occurrence instead of
+    relying on heartbeat polling). *)
+
+val remote_resources : t -> ([ `Doc | `Rdf ] * string) list
+(** Remote URIs any rule condition, embedded action condition, visible
+    view body, or procedure body can touch.  Sorted, deduplicated;
+    recomputed by {!load_ruleset}. *)
+
+val clocked_remote_resources : t -> ([ `Doc | `Rdf ] * string) list
+(** Same, restricted to timer-bearing rules — the prefetch set for
+    engine {!advance}.  Empty when no rule has absence timers. *)
+
+val next_deadline : t -> Clock.time option
+(** Earliest pending absence deadline across all rules ([None] when no
+    timer is armed).  Event-derivation timers are not included; a
+    periodic heartbeat still covers those. *)
+
 (** {1 Dispatch observability} *)
 
 type index_stats = {

@@ -1,9 +1,11 @@
 open Xchange_data
 open Xchange_event
 
+type res_kind = Doc | Rdf
+
 type body =
   | Event of Event.t
-  | Get of { req_id : int; path : string }
+  | Get of { req_id : int; path : string; kind : res_kind }
   | Response of { req_id : int; doc : Term.t option }
   | Update of Xchange_rules.Action.update
 
@@ -32,8 +34,11 @@ let reset_ids () =
 
 let body_term = function
   | Event e -> Event.to_term e
-  | Get { req_id; path } ->
-      Term.elem "get" ~attrs:[ ("req", string_of_int req_id) ] [ Term.text path ]
+  | Get { req_id; path; kind } ->
+      Term.elem "get"
+        ~attrs:
+          [ ("req", string_of_int req_id); ("kind", match kind with Doc -> "doc" | Rdf -> "rdf") ]
+        [ Term.text path ]
   | Response { req_id; doc } ->
       Term.elem "response"
         ~attrs:[ ("req", string_of_int req_id) ]
@@ -69,7 +74,8 @@ let pp ppf m =
   let kind =
     match m.body with
     | Event e -> Fmt.str "event %s#%d" e.Event.label e.Event.id
-    | Get { path; _ } -> Fmt.str "GET %s" path
+    | Get { path; kind; _ } ->
+        Fmt.str "GET %s%s" path (match kind with Doc -> "" | Rdf -> " (rdf)")
     | Response _ -> "response"
     | Update u -> Fmt.str "UPDATE %s" (Xchange_rules.Action.update_doc u)
   in

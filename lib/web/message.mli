@@ -9,10 +9,15 @@
 open Xchange_data
 open Xchange_event
 
+type res_kind = Doc | Rdf
+(** What a [Get] asks for: an XML document or an RDF graph (shipped on
+    the wire as its term encoding, {!Xchange_data.Rdf.graph_to_term}). *)
+
 type body =
   | Event of Event.t
-  | Get of { req_id : int; path : string }
+  | Get of { req_id : int; path : string; kind : res_kind }
   | Response of { req_id : int; doc : Term.t option }
+      (** for [kind = Rdf] requests, [doc] is the encoded graph *)
   | Update of Xchange_rules.Action.update
       (** a remote update request (HTTP PUT/POST flavour): the target
           path inside the update is already node-local *)

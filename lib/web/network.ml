@@ -1,29 +1,43 @@
+open Xchange_data
 open Xchange_query
 open Xchange_event
+open Xchange_rules
 
-type ticker = { period : Clock.span; mutable next : Clock.time; f : Clock.time -> unit }
+type fetch_policy = { timeout : Clock.span; retries : int }
 
-type t = {
-  transport : Transport.t;
-  nodes : (string, Node.t) Hashtbl.t;
-  mutable tickers : ticker list;
-  mutable time : Clock.time;
-  mutable remote_fetches : int;
+let default_fetch_policy = { timeout = 60; retries = 2 }
+
+type node_stats = {
+  mutable events_in : int;
+  mutable gets_in : int;
+  mutable responses_in : int;
+  mutable updates_in : int;
+  mutable deferred_events : int;
+  mutable fetches : int;
+  mutable fetch_retries : int;
+  mutable fetch_timeouts : int;
+  mutable fetches_completed : int;
+  mutable fetch_latency_total : Clock.span;
+  mutable fetch_latency_max : Clock.span;
 }
 
-let create ?latency ?drop ?record () =
-  {
-    transport = Transport.create ?latency ?drop ?record ();
-    nodes = Hashtbl.create 8;
-    tickers = [];
-    time = Clock.origin;
-    remote_fetches = 0;
-  }
+(* What a node has fetched from the rest of the Web, latest value per
+   (host, path, kind).  The snapshot a deferred delivery's condition
+   evaluation reads from. *)
+type snapshot = (string * string * Message.res_kind, Term.t option) Hashtbl.t
 
-let add_node t node =
-  let h = Node.host node in
-  if Hashtbl.mem t.nodes h then invalid_arg ("Network.add_node: duplicate host " ^ h);
-  Hashtbl.replace t.nodes h node
+type t = {
+  sched : Sched.t;
+  transport : Transport.t;
+  nodes : (string, Node.t) Hashtbl.t;
+  stats_by_host : (string, node_stats) Hashtbl.t;
+  snapshots : (string, snapshot) Hashtbl.t;
+  policy : fetch_policy;
+  mutable remote_fetches : int;
+  mutable fallback_misses : int;
+  deadlines : (string, Clock.time) Hashtbl.t;
+      (** earliest engine-deadline occurrence queued per host *)
+}
 
 let node t host = Hashtbl.find_opt t.nodes host
 
@@ -34,38 +48,63 @@ let node_exn t host =
 
 let hosts t = List.sort String.compare (Hashtbl.fold (fun h _ acc -> h :: acc) t.nodes [])
 let trace t = Transport.trace t.transport
-let clock t = t.time
+let clock t = Sched.now t.sched
+let sched t = t.sched
+let sched_stats t = Sched.stats t.sched
 let transport_stats t = Transport.stats t.transport
 let remote_fetches t = t.remote_fetches
+let fallback_misses t = t.fallback_misses
+
+let node_stats t host =
+  match Hashtbl.find_opt t.stats_by_host host with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          events_in = 0;
+          gets_in = 0;
+          responses_in = 0;
+          updates_in = 0;
+          deferred_events = 0;
+          fetches = 0;
+          fetch_retries = 0;
+          fetch_timeouts = 0;
+          fetches_completed = 0;
+          fetch_latency_total = 0;
+          fetch_latency_max = 0;
+        }
+      in
+      Hashtbl.replace t.stats_by_host host s;
+      s
+
+let snapshot_for t host =
+  match Hashtbl.find_opt t.snapshots host with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace t.snapshots host s;
+      s
 
 (* A node's query environment: local names resolve against its own
-   store; remote URIs against the owning node's store, with the
-   GET/Response pair accounted in the traffic statistics. *)
+   store; cross-host URIs against the node's fetched snapshots — what
+   the prefetch round-trips brought back before this evaluation ran.
+   No store on another host is ever read directly. *)
 let env_for t (me : Node.t) =
   let local = Store.env (Node.store me) in
+  let snap = snapshot_for t (Node.host me) in
+  let lookup kind uri =
+    match Hashtbl.find_opt snap (Uri.host uri, Uri.path uri, kind) with
+    | Some doc -> doc
+    | None ->
+        t.fallback_misses <- t.fallback_misses + 1;
+        None
+  in
   let fetch = function
     | Condition.Local _ as res -> local.Condition.fetch res
     | Condition.Remote uri as res ->
         let host = Uri.host uri in
         if host = "" || String.equal host (Node.host me) then local.Condition.fetch res
-        else (
-          match Hashtbl.find_opt t.nodes host with
-          | None -> []
-          | Some other ->
-              t.remote_fetches <- t.remote_fetches + 1;
-              let req_id = Message.fresh_req_id () in
-              let get =
-                Message.make ~from_host:(Node.host me) ~to_host:host ~sent_at:t.time
-                  (Message.Get { req_id; path = Uri.path uri })
-              in
-              let doc = Store.doc (Node.store other) (Uri.path uri) in
-              let resp =
-                Message.make ~from_host:host ~to_host:(Node.host me) ~sent_at:t.time
-                  (Message.Response { req_id; doc })
-              in
-              Transport.account_only t.transport get;
-              Transport.account_only t.transport resp;
-              Option.to_list doc)
+        else Option.to_list (lookup Message.Doc uri)
     | Condition.View _ -> []
   in
   let fetch_rdf = function
@@ -74,14 +113,12 @@ let env_for t (me : Node.t) =
         let host = Uri.host uri in
         if host = "" || String.equal host (Node.host me) then local.Condition.fetch_rdf res
         else
-          Option.bind (Hashtbl.find_opt t.nodes host) (fun other ->
-              t.remote_fetches <- t.remote_fetches + 1;
-              Store.rdf (Node.store other) (Uri.path uri))
+          Option.bind (lookup Message.Rdf uri) (fun term ->
+              match Rdf.graph_of_term term with Ok g -> Some g | Error _ -> None)
     | Condition.View _ -> None
   in
-  (* Only resources served by [me]'s own store take its memoized fast
-     path; cross-host fetches must go through [fetch] so the GET/Response
-     traffic stays accounted. *)
+  (* only resources served by [me]'s own store take its memoized fast
+     path; snapshot reads are already cheap *)
   let cached_match res ~seed q =
     match res with
     | Condition.Local _ -> local.Condition.cached_match res ~seed q
@@ -98,84 +135,215 @@ let context_for t me =
   {
     Node.env = env_for t me;
     send = (fun m -> Transport.send t.transport m);
-    now = (fun () -> t.time);
+    now = (fun () -> Sched.now t.sched);
   }
 
-let inject t ?(sender = "external") ~to_ ~label ?ttl payload =
-  let to_host = Uri.host to_ in
-  let event = Event.make ~sender ~recipient:to_ ~occurred_at:t.time ?ttl ~label payload in
-  Transport.send t.transport
-    (Message.make ~from_host:sender ~to_host ~sent_at:t.time (Message.Event event))
+(* One Get/Response round-trip with retry-on-timeout.  The continuation
+   runs exactly once: on the first Response (late duplicates find their
+   handler gone), or with [None] after the last retry times out.
+   Successful responses also land in the requester's snapshot table.
+   Timeout occurrences hold the simulation open — a dropped Response
+   must still trigger its retry under [run_until_quiet]. *)
+let fetch_round_trip t (me : Node.t) ~kind ~uri k =
+  let to_host = Uri.host uri and path = Uri.path uri in
+  let me_host = Node.host me in
+  if not (Hashtbl.mem t.nodes to_host) then k None (Sched.now t.sched)
+  else begin
+    let stats = node_stats t me_host in
+    t.remote_fetches <- t.remote_fetches + 1;
+    stats.fetches <- stats.fetches + 1;
+    let started = Sched.now t.sched in
+    let done_ = ref false in
+    let rec attempt n =
+      let req_id = Message.fresh_req_id () in
+      let cancel_timeout = ref (fun () -> ()) in
+      Node.expect_response me ~req_id (fun doc at ->
+          !cancel_timeout ();
+          if not !done_ then begin
+            done_ := true;
+            stats.fetches_completed <- stats.fetches_completed + 1;
+            let rtt = at - started in
+            stats.fetch_latency_total <- stats.fetch_latency_total + rtt;
+            if rtt > stats.fetch_latency_max then stats.fetch_latency_max <- rtt;
+            Hashtbl.replace (snapshot_for t me_host) (to_host, path, kind) doc;
+            k doc at
+          end);
+      Transport.send t.transport
+        (Message.make ~from_host:me_host ~to_host ~sent_at:(Sched.now t.sched)
+           (Message.Get { req_id; path; kind }));
+      cancel_timeout :=
+        Sched.cancellable t.sched ~holds:true
+          (Clock.add (Sched.now t.sched) t.policy.timeout)
+          (fun at ->
+            Node.forget_response me ~req_id;
+            if not !done_ then
+              if n < t.policy.retries then begin
+                stats.fetch_retries <- stats.fetch_retries + 1;
+                attempt (n + 1)
+              end
+              else begin
+                done_ := true;
+                stats.fetch_timeouts <- stats.fetch_timeouts + 1;
+                (* no snapshot write: a stale earlier value beats
+                   overwriting it with "unreachable" *)
+                k None at
+              end)
+    in
+    attempt 0
+  end
 
-let add_ticker t ?phase ~period f =
-  let first = Clock.add t.time (Option.value ~default:period phase) in
-  t.tickers <- t.tickers @ [ { period; next = first; f } ]
+let fetch t ~me ?(kind = Message.Doc) ~uri k =
+  match Hashtbl.find_opt t.nodes me with
+  | None -> invalid_arg ("Network.fetch: unknown host " ^ me)
+  | Some n -> fetch_round_trip t n ~kind ~uri k
 
-let enable_heartbeat t ~period =
-  add_ticker t ~period (fun now ->
-      Hashtbl.iter
-        (fun _ n ->
-          let ctx = context_for t n in
-          ignore (Node.advance n ctx now))
-        t.nodes)
+(* The cross-host slice of an engine's static dependency set: what must
+   be round-tripped before the node may react. *)
+let cross_deps t (n : Node.t) deps =
+  let me = Node.host n in
+  List.filter
+    (fun ((_ : [ `Doc | `Rdf ]), uri) ->
+      let h = Uri.host uri in
+      h <> "" && (not (String.equal h me)) && Hashtbl.mem t.nodes h)
+    deps
+
+(* Refresh every listed dependency, then run [process] — immediately
+   when there is nothing to fetch, otherwise inside the occurrence that
+   completes the last round-trip (so the reaction is delayed by real
+   network time). *)
+let with_remote_snapshot t (n : Node.t) deps process =
+  match deps with
+  | [] -> process ()
+  | deps ->
+      (node_stats t (Node.host n)).deferred_events <-
+        (node_stats t (Node.host n)).deferred_events + 1;
+      let remaining = ref (List.length deps) in
+      List.iter
+        (fun (rk, uri) ->
+          let kind = match rk with `Doc -> Message.Doc | `Rdf -> Message.Rdf in
+          fetch_round_trip t n ~kind ~uri (fun _doc _at ->
+              decr remaining;
+              if !remaining = 0 then process ()))
+        deps
+
+(* Engine absence deadlines become occurrences of their own, so a rule
+   like "no rebooking within 2h" fires at its due time, not at the next
+   heartbeat.  Non-holding: an armed timer alone does not keep
+   [run_until_quiet] going (exactly like tickers). *)
+let rec advance_node t (n : Node.t) time =
+  let deps = cross_deps t n (Engine.clocked_remote_resources (Node.engine n)) in
+  with_remote_snapshot t n deps (fun () ->
+      let ctx = context_for t n in
+      let time = max time (Sched.now t.sched) in
+      ignore (Node.advance n ctx time);
+      (* requeue only deadlines the advance left in the future — one the
+         engine failed to clear must not spin the scheduler *)
+      match Engine.next_deadline (Node.engine n) with
+      | Some d when d > time -> schedule_deadline t n d
+      | Some _ | None -> ())
+
+and schedule_deadline t (n : Node.t) due =
+  let host = Node.host n in
+  let worthwhile =
+    match Hashtbl.find_opt t.deadlines host with Some d -> due < d | None -> true
+  in
+  if worthwhile then begin
+    Hashtbl.replace t.deadlines host due;
+    Sched.at t.sched ~holds:false due (fun at ->
+        (match Hashtbl.find_opt t.deadlines host with
+        | Some d when d = due -> Hashtbl.remove t.deadlines host
+        | _ -> ());
+        advance_node t n at)
+  end
+
+let schedule_engine_deadline t (n : Node.t) =
+  match Engine.next_deadline (Node.engine n) with
+  | None -> ()
+  | Some due -> schedule_deadline t n due
 
 let deliver t (m : Message.t) =
   match Hashtbl.find_opt t.nodes m.Message.to_host with
   | None -> () (* undeliverable: dropped, like the real Web *)
   | Some n -> (
+      let stats = node_stats t m.Message.to_host in
       let ctx = context_for t n in
       match m.Message.body with
-      | Message.Event e -> ignore (Node.receive_event n ctx e)
-      | Message.Get { req_id; path } ->
-          Node.receive_get n ctx ~from:m.Message.from_host ~req_id ~path
-      | Message.Response { req_id; doc } -> Node.receive_response n ctx ~req_id doc
-      | Message.Update u -> ignore (Node.receive_update n ctx ~from:m.Message.from_host u))
+      | Message.Event e ->
+          stats.events_in <- stats.events_in + 1;
+          let deps = cross_deps t n (Engine.remote_resources (Node.engine n)) in
+          with_remote_snapshot t n deps (fun () ->
+              ignore (Node.receive_event n ctx e);
+              schedule_engine_deadline t n)
+      | Message.Get { req_id; path; kind } ->
+          stats.gets_in <- stats.gets_in + 1;
+          Node.receive_get n ctx ~from:m.Message.from_host ~req_id ~path ~kind
+      | Message.Response { req_id; doc } ->
+          stats.responses_in <- stats.responses_in + 1;
+          Node.receive_response n ctx ~req_id doc
+      | Message.Update u ->
+          stats.updates_in <- stats.updates_in + 1;
+          let deps = cross_deps t n (Engine.remote_resources (Node.engine n)) in
+          with_remote_snapshot t n deps (fun () ->
+              ignore (Node.receive_update n ctx ~from:m.Message.from_host u);
+              schedule_engine_deadline t n))
 
-let next_ticker_time t =
-  List.fold_left
-    (fun acc tk -> match acc with None -> Some tk.next | Some x -> Some (min x tk.next))
-    None t.tickers
+let create ?latency ?drop ?faults ?record ?(fetch_policy = default_fetch_policy) () =
+  let sched = Sched.create () in
+  let t =
+    {
+      sched;
+      transport = Transport.create ~sched ?latency ?drop ?faults ?record ();
+      nodes = Hashtbl.create 8;
+      stats_by_host = Hashtbl.create 8;
+      snapshots = Hashtbl.create 8;
+      policy = fetch_policy;
+      remote_fetches = 0;
+      fallback_misses = 0;
+      deadlines = Hashtbl.create 8;
+    }
+  in
+  Transport.on_deliver t.transport (deliver t);
+  t
 
-let min_opt a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some x, Some y -> Some (min x y)
+let add_node t node =
+  let h = Node.host node in
+  if Hashtbl.mem t.nodes h then Error ("duplicate host " ^ h)
+  else begin
+    Hashtbl.replace t.nodes h node;
+    Ok ()
+  end
+
+let add_node_exn t node =
+  match add_node t node with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Network.add_node: " ^ e)
+
+let inject t ?(sender = "external") ~to_ ~label ?ttl payload =
+  let now = Sched.now t.sched in
+  let to_host = Uri.host to_ in
+  let event = Event.make ~sender ~recipient:to_ ~occurred_at:now ?ttl ~label payload in
+  Transport.send t.transport
+    (Message.make ~from_host:sender ~to_host ~sent_at:now (Message.Event event))
+
+let add_ticker t ?phase ~period f = Sched.every t.sched ?phase ~period f
+
+let enable_heartbeat t ~period =
+  add_ticker t ~period (fun now -> Hashtbl.iter (fun _ n -> advance_node t n now) t.nodes)
 
 let run t ~until =
-  let rec loop () =
-    match min_opt (Transport.next_due t.transport) (next_ticker_time t) with
-    | Some next when next <= until ->
-        t.time <- max t.time next;
-        (* deliveries first, then tickers due at the same instant *)
-        List.iter (deliver t) (Transport.pop_due t.transport ~now:t.time);
-        List.iter
-          (fun tk ->
-            if tk.next <= t.time then begin
-              tk.next <- Clock.add tk.next tk.period;
-              tk.f t.time
-            end)
-          t.tickers;
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
-  t.time <- max t.time until;
-  Hashtbl.iter
-    (fun _ n ->
-      let ctx = context_for t n in
-      ignore (Node.advance n ctx t.time))
-    t.nodes;
-  (* timer firings may have queued messages due exactly now *)
-  List.iter (deliver t) (Transport.pop_due t.transport ~now:t.time)
+  Sched.run_until t.sched until;
+  Hashtbl.iter (fun _ n -> advance_node t n until) t.nodes;
+  (* timer firings may have scheduled deliveries due exactly now *)
+  Sched.run_until t.sched until
 
-let quiescent t = Transport.pending t.transport = 0
+let quiescent t = Sched.pending t.sched = 0
 
 let run_until_quiet t ?(limit = 1_000_000_000) () =
   let rec loop () =
-    match Transport.next_due t.transport with
+    match Sched.next_holding t.sched with
     | Some next when next <= limit ->
         run t ~until:next;
         loop ()
-    | Some _ | None -> t.time
+    | Some _ | None -> Sched.now t.sched
   in
   loop ()

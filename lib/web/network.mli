@@ -1,70 +1,139 @@
-(** The simulated Web: nodes + transport + a global clock.
+(** The simulated Web: nodes + transport + one {!Sched} timeline.
 
-    A deterministic discrete-event simulation.  Messages are processed
-    in (delivery time, message id) order; periodic tasks (pollers,
-    engine heartbeats for absence rules) interleave at their scheduled
-    times.  Determinism is what lets every experiment in EXPERIMENTS.md
-    be re-run bit-for-bit.
+    A deterministic discrete-event simulation.  Everything that happens
+    later — message deliveries, polling tickers, engine heartbeats,
+    rule-timer deadlines, fetch timeouts — is an occurrence on the one
+    scheduler queue, executed in [(time, sequence)] order.  Determinism
+    is what lets every experiment in EXPERIMENTS.md be re-run
+    bit-for-bit, including runs with fault injection (drops,
+    duplicates, jitter): message fates are deterministic functions of
+    message ids (see {!Transport.fault_profile}).
 
-    Remote condition queries ([Condition.Remote uri]) are answered
-    synchronously from the target node's store but accounted as a
-    GET/Response message pair in the transport statistics, so that
-    "access persistent data from anywhere on the Web" (Thesis 2) has a
-    visible network cost. *)
+    Remote condition queries ([Condition.Remote uri]) are {e real}
+    asynchronous Get/Response round-trips.  Because the resources a
+    rule set can touch are statically known
+    ({!Xchange_rules.Engine.remote_resources}), the network prefetches
+    them when an event or update message arrives and defers the
+    node's reaction until the round-trips complete — so "access
+    persistent data from anywhere on the Web" (Thesis 2) pays its true
+    latency and traffic cost, and survives lost Responses by retrying
+    (see {!fetch_policy}). *)
 
 open Xchange_data
 open Xchange_event
 
 type t
 
+(** Retry-with-timeout policy for remote fetches.  A round-trip whose
+    Response has not arrived after [timeout] is retried (a fresh Get
+    with a fresh request id) up to [retries] times before giving up
+    and answering the pending condition with "no document". *)
+type fetch_policy = { timeout : Clock.span; retries : int }
+
+val default_fetch_policy : fetch_policy
+(** [{ timeout = 60; retries = 2 }] — generous against the default
+    5 ms link latency, tight enough that tests stay fast. *)
+
+(** Per-node observability counters. *)
+type node_stats = {
+  mutable events_in : int;  (** event messages delivered to this node *)
+  mutable gets_in : int;
+  mutable responses_in : int;
+  mutable updates_in : int;
+  mutable deferred_events : int;
+      (** deliveries held back behind remote prefetch round-trips *)
+  mutable fetches : int;  (** round-trips started by this node *)
+  mutable fetch_retries : int;
+  mutable fetch_timeouts : int;  (** round-trips abandoned after retries *)
+  mutable fetches_completed : int;
+  mutable fetch_latency_total : Clock.span;
+      (** summed request-to-response time of completed fetches *)
+  mutable fetch_latency_max : Clock.span;
+}
+
 val create :
   ?latency:(from:string -> to_:string -> Clock.span) ->
   ?drop:(Message.t -> bool) ->
+  ?faults:Transport.faults ->
   ?record:bool ->
+  ?fetch_policy:fetch_policy ->
   unit ->
   t
-(** [drop] injects message loss (see {!Transport.create}); [record]
-    keeps a full message trace (see {!trace}). *)
+(** [drop] injects message loss; [faults] is the full fault profile
+    (loss, duplication, jitter — see {!Transport.fault_profile});
+    [record] keeps a full message trace (see {!trace}). *)
 
-val add_node : t -> Node.t -> unit
-(** Host names must be unique. *)
+val add_node : t -> Node.t -> (unit, string) result
+(** [Error] when a node with the same host name is already attached. *)
+
+val add_node_exn : t -> Node.t -> unit
 
 val node : t -> string -> Node.t option
 val node_exn : t -> string -> Node.t
 val hosts : t -> string list
 
 val clock : t -> Clock.time
+val sched : t -> Sched.t
+val sched_stats : t -> Sched.stats
 val transport_stats : t -> Transport.stats
+
+val node_stats : t -> string -> node_stats
+(** Counters for one host (zeroes for a host that has no traffic yet). *)
 
 val trace : t -> Message.t list
 (** Recorded messages in send order; empty unless created with
     [record:true]. *)
 
 val remote_fetches : t -> int
+(** Cross-host fetch round-trips started (Doc and RDF alike). *)
+
+val fallback_misses : t -> int
+(** Remote condition reads that found no prefetched snapshot (the
+    fetch timed out after retries, or the resource was not in the
+    engine's static dependency set).  They evaluate as "no document" —
+    a nonzero count is the honest signature of a degraded network. *)
 
 val context_for : t -> Node.t -> Node.context
 (** The capabilities the network grants a node (used internally and by
-    tests that drive nodes directly). *)
+    tests that drive nodes directly).  The query environment reads
+    cross-host resources from the node's fetched-snapshot table;
+    driving a node directly without prior round-trips sees misses. *)
+
+val fetch :
+  t ->
+  me:string ->
+  ?kind:Message.res_kind ->
+  uri:string ->
+  (Term.t option -> Clock.time -> unit) ->
+  unit
+(** Start one Get/Response round-trip from host [me] (which must be
+    attached) to the owner of [uri], with timeout/retry per the fetch
+    policy.  The continuation receives the document (or [None]) and
+    the completion time.  Pollers are built on this. *)
 
 val inject : t -> ?sender:string -> to_:string -> label:string -> ?ttl:Clock.span -> Term.t -> unit
-(** Send an external stimulus event to a node (queued through the
+(** Send an external stimulus event to a node (scheduled through the
     transport like any other message). *)
 
 val add_ticker : t -> ?phase:Clock.span -> period:Clock.span -> (Clock.time -> unit) -> unit
 (** Run a callback every [period] ms, first at [phase] (default:
-    [period]). *)
+    [period]).  Tickers never hold {!run_until_quiet} open. *)
 
 val enable_heartbeat : t -> period:Clock.span -> unit
-(** Advance every node's engine each period, so absence deadlines fire
-    within [period] of their due time even on quiet nodes. *)
+(** Advance every node's engine each period.  Engine absence deadlines
+    are also scheduled precisely as occurrences of their own, so the
+    heartbeat is only needed as a safety net for derivation timers and
+    for engines whose deadlines arise outside message processing. *)
 
 val run : t -> until:Clock.time -> unit
-(** Process deliveries and tickers in time order up to (and including)
-    [until], then advance all engines to [until]. *)
+(** Execute every occurrence due at or before [until] in time order,
+    then advance all engines to [until] (scheduling any round-trips
+    clocked rules need) and drain what that made due. *)
 
 val run_until_quiet : t -> ?limit:Clock.time -> unit -> Clock.time
-(** Run until no messages remain queued (tickers do not hold the
-    simulation open); returns the final clock.  [limit] (default 10^9
-    ms) bounds runaway rule cascades. *)
+(** Run while holding occurrences (message deliveries, fetch timeouts)
+    remain; tickers and engine deadlines do not hold the simulation
+    open.  Returns the final clock.  [limit] (default 10^9 ms) bounds
+    runaway rule cascades. *)
 
 val quiescent : t -> bool

@@ -18,6 +18,11 @@ type t = {
   mutable errors : (string * string) list;
   accept_updates : bool;
   mutable response_handlers : (int * (Term.t option -> Clock.time -> unit)) list;
+  seen_events : (int, unit) Hashtbl.t;
+      (** ids of network events already processed — the idempotent
+          receiver making at-least-once delivery (duplicated messages,
+          retried sends) safe *)
+  mutable duplicate_events : int;
 }
 
 type context = {
@@ -43,6 +48,8 @@ let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host rule
           firings = 0;
           errors = [];
           response_handlers = [];
+          seen_events = Hashtbl.create 64;
+          duplicate_events = 0;
         }
 
 let create_exn ?horizon ?accept_rules ?accept_updates ~host ruleset =
@@ -156,22 +163,38 @@ let load_rules t payload =
               Ok ()))
 
 let receive_event t ctx event =
-  if String.equal event.Event.label rules_label && t.accept_rules then begin
-    (match load_rules t event.Event.payload with
-    | Ok () -> ()
-    | Error e -> note_error t rules_label e);
+  if Hashtbl.mem t.seen_events event.Event.id then begin
+    (* at-least-once delivery: a duplicated or replayed message must not
+       fire rules twice *)
+    t.duplicate_events <- t.duplicate_events + 1;
     empty_outcome
   end
-  else record t (cascade t ctx (Event.received event (ctx.now ())))
+  else begin
+    Hashtbl.replace t.seen_events event.Event.id ();
+    if String.equal event.Event.label rules_label && t.accept_rules then begin
+      (match load_rules t event.Event.payload with
+      | Ok () -> ()
+      | Error e -> note_error t rules_label e);
+      empty_outcome
+    end
+    else record t (cascade t ctx (Event.received event (ctx.now ())))
+  end
 
-let receive_get t ctx ~from ~req_id ~path =
-  let doc = Store.doc t.store path in
+let receive_get t ctx ~from ~req_id ~path ~kind =
+  let doc =
+    match kind with
+    | Message.Doc -> Store.doc t.store path
+    | Message.Rdf -> Option.map Rdf.graph_to_term (Store.rdf t.store path)
+  in
   ctx.send
     (Message.make ~from_host:t.host ~to_host:from ~sent_at:(ctx.now ())
        (Message.Response { req_id; doc }))
 
 let expect_response t ~req_id handler =
   t.response_handlers <- (req_id, handler) :: t.response_handlers
+
+let forget_response t ~req_id =
+  t.response_handlers <- List.remove_assoc req_id t.response_handlers
 
 let receive_response t ctx ~req_id doc =
   match List.assoc_opt req_id t.response_handlers with
@@ -219,3 +242,4 @@ let advance t ctx time =
 let logs t = List.rev t.log_lines
 let firings t = t.firings
 let errors t = List.rev t.errors
+let duplicate_events t = t.duplicate_events

@@ -65,8 +65,10 @@ val receive_event : t -> context -> Event.t -> Engine.outcome
     cascade of local update events (bounded to {!max_cascade_depth};
     deeper cascades are reported as errors). *)
 
-val receive_get : t -> context -> from:string -> req_id:int -> path:string -> unit
-(** Answer an HTTP-style GET with a Response message. *)
+val receive_get :
+  t -> context -> from:string -> req_id:int -> path:string -> kind:Message.res_kind -> unit
+(** Answer an HTTP-style GET with a Response message ([kind = Rdf]
+    requests are answered with the graph's term encoding). *)
 
 val receive_update : t -> context -> from:string -> Action.update -> Engine.outcome
 (** Apply an update request from a remote node (rejected, with an error
@@ -75,6 +77,10 @@ val receive_update : t -> context -> from:string -> Action.update -> Engine.outc
 
 val expect_response : t -> req_id:int -> (Term.t option -> Clock.time -> unit) -> unit
 val receive_response : t -> context -> req_id:int -> Term.t option -> unit
+
+val forget_response : t -> req_id:int -> unit
+(** Drop a pending response handler (fetch timed out or was superseded
+    by a retry); a late Response with that id is then ignored. *)
 
 val advance : t -> context -> Clock.time -> Engine.outcome
 (** Move the node's engine clock (absence rules may fire). *)
@@ -86,3 +92,7 @@ val logs : t -> string list
 
 val firings : t -> int
 val errors : t -> (string * string) list
+
+val duplicate_events : t -> int
+(** Network events discarded because their id had already been processed
+    (at-least-once delivery made safe by the idempotent receiver). *)

@@ -11,8 +11,6 @@ type stats = {
 
 let attach net ~poller ~target ~period =
   let me = Network.node_exn net poller in
-  let target_host = Uri.host target in
-  let target_path = Uri.path target in
   let stats = { polls = 0; changes_seen = 0; last_change_detected_at = Clock.origin } in
   let last = ref None in
   let on_response doc now =
@@ -34,12 +32,9 @@ let attach net ~poller ~target ~period =
           ignore (Node.receive_event me ctx ev)
         end
   in
-  Network.add_ticker net ~period (fun now ->
+  Network.add_ticker net ~period (fun _now ->
       stats.polls <- stats.polls + 1;
-      let req_id = Message.fresh_req_id () in
-      Node.expect_response me ~req_id on_response;
-      let ctx = Network.context_for net me in
-      ctx.Node.send
-        (Message.make ~from_host:poller ~to_host:target_host ~sent_at:now
-           (Message.Get { req_id; path = target_path })));
+      (* a full round-trip on the shared timeline, with the network's
+         timeout/retry policy — dropped polls simply yield no response *)
+      Network.fetch net ~me:poller ~uri:target on_response);
   stats

@@ -1,0 +1,114 @@
+open Xchange_event
+
+type stats = {
+  mutable scheduled : int;
+  mutable executed : int;
+  mutable max_queue : int;
+}
+
+module Key = struct
+  type t = Clock.time * int
+
+  let compare = Stdlib.compare
+end
+
+module Q = Map.Make (Key)
+
+type entry = {
+  holds : bool;
+  run : Clock.time -> unit;
+}
+
+type t = {
+  mutable now : Clock.time;
+  mutable queue : entry Q.t;
+  mutable seq : int;
+  mutable holding : int;
+  s : stats;
+}
+
+let create ?(origin = Clock.origin) () =
+  {
+    now = origin;
+    queue = Q.empty;
+    seq = 0;
+    holding = 0;
+    s = { scheduled = 0; executed = 0; max_queue = 0 };
+  }
+
+let now t = t.now
+
+let enqueue t ~holds time run =
+  let time = max time t.now in
+  t.seq <- t.seq + 1;
+  let key = (time, t.seq) in
+  t.queue <- Q.add key { holds; run } t.queue;
+  if holds then t.holding <- t.holding + 1;
+  let len = Q.cardinal t.queue in
+  if len > t.s.max_queue then t.s.max_queue <- len;
+  key
+
+let at t ?(holds = true) time f =
+  t.s.scheduled <- t.s.scheduled + 1;
+  ignore (enqueue t ~holds time f)
+
+let cancellable t ?(holds = true) time f =
+  t.s.scheduled <- t.s.scheduled + 1;
+  let key = enqueue t ~holds time f in
+  fun () ->
+    match Q.find_opt key t.queue with
+    | None -> () (* already executed (or already cancelled) *)
+    | Some e ->
+        t.queue <- Q.remove key t.queue;
+        if e.holds then t.holding <- t.holding - 1
+
+let after t ?holds span f = at t ?holds (Clock.add t.now span) f
+
+let every t ?phase ~period f =
+  let period = max 1 period in
+  let rec tick time =
+    f time;
+    ignore (enqueue t ~holds:false (Clock.add time period) tick)
+  in
+  ignore (enqueue t ~holds:false (Clock.add t.now (Option.value ~default:period phase)) tick)
+
+let next_due t = Option.map (fun ((time, _), _) -> time) (Q.min_binding_opt t.queue)
+
+let next_holding t =
+  (* holding occurrences are rare enough that a scan is fine; the queue
+     is ordered, so the first holding binding is the earliest *)
+  Q.fold
+    (fun (time, _) e acc ->
+      match acc with Some _ -> acc | None -> if e.holds then Some time else None)
+    t.queue None
+
+let pending t = t.holding
+let queue_length t = Q.cardinal t.queue
+
+let exec t key e =
+  t.queue <- Q.remove key t.queue;
+  if e.holds then t.holding <- t.holding - 1;
+  let time = fst key in
+  if time > t.now then t.now <- time;
+  t.s.executed <- t.s.executed + 1;
+  e.run t.now
+
+let run_until t until =
+  let rec loop () =
+    match Q.min_binding_opt t.queue with
+    | Some (((time, _) as key), e) when time <= until ->
+        exec t key e;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if until > t.now then t.now <- until
+
+let step t =
+  match Q.min_binding_opt t.queue with
+  | None -> false
+  | Some (key, e) ->
+      exec t key e;
+      true
+
+let stats t = t.s

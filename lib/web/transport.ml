@@ -8,36 +8,72 @@ type stats = {
   mutable responses : int;
   mutable updates : int;
   mutable dropped : int;
+  mutable duplicated : int;
 }
 
-module Queue_key = struct
-  type t = Clock.time * int
+type faults = {
+  drop : Message.t -> bool;
+  duplicate : Message.t -> bool;
+  jitter : Message.t -> Clock.span;
+}
 
-  let compare = Stdlib.compare
-end
+let no_faults =
+  { drop = (fun _ -> false); duplicate = (fun _ -> false); jitter = (fun _ -> 0) }
 
-module Q = Map.Make (Queue_key)
+(* A deterministic per-message coin: hash (seed, msg_id, salt) into
+   [0, 1).  Different salts give independent coins for drop / dup /
+   jitter decisions on the same message. *)
+let coin ~seed ~salt (m : Message.t) =
+  let h = Hashtbl.hash (seed, m.Message.msg_id, salt) in
+  float_of_int (h land 0xFFFF) /. 65536.
+
+let fault_profile ?(seed = 0) ?(drop_rate = 0.) ?(dup_rate = 0.) ?(max_jitter = 0) () =
+  {
+    drop = (fun m -> coin ~seed ~salt:1 m < drop_rate);
+    duplicate = (fun m -> coin ~seed ~salt:2 m < dup_rate);
+    jitter =
+      (fun m ->
+        if max_jitter <= 0 then 0
+        else int_of_float (coin ~seed ~salt:3 m *. float_of_int (max_jitter + 1)));
+  }
 
 type t = {
+  sched : Sched.t;
   lat : from:string -> to_:string -> Clock.span;
-  drop : Message.t -> bool;
-  mutable queue : Message.t Q.t;
+  faults : faults;
+  mutable deliver : Message.t -> unit;
   s : stats;
   record : bool;
   mutable log : Message.t list;  (** newest first *)
+  mutable in_flight : int;
 }
 
 let default_latency ~from:_ ~to_:_ = Clock.ms 5
 
-let create ?(latency = default_latency) ?(drop = fun _ -> false) ?(record = false) () =
+let create ~sched ?(latency = default_latency) ?(drop = fun _ -> false) ?(faults = no_faults)
+    ?(record = false) () =
   {
+    sched;
     lat = latency;
-    drop;
-    queue = Q.empty;
-    s = { messages = 0; bytes = 0; events = 0; gets = 0; responses = 0; updates = 0; dropped = 0 };
+    faults = { faults with drop = (fun m -> faults.drop m || drop m) };
+    deliver = (fun m -> invalid_arg (Fmt.str "Transport: no delivery callback for %a" Message.pp m));
+    s =
+      {
+        messages = 0;
+        bytes = 0;
+        events = 0;
+        gets = 0;
+        responses = 0;
+        updates = 0;
+        dropped = 0;
+        duplicated = 0;
+      };
     record;
     log = [];
+    in_flight = 0;
   }
+
+let on_deliver t f = t.deliver <- f
 
 let account t (m : Message.t) =
   if t.record then t.log <- m :: t.log;
@@ -49,25 +85,32 @@ let account t (m : Message.t) =
   | Message.Response _ -> t.s.responses <- t.s.responses + 1
   | Message.Update _ -> t.s.updates <- t.s.updates + 1
 
-let send t m =
+let schedule_delivery t m at =
+  t.in_flight <- t.in_flight + 1;
+  Sched.at t.sched at (fun _now ->
+      t.in_flight <- t.in_flight - 1;
+      t.deliver m)
+
+let send t (m : Message.t) =
   account t m;
-  if t.drop m then t.s.dropped <- t.s.dropped + 1
-  else
+  if t.faults.drop m then t.s.dropped <- t.s.dropped + 1
+  else begin
+    (* a message cannot depart before the present, even if stamped
+       earlier (delayed actions stamp the future; nothing stamps the
+       past except tests driving nodes directly) *)
+    let departs = max m.Message.sent_at (Sched.now t.sched) in
     let deliver_at =
-      Clock.add m.Message.sent_at (t.lat ~from:m.Message.from_host ~to_:m.Message.to_host)
+      Clock.add departs (t.lat ~from:m.Message.from_host ~to_:m.Message.to_host + t.faults.jitter m)
     in
-    t.queue <- Q.add (deliver_at, m.Message.msg_id) m t.queue
+    schedule_delivery t m deliver_at;
+    if t.faults.duplicate m then begin
+      t.s.duplicated <- t.s.duplicated + 1;
+      (* the ghost copy trails the original by at least one instant *)
+      schedule_delivery t m (Clock.add deliver_at (1 + t.faults.jitter m))
+    end
+  end
 
-let account_only t m = account t m
-
-let next_due t = Option.map (fun ((time, _), _) -> time) (Q.min_binding_opt t.queue)
-
-let pop_due t ~now =
-  let due, rest = Q.partition (fun (time, _) _ -> time <= now) t.queue in
-  t.queue <- rest;
-  List.map snd (Q.bindings due)
-
-let pending t = Q.cardinal t.queue
+let pending t = t.in_flight
 let stats t = t.s
 let latency t ~from ~to_ = t.lat ~from ~to_
 let trace t = List.rev t.log

@@ -2,11 +2,16 @@ open Xchange_event
 
 (** Point-to-point message transport (Thesis 3).
 
-    Messages travel directly between nodes — no broker, no super-peer —
-    through a deterministic discrete-event queue: each message is
-    delivered at [sent_at + latency(from, to)].  The transport keeps the
-    traffic statistics (messages, bytes, per-kind counts) that
-    experiments E2/E3 report. *)
+    Messages travel directly between nodes — no broker, no super-peer.
+    The transport owns no clock and no queue of its own: every send is
+    scheduled as a {e holding} occurrence on the shared {!Sched}
+    timeline at [departure + latency(from, to) + jitter], and the
+    delivery callback installed with {!on_deliver} runs when the
+    scheduler reaches that instant.  The transport keeps the traffic
+    statistics (messages, bytes, per-kind counts) that experiments
+    E2/E3 report, and is where network degradation is injected: message
+    loss, duplication, and jitter-induced reordering (E2/E3/E10
+    robustness profiles). *)
 
 type stats = {
   mutable messages : int;
@@ -16,37 +21,62 @@ type stats = {
   mutable responses : int;
   mutable updates : int;
   mutable dropped : int;
+  mutable duplicated : int;  (** extra copies injected by the fault profile *)
 }
+
+(** Fault-injection knobs.  All three are deterministic functions of the
+    message (typically of its [msg_id]), so degraded runs replay
+    bit-for-bit. *)
+type faults = {
+  drop : Message.t -> bool;  (** lose the message after accounting it *)
+  duplicate : Message.t -> bool;  (** deliver a second copy later *)
+  jitter : Message.t -> Clock.span;  (** extra delay on top of the link
+                                         latency; enough jitter reorders
+                                         messages between the same pair
+                                         of hosts *)
+}
+
+val no_faults : faults
+
+val fault_profile :
+  ?seed:int ->
+  ?drop_rate:float ->
+  ?dup_rate:float ->
+  ?max_jitter:Clock.span ->
+  unit ->
+  faults
+(** A deterministic pseudo-random profile: each message's fate is a hash
+    of [(seed, msg_id)].  Rates are probabilities in [0, 1]; jitter is
+    uniform in [0, max_jitter]. *)
 
 type t
 
 val create :
+  sched:Sched.t ->
   ?latency:(from:string -> to_:string -> Clock.span) ->
   ?drop:(Message.t -> bool) ->
+  ?faults:faults ->
   ?record:bool ->
   unit ->
   t
-(** [latency] defaults to a constant 5 ms.  [drop] injects message loss:
-    dropped messages are accounted in the statistics (they were sent)
-    but never delivered — the failure mode absence rules compensate
-    for.  With [record] (default false), every message is kept for
-    {!trace}. *)
+(** [latency] defaults to a constant 5 ms.  [drop] is a convenience
+    alias for a faults profile with only message loss (both are applied
+    if given: dropped messages are accounted in the statistics — they
+    were sent — but never delivered, the failure mode absence rules and
+    fetch retries compensate for).  With [record] (default false),
+    every message is kept for {!trace}. *)
+
+val on_deliver : t -> (Message.t -> unit) -> unit
+(** Install the delivery callback (the network layer's dispatcher).
+    Must be set before the first scheduled delivery fires. *)
 
 val send : t -> Message.t -> unit
-(** Queue a message for delivery at [sent_at + latency]. *)
-
-val account_only : t -> Message.t -> unit
-(** Record a message in the statistics without queueing it (used for the
-    synchronous GET/Response pairs of remote condition queries). *)
-
-val next_due : t -> Clock.time option
-(** Delivery time of the earliest queued message. *)
-
-val pop_due : t -> now:Clock.time -> Message.t list
-(** All messages due at or before [now], in delivery order (time, then
-    message id). *)
+(** Account the message and schedule its delivery occurrence(s) at
+    [max sent_at now + latency + jitter]. *)
 
 val pending : t -> int
+(** Messages sent but not yet delivered (dropped ones excluded). *)
+
 val stats : t -> stats
 val latency : t -> from:string -> to_:string -> Clock.span
 

@@ -17,6 +17,7 @@ let () =
       Test_ruleset.suite;
       Test_store.suite;
       Test_web.suite;
+      Test_sched.suite;
       Test_lang.suite;
       Test_aaa.suite;
       Test_extensions.suite;

@@ -91,7 +91,7 @@ let test_accounting_rules () =
     node_exn ~host:"shop.example" (Ruleset.make ~children:[ service; accounting ] "root")
   in
   Store.add_doc (Node.store n) Accounting.default_log_doc (Accounting.log_document ());
-  Network.add_node net n;
+  Network.add_node_exn net n;
   for _ = 1 to 3 do
     Network.inject net ~to_:"shop.example" ~label:"order" (Term.elem "order" [])
   done;
@@ -197,7 +197,7 @@ let test_policy_ruleset_is_loadable () =
   let net = Network.create () in
   let n = node_exn ~host:"shop.example" rs in
   Store.add_doc (Node.store n) "/disclosed" (Term.elem ~ord:Term.Unordered "disclosed" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"shop.example" ~label:"request"
     (Term.elem "request" [ Term.elem "item" [ Term.text "bbb-membership" ] ]);
   ignore (Network.run_until_quiet net ());

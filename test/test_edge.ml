@@ -176,7 +176,7 @@ let test_cascade_loop_bounded () =
   let net = Network.create () in
   let n = node_exn ~host:"n.example" rules in
   Store.add_doc (Node.store n) "/d" (Term.elem ~ord:Term.Unordered "d" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"go" (txt "!");
   ignore (Network.run_until_quiet net ());
   let d = Option.get (Store.doc (Node.store n) "/d") in
@@ -220,7 +220,7 @@ let test_send_to_unknown_host_is_dropped () =
   in
   let net = Network.create () in
   let n = node_exn ~host:"n.example" rules in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"e" (txt "!");
   let (_ : Clock.time) = Network.run_until_quiet net () in
   (* no crash, message accounted, network drains *)
@@ -236,7 +236,7 @@ let test_event_ttl_boundary () =
   in
   let net = Network.create ~latency:(fun ~from:_ ~to_:_ -> 100) () in
   let n = node_exn ~host:"n.example" rules in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   (* ttl exactly equals the latency: expired check is strict (>), so it
      is still processed *)
   Network.inject net ~to_:"n.example" ~label:"e" ~ttl:100 (txt "x");
@@ -286,7 +286,7 @@ let test_atomic_rollback () =
   let net = Network.create () in
   let n = node_exn ~host:"n.example" rules in
   Store.add_doc (Node.store n) "/d" (Term.elem ~ord:Term.Unordered "d" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"go" (txt "!");
   ignore (Network.run_until_quiet net ());
   (* the insert was rolled back and the raised event never left *)
@@ -319,7 +319,7 @@ let test_atomic_commit () =
   let net = Network.create () in
   let n = node_exn ~host:"n.example" rules in
   Store.add_doc (Node.store n) "/d" (Term.elem ~ord:Term.Unordered "d" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"go" (txt "!");
   ignore (Network.run_until_quiet net ());
   Alcotest.(check int) "both inserts applied" 2
@@ -348,7 +348,7 @@ let test_atomic_reads_own_writes () =
   let net = Network.create () in
   let n = node_exn ~host:"n.example" rules in
   Store.add_doc (Node.store n) "/d" (Term.elem ~ord:Term.Unordered "d" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"go" (txt "!");
   ignore (Network.run_until_quiet net ());
   Alcotest.(check (list string)) "read own write" [ "saw own write" ] (Node.logs n)
@@ -376,7 +376,7 @@ let test_delayed_raise () =
   in
   let net = Network.create ~latency:(fun ~from:_ ~to_:_ -> 5) () in
   let n = node_exn ~host:"n.example" rules in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"go" (txt "!");
   Network.run net ~until:400;
   Alcotest.(check (list string)) "not yet delivered" [] (Node.logs n);
@@ -472,8 +472,8 @@ let test_absence_compensates_message_loss () =
     let net = Network.create ~drop () in
     let shop = node_exn ~host:"shop.example" shop_rules in
     let bank = node_exn ~host:"bank.example" bank_rules in
-    Network.add_node net shop;
-    Network.add_node net bank;
+    Network.add_node_exn net shop;
+    Network.add_node_exn net bank;
     Network.inject net ~to_:"shop.example" ~label:"order" (txt "!");
     Network.run net ~until:(Clock.minutes 10);
     (Node.logs shop, (Network.transport_stats net).Transport.dropped)
@@ -502,8 +502,8 @@ let test_deterministic_replay () =
     let net = Network.create () in
     let a = node_exn ~host:"a.example" rules in
     let b = node_exn ~host:"b.example" (Ruleset.make "b") in
-    Network.add_node net a;
-    Network.add_node net b;
+    Network.add_node_exn net a;
+    Network.add_node_exn net b;
     for i = 1 to 20 do
       Network.inject net ~to_:"a.example" ~label:"t" (Term.int i)
     done;

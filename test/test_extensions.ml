@@ -98,7 +98,7 @@ let test_pubsub () =
   in
   let c1 = node_exn ~host:"c1.example" (consumer_rules "c1") in
   let c2 = node_exn ~host:"c2.example" (consumer_rules "c2") in
-  List.iter (Network.add_node net) [ producer; c1; c2 ];
+  List.iter (Network.add_node_exn net) [ producer; c1; c2 ];
   (* both subscribe to news; only c1 to sports *)
   Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"news" ~host:"c1.example");
   Network.inject net ~to_:"prod.example" ~label:"subscribe" (Pubsub.subscribe ~topic:"news" ~host:"c2.example");
@@ -143,8 +143,8 @@ let test_remote_update () =
   let shop = node_exn ~host:"shop.example" writer_rules in
   let warehouse = node_exn ~accept_updates:true ~host:"warehouse.example" (Ruleset.make "wh") in
   Store.add_doc (Node.store warehouse) "/ledger" (Term.elem ~ord:Term.Unordered "ledger" []);
-  Network.add_node net shop;
-  Network.add_node net warehouse;
+  Network.add_node_exn net shop;
+  Network.add_node_exn net warehouse;
   Network.inject net ~to_:"shop.example" ~label:"sale" (Term.elem "sale" [ Term.elem "item" [ Term.text "ball" ] ]);
   ignore (Network.run_until_quiet net ());
   let ledger = Option.get (Store.doc (Node.store warehouse) "/ledger") in
@@ -168,8 +168,8 @@ let test_remote_update_triggers_rules () =
   let shop = node_exn ~host:"shop.example" (Ruleset.make "s") in
   let warehouse = node_exn ~accept_updates:true ~host:"warehouse.example" monitor in
   Store.add_doc (Node.store warehouse) "/ledger" (Term.elem ~ord:Term.Unordered "ledger" []);
-  Network.add_node net shop;
-  Network.add_node net warehouse;
+  Network.add_node_exn net shop;
+  Network.add_node_exn net warehouse;
   (* drive the remote update straight through the shop's action layer *)
   let ctx = Network.context_for net shop in
   let ops_update =
@@ -202,7 +202,7 @@ let test_remote_update_rejected_by_default () =
   let net = Network.create () in
   let closed = node_exn ~host:"closed.example" (Ruleset.make "c") in
   Store.add_doc (Node.store closed) "/d" (Term.elem "d" []);
-  Network.add_node net closed;
+  Network.add_node_exn net closed;
   let u = Action.U_insert { doc = "/d"; selector = []; at = None; content = Term.text "x" } in
   let ctx = Network.context_for net closed in
   ignore (Node.receive_update closed ctx ~from:"evil.example" u);
@@ -239,7 +239,7 @@ let test_snapshot_rejects_junk () =
 let test_network_trace () =
   let net = Network.create ~record:true () in
   let n = node_exn ~host:"n.example" (Ruleset.make "s") in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"x" (Term.text "1");
   Network.inject net ~to_:"n.example" ~label:"y" (Term.text "2");
   ignore (Network.run_until_quiet net ());
@@ -248,7 +248,7 @@ let test_network_trace () =
   (* untraced networks record nothing *)
   let quiet = Network.create () in
   let m = node_exn ~host:"m.example" (Ruleset.make "s") in
-  Network.add_node quiet m;
+  Network.add_node_exn quiet m;
   Network.inject quiet ~to_:"m.example" ~label:"x" (Term.text "1");
   ignore (Network.run_until_quiet quiet ());
   Alcotest.(check int) "no recording by default" 0 (List.length (Network.trace quiet))

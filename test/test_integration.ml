@@ -53,7 +53,7 @@ let test_marketplace_flow () =
          </customers>|});
   Store.add_doc (Node.store warehouse) "/picks" (Term.elem ~ord:Term.Unordered "picks" []);
   let net = Network.create () in
-  List.iter (Network.add_node net) [ shop; warehouse; bank ];
+  List.iter (Network.add_node_exn net) [ shop; warehouse; bank ];
   let order item who =
     Term.elem "order" [ Term.elem "item" [ Term.text item ]; Term.elem "customer" [ Term.text who ] ]
   in
@@ -85,8 +85,8 @@ let test_rules_exchange_then_service () =
       {|ruleset client { rule r: on pong{{var X}} do log "pong %s", $X }|}
   in
   let net = Network.create () in
-  Network.add_node net blank;
-  Network.add_node net client;
+  Network.add_node_exn net blank;
+  Network.add_node_exn net client;
   (* ship the rules, then use the service *)
   Network.inject net ~sender:"client.example" ~to_:"fresh.example" ~label:Node.rules_label
     (Meta.ruleset_to_term service);
@@ -120,8 +120,8 @@ let test_metering_pipeline () =
   Store.add_doc (Node.store meter) "/windows" (Term.elem ~ord:Term.Unordered "ws" []);
   Store.add_doc (Node.store collector) "/all-windows" (Term.elem ~ord:Term.Unordered "all" []);
   let net = Network.create () in
-  Network.add_node net meter;
-  Network.add_node net collector;
+  Network.add_node_exn net meter;
+  Network.add_node_exn net collector;
   for i = 1 to 5 do
     Network.run net ~until:(i * 100);
     Network.inject net ~to_:"meter.example" ~label:"reading"
@@ -152,7 +152,7 @@ let test_derived_events_in_rules () =
         }|}
   in
   let net = Network.create () in
-  Network.add_node net monitor;
+  Network.add_node_exn net monitor;
   for i = 1 to 2 do
     Network.run net ~until:(i * Clock.minutes 5);
     Network.inject net ~to_:"mon.example" ~label:"reading"

@@ -148,7 +148,7 @@ let test_authz_wildcards () =
 let test_network_misc () =
   let net = Network.create () in
   let a = node_exn ~host:"a.example" (Ruleset.make "a") in
-  Network.add_node net a;
+  Network.add_node_exn net a;
   Alcotest.(check (list string)) "hosts" [ "a.example" ] (Network.hosts net);
   Alcotest.(check bool) "node lookup" true (Network.node net "a.example" <> None);
   Alcotest.(check bool) "missing node" true (Network.node net "b.example" = None);
@@ -156,7 +156,7 @@ let test_network_misc () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "node_exn on unknown host");
   (* duplicate host rejected *)
-  match Network.add_node net (node_exn ~host:"a.example" (Ruleset.make "dup")) with
+  match Network.add_node_exn net (node_exn ~host:"a.example" (Ruleset.make "dup")) with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "duplicate host accepted"
 
@@ -169,7 +169,8 @@ let test_ticker_phase () =
 
 let test_message_pp () =
   let m =
-    Message.make ~from_host:"a" ~to_host:"b" ~sent_at:3 (Message.Get { req_id = 1; path = "/x" })
+    Message.make ~from_host:"a" ~to_host:"b" ~sent_at:3
+      (Message.Get { req_id = 1; path = "/x"; kind = Message.Doc })
   in
   let s = Fmt.str "%a" Message.pp m in
   let contains hay needle =

@@ -18,15 +18,25 @@ let test_message_size () =
   Alcotest.(check bool) "positive size" true (Message.size_bytes m > 40)
 
 let test_transport_ordering () =
-  let tr = Transport.create ~latency:(fun ~from:_ ~to_:_ -> 10) () in
-  let msg t = Message.make ~from_host:"a" ~to_host:"b" ~sent_at:t (Message.Get { req_id = t; path = "/" }) in
+  let sched = Sched.create () in
+  let tr = Transport.create ~sched ~latency:(fun ~from:_ ~to_:_ -> 10) () in
+  let delivered = ref [] in
+  Transport.on_deliver tr (fun m -> delivered := m.Message.msg_id :: !delivered);
+  let msg t =
+    Message.make ~from_host:"a" ~to_host:"b" ~sent_at:t
+      (Message.Get { req_id = t; path = "/"; kind = Message.Doc })
+  in
   Transport.send tr (msg 5);
   Transport.send tr (msg 1);
-  Alcotest.(check (option int)) "earliest first" (Some 11) (Transport.next_due tr);
-  let due = Transport.pop_due tr ~now:11 in
-  Alcotest.(check int) "only the due one" 1 (List.length due);
+  Alcotest.(check (option int)) "earliest first" (Some 11) (Sched.next_due sched);
+  Sched.run_until sched 11;
+  (* the message stamped later but due earlier is delivered first *)
+  Alcotest.(check int) "only the due one" 1 (List.length !delivered);
   Alcotest.(check int) "one pending" 1 (Transport.pending tr);
-  Alcotest.(check int) "stats count both" 2 (Transport.stats tr).Transport.messages
+  Alcotest.(check int) "stats count both" 2 (Transport.stats tr).Transport.messages;
+  Sched.run_until sched 100;
+  Alcotest.(check int) "both delivered in due order" 2 (List.length !delivered);
+  Alcotest.(check int) "nothing pending" 0 (Transport.pending tr)
 
 (* ---- end-to-end scenarios over the simulated Web ---- *)
 
@@ -63,8 +73,8 @@ let test_push_pipeline () =
   let shop = node_exn ~host:"shop.example" (shop_rules ()) in
   let warehouse = node_exn ~host:"warehouse.example" (warehouse_rules ()) in
   Store.add_doc (Node.store warehouse) "/picks" (Term.elem ~ord:Term.Unordered "picks" []);
-  Network.add_node net shop;
-  Network.add_node net warehouse;
+  Network.add_node_exn net shop;
+  Network.add_node_exn net warehouse;
   Network.inject net ~to_:"shop.example" ~label:"order" (order "ball");
   Network.inject net ~to_:"shop.example" ~label:"order" (order "shoe");
   ignore (Network.run_until_quiet net ());
@@ -93,8 +103,8 @@ let test_remote_condition_query () =
   let data = node_exn ~host:"data.example" (Ruleset.make "empty") in
   Store.add_doc (Node.store data) "/catalog"
     (Term.elem ~ord:Term.Unordered "catalog" [ Term.elem "product" [ Term.text "ball" ] ]);
-  Network.add_node net asker;
-  Network.add_node net data;
+  Network.add_node_exn net asker;
+  Network.add_node_exn net data;
   Network.inject net ~to_:"asker.example" ~label:"probe" (Term.text "?");
   ignore (Network.run_until_quiet net ());
   Alcotest.(check (list string)) "remote data reached the condition" [ "found ball" ] (Node.logs asker);
@@ -120,7 +130,7 @@ let test_update_events_trigger_rules () =
   let net = Network.create () in
   let n = node_exn ~host:"n.example" (Ruleset.make ~rules:[ writer; eca ] "s") in
   Store.add_doc (Node.store n) "/stock" (Term.elem ~ord:Term.Unordered "stock" []);
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.inject net ~to_:"n.example" ~label:"deplete" (Term.text "!");
   ignore (Network.run_until_quiet net ());
   Alcotest.(check (list string)) "update event fired derived rule" [ "low stock: widgets" ]
@@ -137,7 +147,7 @@ let test_heartbeat_fires_absence () =
   let rules = Ruleset.make ~rules:[ Eca.make ~name:"watch" ~on:q (Action.log "no pong!" []) ] "w" in
   let net = Network.create () in
   let n = node_exn ~host:"w.example" rules in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Network.enable_heartbeat net ~period:50;
   Network.inject net ~to_:"w.example" ~label:"ping" (Term.text "x");
   Network.run net ~until:1000;
@@ -157,8 +167,8 @@ let test_poll_vs_push_latency () =
       "c"
   in
   let consumer = node_exn ~host:"cons.example" consumer_rules in
-  Network.add_node net producer;
-  Network.add_node net consumer;
+  Network.add_node_exn net producer;
+  Network.add_node_exn net consumer;
   let stats = Poll.attach net ~poller:"cons.example" ~target:"prod.example/feed" ~period:100 in
   Network.run net ~until:250;
   (* initial snapshot counts as the first change *)
@@ -186,8 +196,8 @@ let test_cookie_roundtrip () =
       "server"
   in
   let server = node_exn ~host:"server.example" server_rules in
-  Network.add_node net client;
-  Network.add_node net server;
+  Network.add_node_exn net client;
+  Network.add_node_exn net server;
   Network.inject net ~sender:"server.example" ~to_:"client.example" ~label:"set-cookie"
     (Cookie.set_cookie ~name:"basket" ~value:"3 balls");
   ignore (Network.run_until_quiet net ());
@@ -207,7 +217,7 @@ let test_rules_as_messages () =
   (* Thesis 11: ship a rule set to a node as an event *)
   let net = Network.create () in
   let n = node_exn ~accept_rules:true ~host:"n.example" (Ruleset.make "base") in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   Alcotest.(check int) "no rules yet" 0 (List.length (Engine.rule_names (Node.engine n)));
   let incoming =
     Result.get_ok
@@ -224,7 +234,7 @@ let test_rules_as_messages () =
 let test_rules_rejected_without_optin () =
   let net = Network.create () in
   let n = node_exn ~accept_rules:false ~host:"n.example" (Ruleset.make "base") in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   let incoming = Ruleset.make "evil" in
   Network.inject net ~to_:"n.example" ~label:Node.rules_label (Meta.ruleset_to_term incoming);
   ignore (Network.run_until_quiet net ());
@@ -238,7 +248,7 @@ let test_volatile_event_dropped_in_transit () =
   in
   let net = Network.create ~latency:(fun ~from:_ ~to_:_ -> 500) () in
   let n = node_exn ~host:"slow.example" rules in
-  Network.add_node net n;
+  Network.add_node_exn net n;
   (* ttl 100ms but 500ms latency: expired on arrival (Thesis 4) *)
   Network.inject net ~to_:"slow.example" ~label:"flash" ~ttl:100 (Term.text "x");
   ignore (Network.run_until_quiet net ());
