@@ -1,0 +1,35 @@
+open Xchange
+
+(* absence rule (needs_clock) whose condition touches a remote resource *)
+let rules () =
+  Ruleset.make
+    ~rules:
+      [
+        Eca.make ~name:"watch"
+          ~on:
+            (Event_query.absent
+               (Event_query.on ~label:"ping" (Qterm.var "E"))
+               ~then_absent:(Event_query.on ~label:"pong" (Qterm.var "E2"))
+               ~for_:100)
+          ~if_:
+            (Condition.In
+               ( Condition.Remote "data.example/catalog",
+                 Qterm.el "product" [ Qterm.pos (Qterm.var "P") ] ))
+          (Action.log "alarm %s" [ Builtin.ovar "P" ]);
+      ]
+    "watcher"
+
+let () =
+  let net = Network.create () in
+  let watcher = node_exn ~host:"watch.example" (rules ()) in
+  let data = node_exn ~host:"data.example" (Ruleset.make "empty") in
+  Store.add_doc (Node.store data) "/catalog"
+    (Term.elem ~ord:Term.Unordered "catalog" [ Term.elem "product" [ Term.text "ball" ] ]);
+  Network.add_node_exn net watcher;
+  Network.add_node_exn net data;
+  Network.inject net ~to_:"watch.example" ~label:"ping" (Term.text "?");
+  let t = Network.run_until_quiet net ~limit:10_000 () in
+  Printf.printf "final clock=%d remote_fetches=%d sched_executed=%d\n" t
+    (Network.remote_fetches net) (Network.sched_stats net).Sched.executed;
+  print_string (String.concat "\n" (Node.logs watcher));
+  print_newline ()
