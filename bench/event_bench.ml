@@ -1,0 +1,240 @@
+(* Composite-event hot-path benchmarks (HACKING.md "Event-engine
+   internals"): hash-partitioned joins and time-ordered instance stores
+   vs the naive nested-loop reference ([Incremental.create ~index:false]).
+
+   Two sweeps, both over windowed composite queries whose constituents
+   share a key variable K:
+
+   - scaling: 1k/10k/50k-event streams, And/Seq/Times/Agg, with a
+     high-selectivity (many distinct K values) and a low-selectivity
+     (few values, fat buckets) key distribution — per-event feed cost
+     and join pairs probed, naive vs indexed;
+   - window sweep: fixed stream, growing window span — shows per-event
+     cost growing sub-linearly with the stored-instance count because a
+     probe only enumerates one bucket of the window's instances.
+
+   Prints tables and emits machine-readable BENCH_event.json.  [~smoke]
+   runs a fast subset (wired into `dune runtest`) and additionally
+   checks, per feed, that both modes report identical detections. *)
+
+open Xchange
+
+let speedup naive indexed = naive /. Float.max indexed 0.001
+
+(* ---- streams: alternating a/b events, key = i mod nkeys ---- *)
+
+let mk_event i ~nkeys =
+  let label = if i mod 2 = 0 then "a" else "b" in
+  (* key drawn from the a/b pair index, so partners with matching keys
+     exist in every window regardless of [nkeys] parity *)
+  let key = Term.text (Printf.sprintf "k%d" (i / 2 mod nkeys)) in
+  Event.make ~occurred_at:i ~label (Term.elem label [ key; Term.int i ])
+
+let stream ~events ~nkeys = List.init events (fun i -> mk_event i ~nkeys)
+
+(* ---- queries: constituents share the key variable K ---- *)
+
+let atom label payload_var =
+  Event_query.on ~label
+    (Qterm.el label [ Qterm.pos (Qterm.var "K"); Qterm.pos (Qterm.var payload_var) ])
+
+let q_and ~window = Event_query.within (Event_query.conj [ atom "a" "X"; atom "b" "Y" ]) window
+let q_seq ~window = Event_query.within (Event_query.seq [ atom "a" "X"; atom "b" "Y" ]) window
+
+let q_times ~window =
+  Event_query.times 3
+    (Event_query.on ~label:"a" (Qterm.el "a" [ Qterm.pos (Qterm.var "K") ]))
+    window
+
+let q_agg =
+  Event_query.Agg
+    { Event_query.over = atom "a" "V"; var = "V"; window = 5; op = Construct.Avg; bind = "A" }
+
+let query_of = function
+  | "and" -> q_and ~window:256
+  | "seq" -> q_seq ~window:256
+  | "times" -> q_times ~window:48
+  | "agg" -> q_agg
+  | q -> invalid_arg q
+
+(* ---- one measured run: feed the whole stream through one engine ---- *)
+
+type run = {
+  detections : int;
+  ms : float;
+  us_per_event : float;
+  pairs_probed : int;
+  pairs_skipped : int;
+  buckets : int;
+  per_feed : Instance.t list list;  (** only retained when [check] *)
+}
+
+let run_stream ~index ~check q events =
+  let engine = Incremental.create_exn ~index q in
+  let (per_feed, detections), ms =
+    Util.time_ms (fun () ->
+        let count = ref 0 in
+        let per_feed =
+          List.map
+            (fun e ->
+              let ds = Incremental.feed engine e in
+              count := !count + List.length ds;
+              if check then ds else [])
+            events
+        in
+        (per_feed, !count))
+  in
+  let js = Incremental.join_stats engine in
+  {
+    detections;
+    ms;
+    us_per_event = ms *. 1000. /. float_of_int (max 1 (List.length events));
+    pairs_probed = js.Incremental.pairs_probed;
+    pairs_skipped = js.Incremental.pairs_skipped;
+    buckets = js.Incremental.buckets;
+    per_feed;
+  }
+
+let assert_equal_feeds name indexed naive =
+  List.iteri
+    (fun i (di, dn) ->
+      if not (List.equal Instance.equal di dn) then
+        failwith
+          (Printf.sprintf "event bench %s: feed %d reports %d indexed vs %d naive detections"
+             name i (List.length di) (List.length dn)))
+    (List.combine indexed.per_feed naive.per_feed)
+
+let scaling_case ~check ~qname ~events ~nkeys =
+  let q = query_of qname in
+  (* Times counts same-key recurrences: cap the key space so three
+     same-key events fit inside its window at every distribution *)
+  let nkeys = if String.equal qname "times" then min nkeys 8 else nkeys in
+  let evs = stream ~events ~nkeys in
+  let indexed = run_stream ~index:true ~check q evs in
+  let naive = run_stream ~index:false ~check q evs in
+  if check then assert_equal_feeds qname indexed naive
+  else if indexed.detections <> naive.detections then
+    failwith
+      (Printf.sprintf "event bench %s: %d indexed vs %d naive detections" qname
+         indexed.detections naive.detections);
+  (qname, events, nkeys, naive, indexed)
+
+(* window sweep: same stream, growing window -> growing stored pool *)
+let window_case ~check ~qname ~events ~nkeys ~window =
+  let q = match qname with "and" -> q_and ~window | _ -> q_seq ~window in
+  let evs = stream ~events ~nkeys in
+  let indexed = run_stream ~index:true ~check q evs in
+  let naive = run_stream ~index:false ~check q evs in
+  if check then assert_equal_feeds qname indexed naive;
+  (* stored pool proxy: each child retains ~window/2 instances *)
+  (qname, window, naive, indexed)
+
+(* ---- JSON emission (hand-rolled; no deps) ---- *)
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr elems = "[" ^ String.concat ", " elems ^ "]"
+let fi k v = Printf.sprintf "%S: %d" k v
+let ff k v = Printf.sprintf "%S: %.3f" k v
+let fs k v = Printf.sprintf "%S: %S" k v
+
+let probe_ratio naive indexed =
+  float_of_int naive.pairs_probed /. float_of_int (max 1 indexed.pairs_probed)
+
+let run ~smoke () =
+  let tiers = if smoke then [ 300 ] else [ 1_000; 10_000; 50_000 ] in
+  let key_dists = if smoke then [ ("high", 16) ] else [ ("high", 100); ("low", 2) ] in
+  let windows = if smoke then [ 32; 64 ] else [ 64; 256; 1024 ] in
+  let sweep_events = if smoke then 300 else 10_000 in
+  let check = smoke in
+  Fmt.pr "@.# Composite-event hot-path benchmarks%s@." (if smoke then " (smoke)" else "");
+
+  let scaling =
+    List.concat_map
+      (fun (dist, nkeys) ->
+        List.concat_map
+          (fun events ->
+            List.map
+              (fun qname -> (dist, scaling_case ~check ~qname ~events ~nkeys))
+              [ "and"; "seq"; "times"; "agg" ])
+          tiers)
+      key_dists
+  in
+  Util.print_table ~title:"composite joins: nested loop vs hash-partitioned probe"
+    ~header:
+      [ "query"; "dist"; "events"; "keys"; "detections"; "naive ms"; "indexed ms";
+        "pairs naive"; "pairs indexed"; "probe ratio"; "speedup" ]
+    (List.map
+       (fun (dist, (qname, events, nkeys, naive, indexed)) ->
+         [
+           qname; dist; Util.si events; string_of_int nkeys; Util.si naive.detections;
+           Util.f2 naive.ms; Util.f2 indexed.ms; Util.si naive.pairs_probed;
+           Util.si indexed.pairs_probed; Util.f1 (probe_ratio naive indexed) ^ "x";
+           Util.f1 (speedup naive.ms indexed.ms) ^ "x";
+         ])
+       scaling);
+
+  let sweep =
+    List.concat_map
+      (fun qname ->
+        List.map
+          (fun window ->
+            window_case ~check ~qname ~events:sweep_events ~nkeys:32 ~window)
+          windows)
+      [ "and"; "seq" ]
+  in
+  Util.print_table ~title:"window sweep: per-event feed cost vs stored-instance count"
+    ~header:
+      [ "query"; "window"; "stored/child"; "naive us/ev"; "indexed us/ev"; "probe ratio" ]
+    (List.map
+       (fun (qname, window, naive, indexed) ->
+         [
+           qname; string_of_int window; string_of_int (window / 2);
+           Util.f2 naive.us_per_event; Util.f2 indexed.us_per_event;
+           Util.f1 (probe_ratio naive indexed) ^ "x";
+         ])
+       sweep);
+
+  let json =
+    obj
+      [
+        Printf.sprintf "%S: %s" "smoke" (string_of_bool smoke);
+        Printf.sprintf "%S: %s" "scaling"
+          (arr
+             (List.map
+                (fun (dist, (qname, events, nkeys, naive, indexed)) ->
+                  obj
+                    [
+                      fs "query" qname; fs "dist" dist; fi "events" events; fi "keys" nkeys;
+                      fi "detections" naive.detections; ff "naive_ms" naive.ms;
+                      ff "indexed_ms" indexed.ms;
+                      ff "us_per_event_naive" naive.us_per_event;
+                      ff "us_per_event_indexed" indexed.us_per_event;
+                      fi "pairs_probed_naive" naive.pairs_probed;
+                      fi "pairs_probed_indexed" indexed.pairs_probed;
+                      fi "pairs_skipped_indexed" indexed.pairs_skipped;
+                      fi "buckets" indexed.buckets;
+                      ff "probe_ratio" (probe_ratio naive indexed);
+                      ff "speedup" (speedup naive.ms indexed.ms);
+                    ])
+                scaling));
+        Printf.sprintf "%S: %s" "window_sweep"
+          (arr
+             (List.map
+                (fun (qname, window, naive, indexed) ->
+                  obj
+                    [
+                      fs "query" qname; fi "window" window; fi "stored_per_child" (window / 2);
+                      ff "us_per_event_naive" naive.us_per_event;
+                      ff "us_per_event_indexed" indexed.us_per_event;
+                      fi "pairs_probed_naive" naive.pairs_probed;
+                      fi "pairs_probed_indexed" indexed.pairs_probed;
+                      ff "probe_ratio" (probe_ratio naive indexed);
+                    ])
+                sweep));
+      ]
+  in
+  let oc = open_out "BENCH_event.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_event.json@."

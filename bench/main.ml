@@ -8,7 +8,8 @@
      dune exec bench/main.exe micro      # micro-benchmarks only
      dune exec bench/main.exe index      # hot-path indexing benchmarks
      dune exec bench/main.exe sched      # scheduler / degraded-network benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched smoke (runs in `dune runtest`)
+     dune exec bench/main.exe event      # composite-event join benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -17,7 +18,8 @@ let () =
   let args = List.filter (fun a -> a <> "--smoke") args in
   if smoke then begin
     Index_bench.run ~smoke:true ();
-    Sched_bench.run ~smoke:true ()
+    Sched_bench.run ~smoke:true ();
+    Event_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -27,5 +29,6 @@ let () =
       Experiments.all;
     if wanted "index" then Index_bench.run ~smoke:false ();
     if wanted "sched" then Sched_bench.run ~smoke:false ();
+    if wanted "event" then Event_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

@@ -13,7 +13,7 @@
     - {!Qterm}, {!Simulate}, {!Construct}, {!Condition}, {!Deductive},
       {!Subst}, {!Builtin} — the embedded Web query language (Thesis 7)
     - {!Clock}, {!Event}, {!Event_query}, {!Incremental}, {!Backward},
-      {!History}, {!Instance}, {!Deductive_event} — events and composite
+      {!History}, {!Instance}, {!Istore}, {!Deductive_event} — events and composite
       event queries (Theses 4-6)
     - {!Action}, {!Eca}, {!Production}, {!Derive}, {!Ruleset}, {!Engine}
       — reactive rules (Theses 1, 8, 9)
@@ -48,6 +48,7 @@ module Deductive = Xchange_query.Deductive
 module Clock = Xchange_event.Clock
 module Event = Xchange_event.Event
 module Instance = Xchange_event.Instance
+module Istore = Xchange_event.Istore
 module Event_query = Xchange_event.Event_query
 module History = Xchange_event.History
 module Backward = Xchange_event.Backward

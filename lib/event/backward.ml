@@ -1,5 +1,7 @@
 open Xchange_query
 
+let ( let* ) = Option.bind
+
 let match_atomic (a : Event_query.atomic) e =
   let label_ok = match a.Event_query.label with Some l -> String.equal l e.Event.label | None -> true in
   let sender_ok =
@@ -60,7 +62,22 @@ let group_key over_vars var subst =
 let numeric_of subst var =
   Option.bind (Subst.find var subst) Xchange_data.Term.as_num
 
-let avg vals = List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals)
+(* guarded: an aggregate over zero values yields no binding, never a
+   nan/infinity (mirrors Incremental.reduce) *)
+let avg_opt = function
+  | [] -> None
+  | vals -> Some (List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals))
+
+let reduce op vals =
+  match vals with
+  | [] -> None
+  | _ -> (
+      match op with
+      | Construct.Count -> Some (float_of_int (List.length vals))
+      | Construct.Sum -> Some (List.fold_left ( +. ) 0. vals)
+      | Construct.Avg -> avg_opt vals
+      | Construct.Min -> Some (List.fold_left Float.min Float.infinity vals)
+      | Construct.Max -> Some (List.fold_left Float.max Float.neg_infinity vals))
 
 let window_slices window values =
   (* [values] oldest-first; yield (window values, index of last) *)
@@ -136,14 +153,7 @@ and eval_agg (spec : Event_query.agg_spec) history ~now =
       |> List.filter_map (fun (slice, _) ->
              let vals = List.filter_map (fun i -> numeric_of i.Instance.subst spec.Event_query.var) slice in
              let latest = List.nth slice (List.length slice - 1) in
-             let value =
-               match spec.Event_query.op with
-               | Construct.Count -> float_of_int (List.length vals)
-               | Construct.Sum -> List.fold_left ( +. ) 0. vals
-               | Construct.Avg -> avg vals
-               | Construct.Min -> List.fold_left Float.min Float.infinity vals
-               | Construct.Max -> List.fold_left Float.max Float.neg_infinity vals
-             in
+             let* value = reduce spec.Event_query.op vals in
              match Subst.add spec.Event_query.bind (Xchange_data.Term.num value) latest.Instance.subst with
              | None -> None
              | Some subst ->
@@ -183,8 +193,8 @@ and eval_rises (spec : Event_query.rises_spec) history ~now =
              let vals = List.filter_map (fun i -> numeric_of i.Instance.subst spec.Event_query.r_var) slice in
              if List.length vals <> w + 1 then None
              else
-               let old_avg = avg (List.filteri (fun j _ -> j < w) vals) in
-               let new_avg = avg (List.filteri (fun j _ -> j >= 1) vals) in
+               let* old_avg = avg_opt (List.filteri (fun j _ -> j < w) vals) in
+               let* new_avg = avg_opt (List.filteri (fun j _ -> j >= 1) vals) in
                if new_avg < spec.Event_query.r_ratio *. old_avg then None
                else
                  let latest = List.nth slice w in

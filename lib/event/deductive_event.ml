@@ -65,14 +65,14 @@ let stratify program =
   | r :: _ -> Error (Fmt.str "recursive event derivation: rule %s triggers on its own output" r.name)
   | [] -> order [] [] program
 
-let compile ?horizon program =
+let compile ?horizon ?index program =
   match stratify program with
   | Error e -> Error e
   | Ok ordered ->
       let rec build acc = function
         | [] -> Ok { rules = List.rev acc }
         | r :: rest -> (
-            match Incremental.create ?horizon r.trigger with
+            match Incremental.create ?horizon ?index r.trigger with
             | Error e -> Error (Fmt.str "rule %s: %s" r.name e)
             | Ok engine -> build ({ spec = r; engine } :: acc) rest)
       in
@@ -113,3 +113,6 @@ let run t inject =
 
 let feed t e = run t (`Ev e)
 let advance_to t time = run t (`Now time)
+
+let join_stats t =
+  Incremental.sum_join_stats (List.map (fun cr -> Incremental.join_stats cr.engine) t.rules)

@@ -33,10 +33,11 @@ val dependencies : program -> (string * string list) list
     (a [None] label in an atomic query is reported as ["*"] and makes
     the rule depend on every label). *)
 
-val compile : ?horizon:Clock.span -> program -> (t, string) result
+val compile : ?horizon:Clock.span -> ?index:bool -> program -> (t, string) result
 (** Fails on recursive programs (including rules triggered by ["*"]
     wildcard atomic queries, which would always be recursive) and on
-    invalid trigger queries. *)
+    invalid trigger queries.  [index] is forwarded to each trigger's
+    {!Incremental.create} (hash-partitioned joins; default true). *)
 
 val feed : t -> Event.t -> Event.t list
 (** Processes one external event and returns all derived events
@@ -46,3 +47,6 @@ val feed : t -> Event.t -> Event.t list
 
 val advance_to : t -> Clock.time -> Event.t list
 (** Timer-driven derivations (absence triggers). *)
+
+val join_stats : t -> Incremental.join_stats
+(** Aggregated join counters across all derivation-rule engines. *)

@@ -2,23 +2,33 @@ type retention = Unbounded | Keep of Clock.span
 
 type t = {
   retention : retention;
-  mutable items : Event.t list;  (** newest first *)
+  items : Event.t Istore.Dq.t;  (** oldest first; see {!add}'s ordering contract *)
   mutable now : Clock.time;
   mutable seen : int;
 }
 
 let create ?(retention = Unbounded) () =
-  { retention; items = []; now = Clock.origin; seen = 0 }
+  { retention; items = Istore.Dq.create (); now = Clock.origin; seen = 0 }
 
+(* Events arrive in non-decreasing time order (the {!add} contract), so
+   retention is amortized O(1): expired events are exactly a prefix of
+   the deque and pop off the front. *)
 let apply_retention h =
   match h.retention with
   | Unbounded -> ()
   | Keep span ->
       let cutoff = h.now - span in
-      h.items <- List.filter (fun e -> Event.time e >= cutoff) h.items
+      let rec drop () =
+        match Istore.Dq.peek_front h.items with
+        | Some e when Event.time e < cutoff ->
+            ignore (Istore.Dq.pop_front h.items);
+            drop ()
+        | _ -> ()
+      in
+      drop ()
 
 let add h e =
-  h.items <- e :: h.items;
+  Istore.Dq.push_back h.items e;
   h.seen <- h.seen + 1;
   if Event.time e > h.now then h.now <- Event.time e;
   apply_retention h
@@ -30,6 +40,6 @@ let advance h t =
   end
 
 let now h = h.now
-let events h = List.rev h.items
-let length h = List.length h.items
+let events h = Istore.Dq.to_list h.items
+let length h = Istore.Dq.length h.items
 let total_seen h = h.seen

@@ -16,7 +16,10 @@ val create : ?retention:retention -> unit -> t
 
 val add : t -> Event.t -> unit
 (** Events must be added in non-decreasing {!Event.time} order; the
-    history also advances its notion of "now" to the event's time. *)
+    history also advances its notion of "now" to the event's time.
+    Amortized O(1): the ordering contract makes expired events a prefix
+    of the (oldest-first) deque, so retention pops from the front
+    instead of re-filtering the whole history. *)
 
 val advance : t -> Clock.time -> unit
 (** Move time forward, applying retention. *)

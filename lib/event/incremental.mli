@@ -35,14 +35,30 @@ val create :
   ?consume:bool ->
   ?selection:selection ->
   ?horizon:Clock.span ->
+  ?index:bool ->
   Event_query.t ->
   (t, string) result
 (** Compiles the query ({!Event_query.validate} is applied).
     [consume] defaults to [false], [selection] to [Each], [horizon] to
-    none (unbounded retention for window-less query parts). *)
+    none (unbounded retention for window-less query parts).
+
+    [index] (default true) stores partial matches in hash-partitioned,
+    time-ordered stores ({!Istore}): [And]/[Seq]/[Times] joins probe
+    only the partition keyed by the shared variables of the partial
+    match being extended (plus a wildcard partition for incomplete
+    bindings), and [Seq] additionally binary-searches the
+    temporally-compatible run of each partition.  [~index:false] keeps
+    the pre-refactor nested-loop joins over the full stored pools —
+    detections are identical (property-tested); disable only for
+    ablation, as BENCH_event does. *)
 
 val create_exn :
-  ?consume:bool -> ?selection:selection -> ?horizon:Clock.span -> Event_query.t -> t
+  ?consume:bool ->
+  ?selection:selection ->
+  ?horizon:Clock.span ->
+  ?index:bool ->
+  Event_query.t ->
+  t
 
 val feed : t -> Event.t -> Instance.t list
 (** Process one event; returns the detections it (or a deadline at or
@@ -67,3 +83,31 @@ val next_deadline : t -> Clock.time option
     {!advance_to} must be called for a timer detection to fire on
     schedule.  Lets a discrete-event scheduler wake the engine exactly
     when a deadline is due instead of relying on periodic heartbeats. *)
+
+(** {1 Join observability}
+
+    Aggregated {!Istore} counters across the operator tree — the E5
+    evidence that incremental evaluation "avoids re-scanning the
+    history": [pairs_probed] counts candidates enumerated at join
+    extension steps, [pairs_skipped] the stored instances a naive
+    nested loop would have enumerated but a keyed/temporal probe never
+    touched.  Under [~index:false] the joins enumerate full pools, so
+    comparing [pairs_probed] across the two modes measures the join
+    acceleration (see [bench/event_bench.ml]). *)
+
+type join_stats = {
+  probes : int;  (** probe/scan calls *)
+  pairs_probed : int;
+  pairs_skipped : int;
+  instances_pruned : int;  (** dropped by window/horizon retention *)
+  buckets : int;  (** populated hash partitions, summed over stores *)
+  keyed_nodes : int;  (** stores with a non-empty partition key *)
+}
+
+val join_stats : t -> join_stats
+
+val zero_join_stats : join_stats
+
+val sum_join_stats : join_stats list -> join_stats
+(** Pointwise sum — lets multi-engine owners (the rule engine, the
+    event-derivation network) report one aggregate. *)

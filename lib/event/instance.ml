@@ -38,6 +38,12 @@ let span i = Clock.diff i.t_end i.t_start
 
 let disjoint_ids a b = not (List.exists (fun id -> List.mem id b.ids) a.ids)
 
+let join_key vars i =
+  if vars = [] then None
+  else if List.for_all (fun v -> Option.is_some (Subst.find v i.subst)) vars then
+    Some (Subst.restrict vars i.subst)
+  else None
+
 let compare a b =
   let c = Int.compare a.t_end b.t_end in
   if c <> 0 then c

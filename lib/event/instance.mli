@@ -33,6 +33,12 @@ val span : t -> Clock.span
 
 val disjoint_ids : t -> t -> bool
 
+val join_key : string list -> t -> Subst.t option
+(** The instance's bindings restricted to the given join-key variables —
+    [Some] only when every variable is bound ([None] for [[]] or partial
+    bindings, which must fall into a join's wildcard partition; see
+    {!Istore}). *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val dedup : t list -> t list

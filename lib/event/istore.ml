@@ -1,0 +1,270 @@
+open Xchange_query
+
+(* ---- generic ring-buffer deque -------------------------------------- *)
+
+module Dq = struct
+  type 'a t = { mutable buf : 'a option array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 8 None; head = 0; len = 0 }
+  let length d = d.len
+  let is_empty d = d.len = 0
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf = Array.make (cap * 2) None in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d x =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+    d.len <- d.len + 1
+
+  let pop_front d =
+    if d.len = 0 then None
+    else begin
+      let x = d.buf.(d.head) in
+      d.buf.(d.head) <- None;
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      x
+    end
+
+  let peek_front d = if d.len = 0 then None else d.buf.(d.head)
+
+  let get d i =
+    if i < 0 || i >= d.len then invalid_arg "Dq.get";
+    match d.buf.((d.head + i) mod Array.length d.buf) with
+    | Some x -> x
+    | None -> assert false
+
+  let iter f d =
+    for i = 0 to d.len - 1 do
+      f (get d i)
+    done
+
+  let fold f acc d =
+    let acc = ref acc in
+    iter (fun x -> acc := f !acc x) d;
+    !acc
+
+  let to_list d = List.rev (fold (fun acc x -> x :: acc) [] d)
+
+  let clear d =
+    Array.fill d.buf 0 (Array.length d.buf) None;
+    d.head <- 0;
+    d.len <- 0
+
+  let filter_inplace p d =
+    let kept = List.filter p (to_list d) in
+    clear d;
+    List.iter (push_back d) kept
+end
+
+(* ---- keyed instance store ------------------------------------------- *)
+
+module KTbl = Hashtbl.Make (struct
+  type t = Subst.t
+
+  let equal = Subst.equal
+  let hash = Subst.hash
+end)
+
+(* one partition: arrival-ordered deque + monotonicity flags enabling
+   binary-searched temporal probes *)
+type part = {
+  dq : Instance.t Dq.t;
+  mutable mono_start : bool;  (** t_start non-decreasing in arrival order *)
+  mutable mono_end : bool;  (** t_end non-decreasing in arrival order *)
+  mutable last_start : Clock.time;
+  mutable last_end : Clock.time;
+}
+
+let part_create () =
+  { dq = Dq.create (); mono_start = true; mono_end = true; last_start = min_int; last_end = min_int }
+
+let part_add p (i : Instance.t) =
+  if i.Instance.t_start < p.last_start then p.mono_start <- false;
+  if i.Instance.t_end < p.last_end then p.mono_end <- false;
+  p.last_start <- max p.last_start i.Instance.t_start;
+  p.last_end <- max p.last_end i.Instance.t_end;
+  Dq.push_back p.dq i
+
+type stats = {
+  mutable probes : int;
+  mutable pairs_probed : int;
+  mutable pairs_skipped : int;
+  mutable pruned : int;
+}
+
+type t = {
+  skey : string list;
+  all : part;  (** every instance, arrival order *)
+  tbl : part KTbl.t;  (** full-key partitions *)
+  wild : part;  (** instances missing a key variable *)
+  st : stats;
+}
+
+let create ~key =
+  {
+    skey = key;
+    all = part_create ();
+    tbl = KTbl.create 16;
+    wild = part_create ();
+    st = { probes = 0; pairs_probed = 0; pairs_skipped = 0; pruned = 0 };
+  }
+
+let key t = t.skey
+let length t = Dq.length t.all.dq
+let buckets t = KTbl.length t.tbl
+let stats t = t.st
+let to_list t = Dq.to_list t.all.dq
+
+(* Some (restricted key) iff the substitution binds every key var *)
+let key_of skey subst =
+  if skey = [] then None
+  else if List.for_all (fun v -> Option.is_some (Subst.find v subst)) skey then
+    Some (Subst.restrict skey subst)
+  else None
+
+let part_of t (i : Instance.t) =
+  match Instance.join_key t.skey i with
+  | None -> t.wild
+  | Some k -> (
+      match KTbl.find_opt t.tbl k with
+      | Some p -> p
+      | None ->
+          let p = part_create () in
+          KTbl.add t.tbl k p;
+          p)
+
+let add t i =
+  part_add t.all i;
+  if t.skey <> [] then part_add (part_of t i) i
+
+let add_list t is = List.iter (add t) is
+
+(* The globally oldest instance is also the front of its partition:
+   partitions preserve arrival order and only lose elements from the
+   front (here) or by full rebuild (filter_inplace). *)
+let prune t ~keep_from =
+  let rec go () =
+    match Dq.peek_front t.all.dq with
+    | Some i when i.Instance.t_end < keep_from ->
+        ignore (Dq.pop_front t.all.dq);
+        if t.skey <> [] then begin
+          let p = part_of t i in
+          match Dq.pop_front p.dq with
+          | Some j when j == i || Instance.equal j i -> ()
+          | _ ->
+              (* alignment lost (cannot happen by construction); restore
+                 exactness rather than corrupt the partition *)
+              Dq.filter_inplace (fun j -> not (Instance.equal j i)) p.dq
+        end;
+        t.st.pruned <- t.st.pruned + 1;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let rebuild_parts t =
+  KTbl.reset t.tbl;
+  Dq.clear t.wild.dq;
+  t.wild.mono_start <- true;
+  t.wild.mono_end <- true;
+  t.wild.last_start <- min_int;
+  t.wild.last_end <- min_int;
+  if t.skey <> [] then Dq.iter (fun i -> part_add (part_of t i) i) t.all.dq
+
+let filter_inplace p t =
+  Dq.filter_inplace p t.all.dq;
+  t.all.mono_start <- true;
+  t.all.mono_end <- true;
+  t.all.last_start <- min_int;
+  t.all.last_end <- min_int;
+  (* recompute monotonicity over the survivors *)
+  let items = Dq.to_list t.all.dq in
+  Dq.clear t.all.dq;
+  List.iter (part_add t.all) items;
+  rebuild_parts t
+
+(* first index whose element satisfies [p] (p monotone: falses then trues) *)
+let lower_bound dq p =
+  let lo = ref 0 and hi = ref (Dq.length dq) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if p (Dq.get dq mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* candidates of one partition under the temporal constraint; appends to
+   [acc], returns (acc, enumerated) *)
+let part_candidates p ?after ?before acc =
+  match (after, before) with
+  | Some a, _ when p.mono_start ->
+      (* strictly_before a c requires c.t_start >= a.t_end; binary-search
+         the suffix, then apply the exact (id-tie-breaking) predicate *)
+      let start = lower_bound p.dq (fun c -> c.Instance.t_start >= a.Instance.t_end) in
+      let acc = ref acc and n = ref 0 in
+      for i = Dq.length p.dq - 1 downto start do
+        let c = Dq.get p.dq i in
+        incr n;
+        if Instance.strictly_before a c then acc := c :: !acc
+      done;
+      (!acc, !n)
+  | _, Some b when p.mono_end ->
+      (* strictly_before c b requires c.t_end <= b.t_start; the matching
+         prefix ends where t_end exceeds it *)
+      let stop = lower_bound p.dq (fun c -> c.Instance.t_end > b.Instance.t_start) in
+      let acc = ref acc in
+      for i = stop - 1 downto 0 do
+        let c = Dq.get p.dq i in
+        if Instance.strictly_before c b then acc := c :: !acc
+      done;
+      (!acc, stop)
+  | _ ->
+      let filter c =
+        (match after with Some a -> Instance.strictly_before a c | None -> true)
+        && match before with Some b -> Instance.strictly_before c b | None -> true
+      in
+      let acc = ref acc in
+      for i = Dq.length p.dq - 1 downto 0 do
+        let c = Dq.get p.dq i in
+        if filter c then acc := c :: !acc
+      done;
+      (!acc, Dq.length p.dq)
+
+let probe ?after ?before t subst =
+  t.st.probes <- t.st.probes + 1;
+  let total = length t in
+  let cands, enumerated =
+    if t.skey = [] then part_candidates t.all ?after ?before []
+    else
+      match key_of t.skey subst with
+      | None ->
+          (* probing side misses a key var: anything could merge *)
+          part_candidates t.all ?after ?before []
+      | Some k ->
+          let acc, n1 =
+            match KTbl.find_opt t.tbl k with
+            | Some p -> part_candidates p ?after ?before []
+            | None -> ([], 0)
+          in
+          let acc, n2 = part_candidates t.wild ?after ?before acc in
+          (acc, n1 + n2)
+  in
+  t.st.pairs_probed <- t.st.pairs_probed + List.length cands;
+  t.st.pairs_skipped <- t.st.pairs_skipped + (total - enumerated);
+  cands
+
+let scan t =
+  t.st.probes <- t.st.probes + 1;
+  t.st.pairs_probed <- t.st.pairs_probed + length t;
+  to_list t
+
+let note_scan t =
+  t.st.probes <- t.st.probes + 1;
+  t.st.pairs_probed <- t.st.pairs_probed + length t

@@ -1,0 +1,110 @@
+(** Time-ordered instance stores for the incremental event engine.
+
+    A store replaces the old [Instance.t list] node state of
+    {!Incremental}: instances are appended in arrival order at the back
+    (amortized O(1)), window/horizon retention pops expired instances
+    off the front instead of re-filtering the whole list, and — when the
+    store is created with a non-empty [key] — instances are additionally
+    hash-partitioned by their bindings on the key variables, so a join
+    can {!probe} only the partition a fresh instance can merge with.
+
+    {b Keying.}  The key of an instance is [Subst.restrict key] of its
+    substitution, but only when the instance binds {e every} key
+    variable; instances with any key variable unbound (optional
+    sub-patterns, [Or] alternatives) go to a wildcard partition that
+    every probe also visits, so partial bindings can never lose join
+    partners.  Probing with a substitution that itself misses a key
+    variable degrades to the full scan — correct, just unaccelerated.
+
+    {b Order.}  Each partition remembers whether its instances arrived
+    with non-decreasing [t_start] (resp. [t_end]) — true for atomic
+    streams, the hot case.  When it holds, the [?after]/[?before]
+    temporal probes binary-search the deque instead of scanning it, so
+    sequence joins stop enumerating out-of-order pairs.
+
+    {b Retention is conservative.}  {!prune} stops at the first
+    non-expired front instance; slightly out-of-order arrivals (timer
+    instances end before they arrive) can therefore outlive an exact
+    filter by one step.  That is safe: the engine's windows re-filter
+    joined results, and GC is a memory optimisation, not a semantics
+    carrier (see HACKING.md "Event-engine internals"). *)
+
+open Xchange_query
+
+(** Generic growable ring-buffer deque: O(1) amortized [push_back],
+    O(1) [pop_front], O(1) random access.  Also used by {!History}. *)
+module Dq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push_back : 'a t -> 'a -> unit
+  val pop_front : 'a t -> 'a option
+  val peek_front : 'a t -> 'a option
+  val get : 'a t -> int -> 'a
+  (** Index 0 is the oldest element; raises [Invalid_argument] out of
+      bounds. *)
+
+  val iter : ('a -> unit) -> 'a t -> unit
+  val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+  val to_list : 'a t -> 'a list
+  (** Oldest first. *)
+
+  val filter_inplace : ('a -> bool) -> 'a t -> unit
+  val clear : 'a t -> unit
+end
+
+type stats = {
+  mutable probes : int;  (** keyed/temporal probe calls *)
+  mutable pairs_probed : int;  (** candidate instances handed to a join *)
+  mutable pairs_skipped : int;
+      (** stored instances a naive nested loop would have enumerated but
+          a probe never touched *)
+  mutable pruned : int;  (** instances dropped by {!prune} *)
+}
+
+type t
+
+val create : key:string list -> t
+(** [key] is the shared-variable join key; [[]] disables partitioning
+    (every probe is a counted full scan). *)
+
+val key : t -> string list
+val length : t -> int
+val buckets : t -> int
+(** Number of distinct key partitions currently populated (0 when the
+    store is unkeyed). *)
+
+val add : t -> Instance.t -> unit
+val add_list : t -> Instance.t list -> unit
+
+val to_list : t -> Instance.t list
+(** Arrival order, oldest first — the exact pool the pre-refactor
+    engine stored; the naive ([~index:false]) join path consumes this. *)
+
+val prune : t -> keep_from:Clock.time -> unit
+(** Pop instances with [t_end < keep_from] off the front, stopping at
+    the first survivor (see retention caveat above). *)
+
+val filter_inplace : (Instance.t -> bool) -> t -> unit
+(** Exact rebuild (used by consumption's [purge_ids]); O(n). *)
+
+val probe : ?after:Instance.t -> ?before:Instance.t -> t -> Subst.t -> Instance.t list
+(** Candidates that can still merge with a partial match whose
+    substitution is the argument: the matching key partition plus the
+    wildcard partition (or everything, when the store is unkeyed or the
+    substitution misses key variables).  [?after] keeps only candidates
+    [c] with [Instance.strictly_before after c]; [?before] only those
+    with [Instance.strictly_before c before] — each binary-searched when
+    the partition's arrival order allows.  Updates {!stats}. *)
+
+val scan : t -> Instance.t list
+(** [to_list], but counted in {!stats} as a full-pool enumeration — the
+    naive join calls this so naive vs indexed pair counts compare. *)
+
+val note_scan : t -> unit
+(** Account a full-pool enumeration without materialising the list
+    (the naive path reuses one shared pool across pivots). *)
+
+val stats : t -> stats

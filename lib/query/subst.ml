@@ -15,13 +15,23 @@ let add v term s =
   | Some existing -> if Term.equal existing term then Some s else None
   | None -> Some (M.add v term s)
 
+(* Rebuild so the tree shape is a function of the content alone: a
+   balanced map's internal shape depends on the operation sequence that
+   produced it, and merge order varies between evaluators (the indexed
+   join grows tuples pivot-outward, the backward one left-to-right).
+   Folding the ascending bindings into an empty map makes extensionally
+   equal substitutions structurally identical, so polymorphic
+   equality/hashing on values containing substitutions stays honest. *)
+let canonical s = M.fold M.add s M.empty
+
 let merge a b =
   let exception Conflict in
   try
     Some
-      (M.union
-         (fun _ x y -> if Term.equal x y then Some x else raise Conflict)
-         a b)
+      (canonical
+         (M.union
+            (fun _ x y -> if Term.equal x y then Some x else raise Conflict)
+            a b))
   with Conflict -> None
 
 let of_list l =
@@ -51,10 +61,12 @@ let set_single s = [ s ]
    (verified by [equal] within a bucket, so digest collisions cannot
    drop answers), and sort only the survivors.  Small lists keep the
    direct sort — fewer allocations. *)
-let fingerprint s =
+let hash s =
   M.fold
     (fun v t acc -> (acc * 31) + Hashtbl.hash v + Int64.to_int (Term.digest t))
     s 17
+
+let fingerprint = hash
 
 let dedup set =
   match set with

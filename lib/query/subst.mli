@@ -36,6 +36,13 @@ val restrict : string list -> t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Extensional hash, consistent with {!equal} (built on {!Term.digest},
+    so surrogate ids and unordered-children ordering do not leak in).
+    Suitable for [Hashtbl.Make]-style functors — e.g. the event engine's
+    hash-partitioned join buckets keyed by {!restrict}ed substitutions. *)
+
 val pp : t Fmt.t
 
 type set = t list

@@ -86,7 +86,7 @@ let create ?horizon ?(index = true) root =
         let* acc = acc in
         match
           Incremental.create ~consume:rule.Eca.consume ~selection:rule.Eca.selection ?horizon
-            rule.Eca.event
+            ~index rule.Eca.event
         with
         | Error e -> Error (Fmt.str "rule %s: %s" qualified e)
         | Ok engine ->
@@ -113,7 +113,7 @@ let create ?horizon ?(index = true) root =
         | Error e -> Error (Fmt.str "rule %s: %s" qualified e))
       (Ok ()) (Ruleset.scoped_rules root)
   in
-  let* derivation = Deductive_event.compile ?horizon (Ruleset.all_event_rules root) in
+  let* derivation = Deductive_event.compile ?horizon ~index (Ruleset.all_event_rules root) in
   let compiled = Array.of_list (List.rev compiled) in
   (* Discrimination structures: one hash lookup per event replaces the
      per-event scan over all rules (Thesis 7: never re-scan). *)
@@ -293,6 +293,11 @@ let live_instances t =
 
 let events_seen t = t.seen
 let index_stats t = t.istats
+
+let join_stats t =
+  Incremental.sum_join_stats
+    (Deductive_event.join_stats t.derivation
+    :: Array.to_list (Array.map (fun cr -> Incremental.join_stats cr.engine) t.compiled))
 let dispatch_labels t = Hashtbl.length t.by_label
 let remote_resources t = t.remote_deps
 let clocked_remote_resources t = t.clocked_remote_deps

@@ -96,5 +96,14 @@ type index_stats = {
 val index_stats : t -> index_stats
 (** Counters since [create]; all zero when [index] is false. *)
 
+val join_stats : t -> Incremental.join_stats
+(** Join-level counters summed over every compiled rule engine and the
+    event-derivation network: hash-partition probes, candidate pairs
+    enumerated vs skipped, instances pruned by window/horizon retention.
+    [index] also selects the storage mode of these inner engines
+    (hash-partitioned vs nested-loop joins), so comparing [join_stats]
+    across the two modes measures the composite-event hot path in
+    isolation. *)
+
 val dispatch_labels : t -> int
 (** Distinct labels in the dispatch table. *)

@@ -72,6 +72,119 @@ let test_strictly_before () =
   Alcotest.(check bool) "same time, wrong id order" false (Instance.strictly_before (i 5 2) (i 5 1));
   Alcotest.(check bool) "not before itself" false (Instance.strictly_before (i 5 1) (i 5 1))
 
+(* ---- istore: ring-buffer deque and keyed partitions ---- *)
+
+let test_dq_ring () =
+  let d = Istore.Dq.create () in
+  (* force several grow/wrap cycles *)
+  for i = 1 to 5 do
+    Istore.Dq.push_back d i
+  done;
+  Alcotest.(check (option int)) "front" (Some 1) (Istore.Dq.pop_front d);
+  Alcotest.(check (option int)) "next" (Some 2) (Istore.Dq.pop_front d);
+  for i = 6 to 40 do
+    Istore.Dq.push_back d i
+  done;
+  Alcotest.(check int) "length" 38 (Istore.Dq.length d);
+  Alcotest.(check (list int)) "order preserved" (List.init 38 (fun i -> i + 3))
+    (Istore.Dq.to_list d);
+  Alcotest.(check int) "random access" 10 (Istore.Dq.get d 7);
+  Istore.Dq.filter_inplace (fun x -> x mod 2 = 0) d;
+  Alcotest.(check int) "filtered" 19 (Istore.Dq.length d)
+
+let inst ?(vars = []) t id =
+  Instance.atomic (Option.get (Subst.of_list vars)) t id
+
+let test_istore_prune () =
+  let s = Istore.create ~key:[] in
+  List.iter (Istore.add s) [ inst 10 1; inst 20 2; inst 30 3 ];
+  Istore.prune s ~keep_from:21;
+  Alcotest.(check int) "front-popped" 1 (Istore.length s);
+  Alcotest.(check int) "pruned counted" 2 (Istore.stats s).Istore.pruned;
+  (* boundary: t_end = keep_from survives *)
+  let s = Istore.create ~key:[] in
+  List.iter (Istore.add s) [ inst 10 1; inst 20 2 ];
+  Istore.prune s ~keep_from:20;
+  Alcotest.(check int) "boundary kept" 1 (Istore.length s)
+
+let test_istore_probe_keyed () =
+  let s = Istore.create ~key:[ "K" ] in
+  List.iter (Istore.add s)
+    [
+      inst ~vars:[ ("K", Term.int 1) ] 10 1;
+      inst ~vars:[ ("K", Term.int 2) ] 11 2;
+      inst ~vars:[ ("K", Term.int 1) ] 12 3;
+      (* misses the key variable: lands in the wildcard partition *)
+      inst ~vars:[ ("Z", Term.int 9) ] 13 4;
+    ];
+  let k1 = Option.get (Subst.of_list [ ("K", Term.int 1) ]) in
+  let cands = Istore.probe s k1 in
+  Alcotest.(check int) "bucket + wildcard" 3 (List.length cands);
+  Alcotest.(check bool) "conflicting key skipped" true
+    (List.for_all (fun i -> not (List.mem 2 i.Instance.ids)) cands);
+  (* probing substitution missing the key var degrades to a full scan *)
+  let unkeyed = Option.get (Subst.of_list [ ("Z", Term.int 9) ]) in
+  Alcotest.(check int) "unkeyed probe sees all" 4 (List.length (Istore.probe s unkeyed));
+  Alcotest.(check int) "two populated buckets" 2 (Istore.buckets s);
+  let st = Istore.stats s in
+  Alcotest.(check bool) "skips accounted" true (st.Istore.pairs_skipped > 0)
+
+(* ---- indexed vs naive joins: identical detections, property-tested ---- *)
+
+let run_both q events ~until =
+  let run ~index =
+    let engine = Incremental.create_exn ~index q in
+    List.map (fun e -> Incremental.feed engine e) events
+    @ [ Incremental.advance_to engine until ]
+  in
+  (run ~index:true, run ~index:false)
+
+let prop_index_equivalence =
+  let stream_arb =
+    QCheck.make
+      ~print:(fun evs -> Fmt.str "%a" Fmt.(list ~sep:cut Event.pp) evs)
+      (Gen.event_stream_gen ~labels:[ "a"; "b"; "c" ] ~max_len:20 ~max_gap:15)
+  in
+  QCheck.Test.make ~name:"hash-partitioned joins = naive nested loop (per feed)" ~count:300
+    (QCheck.pair Gen.event_query_arb stream_arb)
+    (fun (q, events) ->
+      match Event_query.validate q with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let until = List.fold_left (fun acc e -> max acc (Event.time e)) 0 events + 10_000 in
+          let indexed, naive = run_both q events ~until in
+          if List.equal (List.equal Instance.equal) indexed naive then true
+          else
+            QCheck.Test.fail_reportf "query %a@.indexed:@.%a@.naive:@.%a" Event_query.pp q
+              Fmt.(list ~sep:cut (list ~sep:comma Instance.pp))
+              indexed
+              Fmt.(list ~sep:cut (list ~sep:comma Instance.pp))
+              naive)
+
+(* aggregates over a variable that never binds a number must stay
+   silent — not emit nan/infinity bindings (the empty-reduction guard) *)
+let test_agg_no_numeric_values () =
+  let q =
+    Event_query.Agg
+      {
+        Event_query.over = Event_query.on ~label:"t" (Qterm.el "t" [ Qterm.pos (Qterm.var "V") ]);
+        var = "V";
+        window = 1;
+        op = Construct.Avg;
+        bind = "A";
+      }
+  in
+  let events =
+    List.init 3 (fun i ->
+        Event.make ~occurred_at:(i + 1) ~label:"t" (Term.elem "t" [ Term.text "not-a-number" ]))
+  in
+  let engine = Incremental.create_exn q in
+  let d = List.concat_map (Incremental.feed engine) events in
+  Alcotest.(check int) "incremental: no detections" 0 (List.length d);
+  let h = History.create () in
+  List.iter (History.add h) events;
+  Alcotest.(check int) "backward: no answers" 0 (List.length (Backward.answers q h ~now:100))
+
 let suite =
   ( "event",
     [
@@ -83,4 +196,10 @@ let suite =
       Alcotest.test_case "unbounded history keeps everything" `Quick test_history_unbounded;
       Alcotest.test_case "instance combination" `Quick test_instance_combine;
       Alcotest.test_case "temporal order with id tie-break" `Quick test_strictly_before;
+      Alcotest.test_case "istore ring-buffer deque" `Quick test_dq_ring;
+      Alcotest.test_case "istore front-pop pruning" `Quick test_istore_prune;
+      Alcotest.test_case "istore keyed probe" `Quick test_istore_probe_keyed;
+      Alcotest.test_case "aggregate over non-numeric stream stays silent" `Quick
+        test_agg_no_numeric_values;
+      QCheck_alcotest.to_alcotest prop_index_equivalence;
     ] )
