@@ -1,0 +1,128 @@
+(* CI bench-regression gate.
+
+   Usage: check_regression <baseline.json> <current.json> [...more pairs]
+
+   Compares a committed baseline BENCH_*.json against the one a smoke
+   run just produced and fails (exit 1) when an indexed hot-path metric
+   regressed:
+
+   - wall-time fields of the indexed/cached paths ([indexed_ms],
+     [cached_ms], [us_per_event_indexed], ...): fail when
+     current > TOL * max(baseline, floor).  The floor absorbs
+     Sys.time granularity and machine noise on sub-millisecond smoke
+     cases; TOL = 2.0 is the ">2x slowdown" contract.
+   - deterministic join-work counters ([pairs_probed_indexed],
+     [pairs_skipped_indexed]): same stream, same windows — these are
+     exactly reproducible, so a small tolerance (1.5x over a 1k floor)
+     only allows intentional algorithmic change, which must come with a
+     baseline regen.
+
+   Workload-shape fields (rules/events/nodes/window/...) must match
+   exactly: comparing timings of different workloads is meaningless, so
+   a shape drift is an error telling the author to regenerate the
+   baselines (see HACKING.md "Observability"). *)
+
+open Xchange
+
+let tol_time = 2.0
+let tol_count = 1.5
+let floor_ms = 5.0
+let floor_us = 20.0
+let floor_pairs = 1000.0
+
+let shape_keys =
+  [
+    "smoke"; "rules"; "events"; "nodes"; "queries"; "repeats"; "keys"; "window";
+    "probes"; "orders"; "query"; "dist"; "profile"; "stored_per_child";
+  ]
+
+let is_count_gate key =
+  String.length key >= 6 && String.sub key 0 6 = "pairs_"
+  && Filename.check_suffix key "_indexed"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let is_time_gate key =
+  (contains key "indexed" || contains key "cached")
+  && (Filename.check_suffix key "_ms" || contains key "us_per_event")
+
+let floor_of key = if contains key "us_per_event" then floor_us else floor_ms
+
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let num = function Json.Num x -> Some x | _ -> None
+
+let rec walk path (base : Json.t) (cur : Json.t) =
+  match (base, cur) with
+  | Json.Obj bs, Json.Obj cs ->
+      List.iter
+        (fun (k, bv) ->
+          match List.assoc_opt k cs with
+          | None -> fail "%s.%s: missing from current run" path k
+          | Some cv -> field (path ^ "." ^ k) k bv cv)
+        bs
+  | Json.List bs, Json.List cs ->
+      if List.length bs <> List.length cs then
+        fail "%s: %d baseline rows vs %d current (workload changed? regenerate baselines)"
+          path (List.length bs) (List.length cs)
+      else List.iteri (fun i (b, c) -> walk (Printf.sprintf "%s[%d]" path i) b c)
+             (List.combine bs cs)
+  | _ -> ()
+
+and field path key bv cv =
+  if List.mem key shape_keys then begin
+    if bv <> cv then
+      fail "%s: workload shape differs from baseline (%s vs %s) — regenerate baselines"
+        path (Json.to_string bv) (Json.to_string cv)
+  end
+  else if is_count_gate key then
+    match (num bv, num cv) with
+    | Some b, Some c when c > tol_count *. Float.max b floor_pairs ->
+        fail "%s: %.0f pairs vs baseline %.0f (> %.1fx)" path c b tol_count
+    | _ -> ()
+  else if is_time_gate key then
+    match (num bv, num cv) with
+    | Some b, Some c when c > tol_time *. Float.max b (floor_of key) ->
+        fail "%s: %.3f vs baseline %.3f (> %.1fx slowdown)" path c b tol_time
+    | _ -> ()
+  else walk path bv cv
+
+let read_file name =
+  let ic = open_in_bin name in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check (baseline, current) =
+  match (Json.parse (read_file baseline), Json.parse (read_file current)) with
+  | Error e, _ -> fail "%s: parse error: %s" baseline e
+  | _, Error e -> fail "%s: parse error: %s" current e
+  | Ok b, Ok c ->
+      Printf.printf "checking %s against %s\n" current baseline;
+      walk (Filename.basename current |> Filename.remove_extension) b c
+
+let () =
+  let rec pairs = function
+    | [] -> []
+    | b :: c :: rest -> (b, c) :: pairs rest
+    | [ _ ] ->
+        prerr_endline "usage: check_regression <baseline.json> <current.json> [...]";
+        exit 2
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: check_regression <baseline.json> <current.json> [...]";
+    exit 2
+  end;
+  List.iter check (pairs args);
+  match List.rev !failures with
+  | [] -> print_endline "bench regression gate: OK"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "REGRESSION %s\n" f) fs;
+      Printf.eprintf "bench regression gate: %d failure(s)\n" (List.length fs);
+      exit 1

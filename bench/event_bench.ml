@@ -146,9 +146,11 @@ let run ~smoke () =
   let windows = if smoke then [ 32; 64 ] else [ 64; 256; 1024 ] in
   let sweep_events = if smoke then 300 else 10_000 in
   let check = smoke in
+  Obs.Profile.reset ();
   Fmt.pr "@.# Composite-event hot-path benchmarks%s@." (if smoke then " (smoke)" else "");
 
   let scaling =
+    Obs.Profile.phase "scaling" @@ fun () ->
     List.concat_map
       (fun (dist, nkeys) ->
         List.concat_map
@@ -174,6 +176,7 @@ let run ~smoke () =
        scaling);
 
   let sweep =
+    Obs.Profile.phase "window_sweep" @@ fun () ->
     List.concat_map
       (fun qname ->
         List.map
@@ -231,6 +234,7 @@ let run ~smoke () =
                       ff "probe_ratio" (probe_ratio naive indexed);
                     ])
                 sweep));
+        Printf.sprintf "%S: %s" "metrics" (Json.to_string (Obs.Profile.to_json ()));
       ]
   in
   let oc = open_out "BENCH_event.json" in

@@ -285,7 +285,7 @@ let e3 () =
     let s = Network.transport_stats net in
     (* detected = changes_seen - 1 (initial snapshot); a change is missed
        when the next change lands before the next poll *)
-    let detected = max 0 (stats.Poll.changes_seen - 1) in
+    let detected = max 0 (Poll.changes_seen stats - 1) in
     let mean_latency = float_of_int period /. 2. +. 10. in
     (s.Transport.messages, s.Transport.bytes, detected, changes, mean_latency)
   in

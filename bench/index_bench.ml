@@ -133,10 +133,12 @@ let run ~smoke () =
         [ (1_000, 20); (10_000, 20); (100_000, 20) ],
         (10_000, 200) )
   in
+  Obs.Profile.reset ();
   Fmt.pr "@.# Hot-path indexing benchmarks%s@." (if smoke then " (smoke)" else "");
 
   let dispatch =
-    List.map (fun (n, m) -> dispatch_case ~rules:n ~events:m) dispatch_sizes
+    Obs.Profile.phase "dispatch" (fun () ->
+        List.map (fun (n, m) -> dispatch_case ~rules:n ~events:m) dispatch_sizes)
   in
   Util.print_table ~title:"event dispatch: full scan vs label table"
     ~header:[ "rules"; "events"; "firings"; "scan ms"; "indexed ms"; "speedup" ]
@@ -149,7 +151,8 @@ let run ~smoke () =
        dispatch);
 
   let doc_match =
-    List.map (fun (nodes, q) -> doc_match_case ~nodes ~queries:q) doc_sizes
+    Obs.Profile.phase "doc_match" (fun () ->
+        List.map (fun (nodes, q) -> doc_match_case ~nodes ~queries:q) doc_sizes)
   in
   Util.print_table ~title:"document matching: full traversal vs term index"
     ~header:[ "nodes"; "queries"; "answers"; "naive ms"; "build ms"; "indexed ms"; "speedup" ]
@@ -162,7 +165,7 @@ let run ~smoke () =
        doc_match);
 
   let nodes, repeats = cache_spec in
-  let cache = [ cache_case ~nodes ~repeats ] in
+  let cache = Obs.Profile.phase "query_cache" (fun () -> [ cache_case ~nodes ~repeats ]) in
   Util.print_table ~title:"store queries: fresh evaluation vs digest-keyed memo"
     ~header:[ "nodes"; "repeats"; "naive ms"; "cached ms"; "hits"; "misses"; "speedup" ]
     (List.map
@@ -209,6 +212,7 @@ let run ~smoke () =
                       ff "speedup" (speedup naive cached);
                     ])
                 cache));
+        Printf.sprintf "%S: %s" "metrics" (Json.to_string (Obs.Profile.to_json ()));
       ]
   in
   let oc = open_out "BENCH_index.json" in

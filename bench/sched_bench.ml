@@ -122,8 +122,17 @@ let fs k v = Printf.sprintf "%S: %S" k v
 
 let run ~smoke () =
   let probes, orders = if smoke then (25, 25) else (400, 400) in
+  Obs.Profile.reset ();
   Fmt.pr "@.# Scheduler / degraded-network benchmarks%s@." (if smoke then " (smoke)" else "");
-  let rows = List.map (run_profile ~probes ~orders) profiles in
+  let rows =
+    List.map
+      (fun p ->
+        let row, ms = Util.time_ms (fun () -> run_profile ~probes ~orders p) in
+        (* wall time of the whole replay, virtual time it simulated *)
+        Obs.Profile.record ~vt_span:row.r_clock ~name:("profile:" ^ p.pname) ~wall_ms:ms ();
+        row)
+      profiles
+  in
   (* under loss, reactions may trail probes (a condition answered "no
      document" after retries is an honest degraded answer, not a bug);
      the clean profile must react to every probe *)
@@ -172,6 +181,7 @@ let run ~smoke () =
                       fi "occurrences_executed" r.r_occurrences; fi "max_queue" r.r_max_queue;
                     ])
                 rows));
+        Printf.sprintf "%S: %s" "metrics" (Json.to_string (Obs.Profile.to_json ()));
       ]
   in
   let oc = open_out "BENCH_sched.json" in

@@ -85,8 +85,12 @@ let parse_events path =
         (Term.children doc)
   | _ -> failwith "events file must have an <events> root"
 
-let run_cmd path docs events_file until host verbose load save show_trace =
+let run_cmd path docs events_file until host verbose load save show_messages trace_out metrics =
   let rs = or_die (load_program path) in
+  if trace_out <> None then begin
+    Obs.set_enabled true;
+    Obs.Trace.clear ()
+  end;
   let node = or_die (node ~host rs) in
   (match load with
   | Some file -> (
@@ -103,7 +107,7 @@ let run_cmd path docs events_file until host verbose load save show_trace =
   List.iter
     (fun (name, file) -> Store.add_doc (Node.store node) name (Xml.parse_exn (read_file file)))
     docs;
-  let net = Network.create ~record:show_trace () in
+  let net = Network.create ~record:show_messages () in
   Network.add_node_exn net node;
   Network.enable_heartbeat net ~period:(max 1 (until / 100));
   let events =
@@ -132,10 +136,23 @@ let run_cmd path docs events_file until host verbose load save show_trace =
           (Xml.to_string (Option.get (Store.doc (Node.store node) name))))
       (Store.doc_names (Node.store node))
   end;
-  if show_trace then begin
+  if show_messages then begin
     Fmt.pr "== message trace ==@.";
     List.iter (fun m -> Fmt.pr "  %a@." Message.pp m) (Network.trace net)
   end;
+  if metrics then Fmt.pr "== metrics ==@.%s@." (Network.metrics_json net);
+  (match trace_out with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Json.to_string ~pretty:true (Obs.Trace.to_chrome_json ()));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "== causal trace (%d span(s), %d evicted) ==@."
+        (List.length (Obs.Trace.spans ()))
+        (Obs.Trace.dropped ());
+      Obs.Trace.pp_tree Fmt.stdout ();
+      Fmt.pr "trace written to %s (load in chrome://tracing or Perfetto)@." file
+  | None -> ());
   (match save with
   | Some file ->
       let oc = open_out file in
@@ -187,12 +204,25 @@ let load_arg =
 let save_arg =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Save the final store snapshot")
 
-let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print every message on the wire")
+let messages_arg =
+  Arg.(value & flag & info [ "messages" ] ~doc:"Print every message on the wire")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable causal span tracing and write a Chrome trace_event JSON to $(docv) \
+           (open in chrome://tracing or Perfetto); also prints a compact span tree")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the whole-system metrics snapshot as JSON")
 
 let run_t =
   Term.(
     const run_cmd $ program_arg $ docs_arg $ events_arg $ until_arg $ host_arg $ verbose_arg
-    $ load_arg $ save_arg $ trace_arg)
+    $ load_arg $ save_arg $ messages_arg $ trace_arg $ metrics_arg)
 let run_info = Cmd.info "run" ~doc:"Run a program on a simulated one-node Web"
 
 let main =

@@ -25,6 +25,10 @@
     - {!Auth}, {!Authz}, {!Accounting}, {!Trust} — AAA (Theses 11, 12)
 *)
 
+(* observability *)
+module Obs = Xchange_obs.Obs
+module Json = Xchange_obs.Json
+
 (* data *)
 module Term = Xchange_data.Term
 module Path = Xchange_data.Path

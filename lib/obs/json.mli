@@ -1,0 +1,33 @@
+(** Minimal JSON values — just enough for the observability layer.
+
+    The metrics registry and the span tracer serialize snapshots to
+    JSON ({!to_string}), and the bench regression gate
+    ([bench/check_regression.ml]) reads the committed baseline files
+    back ({!parse}).  Hand-rolled so [lib/obs] stays zero-dependency:
+    numbers are [float]s (integral values print without a decimal
+    point), strings are escaped per RFC 8259, and the parser accepts
+    exactly the subset this repository emits (no unicode escapes beyond
+    [\uXXXX] pass-through). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+val str : string -> t
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] indents objects and arrays (default [false]). *)
+
+val parse : string -> (t, string) result
+(** Errors carry a character offset and a short description. *)
+
+(** {2 Accessors} — all total; [None]/default on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_list : t -> t list

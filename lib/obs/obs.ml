@@ -1,0 +1,485 @@
+(* Observability substrate.  See obs.mli for the contract; the code
+   here keeps two invariants:
+
+   - metrics cells are single mutable fields behind handles, so the
+     accounting cost equals the ad-hoc record fields they replaced;
+   - nothing below allocates when tracing is disabled — every tracing
+     entry point starts with one load of [tracing]. *)
+
+let wallclock = ref Sys.time
+let set_wallclock f = wallclock := f
+
+(* ---- metrics -------------------------------------------------------- *)
+
+module Metrics = struct
+  type kind = Counter | Gauge | Histogram
+
+  module Counter = struct
+    type t = { mutable c : int }
+
+    let incr ?(by = 1) t = t.c <- t.c + by
+    let value t = t.c
+  end
+
+  module Gauge = struct
+    type t = { mutable g : float }
+
+    let set t v = t.g <- v
+    let set_max t v = if v > t.g then t.g <- v
+    let value t = t.g
+  end
+
+  module Histogram = struct
+    type t = { mutable n : int; mutable sum : float; mutable lo : float; mutable hi : float }
+
+    let observe t v =
+      if t.n = 0 then begin
+        t.lo <- v;
+        t.hi <- v
+      end
+      else begin
+        if v < t.lo then t.lo <- v;
+        if v > t.hi then t.hi <- v
+      end;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. v
+
+    let count t = t.n
+    let sum t = t.sum
+    let max t = if t.n = 0 then 0. else t.hi
+    let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  end
+
+  type cell =
+    | Owned_counter of Counter.t
+    | Owned_gauge of Gauge.t
+    | Owned_hist of Histogram.t
+    | Pull_counter of (unit -> int)
+    | Pull_gauge of (unit -> float)
+
+  type key = string * (string * string) list
+
+  type t = {
+    cells : (key, cell) Hashtbl.t;
+    mutable order : key list;  (** newest first *)
+  }
+
+  let create () = { cells = Hashtbl.create 16; order = [] }
+
+  let norm_labels labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+  let kind_of_cell = function
+    | Owned_counter _ | Pull_counter _ -> Counter
+    | Owned_gauge _ | Pull_gauge _ -> Gauge
+    | Owned_hist _ -> Histogram
+
+  let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+  let intern t ?(labels = []) name fresh want =
+    let key = (name, norm_labels labels) in
+    match Hashtbl.find_opt t.cells key with
+    | Some cell when kind_of_cell cell = want -> cell
+    | Some cell ->
+        invalid_arg
+          (Printf.sprintf "Obs.Metrics: %s already registered as a %s, requested as a %s" name
+             (kind_name (kind_of_cell cell))
+             (kind_name want))
+    | None ->
+        let cell = fresh () in
+        Hashtbl.replace t.cells key cell;
+        t.order <- key :: t.order;
+        cell
+
+  let counter t ?labels name =
+    match intern t ?labels name (fun () -> Owned_counter { Counter.c = 0 }) Counter with
+    | Owned_counter c -> c
+    | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is a pull cell" name)
+
+  let gauge t ?labels name =
+    match intern t ?labels name (fun () -> Owned_gauge { Gauge.g = 0. }) Gauge with
+    | Owned_gauge g -> g
+    | _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is a pull cell" name)
+
+  let histogram t ?labels name =
+    match
+      intern t ?labels name
+        (fun () -> Owned_hist { Histogram.n = 0; sum = 0.; lo = 0.; hi = 0. })
+        Histogram
+    with
+    | Owned_hist h -> h
+    | _ -> assert false
+
+  let counter_fn t ?labels name f = ignore (intern t ?labels name (fun () -> Pull_counter f) Counter)
+  let gauge_fn t ?labels name f = ignore (intern t ?labels name (fun () -> Pull_gauge f) Gauge)
+
+  type value =
+    | Int of int
+    | Float of float
+    | Summary of { count : int; sum : float; min : float; max : float }
+
+  type sample = { name : string; labels : (string * string) list; kind : kind; value : value }
+
+  let compare_sample a b =
+    match String.compare a.name b.name with
+    | 0 -> Stdlib.compare a.labels b.labels
+    | c -> c
+
+  let snapshot ?(labels = []) t =
+    let extra = norm_labels labels in
+    List.rev_map
+      (fun ((name, own) as key) ->
+        let cell = Hashtbl.find t.cells key in
+        let value =
+          match cell with
+          | Owned_counter c -> Int (Counter.value c)
+          | Pull_counter f -> Int (f ())
+          | Owned_gauge g -> Float (Gauge.value g)
+          | Pull_gauge f -> Float (f ())
+          | Owned_hist h ->
+              Summary { count = h.Histogram.n; sum = h.Histogram.sum; min = h.Histogram.lo; max = h.Histogram.hi }
+        in
+        { name; labels = norm_labels (own @ extra); kind = kind_of_cell cell; value })
+      t.order
+    |> List.sort compare_sample
+
+  let combine a b =
+    match (a, b) with
+    | Int x, Int y -> Int (x + y)
+    | Float x, Float y -> Float (x +. y)
+    | Int x, Float y | Float y, Int x -> Float (float_of_int x +. y)
+    | Summary x, Summary y ->
+        if x.count = 0 then Summary y
+        else if y.count = 0 then Summary x
+        else
+          Summary
+            {
+              count = x.count + y.count;
+              sum = x.sum +. y.sum;
+              min = Float.min x.min y.min;
+              max = Float.max x.max y.max;
+            }
+    | (Summary _ as s), _ | _, (Summary _ as s) -> s
+
+  let merge snaps =
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (List.iter (fun s ->
+           let key = (s.name, s.labels) in
+           match Hashtbl.find_opt tbl key with
+           | Some prev -> Hashtbl.replace tbl key { prev with value = combine prev.value s.value }
+           | None ->
+               Hashtbl.replace tbl key s;
+               order := key :: !order))
+      snaps;
+    List.rev_map (Hashtbl.find tbl) !order |> List.sort compare_sample
+
+  let float_of_value = function
+    | Int n -> float_of_int n
+    | Float x -> x
+    | Summary s -> s.sum
+
+  let total samples name =
+    List.fold_left
+      (fun acc s -> if String.equal s.name name then acc +. float_of_value s.value else acc)
+      0. samples
+
+  let find samples ?labels name =
+    let labels = Option.map norm_labels labels in
+    List.find_map
+      (fun s ->
+        if
+          String.equal s.name name
+          && match labels with None -> true | Some ls -> s.labels = ls
+        then Some s.value
+        else None)
+      samples
+
+  let to_json samples =
+    Json.List
+      (List.map
+         (fun s ->
+           let value =
+             match s.value with
+             | Int n -> Json.int n
+             | Float x -> Json.Num x
+             | Summary { count; sum; min; max } ->
+                 Json.Obj
+                   [
+                     ("count", Json.int count);
+                     ("sum", Json.Num sum);
+                     ("min", Json.Num min);
+                     ("max", Json.Num max);
+                   ]
+           in
+           Json.Obj
+             (("name", Json.str s.name)
+             :: (if s.labels = [] then []
+                 else [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.str v)) s.labels)) ])
+             @ [ ("kind", Json.str (kind_name s.kind)); ("value", value) ]))
+         samples)
+end
+
+(* ---- tracing -------------------------------------------------------- *)
+
+let tracing = ref false
+
+let enabled () = !tracing
+let set_enabled b = tracing := b
+
+module Trace = struct
+  type span = {
+    id : int;
+    parent : int;
+    name : string;
+    cat : string;
+    args : (string * string) list;
+    vt_begin : int;
+    vt_end : int;
+    wall_ms : float;
+  }
+
+  (* an open span: mutable while on the stack *)
+  type open_span = {
+    o_id : int;
+    o_parent : int;
+    o_name : string;
+    o_cat : string;
+    mutable o_args : (string * string) list;
+    o_vt : int;
+    o_wall : float;
+  }
+
+  let cap = ref 4096
+  let ring : span Queue.t = Queue.create ()
+  let dropped_count = ref 0
+  let opens : (int, open_span) Hashtbl.t = Hashtbl.create 32
+  let stack : int list ref = ref []
+  let next_id = ref 0
+
+  let set_capacity n =
+    cap := max 1 n;
+    while Queue.length ring > !cap do
+      ignore (Queue.pop ring);
+      incr dropped_count
+    done
+
+  let clear () =
+    Queue.clear ring;
+    Hashtbl.reset opens;
+    stack := [];
+    dropped_count := 0;
+    next_id := 0
+
+  let current () = match !stack with [] -> 0 | id :: _ -> id
+
+  let retain sp =
+    Queue.push sp ring;
+    if Queue.length ring > !cap then begin
+      ignore (Queue.pop ring);
+      incr dropped_count
+    end
+
+  let begin_span ?parent ?(cat = "app") ?(args = []) ~name ~vt () =
+    if not !tracing then 0
+    else begin
+      incr next_id;
+      let id = !next_id in
+      let parent = match parent with Some p -> p | None -> current () in
+      Hashtbl.replace opens id
+        { o_id = id; o_parent = parent; o_name = name; o_cat = cat; o_args = args; o_vt = vt;
+          o_wall = !wallclock () };
+      stack := id :: !stack;
+      id
+    end
+
+  let end_span ?(args = []) id ~vt =
+    if id <> 0 then
+      match Hashtbl.find_opt opens id with
+      | None -> ()
+      | Some o ->
+          Hashtbl.remove opens id;
+          (* pop the stack down to (and including) this span; children a
+             caller forgot to close are abandoned rather than corrupting
+             the ambient parent *)
+          let rec pop = function
+            | [] -> []
+            | top :: rest -> if top = id then rest else pop rest
+          in
+          if List.mem id !stack then stack := pop !stack;
+          retain
+            {
+              id = o.o_id;
+              parent = o.o_parent;
+              name = o.o_name;
+              cat = o.o_cat;
+              args = o.o_args @ args;
+              vt_begin = o.o_vt;
+              vt_end = (if vt > o.o_vt then vt else o.o_vt);
+              wall_ms = (!wallclock () -. o.o_wall) *. 1000.;
+            }
+
+  let instant ?(cat = "app") ?(args = []) ~name ~vt () =
+    if not !tracing then 0
+    else begin
+      incr next_id;
+      let id = !next_id in
+      retain { id; parent = current (); name; cat; args; vt_begin = vt; vt_end = vt; wall_ms = 0. };
+      id
+    end
+
+  let run_under id f =
+    if id = 0 || not !tracing then f ()
+    else begin
+      stack := id :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          match !stack with
+          | top :: rest when top = id -> stack := rest
+          | s -> stack := List.filter (fun x -> x <> id) s)
+        f
+    end
+
+  let spans () =
+    Queue.fold (fun acc sp -> sp :: acc) [] ring
+    |> List.sort (fun a b ->
+           match compare a.vt_begin b.vt_begin with 0 -> compare a.id b.id | c -> c)
+
+  let dropped () = !dropped_count
+
+  let to_chrome_json () =
+    let all = spans () in
+    let retained = Hashtbl.create (List.length all) in
+    List.iter (fun sp -> Hashtbl.replace retained sp.id sp) all;
+    let complete sp =
+      Json.Obj
+        [
+          ("name", Json.str sp.name);
+          ("cat", Json.str sp.cat);
+          ("ph", Json.str "X");
+          ("ts", Json.int (sp.vt_begin * 1000));
+          ("dur", Json.int ((sp.vt_end - sp.vt_begin) * 1000));
+          ("pid", Json.int 1);
+          ("tid", Json.int 1);
+          ( "args",
+            Json.Obj
+              (("span_id", Json.int sp.id)
+              :: ("parent", Json.int sp.parent)
+              :: ("wall_ms", Json.Num sp.wall_ms)
+              :: List.map (fun (k, v) -> (k, Json.str v)) sp.args) );
+        ]
+    in
+    (* flow arrows for parent links Chrome's time-nesting cannot show:
+       the child begins after its parent ended (a message in flight) *)
+    let flows sp =
+      match Hashtbl.find_opt retained sp.parent with
+      | Some parent when sp.vt_begin > parent.vt_end ->
+          let base name ph ts extra =
+            Json.Obj
+              ([
+                 ("name", Json.str name);
+                 ("cat", Json.str "causal");
+                 ("ph", Json.str ph);
+                 ("id", Json.int sp.id);
+                 ("ts", Json.int (ts * 1000));
+                 ("pid", Json.int 1);
+                 ("tid", Json.int 1);
+               ]
+              @ extra)
+          in
+          [ base sp.name "s" parent.vt_end []; base sp.name "f" sp.vt_begin [ ("bp", Json.str "e") ] ]
+      | _ -> []
+    in
+    Json.List (List.map complete all @ List.concat_map flows all)
+
+  let pp_tree ?(max_spans = 200) ppf () =
+    let all = spans () in
+    let shown = ref 0 in
+    let retained = Hashtbl.create (List.length all) in
+    List.iter (fun sp -> Hashtbl.replace retained sp.id sp) all;
+    let children = Hashtbl.create (List.length all) in
+    let roots =
+      List.filter
+        (fun sp ->
+          if sp.parent <> 0 && Hashtbl.mem retained sp.parent then begin
+            let prev = Option.value ~default:[] (Hashtbl.find_opt children sp.parent) in
+            Hashtbl.replace children sp.parent (prev @ [ sp ]);
+            false
+          end
+          else true)
+        all
+    in
+    let rec print depth sp =
+      if !shown < max_spans then begin
+        incr shown;
+        let args =
+          String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) sp.args)
+        in
+        Format.fprintf ppf "@[<h>%6dms %s%s [%s] +%dms%s%s@]@."
+          sp.vt_begin
+          (String.make (2 * depth) ' ')
+          sp.name sp.cat
+          (sp.vt_end - sp.vt_begin)
+          (if args = "" then "" else " ")
+          args;
+        List.iter (print (depth + 1)) (Option.value ~default:[] (Hashtbl.find_opt children sp.id))
+      end
+    in
+    List.iter (print 0) roots;
+    if !shown >= max_spans then
+      Format.fprintf ppf "... (%d more spans; %d evicted by the ring)@."
+        (List.length all - !shown) (dropped ())
+    else if dropped () > 0 then Format.fprintf ppf "... (%d spans evicted by the ring)@." (dropped ())
+end
+
+(* ---- phase profiling ------------------------------------------------ *)
+
+module Profile = struct
+  type entry = { pname : string; wall_ms : float; vt_span : int; runs : int }
+
+  (* tiny and rebuilt per bench run: an assoc list keeps first-use order *)
+  let entries_ref : entry list ref = ref []
+
+  let reset () = entries_ref := []
+
+  let record ?(vt_span = 0) ~name ~wall_ms () =
+    let rec upd = function
+      | [] -> [ { pname = name; wall_ms; vt_span; runs = 1 } ]
+      | e :: rest when String.equal e.pname name ->
+          { e with wall_ms = e.wall_ms +. wall_ms; vt_span = e.vt_span + vt_span; runs = e.runs + 1 }
+          :: rest
+      | e :: rest -> e :: upd rest
+    in
+    entries_ref := upd !entries_ref
+
+  let phase ?vt name f =
+    let vt0 = match vt with Some now -> now () | None -> 0 in
+    let w0 = !wallclock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let wall_ms = (!wallclock () -. w0) *. 1000. in
+        let vt_span = match vt with Some now -> now () - vt0 | None -> 0 in
+        record ~vt_span ~name ~wall_ms ())
+      f
+
+  let entries () = !entries_ref
+
+  let to_json () =
+    Json.Obj
+      [
+        ("schema", Json.int 1);
+        ( "phases",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("name", Json.str e.pname);
+                     ("wall_ms", Json.Num e.wall_ms);
+                     ("vt_ms", Json.int e.vt_span);
+                     ("runs", Json.int e.runs);
+                   ])
+               !entries_ref) );
+      ]
+end

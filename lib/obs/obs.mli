@@ -1,0 +1,221 @@
+(** Unified observability: metrics registry, causal span tracer, and
+    phase profiler.
+
+    Every layer of the system (scheduler, transport, stores, event
+    engine, rule engines) records what it does through this module
+    instead of ad-hoc mutable counters, and the same snapshot schema
+    surfaces in tests, [bench/] JSON artifacts, and
+    [bin/xchange_run.ml].
+
+    {b Cost discipline.}  Metrics cells are plain mutable fields behind
+    a handle — incrementing one costs the same as the ad-hoc record
+    fields they replaced, so metrics are always on.  Tracing allocates
+    (span records, argument lists) and is therefore {e off by default}:
+    hot paths must guard span construction with {!enabled} so the
+    disabled path stays a single load ([if Obs.enabled () then ...]).
+
+    {b Retention.}  Completed spans live in a bounded ring buffer
+    (Thesis 4: volatile data is disposed of incrementally); once full,
+    the oldest span is dropped and counted in {!Trace.dropped}. *)
+
+val enabled : unit -> bool
+(** Is span tracing on?  (Metrics are unconditional.) *)
+
+val set_enabled : bool -> unit
+(** Toggle tracing.  Turning it off leaves retained spans readable. *)
+
+val set_wallclock : (unit -> float) -> unit
+(** Clock used for wall-time accounting, in seconds.  Defaults to
+    [Sys.time] (process CPU time — deterministic-ish and dependency
+    free); a harness linking Unix may install [Unix.gettimeofday]. *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type t
+  (** A registry: a set of named, labelled cells.  Registries are
+      per-component (a scheduler, a transport, a store each own one) so
+      instances never share counts; {!merge} combines snapshots for
+      whole-system export. *)
+
+  type kind = Counter | Gauge | Histogram
+
+  module Counter : sig
+    type t
+
+    val incr : ?by:int -> t -> unit
+    val value : t -> int
+  end
+
+  module Gauge : sig
+    type t
+
+    val set : t -> float -> unit
+    val set_max : t -> float -> unit
+    (** Keep the running maximum: [set_max g v] is
+        [set g (max v (value g))]. *)
+
+    val value : t -> float
+  end
+
+  module Histogram : sig
+    type t
+    (** Summary histogram: count / sum / min / max of observations. *)
+
+    val observe : t -> float -> unit
+    val count : t -> int
+    val sum : t -> float
+
+    val max : t -> float
+    (** 0 when empty. *)
+
+    val mean : t -> float
+    (** 0 when empty. *)
+  end
+
+  val create : unit -> t
+
+  val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+  (** Get or create.  The same (name, labels) always returns the same
+      cell; requesting it with a different kind raises
+      [Invalid_argument]. *)
+
+  val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
+  val histogram : t -> ?labels:(string * string) list -> string -> Histogram.t
+
+  val counter_fn : t -> ?labels:(string * string) list -> string -> (unit -> int) -> unit
+  (** Pull cell: the callback is sampled at {!snapshot} time.  For
+      values something else already owns (a cache's hit count, a queue's
+      length) — registering is idempotent per (name, labels). *)
+
+  val gauge_fn : t -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+
+  (** {2 Snapshots} *)
+
+  type value =
+    | Int of int
+    | Float of float
+    | Summary of { count : int; sum : float; min : float; max : float }
+
+  type sample = {
+    name : string;
+    labels : (string * string) list;  (** sorted by label key *)
+    kind : kind;
+    value : value;
+  }
+
+  val snapshot : ?labels:(string * string) list -> t -> sample list
+  (** Current value of every cell, sorted by (name, labels).  [labels]
+      are appended to each sample — callers stamp a snapshot with its
+      origin (host, component) before merging. *)
+
+  val merge : sample list list -> sample list
+  (** Combine snapshots: samples agreeing on (name, labels) are folded
+      (counters and floats sum, summaries merge), result sorted. *)
+
+  val total : sample list -> string -> float
+  (** Sum of every sample carrying [name], across all label sets — the
+      label-aggregation view. *)
+
+  val find : sample list -> ?labels:(string * string) list -> string -> value option
+
+  val to_json : sample list -> Json.t
+end
+
+(** {1 Causal span tracing} *)
+
+module Trace : sig
+  type span = {
+    id : int;  (** > 0; 0 is the null span *)
+    parent : int;  (** 0 = root; may refer to an evicted span *)
+    name : string;
+    cat : string;
+    args : (string * string) list;
+    vt_begin : int;  (** virtual (scheduler) time, ms *)
+    vt_end : int;
+    wall_ms : float;
+  }
+
+  val set_capacity : int -> unit
+  (** Ring-buffer bound on retained completed spans (default 4096). *)
+
+  val clear : unit -> unit
+  (** Drop retained spans, open spans, and the ambient stack. *)
+
+  val current : unit -> int
+  (** The ambient parent: innermost open span (or one installed by
+      {!run_under}); 0 when none or tracing is off. *)
+
+  val begin_span :
+    ?parent:int ->
+    ?cat:string ->
+    ?args:(string * string) list ->
+    name:string ->
+    vt:int ->
+    unit ->
+    int
+  (** Open a span and make it the ambient parent.  Returns 0 (and does
+      nothing) when tracing is off — callers must treat 0 as "no span"
+      and should build [args] only when {!Obs.enabled}[ () ] to keep the
+      disabled path allocation-free.  [parent] overrides the ambient
+      parent (cross-time causality: a delivery parented by its send). *)
+
+  val end_span : ?args:(string * string) list -> int -> vt:int -> unit
+  (** Close the span, pop it from the ambient stack, retain it in the
+      ring.  No-op on 0 or unknown ids.  [args] are appended (results
+      discovered at completion: detection counts, bytes). *)
+
+  val instant : ?cat:string -> ?args:(string * string) list -> name:string -> vt:int -> unit -> int
+  (** A zero-duration completed span (never becomes ambient parent).
+      Returns its id so later work can be parented on it. *)
+
+  val run_under : int -> (unit -> 'a) -> 'a
+  (** Run with the ambient parent forced to the given span id — the
+      cross-occurrence link: a message delivery runs under the span
+      that sent it.  Exception-safe; identity on 0 or when off. *)
+
+  val spans : unit -> span list
+  (** Retained completed spans, ordered by (vt_begin, id). *)
+
+  val dropped : unit -> int
+  (** Spans evicted by the ring bound since the last {!clear}. *)
+
+  val to_chrome_json : unit -> Json.t
+  (** Chrome [trace_event] array: one ["ph": "X"] complete event per
+      span ([ts]/[dur] in µs of virtual time) plus ["s"]/["f"] flow
+      events binding cross-time parent links, loadable in
+      [chrome://tracing] or Perfetto. *)
+
+  val pp_tree : ?max_spans:int -> Format.formatter -> unit -> unit
+  (** Compact text rendering of the span forest (default cap 200
+      spans): one line per span — virtual begin time, duration, name,
+      args — indented under its parent. *)
+end
+
+(** {1 Phase profiling} *)
+
+module Profile : sig
+  type entry = {
+    pname : string;
+    wall_ms : float;  (** accumulated across runs *)
+    vt_span : int;  (** accumulated virtual-time delta (0 without [vt]) *)
+    runs : int;
+  }
+
+  val reset : unit -> unit
+
+  val phase : ?vt:(unit -> int) -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk, accounting its wall time (and virtual-time delta
+      when [vt] is given) against [name]; re-entries accumulate. *)
+
+  val record : ?vt_span:int -> name:string -> wall_ms:float -> unit -> unit
+  (** Account an externally-timed phase. *)
+
+  val entries : unit -> entry list
+  (** First-use order. *)
+
+  val to_json : unit -> Json.t
+  (** Stable shape: [{"schema": 1, "phases": [{"name", "wall_ms",
+      "vt_ms", "runs"}, ...]}] — the ["metrics"] section every
+      [BENCH_*.json] embeds. *)
+end

@@ -1,5 +1,6 @@
 open Xchange_query
 open Xchange_event
+open Xchange_obs
 
 type branch = { condition : Condition.t; action : Action.t }
 
@@ -47,7 +48,18 @@ let fire ?stats ~env ~ops ~procs rule (detection : Instance.t) =
   bump (fun s -> s.detections <- s.detections + 1);
   let subst = detection.Instance.subst in
   let run_action ~branch ~answer_subst ~answers action =
-    match Action.exec ~env ~ops ~procs ~subst:answer_subst ~answers action with
+    (* sends the action performs emit their spans under this one, so the
+       trace tree runs detection -> action -> outbound messages *)
+    let span =
+      if Obs.enabled () then
+        Obs.Trace.begin_span ~cat:"action"
+          ~args:[ ("rule", rule.name) ]
+          ~name:"action" ~vt:(ops.Action.now ()) ()
+      else 0
+    in
+    let result = Action.exec ~env ~ops ~procs ~subst:answer_subst ~answers action in
+    Obs.Trace.end_span span ~vt:(ops.Action.now ());
+    match result with
     | Ok outcome ->
         bump (fun s -> s.firings <- s.firings + 1);
         Ok [ { rule = rule.name; branch; bindings = answer_subst; outcome } ]

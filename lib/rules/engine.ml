@@ -1,5 +1,6 @@
 open Xchange_query
 open Xchange_event
+open Xchange_obs
 
 type compiled = {
   qualified : string;
@@ -20,8 +21,13 @@ type index_stats = {
   mutable clock_advances : int;
 }
 
-let fresh_index_stats () =
-  { dispatch_lookups = 0; rules_fed = 0; rules_skipped = 0; clock_advances = 0 }
+type cells = {
+  c_lookups : Obs.Metrics.Counter.t;
+  c_fed : Obs.Metrics.Counter.t;
+  c_skipped : Obs.Metrics.Counter.t;
+  c_clock : Obs.Metrics.Counter.t;
+  c_seen : Obs.Metrics.Counter.t;
+}
 
 type t = {
   root : Ruleset.t;
@@ -36,9 +42,20 @@ type t = {
       (** remote URIs any rule/view/procedure condition can touch *)
   clocked_remote_deps : ([ `Doc | `Rdf ] * string) list;
       (** remote URIs reachable from timer-bearing rules only *)
-  mutable seen : int;
-  istats : index_stats;
+  m : Obs.Metrics.t;
+  c : cells;
 }
+
+let join_stats t =
+  Incremental.sum_join_stats
+    (Deductive_event.join_stats t.derivation
+    :: Array.to_list (Array.map (fun cr -> Incremental.join_stats cr.engine) t.compiled))
+
+let total_condition_evaluations t =
+  Array.fold_left (fun acc cr -> acc + cr.stats.Eca.condition_evaluations) 0 t.compiled
+
+let live_instances t =
+  Array.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
 
 let rule_labels rule =
   let atoms = Xchange_event.Event_query.atoms rule.Eca.event in
@@ -149,7 +166,8 @@ let create ?horizon ?(index = true) root =
     | [] -> []  (* no timer can fire, so advancing needs no prefetch *)
     | clocked_crs -> deps_of clocked_crs
   in
-  Ok
+  let m = Obs.Metrics.create () in
+  let t =
     {
       root;
       compiled;
@@ -160,9 +178,33 @@ let create ?horizon ?(index = true) root =
       index;
       remote_deps;
       clocked_remote_deps;
-      seen = 0;
-      istats = fresh_index_stats ();
+      m;
+      c =
+        {
+          c_lookups = Obs.Metrics.counter m "engine.dispatch_lookups";
+          c_fed = Obs.Metrics.counter m "engine.rules_fed";
+          c_skipped = Obs.Metrics.counter m "engine.rules_skipped";
+          c_clock = Obs.Metrics.counter m "engine.clock_advances";
+          c_seen = Obs.Metrics.counter m "engine.events_seen";
+        };
     }
+  in
+  (* aggregates something else already owns (per-rule Eca stats, the
+     inner incremental engines): pull cells, sampled at snapshot time *)
+  Obs.Metrics.gauge_fn m "engine.live_instances" (fun () -> float_of_int (live_instances t));
+  Obs.Metrics.counter_fn m "engine.condition_evaluations" (fun () ->
+      total_condition_evaluations t);
+  Obs.Metrics.gauge_fn m "engine.dispatch_labels" (fun () ->
+      float_of_int (Hashtbl.length t.by_label));
+  Obs.Metrics.counter_fn m "engine.join.probes" (fun () ->
+      (join_stats t).Incremental.probes);
+  Obs.Metrics.counter_fn m "engine.join.pairs_probed" (fun () ->
+      (join_stats t).Incremental.pairs_probed);
+  Obs.Metrics.counter_fn m "engine.join.pairs_skipped" (fun () ->
+      (join_stats t).Incremental.pairs_skipped);
+  Obs.Metrics.counter_fn m "engine.join.instances_pruned" (fun () ->
+      (join_stats t).Incremental.instances_pruned);
+  Ok t
 
 let create_exn ?horizon ?index root =
   match create ?horizon ?index root with
@@ -185,17 +227,28 @@ let finish acc = { acc with firings = List.rev acc.firings; errors = List.rev ac
 let fire_detections ~env ~ops cr detections acc =
   List.fold_left
     (fun acc detection ->
+      let span =
+        if Obs.enabled () then
+          Obs.Trace.begin_span ~cat:"rule"
+            ~args:[ ("rule", cr.qualified) ]
+            ~name:"firing" ~vt:(ops.Action.now ()) ()
+        else 0
+      in
       let scoped_env = Deductive.extend_env env (Ruleset.views_in_scope cr.scope) in
       let procs name = Ruleset.lookup_procedure cr.scope name in
       let results =
         Eca.fire ~stats:cr.stats ~env:scoped_env ~ops ~procs cr.rule detection
       in
-      List.fold_left
-        (fun acc result ->
-          match result with
-          | Ok firings -> { acc with firings = List.rev_append firings acc.firings }
-          | Error e -> { acc with errors = (cr.qualified, e) :: acc.errors })
-        acc results)
+      let acc =
+        List.fold_left
+          (fun acc result ->
+            match result with
+            | Ok firings -> { acc with firings = List.rev_append firings acc.firings }
+            | Error e -> { acc with errors = (cr.qualified, e) :: acc.errors })
+          acc results
+      in
+      Obs.Trace.end_span span ~vt:(ops.Action.now ());
+      acc)
     acc detections
 
 (* Rule indices that must see this event batch, ascending (= declaration
@@ -207,7 +260,7 @@ let fire_detections ~env ~ops cr detections acc =
 let dispatch t all_events =
   if not t.index then List.init (Array.length t.compiled) Fun.id
   else begin
-    t.istats.dispatch_lookups <- t.istats.dispatch_lookups + 1;
+    Obs.Metrics.Counter.incr t.c.c_lookups;
     let buckets =
       List.concat_map
         (fun ev ->
@@ -217,15 +270,22 @@ let dispatch t all_events =
         all_events
     in
     let visit = List.sort_uniq Int.compare (t.wildcard @ t.clocked @ buckets) in
-    t.istats.rules_skipped <-
-      t.istats.rules_skipped + (Array.length t.compiled - List.length visit);
+    Obs.Metrics.Counter.incr ~by:(Array.length t.compiled - List.length visit)
+      t.c.c_skipped;
     visit
   end
 
 let handle_event t ~env ~ops event =
-  t.seen <- t.seen + 1;
+  Obs.Metrics.Counter.incr t.c.c_seen;
   if Event.expired event (ops.Action.now ()) then empty_outcome
   else begin
+    let span =
+      if Obs.enabled () then
+        Obs.Trace.begin_span ~cat:"engine"
+          ~args:[ ("label", event.Event.label) ]
+          ~name:"event" ~vt:(ops.Action.now ()) ()
+      else 0
+    in
     let derived = Deductive_event.feed t.derivation event in
     let all_events = event :: derived in
     let acc =
@@ -242,14 +302,24 @@ let handle_event t ~env ~ops event =
                 | Some labels -> List.mem ev.Event.label labels
               in
               if relevant then begin
-                if t.index then t.istats.rules_fed <- t.istats.rules_fed + 1;
-                fire_detections ~env ~ops cr (Incremental.feed cr.engine ev) acc
+                if t.index then Obs.Metrics.Counter.incr t.c.c_fed;
+                let detections = Incremental.feed cr.engine ev in
+                if Obs.enabled () && detections <> [] then
+                  ignore
+                    (Obs.Trace.instant ~cat:"rule"
+                       ~args:
+                         [
+                           ("rule", cr.qualified);
+                           ("count", string_of_int (List.length detections));
+                         ]
+                       ~name:"detect" ~vt:(ops.Action.now ()) ());
+                fire_detections ~env ~ops cr detections acc
               end
               else if cr.needs_clock then begin
                 (* skipped rules still observe time: resolve absence
                    deadlines strictly before the event, exactly as a
                    non-matching feed would *)
-                t.istats.clock_advances <- t.istats.clock_advances + 1;
+                Obs.Metrics.Counter.incr t.c.c_clock;
                 fire_detections ~env ~ops cr
                   (Incremental.advance_to cr.engine (Event.time ev - 1))
                   acc
@@ -259,7 +329,15 @@ let handle_event t ~env ~ops event =
         { empty_outcome with derived_events = derived }
         (dispatch t all_events)
     in
-    finish acc
+    let out = finish acc in
+    (if span <> 0 then
+       Obs.Trace.end_span span ~vt:(ops.Action.now ())
+         ~args:
+           [
+             ("firings", string_of_int (List.length out.firings));
+             ("derived", string_of_int (List.length out.derived_events));
+           ]);
+    out
   end
 
 let advance t ~env ~ops time =
@@ -284,20 +362,17 @@ let load_ruleset t incoming =
 let ruleset t = t.root
 let rule_names t = Array.to_list (Array.map (fun cr -> cr.qualified) t.compiled)
 let stats t = Array.to_list (Array.map (fun cr -> (cr.qualified, cr.stats)) t.compiled)
+let events_seen t = Obs.Metrics.Counter.value t.c.c_seen
+let metrics t = t.m
 
-let total_condition_evaluations t =
-  Array.fold_left (fun acc cr -> acc + cr.stats.Eca.condition_evaluations) 0 t.compiled
+let index_stats t =
+  {
+    dispatch_lookups = Obs.Metrics.Counter.value t.c.c_lookups;
+    rules_fed = Obs.Metrics.Counter.value t.c.c_fed;
+    rules_skipped = Obs.Metrics.Counter.value t.c.c_skipped;
+    clock_advances = Obs.Metrics.Counter.value t.c.c_clock;
+  }
 
-let live_instances t =
-  Array.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
-
-let events_seen t = t.seen
-let index_stats t = t.istats
-
-let join_stats t =
-  Incremental.sum_join_stats
-    (Deductive_event.join_stats t.derivation
-    :: Array.to_list (Array.map (fun cr -> Incremental.join_stats cr.engine) t.compiled))
 let dispatch_labels t = Hashtbl.length t.by_label
 let remote_resources t = t.remote_deps
 let clocked_remote_resources t = t.clocked_remote_deps

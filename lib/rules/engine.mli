@@ -13,6 +13,7 @@
 
 open Xchange_query
 open Xchange_event
+open Xchange_obs
 
 type t
 
@@ -94,7 +95,17 @@ type index_stats = {
 }
 
 val index_stats : t -> index_stats
-(** Counters since [create]; all zero when [index] is false. *)
+(** Counters since [create]; all zero when [index] is false.  A legacy
+    view built from the engine's {!Obs.Metrics} registry cells at call
+    time (a snapshot, not a live reference). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The engine's registry: the [engine.*] dispatch counters and
+    [engine.events_seen], plus pull cells sampling the per-rule and
+    join-level aggregates ([engine.live_instances],
+    [engine.condition_evaluations], [engine.join.*]).  When tracing is
+    on ({!Obs.set_enabled}), {!handle_event} also emits an [event] span
+    with nested [detect] / [firing] spans per reacting rule. *)
 
 val join_stats : t -> Incremental.join_stats
 (** Join-level counters summed over every compiled rule engine and the

@@ -1,4 +1,5 @@
 open Xchange_query
+open Xchange_obs
 
 type rule = { name : string; condition : Condition.t; action : Action.t }
 
@@ -10,21 +11,42 @@ type stats = {
 }
 
 type state = { rule : rule; mutable previous : Subst.set }
-type t = { rules : state list; s : stats }
+
+type t = {
+  rules : state list;
+  m : Obs.Metrics.t;
+  c_cycles : Obs.Metrics.Counter.t;
+  c_evals : Obs.Metrics.Counter.t;
+  c_firings : Obs.Metrics.Counter.t;
+  c_errors : Obs.Metrics.Counter.t;
+}
 
 let create rules =
+  let m = Obs.Metrics.create () in
   {
     rules = List.map (fun rule -> { rule; previous = [] }) rules;
-    s = { cycles = 0; condition_evaluations = 0; firings = 0; errors = 0 };
+    m;
+    c_cycles = Obs.Metrics.counter m "production.cycles";
+    c_evals = Obs.Metrics.counter m "production.condition_evaluations";
+    c_firings = Obs.Metrics.counter m "production.firings";
+    c_errors = Obs.Metrics.counter m "production.errors";
   }
 
-let stats t = t.s
+let metrics t = t.m
+
+let stats t =
+  {
+    cycles = Obs.Metrics.Counter.value t.c_cycles;
+    condition_evaluations = Obs.Metrics.Counter.value t.c_evals;
+    firings = Obs.Metrics.Counter.value t.c_firings;
+    errors = Obs.Metrics.Counter.value t.c_errors;
+  }
 
 let poll ~env ~ops ~procs t =
-  t.s.cycles <- t.s.cycles + 1;
+  Obs.Metrics.Counter.incr t.c_cycles;
   List.concat_map
     (fun st ->
-      t.s.condition_evaluations <- t.s.condition_evaluations + 1;
+      Obs.Metrics.Counter.incr t.c_evals;
       let answers = Condition.eval env Subst.empty st.rule.condition in
       let fresh =
         List.filter (fun a -> not (List.exists (Subst.equal a) st.previous)) answers
@@ -34,10 +56,10 @@ let poll ~env ~ops ~procs t =
         (fun subst ->
           match Action.exec ~env ~ops ~procs ~subst ~answers st.rule.action with
           | Ok _ ->
-              t.s.firings <- t.s.firings + 1;
+              Obs.Metrics.Counter.incr t.c_firings;
               Some (st.rule.name, subst)
           | Error _ ->
-              t.s.errors <- t.s.errors + 1;
+              Obs.Metrics.Counter.incr t.c_errors;
               None)
         fresh)
     t.rules

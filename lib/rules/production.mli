@@ -14,6 +14,7 @@
     to — which is exactly the cost E1 measures against ECA rules. *)
 
 open Xchange_query
+open Xchange_obs
 
 type rule = { name : string; condition : Condition.t; action : Action.t }
 
@@ -29,6 +30,13 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Legacy view built from the engine's {!Obs.Metrics} registry cells
+    at call time (a snapshot, not a live reference). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The engine's registry: [production.cycles],
+    [production.condition_evaluations], [production.firings],
+    [production.errors]. *)
 
 val poll :
   env:Condition.env ->

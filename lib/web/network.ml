@@ -2,6 +2,7 @@ open Xchange_data
 open Xchange_query
 open Xchange_event
 open Xchange_rules
+open Xchange_obs
 
 type fetch_policy = { timeout : Clock.span; retries : int }
 
@@ -21,6 +22,21 @@ type node_stats = {
   mutable fetch_latency_max : Clock.span;
 }
 
+(* Registry cells behind one host's legacy [node_stats] view; the
+   request-to-response latency histogram carries completion count, sum,
+   and max in one cell. *)
+type host_cells = {
+  hc_events_in : Obs.Metrics.Counter.t;
+  hc_gets_in : Obs.Metrics.Counter.t;
+  hc_responses_in : Obs.Metrics.Counter.t;
+  hc_updates_in : Obs.Metrics.Counter.t;
+  hc_deferred : Obs.Metrics.Counter.t;
+  hc_fetches : Obs.Metrics.Counter.t;
+  hc_retries : Obs.Metrics.Counter.t;
+  hc_timeouts : Obs.Metrics.Counter.t;
+  hc_rtt : Obs.Metrics.Histogram.t;
+}
+
 (* What a node has fetched from the rest of the Web, latest value per
    (host, path, kind).  The snapshot a deferred delivery's condition
    evaluation reads from. *)
@@ -30,11 +46,12 @@ type t = {
   sched : Sched.t;
   transport : Transport.t;
   nodes : (string, Node.t) Hashtbl.t;
-  stats_by_host : (string, node_stats) Hashtbl.t;
+  cells_by_host : (string, host_cells) Hashtbl.t;
   snapshots : (string, snapshot) Hashtbl.t;
   policy : fetch_policy;
-  mutable remote_fetches : int;
-  mutable fallback_misses : int;
+  m : Obs.Metrics.t;
+  c_remote_fetches : Obs.Metrics.Counter.t;
+  c_fallback_misses : Obs.Metrics.Counter.t;
   deadlines : (string, Clock.time) Hashtbl.t;
       (** earliest engine-deadline occurrence queued per host *)
 }
@@ -52,30 +69,46 @@ let clock t = Sched.now t.sched
 let sched t = t.sched
 let sched_stats t = Sched.stats t.sched
 let transport_stats t = Transport.stats t.transport
-let remote_fetches t = t.remote_fetches
-let fallback_misses t = t.fallback_misses
+let remote_fetches t = Obs.Metrics.Counter.value t.c_remote_fetches
+let fallback_misses t = Obs.Metrics.Counter.value t.c_fallback_misses
+let metrics t = t.m
 
-let node_stats t host =
-  match Hashtbl.find_opt t.stats_by_host host with
-  | Some s -> s
+let cells_for t host =
+  match Hashtbl.find_opt t.cells_by_host host with
+  | Some c -> c
   | None ->
-      let s =
+      let labels = [ ("host", host) ] in
+      let c =
         {
-          events_in = 0;
-          gets_in = 0;
-          responses_in = 0;
-          updates_in = 0;
-          deferred_events = 0;
-          fetches = 0;
-          fetch_retries = 0;
-          fetch_timeouts = 0;
-          fetches_completed = 0;
-          fetch_latency_total = 0;
-          fetch_latency_max = 0;
+          hc_events_in = Obs.Metrics.counter t.m ~labels "node.events_in";
+          hc_gets_in = Obs.Metrics.counter t.m ~labels "node.gets_in";
+          hc_responses_in = Obs.Metrics.counter t.m ~labels "node.responses_in";
+          hc_updates_in = Obs.Metrics.counter t.m ~labels "node.updates_in";
+          hc_deferred = Obs.Metrics.counter t.m ~labels "node.deferred_events";
+          hc_fetches = Obs.Metrics.counter t.m ~labels "node.fetches";
+          hc_retries = Obs.Metrics.counter t.m ~labels "node.fetch_retries";
+          hc_timeouts = Obs.Metrics.counter t.m ~labels "node.fetch_timeouts";
+          hc_rtt = Obs.Metrics.histogram t.m ~labels "node.fetch_rtt_ms";
         }
       in
-      Hashtbl.replace t.stats_by_host host s;
-      s
+      Hashtbl.replace t.cells_by_host host c;
+      c
+
+let node_stats t host =
+  let c = cells_for t host in
+  {
+    events_in = Obs.Metrics.Counter.value c.hc_events_in;
+    gets_in = Obs.Metrics.Counter.value c.hc_gets_in;
+    responses_in = Obs.Metrics.Counter.value c.hc_responses_in;
+    updates_in = Obs.Metrics.Counter.value c.hc_updates_in;
+    deferred_events = Obs.Metrics.Counter.value c.hc_deferred;
+    fetches = Obs.Metrics.Counter.value c.hc_fetches;
+    fetch_retries = Obs.Metrics.Counter.value c.hc_retries;
+    fetch_timeouts = Obs.Metrics.Counter.value c.hc_timeouts;
+    fetches_completed = Obs.Metrics.Histogram.count c.hc_rtt;
+    fetch_latency_total = int_of_float (Obs.Metrics.Histogram.sum c.hc_rtt);
+    fetch_latency_max = int_of_float (Obs.Metrics.Histogram.max c.hc_rtt);
+  }
 
 let snapshot_for t host =
   match Hashtbl.find_opt t.snapshots host with
@@ -96,7 +129,7 @@ let env_for t (me : Node.t) =
     match Hashtbl.find_opt snap (Uri.host uri, Uri.path uri, kind) with
     | Some doc -> doc
     | None ->
-        t.fallback_misses <- t.fallback_misses + 1;
+        Obs.Metrics.Counter.incr t.c_fallback_misses;
         None
   in
   let fetch = function
@@ -149,10 +182,17 @@ let fetch_round_trip t (me : Node.t) ~kind ~uri k =
   let me_host = Node.host me in
   if not (Hashtbl.mem t.nodes to_host) then k None (Sched.now t.sched)
   else begin
-    let stats = node_stats t me_host in
-    t.remote_fetches <- t.remote_fetches + 1;
-    stats.fetches <- stats.fetches + 1;
+    let cells = cells_for t me_host in
+    Obs.Metrics.Counter.incr t.c_remote_fetches;
+    Obs.Metrics.Counter.incr cells.hc_fetches;
     let started = Sched.now t.sched in
+    let fetch_span =
+      if Obs.enabled () then
+        Obs.Trace.instant ~cat:"net"
+          ~args:[ ("uri", uri); ("by", me_host) ]
+          ~name:"fetch" ~vt:started ()
+      else 0
+    in
     let done_ = ref false in
     let rec attempt n =
       let req_id = Message.fresh_req_id () in
@@ -161,16 +201,15 @@ let fetch_round_trip t (me : Node.t) ~kind ~uri k =
           !cancel_timeout ();
           if not !done_ then begin
             done_ := true;
-            stats.fetches_completed <- stats.fetches_completed + 1;
             let rtt = at - started in
-            stats.fetch_latency_total <- stats.fetch_latency_total + rtt;
-            if rtt > stats.fetch_latency_max then stats.fetch_latency_max <- rtt;
+            Obs.Metrics.Histogram.observe cells.hc_rtt (float_of_int rtt);
             Hashtbl.replace (snapshot_for t me_host) (to_host, path, kind) doc;
             k doc at
           end);
-      Transport.send t.transport
-        (Message.make ~from_host:me_host ~to_host ~sent_at:(Sched.now t.sched)
-           (Message.Get { req_id; path; kind }));
+      Obs.Trace.run_under fetch_span (fun () ->
+          Transport.send t.transport
+            (Message.make ~from_host:me_host ~to_host ~sent_at:(Sched.now t.sched)
+               (Message.Get { req_id; path; kind })));
       cancel_timeout :=
         Sched.cancellable t.sched ~holds:true
           (Clock.add (Sched.now t.sched) t.policy.timeout)
@@ -178,12 +217,12 @@ let fetch_round_trip t (me : Node.t) ~kind ~uri k =
             Node.forget_response me ~req_id;
             if not !done_ then
               if n < t.policy.retries then begin
-                stats.fetch_retries <- stats.fetch_retries + 1;
+                Obs.Metrics.Counter.incr cells.hc_retries;
                 attempt (n + 1)
               end
               else begin
                 done_ := true;
-                stats.fetch_timeouts <- stats.fetch_timeouts + 1;
+                Obs.Metrics.Counter.incr cells.hc_timeouts;
                 (* no snapshot write: a stale earlier value beats
                    overwriting it with "unreachable" *)
                 k None at
@@ -215,8 +254,7 @@ let with_remote_snapshot t (n : Node.t) deps process =
   match deps with
   | [] -> process ()
   | deps ->
-      (node_stats t (Node.host n)).deferred_events <-
-        (node_stats t (Node.host n)).deferred_events + 1;
+      Obs.Metrics.Counter.incr (cells_for t (Node.host n)).hc_deferred;
       let remaining = ref (List.length deps) in
       List.iter
         (fun (rk, uri) ->
@@ -264,41 +302,56 @@ let schedule_engine_deadline t (n : Node.t) =
 let deliver t (m : Message.t) =
   match Hashtbl.find_opt t.nodes m.Message.to_host with
   | None -> () (* undeliverable: dropped, like the real Web *)
-  | Some n -> (
-      let stats = node_stats t m.Message.to_host in
+  | Some n ->
+      let cells = cells_for t m.Message.to_host in
       let ctx = context_for t n in
-      match m.Message.body with
+      let span =
+        if Obs.enabled () then
+          Obs.Trace.begin_span ~cat:"net"
+            ~args:
+              [
+                ("kind", Transport.body_kind m);
+                ("from", m.Message.from_host);
+                ("to", m.Message.to_host);
+              ]
+            ~name:"message" ~vt:(Sched.now t.sched) ()
+        else 0
+      in
+      (match m.Message.body with
       | Message.Event e ->
-          stats.events_in <- stats.events_in + 1;
+          Obs.Metrics.Counter.incr cells.hc_events_in;
           let deps = cross_deps t n (Engine.remote_resources (Node.engine n)) in
           with_remote_snapshot t n deps (fun () ->
               ignore (Node.receive_event n ctx e);
               schedule_engine_deadline t n)
       | Message.Get { req_id; path; kind } ->
-          stats.gets_in <- stats.gets_in + 1;
+          Obs.Metrics.Counter.incr cells.hc_gets_in;
           Node.receive_get n ctx ~from:m.Message.from_host ~req_id ~path ~kind
       | Message.Response { req_id; doc } ->
-          stats.responses_in <- stats.responses_in + 1;
+          Obs.Metrics.Counter.incr cells.hc_responses_in;
           Node.receive_response n ctx ~req_id doc
       | Message.Update u ->
-          stats.updates_in <- stats.updates_in + 1;
+          Obs.Metrics.Counter.incr cells.hc_updates_in;
           let deps = cross_deps t n (Engine.remote_resources (Node.engine n)) in
           with_remote_snapshot t n deps (fun () ->
               ignore (Node.receive_update n ctx ~from:m.Message.from_host u);
-              schedule_engine_deadline t n))
+              schedule_engine_deadline t n));
+      Obs.Trace.end_span span ~vt:(Sched.now t.sched)
 
 let create ?latency ?drop ?faults ?record ?(fetch_policy = default_fetch_policy) () =
   let sched = Sched.create () in
+  let m = Obs.Metrics.create () in
   let t =
     {
       sched;
       transport = Transport.create ~sched ?latency ?drop ?faults ?record ();
       nodes = Hashtbl.create 8;
-      stats_by_host = Hashtbl.create 8;
+      cells_by_host = Hashtbl.create 8;
       snapshots = Hashtbl.create 8;
       policy = fetch_policy;
-      remote_fetches = 0;
-      fallback_misses = 0;
+      m;
+      c_remote_fetches = Obs.Metrics.counter m "net.remote_fetches";
+      c_fallback_misses = Obs.Metrics.counter m "net.fallback_misses";
       deadlines = Hashtbl.create 8;
     }
   in
@@ -317,6 +370,29 @@ let add_node_exn t node =
   match add_node t node with
   | Ok () -> ()
   | Error e -> invalid_arg ("Network.add_node: " ^ e)
+
+(* Whole-system snapshot: the scheduler's, the transport's, and the
+   network's own registries, plus every node's store and engine,
+   stamped with the host they belong to.  One schema for tests, the
+   bench artifacts, and the CLI. *)
+let metrics_snapshot t =
+  let per_node =
+    Hashtbl.fold
+      (fun host n acc ->
+        let labels = [ ("host", host) ] in
+        Obs.Metrics.snapshot ~labels (Store.metrics (Node.store n))
+        :: Obs.Metrics.snapshot ~labels (Engine.metrics (Node.engine n))
+        :: Obs.Metrics.snapshot ~labels (Node.metrics n)
+        :: acc)
+      t.nodes []
+  in
+  Obs.Metrics.merge
+    (Obs.Metrics.snapshot (Sched.metrics t.sched)
+    :: Obs.Metrics.snapshot (Transport.metrics t.transport)
+    :: Obs.Metrics.snapshot t.m
+    :: per_node)
+
+let metrics_json t = Json.to_string ~pretty:true (Obs.Metrics.to_json (metrics_snapshot t))
 
 let inject t ?(sender = "external") ~to_ ~label ?ttl payload =
   let now = Sched.now t.sched in

@@ -21,6 +21,7 @@
 
 open Xchange_data
 open Xchange_event
+open Xchange_obs
 
 type t
 
@@ -34,7 +35,9 @@ val default_fetch_policy : fetch_policy
 (** [{ timeout = 60; retries = 2 }] — generous against the default
     5 ms link latency, tight enough that tests stay fast. *)
 
-(** Per-node observability counters. *)
+(** Legacy per-node view: {!node_stats} builds this record from the
+    network's {!Obs.Metrics} registry cells at call time (a snapshot,
+    not a live reference). *)
 type node_stats = {
   mutable events_in : int;  (** event messages delivered to this node *)
   mutable gets_in : int;
@@ -79,6 +82,20 @@ val transport_stats : t -> Transport.stats
 
 val node_stats : t -> string -> node_stats
 (** Counters for one host (zeroes for a host that has no traffic yet). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The network layer's own registry: per-host [node.*] cells
+    (labelled [host]), [net.remote_fetches], [net.fallback_misses],
+    and any poller cells ({!Poll.attach}). *)
+
+val metrics_snapshot : t -> Obs.Metrics.sample list
+(** Whole-system snapshot: this registry merged with the scheduler's
+    and the transport's, plus every attached node's store and engine
+    registries stamped with a [host] label.  One schema for tests,
+    bench artifacts, and the CLI ([--metrics]). *)
+
+val metrics_json : t -> string
+(** {!metrics_snapshot} pretty-printed as JSON. *)
 
 val trace : t -> Message.t list
 (** Recorded messages in send order; empty unless created with

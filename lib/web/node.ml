@@ -2,6 +2,7 @@ open Xchange_data
 open Xchange_query
 open Xchange_event
 open Xchange_rules
+open Xchange_obs
 
 let rules_label = "xchange:rules"
 let max_cascade_depth = 32
@@ -14,7 +15,9 @@ type t = {
   accept_rules : bool;
   mutable decoder : (Term.t -> (Ruleset.t, string) result) option;
   mutable log_lines : string list;  (** newest first *)
-  mutable firings : int;
+  m : Obs.Metrics.t;
+  c_firings : Obs.Metrics.Counter.t;
+  c_duplicates : Obs.Metrics.Counter.t;
   mutable errors : (string * string) list;
   accept_updates : bool;
   mutable response_handlers : (int * (Term.t option -> Clock.time -> unit)) list;
@@ -22,7 +25,6 @@ type t = {
       (** ids of network events already processed — the idempotent
           receiver making at-least-once delivery (duplicated messages,
           retried sends) safe *)
-  mutable duplicate_events : int;
 }
 
 type context = {
@@ -35,7 +37,8 @@ let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host rule
   match Engine.create ?horizon ruleset with
   | Error e -> Error e
   | Ok engine ->
-      Ok
+      let m = Obs.Metrics.create () in
+      let t =
         {
           host;
           store = Store.create ();
@@ -45,12 +48,16 @@ let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host rule
           accept_updates;
           decoder = None;
           log_lines = [];
-          firings = 0;
+          m;
+          c_firings = Obs.Metrics.counter m "node.firings";
+          c_duplicates = Obs.Metrics.counter m "node.duplicate_events";
           errors = [];
           response_handlers = [];
           seen_events = Hashtbl.create 64;
-          duplicate_events = 0;
         }
+      in
+      Obs.Metrics.counter_fn m "node.rule_errors" (fun () -> List.length t.errors);
+      Ok t
 
 let create_exn ?horizon ?accept_rules ?accept_updates ~host ruleset =
   match create ?horizon ?accept_rules ?accept_updates ~host ruleset with
@@ -125,7 +132,7 @@ let merge_outcomes (a : Engine.outcome) (b : Engine.outcome) =
 let empty_outcome = { Engine.firings = []; derived_events = []; errors = [] }
 
 let record t (outcome : Engine.outcome) =
-  t.firings <- t.firings + List.length outcome.Engine.firings;
+  Obs.Metrics.Counter.incr ~by:(List.length outcome.Engine.firings) t.c_firings;
   t.errors <- List.rev_append outcome.Engine.errors t.errors;
   outcome
 
@@ -166,7 +173,7 @@ let receive_event t ctx event =
   if Hashtbl.mem t.seen_events event.Event.id then begin
     (* at-least-once delivery: a duplicated or replayed message must not
        fire rules twice *)
-    t.duplicate_events <- t.duplicate_events + 1;
+    Obs.Metrics.Counter.incr t.c_duplicates;
     empty_outcome
   end
   else begin
@@ -240,6 +247,7 @@ let advance t ctx time =
   record t outcome
 
 let logs t = List.rev t.log_lines
-let firings t = t.firings
+let firings t = Obs.Metrics.Counter.value t.c_firings
 let errors t = List.rev t.errors
-let duplicate_events t = t.duplicate_events
+let duplicate_events t = Obs.Metrics.Counter.value t.c_duplicates
+let metrics t = t.m

@@ -18,6 +18,7 @@ open Xchange_data
 open Xchange_query
 open Xchange_event
 open Xchange_rules
+open Xchange_obs
 
 type t
 
@@ -96,3 +97,7 @@ val errors : t -> (string * string) list
 val duplicate_events : t -> int
 (** Network events discarded because their id had already been processed
     (at-least-once delivery made safe by the idempotent receiver). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The node's registry: [node.firings], [node.duplicate_events], and
+    the pull cell [node.rule_errors]. *)

@@ -1,17 +1,32 @@
 open Xchange_data
 open Xchange_event
+open Xchange_obs
 
 let changed_label = "poll:changed"
 
 type stats = {
-  mutable polls : int;
-  mutable changes_seen : int;
-  mutable last_change_detected_at : Clock.time;
+  s_polls : Obs.Metrics.Counter.t;
+  s_changes : Obs.Metrics.Counter.t;
+  s_last : Obs.Metrics.Gauge.t;
 }
+
+let polls s = Obs.Metrics.Counter.value s.s_polls
+let changes_seen s = Obs.Metrics.Counter.value s.s_changes
+let last_change_detected_at s = int_of_float (Obs.Metrics.Gauge.value s.s_last)
 
 let attach net ~poller ~target ~period =
   let me = Network.node_exn net poller in
-  let stats = { polls = 0; changes_seen = 0; last_change_detected_at = Clock.origin } in
+  (* cells live in the network's registry, labelled by the edge they
+     watch, so several pollers coexist in one snapshot *)
+  let labels = [ ("poller", poller); ("target", target) ] in
+  let m = Network.metrics net in
+  let stats =
+    {
+      s_polls = Obs.Metrics.counter m ~labels "poll.polls";
+      s_changes = Obs.Metrics.counter m ~labels "poll.changes_seen";
+      s_last = Obs.Metrics.gauge m ~labels "poll.last_change_at";
+    }
+  in
   let last = ref None in
   let on_response doc now =
     match doc with
@@ -22,8 +37,8 @@ let attach net ~poller ~target ~period =
         in
         last := Some d;
         if changed then begin
-          stats.changes_seen <- stats.changes_seen + 1;
-          stats.last_change_detected_at <- now;
+          Obs.Metrics.Counter.incr stats.s_changes;
+          Obs.Metrics.Gauge.set stats.s_last (float_of_int now);
           let ctx = Network.context_for net me in
           let ev =
             Event.make ~sender:poller ~recipient:poller ~occurred_at:now ~label:changed_label
@@ -33,7 +48,7 @@ let attach net ~poller ~target ~period =
         end
   in
   Network.add_ticker net ~period (fun _now ->
-      stats.polls <- stats.polls + 1;
+      Obs.Metrics.Counter.incr stats.s_polls;
       (* a full round-trip on the shared timeline, with the network's
          timeout/retry policy — dropped polls simply yield no response *)
       Network.fetch net ~me:poller ~uri:target on_response);

@@ -13,11 +13,21 @@ open Xchange_event
 val changed_label : string
 (** ["poll:changed"] — label of the synthesised change events. *)
 
-type stats = {
-  mutable polls : int;
-  mutable changes_seen : int;
-  mutable last_change_detected_at : Clock.time;
-}
+type stats
+(** Live handle on the poller's cells in the network's metrics registry
+    ([poll.polls], [poll.changes_seen], [poll.last_change_at], labelled
+    [poller]/[target]).  Read through the accessors below at any time —
+    including after further simulation. *)
+
+val polls : stats -> int
+(** Ticker firings (each starts one fetch round-trip). *)
+
+val changes_seen : stats -> int
+(** Responses that differed from the previous snapshot. *)
+
+val last_change_detected_at : stats -> Clock.time
+(** Clock value when the poller last saw a change ([Clock.origin] if
+    never). *)
 
 val attach :
   Network.t ->

@@ -1,4 +1,5 @@
 open Xchange_event
+open Xchange_obs
 
 type stats = {
   mutable scheduled : int;
@@ -24,19 +25,33 @@ type t = {
   mutable queue : entry Q.t;
   mutable seq : int;
   mutable holding : int;
-  s : stats;
+  m : Obs.Metrics.t;
+  c_scheduled : Obs.Metrics.Counter.t;
+  c_executed : Obs.Metrics.Counter.t;
+  g_max_queue : Obs.Metrics.Gauge.t;
 }
 
 let create ?(origin = Clock.origin) () =
-  {
-    now = origin;
-    queue = Q.empty;
-    seq = 0;
-    holding = 0;
-    s = { scheduled = 0; executed = 0; max_queue = 0 };
-  }
+  let m = Obs.Metrics.create () in
+  let t =
+    {
+      now = origin;
+      queue = Q.empty;
+      seq = 0;
+      holding = 0;
+      m;
+      c_scheduled = Obs.Metrics.counter m "sched.scheduled";
+      c_executed = Obs.Metrics.counter m "sched.executed";
+      g_max_queue = Obs.Metrics.gauge m "sched.max_queue";
+    }
+  in
+  Obs.Metrics.gauge_fn m "sched.queue_length" (fun () -> float_of_int (Q.cardinal t.queue));
+  Obs.Metrics.gauge_fn m "sched.holding" (fun () -> float_of_int t.holding);
+  Obs.Metrics.gauge_fn m "sched.now" (fun () -> float_of_int t.now);
+  t
 
 let now t = t.now
+let metrics t = t.m
 
 let enqueue t ~holds time run =
   let time = max time t.now in
@@ -44,16 +59,15 @@ let enqueue t ~holds time run =
   let key = (time, t.seq) in
   t.queue <- Q.add key { holds; run } t.queue;
   if holds then t.holding <- t.holding + 1;
-  let len = Q.cardinal t.queue in
-  if len > t.s.max_queue then t.s.max_queue <- len;
+  Obs.Metrics.Gauge.set_max t.g_max_queue (float_of_int (Q.cardinal t.queue));
   key
 
 let at t ?(holds = true) time f =
-  t.s.scheduled <- t.s.scheduled + 1;
+  Obs.Metrics.Counter.incr t.c_scheduled;
   ignore (enqueue t ~holds time f)
 
 let cancellable t ?(holds = true) time f =
-  t.s.scheduled <- t.s.scheduled + 1;
+  Obs.Metrics.Counter.incr t.c_scheduled;
   let key = enqueue t ~holds time f in
   fun () ->
     match Q.find_opt key t.queue with
@@ -90,7 +104,7 @@ let exec t key e =
   if e.holds then t.holding <- t.holding - 1;
   let time = fst key in
   if time > t.now then t.now <- time;
-  t.s.executed <- t.s.executed + 1;
+  Obs.Metrics.Counter.incr t.c_executed;
   e.run t.now
 
 let run_until t until =
@@ -111,4 +125,9 @@ let step t =
       exec t key e;
       true
 
-let stats t = t.s
+let stats t =
+  {
+    scheduled = Obs.Metrics.Counter.value t.c_scheduled;
+    executed = Obs.Metrics.Counter.value t.c_executed;
+    max_queue = int_of_float (Obs.Metrics.Gauge.value t.g_max_queue);
+  }

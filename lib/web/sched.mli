@@ -16,6 +16,7 @@
     them but never hold the simulation open by themselves. *)
 
 open Xchange_event
+open Xchange_obs
 
 type t
 
@@ -24,6 +25,9 @@ type stats = {
   mutable executed : int;  (** occurrences run (including ticker firings) *)
   mutable max_queue : int;  (** high-water mark of the queue length *)
 }
+(** Legacy view: {!stats} builds this record from the scheduler's
+    {!Obs.Metrics} registry cells at call time (a snapshot, not a live
+    reference). *)
 
 val create : ?origin:Clock.time -> unit -> t
 
@@ -75,3 +79,8 @@ val step : t -> bool
     [false] when the queue is empty. *)
 
 val stats : t -> stats
+
+val metrics : t -> Obs.Metrics.t
+(** The scheduler's registry: [sched.scheduled], [sched.executed],
+    [sched.max_queue], plus pull gauges [sched.queue_length],
+    [sched.holding], and [sched.now]. *)

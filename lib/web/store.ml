@@ -1,6 +1,7 @@
 open Xchange_data
 open Xchange_query
 open Xchange_rules
+open Xchange_obs
 
 type notification = { doc : string; summary : Term.t }
 
@@ -23,9 +24,10 @@ type t = {
   mutable next_watch : int;
   indexes : (string, Term_index.t) Hashtbl.t;  (** per current doc version *)
   qcache : (query_key, Subst.set) Lru.t;
-  mutable index_builds : int;
-  mutable index_invalidations : int;
-  mutable indexed_selects : int;
+  m : Obs.Metrics.t;
+  c_index_builds : Obs.Metrics.Counter.t;
+  c_index_invalidations : Obs.Metrics.Counter.t;
+  c_indexed_selects : Obs.Metrics.Counter.t;
 }
 
 type watch_id = int
@@ -33,17 +35,33 @@ type watch_id = int
 let default_cache_capacity = 512
 
 let create ?(cache_capacity = default_cache_capacity) () =
-  {
-    docs = Hashtbl.create 16;
-    graphs = Hashtbl.create 4;
-    watches = Hashtbl.create 8;
-    next_watch = 0;
-    indexes = Hashtbl.create 16;
-    qcache = Lru.create ~cap:cache_capacity;
-    index_builds = 0;
-    index_invalidations = 0;
-    indexed_selects = 0;
-  }
+  let m = Obs.Metrics.create () in
+  let t =
+    {
+      docs = Hashtbl.create 16;
+      graphs = Hashtbl.create 4;
+      watches = Hashtbl.create 8;
+      next_watch = 0;
+      indexes = Hashtbl.create 16;
+      qcache = Lru.create ~cap:cache_capacity;
+      m;
+      c_index_builds = Obs.Metrics.counter m "store.index_builds";
+      c_index_invalidations = Obs.Metrics.counter m "store.index_invalidations";
+      c_indexed_selects = Obs.Metrics.counter m "store.indexed_selects";
+    }
+  in
+  (* the LRU already counts its own traffic; sample it at snapshot time
+     instead of double-counting on the query hot path *)
+  Obs.Metrics.counter_fn m "store.query_cache_hits" (fun () -> Lru.hits t.qcache);
+  Obs.Metrics.counter_fn m "store.query_cache_misses" (fun () -> Lru.misses t.qcache);
+  Obs.Metrics.counter_fn m "store.query_cache_evictions" (fun () -> Lru.evictions t.qcache);
+  Obs.Metrics.gauge_fn m "store.query_cache_entries" (fun () ->
+      float_of_int (Lru.length t.qcache));
+  Obs.Metrics.gauge_fn m "store.live_indexes" (fun () ->
+      float_of_int (Hashtbl.length t.indexes));
+  t
+
+let metrics t = t.m
 
 (* Every document mutation drops the document's index; cached query
    answers need no eager flush because their keys embed the digest of
@@ -51,7 +69,7 @@ let create ?(cache_capacity = default_cache_capacity) () =
 let invalidate_index t name =
   if Hashtbl.mem t.indexes name then begin
     Hashtbl.remove t.indexes name;
-    t.index_invalidations <- t.index_invalidations + 1
+    Obs.Metrics.Counter.incr t.c_index_invalidations
   end
 
 let existing_index t name = Hashtbl.find_opt t.indexes name
@@ -64,7 +82,7 @@ let index_for t name =
       | None -> None
       | Some d ->
           let idx = Term_index.build d in
-          t.index_builds <- t.index_builds + 1;
+          Obs.Metrics.Counter.incr t.c_index_builds;
           Hashtbl.replace t.indexes name idx;
           Some idx)
 
@@ -115,7 +133,7 @@ let ( let* ) = Result.bind
 let update_index t name =
   match existing_index t name with
   | Some idx ->
-      t.indexed_selects <- t.indexed_selects + 1;
+      Obs.Metrics.Counter.incr t.c_indexed_selects;
       Some idx
   | None -> None
 
@@ -257,7 +275,7 @@ let backup t =
   }
 
 let rollback t b =
-  t.index_invalidations <- t.index_invalidations + Hashtbl.length t.indexes;
+  Obs.Metrics.Counter.incr ~by:(Hashtbl.length t.indexes) t.c_index_invalidations;
   Hashtbl.reset t.indexes;
   Hashtbl.reset t.docs;
   List.iter (fun (k, v) -> Hashtbl.replace t.docs k v) b.b_docs;
@@ -368,10 +386,10 @@ let stats t =
     query_cache_misses = Lru.misses t.qcache;
     query_cache_evictions = Lru.evictions t.qcache;
     query_cache_entries = Lru.length t.qcache;
-    index_builds = t.index_builds;
-    index_invalidations = t.index_invalidations;
+    index_builds = Obs.Metrics.Counter.value t.c_index_builds;
+    index_invalidations = Obs.Metrics.Counter.value t.c_index_invalidations;
     live_indexes = Hashtbl.length t.indexes;
-    indexed_selects = t.indexed_selects;
+    indexed_selects = Obs.Metrics.Counter.value t.c_indexed_selects;
   }
 
 let index t name = index_for t name

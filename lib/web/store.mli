@@ -19,6 +19,7 @@
 open Xchange_data
 open Xchange_query
 open Xchange_rules
+open Xchange_obs
 
 type t
 
@@ -97,7 +98,15 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Counters since [create] (observability for E-experiments). *)
+(** Counters since [create] (observability for E-experiments).  A
+    snapshot built from the store's {!Obs.Metrics} registry cells and
+    the LRU's own counters at call time. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The store's registry: [store.index_builds],
+    [store.index_invalidations], [store.indexed_selects], plus pull
+    cells sampling the query LRU ([store.query_cache_*]) and
+    [store.live_indexes]. *)
 
 (** {1 Snapshots} — the persistent side of a node, as one data term
     (documents and RDF graphs; watches are runtime state and are not

@@ -1,4 +1,5 @@
 open Xchange_event
+open Xchange_obs
 
 type stats = {
   mutable messages : int;
@@ -37,12 +38,24 @@ let fault_profile ?(seed = 0) ?(drop_rate = 0.) ?(dup_rate = 0.) ?(max_jitter = 
         else int_of_float (coin ~seed ~salt:3 m *. float_of_int (max_jitter + 1)));
   }
 
+type counters = {
+  c_messages : Obs.Metrics.Counter.t;
+  c_bytes : Obs.Metrics.Counter.t;
+  c_events : Obs.Metrics.Counter.t;
+  c_gets : Obs.Metrics.Counter.t;
+  c_responses : Obs.Metrics.Counter.t;
+  c_updates : Obs.Metrics.Counter.t;
+  c_dropped : Obs.Metrics.Counter.t;
+  c_duplicated : Obs.Metrics.Counter.t;
+}
+
 type t = {
   sched : Sched.t;
   lat : from:string -> to_:string -> Clock.span;
   faults : faults;
   mutable deliver : Message.t -> unit;
-  s : stats;
+  m : Obs.Metrics.t;
+  c : counters;
   record : bool;
   mutable log : Message.t list;  (** newest first *)
   mutable in_flight : int;
@@ -52,48 +65,76 @@ let default_latency ~from:_ ~to_:_ = Clock.ms 5
 
 let create ~sched ?(latency = default_latency) ?(drop = fun _ -> false) ?(faults = no_faults)
     ?(record = false) () =
-  {
-    sched;
-    lat = latency;
-    faults = { faults with drop = (fun m -> faults.drop m || drop m) };
-    deliver = (fun m -> invalid_arg (Fmt.str "Transport: no delivery callback for %a" Message.pp m));
-    s =
-      {
-        messages = 0;
-        bytes = 0;
-        events = 0;
-        gets = 0;
-        responses = 0;
-        updates = 0;
-        dropped = 0;
-        duplicated = 0;
-      };
-    record;
-    log = [];
-    in_flight = 0;
-  }
+  let m = Obs.Metrics.create () in
+  let t =
+    {
+      sched;
+      lat = latency;
+      faults = { faults with drop = (fun m -> faults.drop m || drop m) };
+      deliver = (fun m -> invalid_arg (Fmt.str "Transport: no delivery callback for %a" Message.pp m));
+      m;
+      c =
+        {
+          c_messages = Obs.Metrics.counter m "transport.messages";
+          c_bytes = Obs.Metrics.counter m "transport.bytes";
+          c_events = Obs.Metrics.counter m "transport.events";
+          c_gets = Obs.Metrics.counter m "transport.gets";
+          c_responses = Obs.Metrics.counter m "transport.responses";
+          c_updates = Obs.Metrics.counter m "transport.updates";
+          c_dropped = Obs.Metrics.counter m "transport.dropped";
+          c_duplicated = Obs.Metrics.counter m "transport.duplicated";
+        };
+      record;
+      log = [];
+      in_flight = 0;
+    }
+  in
+  Obs.Metrics.gauge_fn m "transport.in_flight" (fun () -> float_of_int t.in_flight);
+  t
 
 let on_deliver t f = t.deliver <- f
 
+let body_kind (m : Message.t) =
+  match m.Message.body with
+  | Message.Event _ -> "event"
+  | Message.Get _ -> "get"
+  | Message.Response _ -> "response"
+  | Message.Update _ -> "update"
+
 let account t (m : Message.t) =
   if t.record then t.log <- m :: t.log;
-  t.s.messages <- t.s.messages + 1;
-  t.s.bytes <- t.s.bytes + Message.size_bytes m;
+  Obs.Metrics.Counter.incr t.c.c_messages;
+  Obs.Metrics.Counter.incr ~by:(Message.size_bytes m) t.c.c_bytes;
   match m.Message.body with
-  | Message.Event _ -> t.s.events <- t.s.events + 1
-  | Message.Get _ -> t.s.gets <- t.s.gets + 1
-  | Message.Response _ -> t.s.responses <- t.s.responses + 1
-  | Message.Update _ -> t.s.updates <- t.s.updates + 1
+  | Message.Event _ -> Obs.Metrics.Counter.incr t.c.c_events
+  | Message.Get _ -> Obs.Metrics.Counter.incr t.c.c_gets
+  | Message.Response _ -> Obs.Metrics.Counter.incr t.c.c_responses
+  | Message.Update _ -> Obs.Metrics.Counter.incr t.c.c_updates
 
-let schedule_delivery t m at =
+let schedule_delivery t ?(span = 0) m at =
   t.in_flight <- t.in_flight + 1;
   Sched.at t.sched at (fun _now ->
       t.in_flight <- t.in_flight - 1;
-      t.deliver m)
+      (* the delivery occurrence runs under the span that sent the
+         message: the causal link across in-flight time *)
+      Obs.Trace.run_under span (fun () -> t.deliver m))
 
 let send t (m : Message.t) =
   account t m;
-  if t.faults.drop m then t.s.dropped <- t.s.dropped + 1
+  let span =
+    if Obs.enabled () then
+      Obs.Trace.instant ~cat:"net"
+        ~args:
+          [
+            ("kind", body_kind m);
+            ("from", m.Message.from_host);
+            ("to", m.Message.to_host);
+            ("msg_id", string_of_int m.Message.msg_id);
+          ]
+        ~name:"send" ~vt:(Sched.now t.sched) ()
+    else 0
+  in
+  if t.faults.drop m then Obs.Metrics.Counter.incr t.c.c_dropped
   else begin
     (* a message cannot depart before the present, even if stamped
        earlier (delayed actions stamp the future; nothing stamps the
@@ -102,15 +143,28 @@ let send t (m : Message.t) =
     let deliver_at =
       Clock.add departs (t.lat ~from:m.Message.from_host ~to_:m.Message.to_host + t.faults.jitter m)
     in
-    schedule_delivery t m deliver_at;
+    schedule_delivery t ~span m deliver_at;
     if t.faults.duplicate m then begin
-      t.s.duplicated <- t.s.duplicated + 1;
+      Obs.Metrics.Counter.incr t.c.c_duplicated;
       (* the ghost copy trails the original by at least one instant *)
-      schedule_delivery t m (Clock.add deliver_at (1 + t.faults.jitter m))
+      schedule_delivery t ~span m (Clock.add deliver_at (1 + t.faults.jitter m))
     end
   end
 
 let pending t = t.in_flight
-let stats t = t.s
+let metrics t = t.m
+
+let stats t =
+  {
+    messages = Obs.Metrics.Counter.value t.c.c_messages;
+    bytes = Obs.Metrics.Counter.value t.c.c_bytes;
+    events = Obs.Metrics.Counter.value t.c.c_events;
+    gets = Obs.Metrics.Counter.value t.c.c_gets;
+    responses = Obs.Metrics.Counter.value t.c.c_responses;
+    updates = Obs.Metrics.Counter.value t.c.c_updates;
+    dropped = Obs.Metrics.Counter.value t.c.c_dropped;
+    duplicated = Obs.Metrics.Counter.value t.c.c_duplicated;
+  }
+
 let latency t ~from ~to_ = t.lat ~from ~to_
 let trace t = List.rev t.log

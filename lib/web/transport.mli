@@ -1,4 +1,5 @@
 open Xchange_event
+open Xchange_obs
 
 (** Point-to-point message transport (Thesis 3).
 
@@ -13,6 +14,9 @@ open Xchange_event
     loss, duplication, and jitter-induced reordering (E2/E3/E10
     robustness profiles). *)
 
+(** Legacy view: {!stats} builds this record from the transport's
+    {!Obs.Metrics} registry cells at call time (a snapshot, not a live
+    reference). *)
 type stats = {
   mutable messages : int;
   mutable bytes : int;
@@ -78,6 +82,19 @@ val pending : t -> int
 (** Messages sent but not yet delivered (dropped ones excluded). *)
 
 val stats : t -> stats
+
+val metrics : t -> Obs.Metrics.t
+(** The transport's registry: [transport.messages], [transport.bytes],
+    the per-kind counts, [transport.dropped] / [transport.duplicated],
+    and the pull gauge [transport.in_flight].  When tracing is on
+    ({!Obs.set_enabled}), every send also emits a [send] span and the
+    delivery occurrence runs under it, so causality survives in-flight
+    time. *)
+
+val body_kind : Message.t -> string
+(** ["event"] / ["get"] / ["response"] / ["update"] — the per-kind
+    metric and span label. *)
+
 val latency : t -> from:string -> to_:string -> Clock.span
 
 val trace : t -> Message.t list

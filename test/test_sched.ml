@@ -275,10 +275,10 @@ let test_poll_under_faults () =
   Network.run net ~until:2000;
   (* eventual detection: lost polls are retried by the fetch policy, and
      later polling rounds re-read the resource anyway *)
-  Alcotest.(check int) "initial snapshot + the one change, exactly" 2 stats.Poll.changes_seen;
+  Alcotest.(check int) "initial snapshot + the one change, exactly" 2 (Poll.changes_seen stats);
   Alcotest.(check bool) "change seen after it happened" true
-    (stats.Poll.last_change_detected_at > 500);
-  Alcotest.(check bool) "polling kept going" true (stats.Poll.polls >= 15)
+    (Poll.last_change_detected_at stats > 500);
+  Alcotest.(check bool) "polling kept going" true (Poll.polls stats >= 15)
 
 let test_pubsub_under_faults () =
   let faults = Transport.fault_profile ~seed:9 ~dup_rate:1.0 ~max_jitter:10 () in
