@@ -16,6 +16,10 @@
      exactly reproducible, so a small tolerance (1.5x over a 1k floor)
      only allows intentional algorithmic change, which must come with a
      baseline regen.
+   - compiled-plan prune counters ([fingerprint_pruned],
+     [arity_pruned]): same document, same query — exactly reproducible,
+     and they must not DROP below baseline: fewer pruned subtrees means
+     the compiler stopped refuting decoys before descent.
 
    Workload-shape fields (rules/events/nodes/window/...) must match
    exactly: comparing timings of different workloads is meaningless, so
@@ -34,6 +38,7 @@ let shape_keys =
   [
     "smoke"; "rules"; "events"; "nodes"; "queries"; "repeats"; "keys"; "window";
     "probes"; "orders"; "query"; "dist"; "profile"; "stored_per_child";
+    "shape"; "records"; "leaves"; "answers";
   ]
 
 let is_count_gate key =
@@ -46,8 +51,10 @@ let contains s sub =
   m = 0 || go 0
 
 let is_time_gate key =
-  (contains key "indexed" || contains key "cached")
+  (contains key "indexed" || contains key "cached" || contains key "plan")
   && (Filename.check_suffix key "_ms" || contains key "us_per_event")
+
+let is_prune_gate key = key = "fingerprint_pruned" || key = "arity_pruned"
 
 let floor_of key = if contains key "us_per_event" then floor_us else floor_ms
 
@@ -84,11 +91,16 @@ and field path key bv cv =
     | Some b, Some c when c > tol_count *. Float.max b floor_pairs ->
         fail "%s: %.0f pairs vs baseline %.0f (> %.1fx)" path c b tol_count
     | _ -> ()
-  else if is_time_gate key then
+  else if is_time_gate key then (
     match (num bv, num cv) with
     | Some b, Some c when c > tol_time *. Float.max b (floor_of key) ->
         fail "%s: %.3f vs baseline %.3f (> %.1fx slowdown)" path c b tol_time
-    | _ -> ()
+    | _ -> ())
+  else if is_prune_gate key then (
+    match (num bv, num cv) with
+    | Some b, Some c when b > 0. && c < b ->
+        fail "%s: %.0f subtrees pruned vs baseline %.0f (pruning effectiveness lost)" path c b
+    | _ -> ())
   else walk path bv cv
 
 let read_file name =

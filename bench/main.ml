@@ -9,7 +9,8 @@
      dune exec bench/main.exe index      # hot-path indexing benchmarks
      dune exec bench/main.exe sched      # scheduler / degraded-network benchmarks
      dune exec bench/main.exe event      # composite-event join benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched+event smoke (runs in `dune runtest`)
+     dune exec bench/main.exe query      # compiled-query-plan benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event+query smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -19,7 +20,8 @@ let () =
   if smoke then begin
     Index_bench.run ~smoke:true ();
     Sched_bench.run ~smoke:true ();
-    Event_bench.run ~smoke:true ()
+    Event_bench.run ~smoke:true ();
+    Query_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -30,5 +32,6 @@ let () =
     if wanted "index" then Index_bench.run ~smoke:false ();
     if wanted "sched" then Sched_bench.run ~smoke:false ();
     if wanted "event" then Event_bench.run ~smoke:false ();
+    if wanted "query" then Query_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

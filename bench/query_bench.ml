@@ -1,0 +1,324 @@
+(* Compiled-query-plan benchmarks (HACKING.md "Query compilation"):
+   the one-pass closure-tree compiler ([Plan]) vs the interpreting
+   matcher ([Simulate.matches ~plan:false], the reference
+   implementation).
+
+   Three sweeps:
+
+   - scaling: unordered/total element matching over 1k/10k/50k-node
+     documents in two shapes (flat record list, records nested in
+     boxes).  Most records are decoys that agree with the query on
+     most child labels — the interpreter explores partial injective
+     assignments before failing, while the plan's required-label
+     fingerprint refutes them before any descent; short decoys are
+     refuted by the arity check alone.  Per case the deterministic
+     prune counters ([fingerprint_pruned], [arity_pruned]) are
+     reported alongside the timings;
+   - regex scan: anchored pre-compiled regex in the plan vs the
+     interpreter's per-leaf LRU-cached compilation;
+   - plan cache: per-call [Plan.compile] vs the [Simulate] LRU hit
+     path on a repeated query.
+
+   Prints tables and emits machine-readable BENCH_query.json.  [~smoke]
+   runs a fast subset (wired into `dune runtest`) and additionally
+   checks, per case, that both paths produce identical answer sets. *)
+
+open Xchange
+
+let speedup interp plan = interp /. Float.max plan 0.001
+
+(* ---- documents: product records under an unordered root ----
+   hit:   rec[name x2; price x2; qty; sku; vendor]        — matches
+   swap:  rec[name x2; price x2; qty; sku; seller]        — fingerprint-pruned
+   short: rec[name; price; qty]                           — arity-pruned
+   long:  rec[name x2; price x2; qty; sku; vendor; note]  — arity-pruned;
+          the interpreter only discovers the uncovered extra child after
+          exhausting the injective-assignment search *)
+
+let leaf_el label v = Term.elem label [ Term.text v ]
+
+let record i kind =
+  let n = string_of_int i in
+  match kind with
+  | `Hit ->
+      Term.elem ~ord:Term.Unordered "rec"
+        [
+          leaf_el "name" ("a" ^ n); leaf_el "name" ("b" ^ n);
+          leaf_el "price" ("10" ^ n); leaf_el "price" ("20" ^ n);
+          leaf_el "qty" n; leaf_el "sku" ("s" ^ n); leaf_el "vendor" ("v" ^ n);
+        ]
+  | `Swap ->
+      Term.elem ~ord:Term.Unordered "rec"
+        [
+          leaf_el "name" ("a" ^ n); leaf_el "name" ("b" ^ n);
+          leaf_el "price" ("10" ^ n); leaf_el "price" ("20" ^ n);
+          leaf_el "qty" n; leaf_el "sku" ("s" ^ n); leaf_el "seller" ("v" ^ n);
+        ]
+  | `Short ->
+      Term.elem ~ord:Term.Unordered "rec"
+        [ leaf_el "name" ("a" ^ n); leaf_el "price" ("10" ^ n); leaf_el "qty" n ]
+  | `Long ->
+      Term.elem ~ord:Term.Unordered "rec"
+        [
+          leaf_el "name" ("a" ^ n); leaf_el "name" ("b" ^ n);
+          leaf_el "price" ("10" ^ n); leaf_el "price" ("20" ^ n);
+          leaf_el "qty" n; leaf_el "sku" ("s" ^ n); leaf_el "vendor" ("v" ^ n);
+          leaf_el "note" ("x" ^ n);
+        ]
+
+(* a selective query over a big store: 1 hit / 3 swap / 2 short /
+   4 long decoys per 10 records *)
+let kind_of i =
+  match i mod 10 with
+  | 0 -> `Hit
+  | 1 | 4 | 7 -> `Swap
+  | 2 | 5 -> `Short
+  | _ -> `Long
+
+let records n = List.init n (fun i -> record i (kind_of i))
+
+let doc ~shape ~nrecords =
+  match shape with
+  | "flat" -> Term.elem ~ord:Term.Unordered "db" (records nrecords)
+  | "nested" ->
+      (* records grouped 10 to a box, boxes 10 to a shelf *)
+      let rec group size label = function
+        | [] -> []
+        | items ->
+            let rec take k = function
+              | x :: rest when k > 0 ->
+                  let xs, rest' = take (k - 1) rest in
+                  (x :: xs, rest')
+              | rest -> ([], rest)
+            in
+            let chunk, rest = take size items in
+            Term.elem label chunk :: group size label rest
+      in
+      Term.elem ~ord:Term.Unordered "db"
+        (group 10 "shelf" (group 10 "box" (records nrecords)))
+  | s -> invalid_arg s
+
+let rec nodes t = 1 + List.fold_left (fun acc c -> acc + nodes c) 0 (Term.children t)
+
+(* unordered/total: every data child must be consumed by some pattern *)
+let q_record =
+  Qterm.el ~ord:Term.Unordered ~spec:Qterm.Total "rec"
+    [
+      Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N1") ]);
+      Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N2") ]);
+      Qterm.pos (Qterm.el "price" [ Qterm.pos (Qterm.var "P1") ]);
+      Qterm.pos (Qterm.el "price" [ Qterm.pos (Qterm.var "P2") ]);
+      Qterm.pos (Qterm.el "qty" [ Qterm.pos (Qterm.var "Q") ]);
+      Qterm.pos (Qterm.el "sku" [ Qterm.pos (Qterm.var "S") ]);
+      Qterm.pos (Qterm.el "vendor" [ Qterm.pos (Qterm.var "V") ]);
+    ]
+
+(* ---- measurement ---- *)
+
+let subst_sets_agree a b =
+  List.length a = List.length b
+  && List.for_all (fun s -> List.exists (Subst.equal s) b) a
+  && List.for_all (fun s -> List.exists (Subst.equal s) a) b
+
+let check_agree name interp plan =
+  if not (subst_sets_agree interp plan) then
+    failwith
+      (Printf.sprintf "query bench %s: %d interpreter vs %d plan answers" name
+         (List.length interp) (List.length plan))
+
+(* [iters] evaluations; answers from the first one *)
+let timed iters f =
+  let r = ref [] in
+  let (), ms =
+    Util.time_ms (fun () ->
+        for i = 1 to iters do
+          let a = f () in
+          if i = 1 then r := a
+        done)
+  in
+  (!r, ms)
+
+type case = {
+  shape : string;
+  nrecords : int;
+  nnodes : int;
+  answers : int;
+  interp_ms : float;
+  plan_ms : float;
+  fingerprint_pruned : int;
+  arity_pruned : int;
+}
+
+let scaling_case ~check ~shape ~nrecords ~iters =
+  let d = doc ~shape ~nrecords in
+  let interp, interp_ms =
+    timed iters (fun () -> Simulate.matches_anywhere ~plan:false q_record d)
+  in
+  (* warm the plan cache outside the timed region, then count the
+     prunes of exactly the [iters] measured evaluations *)
+  let (_ : Plan.t) = Simulate.plan_of q_record in
+  let fp0 = Plan.fingerprint_pruned () and ar0 = Plan.arity_pruned () in
+  let plan, plan_ms =
+    timed iters (fun () -> Simulate.matches_anywhere ~plan:true q_record d)
+  in
+  if check then check_agree (shape ^ "/" ^ string_of_int nrecords) interp plan;
+  {
+    shape;
+    nrecords;
+    nnodes = nodes d;
+    answers = List.length plan;
+    interp_ms;
+    plan_ms;
+    fingerprint_pruned = (Plan.fingerprint_pruned () - fp0) / iters;
+    arity_pruned = (Plan.arity_pruned () - ar0) / iters;
+  }
+
+(* regex scan: one pattern over many text leaves; the plan carries the
+   compiled automaton, the interpreter looks it up in an LRU per leaf *)
+let q_regex = Qterm.el "p" [ Qterm.pos (Qterm.As ("T", Qterm.regex "p[0-9]+")) ]
+
+let regex_case ~check ~nleaves ~iters =
+  let d =
+    Term.elem "feed"
+      (List.init nleaves (fun i ->
+           Term.elem "p"
+             [ Term.text ((if i mod 2 = 0 then "p" else "x") ^ string_of_int i) ]))
+  in
+  let interp, interp_ms =
+    timed iters (fun () -> Simulate.matches_anywhere ~plan:false q_regex d)
+  in
+  let (_ : Plan.t) = Simulate.plan_of q_regex in
+  let plan, plan_ms = timed iters (fun () -> Simulate.matches_anywhere ~plan:true q_regex d) in
+  if check then check_agree "regex" interp plan;
+  (nleaves, List.length plan, interp_ms, plan_ms)
+
+(* plan cache: compiling per call vs the Simulate LRU hit path *)
+let cache_case ~repeats =
+  let d = doc ~shape:"flat" ~nrecords:20 in
+  let (_ : Subst.set), compile_ms =
+    timed repeats (fun () -> Plan.matches_anywhere (Plan.compile q_record) d)
+  in
+  let (_ : Subst.set), cached_ms =
+    timed repeats (fun () -> Simulate.matches_anywhere ~plan:true q_record d)
+  in
+  (repeats, compile_ms, cached_ms)
+
+(* ---- JSON emission (hand-rolled; no deps) ---- *)
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr elems = "[" ^ String.concat ", " elems ^ "]"
+let fi k v = Printf.sprintf "%S: %d" k v
+let ff k v = Printf.sprintf "%S: %.3f" k v
+let fs k v = Printf.sprintf "%S: %S" k v
+
+let run ~smoke () =
+  let tiers = if smoke then [ 40 ] else [ 80; 800; 4_000 ] in
+  let iters = if smoke then 3 else 5 in
+  let regex_leaves = if smoke then 200 else 5_000 in
+  let repeats = if smoke then 50 else 2_000 in
+  let check = smoke in
+  Obs.Profile.reset ();
+  Fmt.pr "@.# Compiled-query-plan benchmarks%s@." (if smoke then " (smoke)" else "");
+
+  let scaling =
+    Obs.Profile.phase "scaling" @@ fun () ->
+    List.concat_map
+      (fun shape ->
+        List.map (fun nrecords -> scaling_case ~check ~shape ~nrecords ~iters) tiers)
+      [ "flat"; "nested" ]
+  in
+  Util.print_table ~title:"unordered/total element matching: interpreter vs compiled plan"
+    ~header:
+      [ "shape"; "records"; "nodes"; "answers"; "interp ms"; "plan ms"; "fp-pruned";
+        "arity-pruned"; "speedup" ]
+    (List.map
+       (fun c ->
+         [
+           c.shape; Util.si c.nrecords; Util.si c.nnodes; Util.si c.answers;
+           Util.f2 c.interp_ms; Util.f2 c.plan_ms; Util.si c.fingerprint_pruned;
+           Util.si c.arity_pruned; Util.f1 (speedup c.interp_ms c.plan_ms) ^ "x";
+         ])
+       scaling);
+
+  let regexes =
+    Obs.Profile.phase "regex" @@ fun () ->
+    [ regex_case ~check ~nleaves:regex_leaves ~iters ]
+  in
+  Util.print_table ~title:"regex leaf scan: LRU-cached interpreter vs pre-compiled plan"
+    ~header:[ "leaves"; "answers"; "interp ms"; "plan ms"; "speedup" ]
+    (List.map
+       (fun (nleaves, answers, interp_ms, plan_ms) ->
+         [
+           Util.si nleaves; Util.si answers; Util.f2 interp_ms; Util.f2 plan_ms;
+           Util.f1 (speedup interp_ms plan_ms) ^ "x";
+         ])
+       regexes);
+
+  let cache =
+    Obs.Profile.phase "plan_cache" @@ fun () -> [ cache_case ~repeats ]
+  in
+  Util.print_table ~title:"plan cache: compile per call vs LRU hit"
+    ~header:[ "repeats"; "compile ms"; "cached ms"; "speedup" ]
+    (List.map
+       (fun (repeats, compile_ms, cached_ms) ->
+         [
+           Util.si repeats; Util.f2 compile_ms; Util.f2 cached_ms;
+           Util.f1 (speedup compile_ms cached_ms) ^ "x";
+         ])
+       cache);
+
+  let json =
+    obj
+      [
+        Printf.sprintf "%S: %s" "smoke" (string_of_bool smoke);
+        Printf.sprintf "%S: %s" "scaling"
+          (arr
+             (List.map
+                (fun c ->
+                  obj
+                    [
+                      fs "shape" c.shape; fi "records" c.nrecords; fi "nodes" c.nnodes;
+                      fi "answers" c.answers; ff "interp_ms" c.interp_ms;
+                      ff "plan_ms" c.plan_ms;
+                      fi "fingerprint_pruned" c.fingerprint_pruned;
+                      fi "arity_pruned" c.arity_pruned;
+                      ff "speedup" (speedup c.interp_ms c.plan_ms);
+                    ])
+                scaling));
+        Printf.sprintf "%S: %s" "regex"
+          (arr
+             (List.map
+                (fun (nleaves, answers, interp_ms, plan_ms) ->
+                  obj
+                    [
+                      fi "leaves" nleaves; fi "answers" answers; ff "interp_ms" interp_ms;
+                      ff "plan_ms" plan_ms; ff "speedup" (speedup interp_ms plan_ms);
+                    ])
+                regexes));
+        Printf.sprintf "%S: %s" "plan_cache"
+          (arr
+             (List.map
+                (fun (repeats, compile_ms, cached_ms) ->
+                  obj
+                    [
+                      fi "repeats" repeats; ff "compile_ms" compile_ms;
+                      ff "cached_ms" cached_ms;
+                      ff "speedup" (speedup compile_ms cached_ms);
+                    ])
+                cache));
+        Printf.sprintf "%S: %s" "metrics"
+          (Json.to_string
+             (Json.Obj
+                [
+                  (* key names chosen to stay clear of the regression
+                     gate's shape_keys: these are informational *)
+                  ("phase_profile", Obs.Profile.to_json ());
+                  ("query_counters", Obs.Metrics.to_json (Obs.Metrics.snapshot Simulate.metrics));
+                ]));
+      ]
+  in
+  let oc = open_out "BENCH_query.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_query.json@."

@@ -43,6 +43,7 @@ module Lru = Xchange_query.Lru
 module Subst = Xchange_query.Subst
 module Qterm = Xchange_query.Qterm
 module Simulate = Xchange_query.Simulate
+module Plan = Xchange_query.Plan
 module Builtin = Xchange_query.Builtin
 module Construct = Xchange_query.Construct
 module Condition = Xchange_query.Condition

@@ -2,15 +2,26 @@ open Xchange_query
 
 let ( let* ) = Option.bind
 
-let match_atomic (a : Event_query.atomic) e =
-  let label_ok = match a.Event_query.label with Some l -> String.equal l e.Event.label | None -> true in
-  let sender_ok =
-    match a.Event_query.sender with Some s -> String.equal s e.Event.sender | None -> true
+(* Atomic payload matching goes through the compiled-plan path: the plan
+   is fetched once per history sweep (one cache lookup), not once per
+   event, and falls back to the interpreter under [XCHANGE_NO_PLAN]. *)
+let atomic_matcher (a : Event_query.atomic) =
+  let payload_matches =
+    match Simulate.plan a.Event_query.pattern with
+    | Some p -> Plan.matches p
+    | None -> Simulate.matches a.Event_query.pattern
   in
-  if not (label_ok && sender_ok) then []
-  else
-    Simulate.matches a.Event_query.pattern e.Event.payload
-    |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id)
+  fun e ->
+    let label_ok =
+      match a.Event_query.label with Some l -> String.equal l e.Event.label | None -> true
+    in
+    let sender_ok =
+      match a.Event_query.sender with Some s -> String.equal s e.Event.sender | None -> true
+    in
+    if not (label_ok && sender_ok) then []
+    else
+      payload_matches e.Event.payload
+      |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id)
 
 (* Tuples drawn one instance per child, combined; [ordered] additionally
    requires strict temporal order between consecutive constituents. *)
@@ -91,7 +102,9 @@ let window_slices window values =
 
 let rec eval q history ~now : Instance.t list =
   match q with
-  | Event_query.Atomic a -> List.concat_map (match_atomic a) (History.events history)
+  | Event_query.Atomic a ->
+      let m = atomic_matcher a in
+      List.concat_map m (History.events history)
   | Event_query.And qs ->
       join_tuples ~ordered:false (List.map (fun q -> eval q history ~now) qs)
       |> Instance.dedup

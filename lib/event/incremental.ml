@@ -20,7 +20,10 @@ type node = {
 }
 
 and kind =
-  | NAtomic of Event_query.atomic
+  | NAtomic of Event_query.atomic * (Xchange_data.Term.t -> Subst.set)
+      (** the payload matcher is compiled once at build time (a {!Plan}
+          when plan routing is on, the interpreter otherwise), so the
+          per-event hot path skips even the global plan-cache lookup *)
   | NAnd of node list
   | NOr of node list
   | NSeq of node list
@@ -113,8 +116,13 @@ let rec build ?horizon ~index ~ctx ~stored_bound ~key (q : Event_query.t) : node
   let child ?(key = []) ~ctx ~stored_bound q =
     build ?horizon ~index ~ctx ~stored_bound ~key q
   in
+  let compile_atomic (a : Event_query.atomic) =
+    match Simulate.plan a.Event_query.pattern with
+    | Some p -> Plan.matches p
+    | None -> fun payload -> Simulate.matches a.Event_query.pattern payload
+  in
   match q with
-  | Event_query.Atomic a -> mk (NAtomic a) effective_bound
+  | Event_query.Atomic a -> mk (NAtomic (a, compile_atomic a)) effective_bound
   | Event_query.And qs -> mk (NAnd (join_children qs)) effective_bound
   | Event_query.Seq qs -> mk (NSeq (join_children qs)) effective_bound
   | Event_query.Or qs ->
@@ -425,7 +433,7 @@ let acc_feed st fresh =
    were live at ITS time, not at the clock's. *)
 let rec fresh_of ~index node input ~now : Instance.t list =
   match node.kind with
-  | NAtomic a -> (
+  | NAtomic (a, payload_matches) -> (
       match input with
       | Now _ -> []
       | Ev e ->
@@ -441,7 +449,7 @@ let rec fresh_of ~index node input ~now : Instance.t list =
           in
           if not (label_ok && sender_ok) then []
           else
-            Simulate.matches a.Event_query.pattern e.Event.payload
+            payload_matches e.Event.payload
             |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id))
   | NAnd children -> join_children ~index ~ordered:false children input ~now
   | NSeq children -> join_children ~index ~ordered:true children input ~now

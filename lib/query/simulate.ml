@@ -1,16 +1,21 @@
 open Xchange_data
+open Xchange_obs
 
 (* Regexes are referenced by their source text in query terms; compile
    once per distinct pattern.  The cache is bounded (rule programs are
    finite but adversarial or generated query streams are not) — least
-   recently used patterns are recompiled if they come back. *)
+   recently used patterns are recompiled if they come back.  Compiled
+   plans embed their own regexes; this cache only serves the
+   interpreter path.  Patterns are [Re.whole_string]-anchored at
+   compile time, so a leaf visit is a single [Re.execp] instead of an
+   unanchored search plus a group-0 / full-input comparison. *)
 let regex_cache : (string, Re.re) Lru.t = Lru.create ~cap:256
 
 let compiled_regex r =
   match Lru.find regex_cache r with
   | Some re -> re
   | None ->
-      let re = Re.compile (Re.Pcre.re r) in
+      let re = Re.compile (Re.whole_string (Re.Pcre.re r)) in
       Lru.add regex_cache r re;
       re
 
@@ -24,10 +29,7 @@ let match_leaf_pat pat t =
   | Qterm.Bool_is b, Term.Bool b' -> Bool.equal b b'
   | Qterm.Regex r, _ -> (
       match Term.as_text t with
-      | Some s -> (
-          match Re.exec_opt (compiled_regex r) s with
-          | Some g -> String.equal (Re.Group.get g 0) s
-          | None -> false)
+      | Some s -> Re.execp (compiled_regex r) s
       | None -> false)
   | Qterm.Leaf_any, Term.Elem _ -> false
   | Qterm.Bool_is _, (Term.Text _ | Term.Num _ | Term.Elem _) -> false
@@ -66,10 +68,15 @@ let rec match_term q t subst =
       | Term.Elem e -> match_elem ep e subst
       | Term.Text _ | Term.Num _ | Term.Bool _ -> [])
 
+(* Accumulate over the whole subtree and dedup once at the top: the old
+   per-level [Subst.dedup (here @ below)] was O(depth * n^2) on deep
+   documents and allocated a fresh list per level. *)
 and match_desc q t subst =
-  let here = match_term q t subst in
-  let below = List.concat_map (fun c -> match_desc q c subst) (Term.children t) in
-  Subst.dedup (here @ below)
+  let rec go acc t =
+    let acc = List.rev_append (match_term q t subst) acc in
+    List.fold_left go acc (Term.children t)
+  in
+  Subst.dedup (go [] t)
 
 and match_elem ep e subst =
   let after_label = match_label ep.Qterm.label e.Term.label subst in
@@ -105,29 +112,7 @@ and match_elem ep e subst =
       negatives
   in
   let answers = Subst.dedup (List.filter passes_negatives after_children) in
-  if has_optionals then maximal_only answers else answers
-
-(* Optional subterms bind "when possible": an answer that is a strict
-   sub-binding of another answer only exists because an optional pattern
-   was skipped although it could match — drop it. *)
-and maximal_only answers =
-  match answers with
-  | [] | [ _ ] -> answers
-  | _ ->
-      (* when every answer binds the same number of variables no answer
-         can be a strict sub-binding of another — skip the O(n^2) scan *)
-      let cards = List.map Subst.cardinal answers in
-      let mn = List.fold_left min max_int cards and mx = List.fold_left max 0 cards in
-      if mn = mx then answers
-      else
-        let subsumed_by bigger smaller =
-          (not (Subst.equal bigger smaller))
-          && Subst.cardinal smaller < Subst.cardinal bigger
-          && Subst.equal (Subst.restrict (Subst.domain smaller) bigger) smaller
-        in
-        List.filter
-          (fun s -> not (List.exists (fun s' -> subsumed_by s' s) answers))
-          answers
+  if has_optionals then Subst.maximal_only answers else answers
 
 and match_children ~unordered ~total patterns data subst =
   match (unordered, total) with
@@ -186,43 +171,84 @@ and match_children ~unordered ~total patterns data subst =
       in
       go patterns data subst
 
-let matches ?(seed = Subst.empty) q t = Subst.dedup (match_term q t seed)
+(* ---- compiled-plan routing ------------------------------------------ *)
 
-(* [matches_anywhere (Desc q)] and [matches_anywhere q] deliver the same
-   answer set (the unions over all subterms coincide), so outer [Desc]
-   wrappers can be peeled before looking for an anchor. *)
-let rec peel_desc = function Qterm.Desc q -> peel_desc q | q -> q
+(* The interpreter above stays the reference implementation; by default
+   every entry point routes through a compiled {!Plan}, fetched from a
+   bounded structural-keyed cache (rule programs evaluate the same
+   finite query set over and over).  [XCHANGE_NO_PLAN=1] (read once at
+   startup) or [~plan:false] per call restores the interpreter — the
+   escape hatch the differential property suite drives. *)
 
-(* Which nodes can root-match [q]: elements with one exact label, or
-   scalar leaves with one exact text — the two shapes a {!Term_index}
-   can enumerate directly.  [As] binds the node [q'] matches, so it
-   keeps its anchor; anything else ([Var], [L_var], [L_any], inner
-   [Desc]...) can sit on arbitrary nodes. *)
-let rec anchor = function
-  | Qterm.El { Qterm.label = Qterm.L l; _ } -> Some (`Label l)
-  | Qterm.Leaf (Qterm.Text_is s) -> Some (`Leaf s)
-  | Qterm.As (_, q) -> anchor q
-  | Qterm.Var _ | Qterm.Leaf _ | Qterm.El _ | Qterm.Desc _ -> None
+let plan_cache : (Qterm.t, Plan.t) Lru.t = Lru.create ~cap:512
 
-let matches_anywhere ?index ?(seed = Subst.empty) q t =
-  match index with
-  | None -> Subst.dedup (match_desc q t seed)
-  | Some idx -> (
-      let q' = peel_desc q in
-      match anchor q' with
-      | None -> Subst.dedup (match_desc q t seed)
-      | Some a ->
-          let paths =
-            match a with
-            | `Label l -> Term_index.paths_with_label idx l
-            | `Leaf s -> Term_index.paths_with_leaf idx s
-          in
-          Subst.dedup
-            (List.concat_map
-               (fun p ->
-                 match Path.get t p with
-                 | Some node -> match_term q' node seed
-                 | None -> [])
-               paths))
+let plan_default =
+  match Sys.getenv_opt "XCHANGE_NO_PLAN" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
 
-let holds ?seed q t = matches ?seed q t <> []
+let plan_enabled () = plan_default
+
+let plan_of q =
+  match Lru.find plan_cache q with
+  | Some p -> p
+  | None ->
+      let p = Plan.compile q in
+      Lru.add plan_cache q p;
+      p
+
+let plan q = if plan_default then Some (plan_of q) else None
+
+(* Query-layer observability: the plan cache and the plan work counters
+   are process-global (queries are values, not component instances), so
+   one module-level registry carries them; benches and harnesses
+   snapshot it directly. *)
+let metrics =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.counter_fn m "query.plan_cache_hits" (fun () -> Lru.hits plan_cache);
+  Obs.Metrics.counter_fn m "query.plan_cache_misses" (fun () -> Lru.misses plan_cache);
+  Obs.Metrics.counter_fn m "query.plan_cache_evictions" (fun () -> Lru.evictions plan_cache);
+  Obs.Metrics.counter_fn m "query.plans_compiled" (fun () -> Plan.compiled_count ());
+  Obs.Metrics.counter_fn m "query.fingerprint_pruned" (fun () -> Plan.fingerprint_pruned ());
+  Obs.Metrics.counter_fn m "query.arity_pruned" (fun () -> Plan.arity_pruned ());
+  Obs.Metrics.counter_fn m "query.regex_cache_hits" (fun () -> Lru.hits regex_cache);
+  Obs.Metrics.counter_fn m "query.regex_cache_misses" (fun () -> Lru.misses regex_cache);
+  m
+
+let matches ?(plan = plan_default) ?(seed = Subst.empty) q t =
+  if plan then Plan.matches ~seed (plan_of q) t
+  else Subst.dedup (match_term q t seed)
+
+(* parents of the indexed label's occurrences, deduplicated (the root
+   path [] has no parent and is dropped) *)
+let parent_paths paths =
+  List.filter_map
+    (fun p -> match List.rev p with [] -> None | _ :: rev -> Some (List.rev rev))
+    paths
+  |> List.sort_uniq Stdlib.compare
+
+let matches_anywhere ?(plan = plan_default) ?index ?(seed = Subst.empty) q t =
+  if plan then Plan.matches_anywhere ?index ~seed (plan_of q) t
+  else
+    match index with
+    | None -> match_desc q t seed
+    | Some idx -> (
+        let q' = Qterm.peel_desc q in
+        match Qterm.anchor q' with
+        | None -> match_desc q t seed
+        | Some a ->
+            let paths =
+              match a with
+              | Qterm.A_label l -> Term_index.paths_with_label idx l
+              | Qterm.A_leaf s -> Term_index.paths_with_leaf idx s
+              | Qterm.A_parent_label l -> parent_paths (Term_index.paths_with_label idx l)
+            in
+            Subst.dedup
+              (List.concat_map
+                 (fun p ->
+                   match Path.get t p with
+                   | Some node -> match_term q' node seed
+                   | None -> [])
+                 paths))
+
+let holds ?plan ?seed q t = matches ?plan ?seed q t <> []

@@ -92,6 +92,28 @@ let dedup set =
 
 let union a b = dedup (a @ b)
 
+(* Optional subterms bind "when possible": an answer that is a strict
+   sub-binding of another answer only exists because an optional pattern
+   was skipped although it could match — drop it. *)
+let maximal_only answers =
+  match answers with
+  | [] | [ _ ] -> answers
+  | _ ->
+      (* when every answer binds the same number of variables no answer
+         can be a strict sub-binding of another — skip the O(n^2) scan *)
+      let cards = List.map cardinal answers in
+      let mn = List.fold_left min max_int cards and mx = List.fold_left max 0 cards in
+      if mn = mx then answers
+      else
+        let subsumed_by bigger smaller =
+          (not (equal bigger smaller))
+          && cardinal smaller < cardinal bigger
+          && equal (restrict (domain smaller) bigger) smaller
+        in
+        List.filter
+          (fun s -> not (List.exists (fun s' -> subsumed_by s' s) answers))
+          answers
+
 let join a b =
   List.concat_map (fun sa -> List.filter_map (fun sb -> merge sa sb) b) a |> dedup
 

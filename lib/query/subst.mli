@@ -57,4 +57,12 @@ val union : set -> set -> set
 val join : set -> set -> set
 (** All pairwise merges that succeed. *)
 
+val maximal_only : set -> set
+(** Drop answers that are strict sub-bindings of another answer —
+    Xcerpt's "optional binds when possible": an answer binding strictly
+    fewer variables than a consistent superset answer only exists
+    because an optional pattern was skipped although it could match.
+    Shared by the interpreting matcher ({!Simulate}) and compiled plans
+    ({!Plan}). *)
+
 val pp_set : set Fmt.t

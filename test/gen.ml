@@ -84,6 +84,109 @@ let qterm_gen : Qterm.t QCheck.Gen.t =
 
 let qterm_arb = QCheck.make ~print:(Fmt.str "%a" Qterm.pp) qterm_gen
 
+(* ---- full-surface generators (plan differential suite) ----------------
+   The compiled-plan oracle test needs the whole query surface: regex
+   leaves, label variables / wildcards, attribute patterns — and data
+   terms that carry attributes for them to hit. *)
+
+let attr_key = QCheck.Gen.oneofl [ "k"; "id"; "lang" ]
+
+(* all anchored-matchable; "gold|red" exercises whole-string alternation *)
+let safe_regex = QCheck.Gen.oneofl [ "x"; "[a-z]+"; "p[0-9]+"; ".*"; "gold|red" ]
+
+let attrs_gen =
+  QCheck.Gen.(
+    map
+      (fun kvs ->
+        (* Term.elem rejects duplicate keys *)
+        List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) kvs)
+      (list_size (int_bound 2) (pair attr_key small_text)))
+
+(* data terms with attributes, size-bounded *)
+let term_full_gen : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_bound 12) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map Term.text small_text;
+            map (fun i -> Term.int i) (int_bound 100);
+            map Term.bool_ bool;
+          ]
+      else
+        frequency
+          [
+            (1, map Term.text small_text);
+            (1, map (fun i -> Term.int i) (int_bound 100));
+            ( 3,
+              map3
+                (fun label (ord, attrs) children -> Term.elem ~ord ~attrs label children)
+                small_label (pair ordering attrs_gen)
+                (list_size (int_bound 3) (self (n / 2))) );
+          ])
+
+let term_full_arb = QCheck.make ~print:Term.to_string term_full_gen
+
+let label_pat_gen =
+  QCheck.Gen.frequency
+    [
+      (4, QCheck.Gen.map (fun l -> Qterm.L l) small_label);
+      (1, QCheck.Gen.return Qterm.L_any);
+      (1, QCheck.Gen.map (fun v -> Qterm.L_var v) var_name);
+    ]
+
+let attr_pat_gen =
+  QCheck.Gen.(
+    pair attr_key
+      (oneof
+         [
+           map (fun s -> Qterm.A_is s) small_text;
+           map (fun v -> Qterm.A_var v) var_name;
+           return Qterm.A_any;
+         ]))
+
+let leaf_pat_full_gen =
+  QCheck.Gen.frequency
+    [ (4, leaf_pat_gen); (1, QCheck.Gen.map (fun r -> Qterm.Regex r) safe_regex) ]
+
+(* query terms over the whole surface: ordered/unordered x total/partial
+   x optional x without x As/Desc/regex/label-var/attrs *)
+let qterm_full_gen : Qterm.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_bound 8) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun v -> Qterm.Var v) var_name; map (fun p -> Qterm.Leaf p) leaf_pat_full_gen ]
+      else
+        frequency
+          [
+            (1, map (fun v -> Qterm.Var v) var_name);
+            (1, map (fun p -> Qterm.Leaf p) leaf_pat_full_gen);
+            (1, map2 (fun v q -> Qterm.As (v, q)) var_name (self (n / 2)));
+            (1, map (fun q -> Qterm.Desc q) (self (n / 2)));
+            ( 4,
+              let spec = oneofl [ Qterm.Total; Qterm.Partial ] in
+              let child =
+                frequency
+                  [
+                    (4, map Qterm.pos (self (n / 2)));
+                    (1, map Qterm.without (self (n / 2)));
+                    (1, map Qterm.opt (self (n / 2)));
+                  ]
+              in
+              map3
+                (fun label ((spec, ord), attrs) children ->
+                  Qterm.El { Qterm.label; attrs; ord; spec; children })
+                label_pat_gen
+                (pair (pair spec ordering)
+                   (map
+                      (List.sort_uniq (fun (a, _) (b, _) -> String.compare a b))
+                      (list_size (int_bound 2) attr_pat_gen)))
+                (list_size (int_bound 3) child) );
+          ])
+
+let qterm_full_arb = QCheck.make ~print:(Fmt.str "%a" Qterm.pp) qterm_full_gen
+
 (* event streams: (time, label, payload) with non-decreasing times *)
 let event_stream_gen ~labels ~max_len ~max_gap : Event.t list QCheck.Gen.t =
   let open QCheck.Gen in

@@ -1,0 +1,229 @@
+(* Compiled query plans (lib/query/plan.ml) must be a pure acceleration
+   of the interpreting matcher: every property here runs the compiled
+   path against the interpreter ([~plan:false], the reference
+   implementation) on randomly generated queries x documents over the
+   whole query surface — ordered/unordered x total/partial x optional x
+   without x As/Desc/regex/label-var/attrs — and demands identical
+   answers.  See HACKING.md "Query compilation". *)
+
+open Xchange
+
+let subst_sets_equal a b = List.equal Subst.equal a b
+
+let pp_set = Fmt.str "%a" Subst.pp_set
+
+let seed_x = Option.get (Subst.of_list [ ("X", Term.text "x") ])
+
+(* ---- differential: compiled plan = interpreter ---- *)
+
+let root_prop ~seed (q, t) =
+  let interp = Simulate.matches ~plan:false ~seed q t in
+  let compiled = Simulate.matches ~plan:true ~seed q t in
+  if subst_sets_equal interp compiled then true
+  else
+    QCheck.Test.fail_reportf "query %a@.doc %s@.interp: %s@.plan: %s" Qterm.pp q
+      (Term.to_string t) (pp_set interp) (pp_set compiled)
+
+let prop_plan_root =
+  QCheck.Test.make ~name:"plan: matches = interpreter" ~count:2000
+    (QCheck.pair Gen.qterm_full_arb Gen.term_full_arb)
+    (root_prop ~seed:Subst.empty)
+
+let prop_plan_root_seeded =
+  QCheck.Test.make ~name:"plan: matches = interpreter (seeded)" ~count:500
+    (QCheck.pair Gen.qterm_full_arb Gen.term_full_arb)
+    (root_prop ~seed:seed_x)
+
+(* anywhere-matching: interpreter / plan x unindexed / indexed must all
+   agree (the index additionally exercises the anchor pruning, including
+   the parent-of-label see-through) *)
+let anywhere_prop (q, t) =
+  let index = Term_index.build t in
+  let reference = Simulate.matches_anywhere ~plan:false q t in
+  let variants =
+    [
+      ("interp+index", Simulate.matches_anywhere ~plan:false ~index q t);
+      ("plan", Simulate.matches_anywhere ~plan:true q t);
+      ("plan+index", Simulate.matches_anywhere ~plan:true ~index q t);
+    ]
+  in
+  match List.find_opt (fun (_, s) -> not (subst_sets_equal reference s)) variants with
+  | None -> true
+  | Some (name, s) ->
+      QCheck.Test.fail_reportf "query %a@.doc %s@.interp: %s@.%s: %s" Qterm.pp q
+        (Term.to_string t) (pp_set reference) name (pp_set s)
+
+let prop_plan_anywhere =
+  QCheck.Test.make ~name:"plan: matches_anywhere = interpreter (+/- index)" ~count:2000
+    (QCheck.pair Gen.qterm_full_arb Gen.term_full_arb)
+    anywhere_prop
+
+(* ---- fingerprint pruning: fires, and prunes only true rejections ---- *)
+
+let test_fingerprint_prune () =
+  (* decoys carry the right label but cannot contain the required child
+     labels — the fingerprint refutes them before any descent *)
+  let hit i =
+    Term.elem ~ord:Term.Unordered "rec"
+      [
+        Term.elem "name" [ Term.text (Printf.sprintf "n%d" i) ];
+        Term.elem "price" [ Term.int i ];
+      ]
+  in
+  let decoy i =
+    Term.elem ~ord:Term.Unordered "rec"
+      [ Term.elem "name" [ Term.text (Printf.sprintf "d%d" i) ]; Term.elem "qty" [ Term.int i ] ]
+  in
+  let doc =
+    Term.elem ~ord:Term.Unordered "db"
+      (List.init 20 (fun i -> if i mod 2 = 0 then hit i else decoy i))
+  in
+  let q =
+    Qterm.el ~ord:Term.Unordered "rec"
+      [
+        Qterm.pos (Qterm.el "name" [ Qterm.pos (Qterm.var "N") ]);
+        Qterm.pos (Qterm.el "price" [ Qterm.pos (Qterm.var "P") ]);
+      ]
+  in
+  let before = Plan.fingerprint_pruned () in
+  let compiled = Simulate.matches_anywhere ~plan:true q doc in
+  let pruned = Plan.fingerprint_pruned () - before in
+  let interp = Simulate.matches_anywhere ~plan:false q doc in
+  Alcotest.(check bool) "answers equal" true (subst_sets_equal interp compiled);
+  Alcotest.(check int) "10 hits" 10 (List.length compiled);
+  Alcotest.(check int) "10 decoys fingerprint-pruned" 10 pruned
+
+(* ---- plan cache: second evaluation hits ---- *)
+
+let test_plan_cache () =
+  let q = Qterm.el "cache-probe" [ Qterm.pos (Qterm.var "X") ] in
+  let doc = Term.elem "cache-probe" [ Term.text "v" ] in
+  let hits_of () =
+    match Obs.Metrics.find (Obs.Metrics.snapshot Simulate.metrics) "query.plan_cache_hits" with
+    | Some (Obs.Metrics.Int n) -> n
+    | _ -> Alcotest.fail "plan_cache_hits cell missing"
+  in
+  (* [~plan:true] so the test also runs under XCHANGE_NO_PLAN=1 *)
+  let (_ : Subst.set) = Simulate.matches ~plan:true q doc in
+  let h0 = hits_of () in
+  let (_ : Subst.set) = Simulate.matches ~plan:true q doc in
+  Alcotest.(check bool) "second evaluation hits the plan cache" true (hits_of () > h0)
+
+(* ---- store coherence: document mutation yields fresh answers ---- *)
+
+let test_store_mutation () =
+  let store = Store.create () in
+  Store.add_doc store "/db" (Term.elem "db" [ Term.elem "item" [ Term.text "a" ] ]);
+  let q = Qterm.el "item" [ Qterm.pos (Qterm.var "X") ] in
+  let a1 = Store.query store ~doc:"/db" q in
+  Alcotest.(check int) "one answer before mutation" 1 (List.length a1);
+  (match
+     Store.apply store
+       (Action.U_insert
+          {
+            doc = "/db";
+            selector = [];
+            at = None;
+            content = Term.elem "item" [ Term.text "b" ];
+          })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let a2 = Store.query store ~doc:"/db" q in
+  Alcotest.(check int) "two answers after mutation" 2 (List.length a2);
+  (* and they match a fresh interpreter evaluation of the new version *)
+  let fresh =
+    Simulate.matches_anywhere ~plan:false q (Option.get (Store.doc store "/db"))
+  in
+  Alcotest.(check bool) "cached+plan = fresh interpreter" true (subst_sets_equal fresh a2)
+
+(* ---- anchor: see-through and pinned fallback ---- *)
+
+let test_anchor_see_through () =
+  (* any-labelled element with an exactly-labelled required child
+     anchors at parents of that label *)
+  let q =
+    Qterm.El
+      {
+        Qterm.label = Qterm.L_any;
+        attrs = [];
+        ord = Term.Unordered;
+        spec = Qterm.Partial;
+        children = [ Qterm.pos (Qterm.el "needle" [ Qterm.pos (Qterm.var "X") ]) ];
+      }
+  in
+  (match Qterm.anchor q with
+  | Some (Qterm.A_parent_label "needle") -> ()
+  | _ -> Alcotest.fail "expected A_parent_label anchor");
+  (* pinned fallback: no exactly-labelled required child -> no anchor *)
+  let no_anchor children =
+    Qterm.anchor
+      (Qterm.El
+         {
+           Qterm.label = Qterm.L_any;
+           attrs = [];
+           ord = Term.Unordered;
+           spec = Qterm.Partial;
+           children;
+         })
+  in
+  Alcotest.(check bool) "var child: full traversal" true
+    (no_anchor [ Qterm.pos (Qterm.var "X") ] = None);
+  Alcotest.(check bool) "optional exact child: full traversal" true
+    (no_anchor [ Qterm.opt (Qterm.el "needle" []) ] = None);
+  Alcotest.(check bool) "desc-wrapped exact child: full traversal" true
+    (no_anchor [ Qterm.pos (Qterm.desc (Qterm.el "needle" [])) ] = None);
+  (* label variables never anchor *)
+  Alcotest.(check bool) "label-var root: full traversal" true
+    (Qterm.anchor
+       (Qterm.El
+          {
+            Qterm.label = Qterm.L_var "L";
+            attrs = [];
+            ord = Term.Unordered;
+            spec = Qterm.Partial;
+            children = [ Qterm.pos (Qterm.el "needle" []) ];
+          })
+    = None);
+  (* equivalence on a document with needles at several depths, including
+     directly under the root *)
+  let doc =
+    Term.elem "db"
+      [
+        Term.elem "needle" [ Term.text "top" ];
+        Term.elem "box" [ Term.elem "needle" [ Term.text "deep" ] ];
+        Term.elem "box" [ Term.elem "other" [ Term.text "no" ] ];
+      ]
+  in
+  let index = Term_index.build doc in
+  let naive = Simulate.matches_anywhere ~plan:false q doc in
+  Alcotest.(check bool) "indexed interp = naive" true
+    (subst_sets_equal naive (Simulate.matches_anywhere ~plan:false ~index q doc));
+  Alcotest.(check bool) "indexed plan = naive" true
+    (subst_sets_equal naive (Simulate.matches_anywhere ~plan:true ~index q doc));
+  Alcotest.(check int) "both needle parents found" 2 (List.length naive)
+
+(* ---- anchored regex: whole-leaf semantics on both paths ---- *)
+
+let test_regex_anchored () =
+  let q = Qterm.el "a" [ Qterm.pos (Qterm.regex "gold|red") ] in
+  let yes = Term.elem "a" [ Term.text "red" ] in
+  let no = Term.elem "a" [ Term.text "reddish" ] in
+  List.iter
+    (fun plan ->
+      Alcotest.(check bool) "alternation matches whole leaf" true (Simulate.holds ~plan q yes);
+      Alcotest.(check bool) "substring match rejected" false (Simulate.holds ~plan q no))
+    [ true; false ]
+
+let suite =
+  ( "plan",
+    [
+      QCheck_alcotest.to_alcotest ~long:true prop_plan_root;
+      QCheck_alcotest.to_alcotest prop_plan_root_seeded;
+      QCheck_alcotest.to_alcotest ~long:true prop_plan_anywhere;
+      Alcotest.test_case "fingerprint pruning" `Quick test_fingerprint_prune;
+      Alcotest.test_case "plan cache hits" `Quick test_plan_cache;
+      Alcotest.test_case "store mutation coherence" `Quick test_store_mutation;
+      Alcotest.test_case "anchor see-through + fallback" `Quick test_anchor_see_through;
+      Alcotest.test_case "anchored regex semantics" `Quick test_regex_anchored;
+    ] )
