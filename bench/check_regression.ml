@@ -20,6 +20,11 @@
      [arity_pruned]): same document, same query — exactly reproducible,
      and they must not DROP below baseline: fewer pruned subtrees means
      the compiler stopped refuting decoys before descent.
+   - the subscription-index candidate count ([candidates_per_publish]):
+     deterministic for a fixed subscription set, and the whole point of
+     the trie is that it does NOT scale with registrations — growth
+     beyond 1.5x the baseline (over a small floor) means publish
+     dispatch degraded back towards a linear scan.
 
    Workload-shape fields (rules/events/nodes/window/...) must match
    exactly: comparing timings of different workloads is meaningless, so
@@ -33,12 +38,14 @@ let tol_count = 1.5
 let floor_ms = 5.0
 let floor_us = 20.0
 let floor_pairs = 1000.0
+let floor_candidates = 4.0
 
 let shape_keys =
   [
     "smoke"; "rules"; "events"; "nodes"; "queries"; "repeats"; "keys"; "window";
     "probes"; "orders"; "query"; "dist"; "profile"; "stored_per_child";
     "shape"; "records"; "leaves"; "answers";
+    "subs"; "topics"; "fanout"; "publishes";
   ]
 
 let is_count_gate key =
@@ -55,6 +62,7 @@ let is_time_gate key =
   && (Filename.check_suffix key "_ms" || contains key "us_per_event")
 
 let is_prune_gate key = key = "fingerprint_pruned" || key = "arity_pruned"
+let is_candidates_gate key = key = "candidates_per_publish"
 
 let floor_of key = if contains key "us_per_event" then floor_us else floor_ms
 
@@ -100,6 +108,13 @@ and field path key bv cv =
     match (num bv, num cv) with
     | Some b, Some c when b > 0. && c < b ->
         fail "%s: %.0f subtrees pruned vs baseline %.0f (pruning effectiveness lost)" path c b
+    | _ -> ())
+  else if is_candidates_gate key then (
+    match (num bv, num cv) with
+    | Some b, Some c when c > tol_count *. Float.max b floor_candidates ->
+        fail
+          "%s: %.1f candidates per publish vs baseline %.1f (dispatch scaling with registrations?)"
+          path c b
     | _ -> ())
   else walk path bv cv
 

@@ -10,7 +10,8 @@
      dune exec bench/main.exe sched      # scheduler / degraded-network benchmarks
      dune exec bench/main.exe event      # composite-event join benchmarks
      dune exec bench/main.exe query      # compiled-query-plan benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched+event+query smoke (runs in `dune runtest`)
+     dune exec bench/main.exe pubsub     # subscription-index publish benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -21,7 +22,8 @@ let () =
     Index_bench.run ~smoke:true ();
     Sched_bench.run ~smoke:true ();
     Event_bench.run ~smoke:true ();
-    Query_bench.run ~smoke:true ()
+    Query_bench.run ~smoke:true ();
+    Pubsub_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -33,5 +35,6 @@ let () =
     if wanted "sched" then Sched_bench.run ~smoke:false ();
     if wanted "event" then Event_bench.run ~smoke:false ();
     if wanted "query" then Query_bench.run ~smoke:false ();
+    if wanted "pubsub" then Pubsub_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

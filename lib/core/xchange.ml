@@ -44,6 +44,7 @@ module Subst = Xchange_query.Subst
 module Qterm = Xchange_query.Qterm
 module Simulate = Xchange_query.Simulate
 module Plan = Xchange_query.Plan
+module Sub_index = Xchange_query.Sub_index
 module Builtin = Xchange_query.Builtin
 module Construct = Xchange_query.Construct
 module Condition = Xchange_query.Condition

@@ -36,8 +36,17 @@ type t = {
       (** event label -> indices of rules that can react, ascending *)
   wildcard : int list;  (** rules reacting to any label ([labels = None]) *)
   clocked : int list;  (** rules with absence timers to advance when skipped *)
+  always_bucket : int list;
+      (** wildcard + clocked merged once at build time: the rules every
+          batch visits under label dispatch *)
+  sub : int Sub_index.t option;
+      (** every rule atom registered by (label, payload fingerprint);
+          [Some] iff [index] and the sub-index is enabled — dispatch then
+          refutes rules whose atom patterns cannot match the payload,
+          not just label mismatches *)
   derivation : Deductive_event.t;
   index : bool;
+  subindex : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
   remote_deps : ([ `Doc | `Rdf ] * string) list;
       (** remote URIs any rule/view/procedure condition can touch *)
   clocked_remote_deps : ([ `Doc | `Rdf ] * string) list;
@@ -95,7 +104,19 @@ let remote_of conds =
        | _, (Condition.Local _ | Condition.View _) -> None)
   |> List.sort_uniq Stdlib.compare
 
-let create ?horizon ?(index = true) root =
+(* merge two ascending duplicate-free int lists *)
+let merge_sorted a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+        if x < y then go a' b (x :: acc)
+        else if y < x then go a b' (y :: acc)
+        else go a' b' (x :: acc)
+  in
+  go a b []
+
+let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
   let* () = Ruleset.validate root in
   let* compiled =
     List.fold_left
@@ -167,15 +188,38 @@ let create ?horizon ?(index = true) root =
     | clocked_crs -> deps_of clocked_crs
   in
   let m = Obs.Metrics.create () in
+  let wildcard = List.rev !wildcard and clocked = List.rev !clocked in
+  (* The finer discrimination level: every atomic sub-query of every
+     rule, keyed by its event label and what its payload pattern
+     requires.  Feeding a refuted (rule, event) pair would be a no-op —
+     the atom's plan cannot match — so candidate selection is exact in
+     the same sense as the label buckets, just sharper. *)
+  let sub =
+    if index && subindex then begin
+      let s = Sub_index.create ~metrics:m () in
+      Array.iteri
+        (fun i cr ->
+          List.iter
+            (fun (a : Event_query.atomic) ->
+              ignore (Sub_index.register s ?label:a.Event_query.label a.Event_query.pattern i))
+            (Event_query.atoms cr.rule.Eca.event))
+        compiled;
+      Some s
+    end
+    else None
+  in
   let t =
     {
       root;
       compiled;
       by_label;
-      wildcard = List.rev !wildcard;
-      clocked = List.rev !clocked;
+      wildcard;
+      clocked;
+      always_bucket = merge_sorted wildcard clocked;
+      sub;
       derivation;
       index;
+      subindex;
       remote_deps;
       clocked_remote_deps;
       m;
@@ -206,8 +250,8 @@ let create ?horizon ?(index = true) root =
       (join_stats t).Incremental.instances_pruned);
   Ok t
 
-let create_exn ?horizon ?index root =
-  match create ?horizon ?index root with
+let create_exn ?horizon ?index ?subindex root =
+  match create ?horizon ?index ?subindex root with
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ e)
 
@@ -251,25 +295,46 @@ let fire_detections ~env ~ops cr detections acc =
       acc)
     acc detections
 
+(* Per-event candidate rules from the sub-index, ascending: rules with
+   an atom whose label and payload fingerprint the event satisfies.
+   Refuted rules would be no-op feeds (no atom plan can match), exactly
+   like label misses — and like those, skipped clocked rules still get
+   their timers advanced. *)
+let event_candidates sub all_events =
+  List.map
+    (fun ev ->
+      ( ev,
+        List.sort_uniq Int.compare
+          (List.map snd (Sub_index.lookup sub ~label:ev.Event.label ev.Event.payload)) ))
+    all_events
+
 (* Rule indices that must see this event batch, ascending (= declaration
-   order, so firings come out exactly as the full scan produced them):
-   the dispatch buckets of the batch's labels, rules without a label
-   constraint, and — because skipped rules still observe time — every
-   rule with absence timers.  All other rules would be no-ops: their
-   label sets cannot match and they have no deadlines to resolve. *)
-let dispatch t all_events =
+   order, so firings come out exactly as the full scan produced them).
+   With the sub-index: the union of the batch's per-event candidates
+   plus the clock observers.  With label dispatch: the buckets of the
+   batch's labels, rules without a label constraint, and — because
+   skipped rules still observe time — every rule with absence timers.
+   All other rules would be no-ops: their atoms cannot match and they
+   have no deadlines to resolve. *)
+let dispatch t candidates all_events =
   if not t.index then List.init (Array.length t.compiled) Fun.id
   else begin
     Obs.Metrics.Counter.incr t.c.c_lookups;
-    let buckets =
-      List.concat_map
-        (fun ev ->
-          match Hashtbl.find_opt t.by_label ev.Event.label with
-          | Some bucket -> bucket
-          | None -> [])
-        all_events
+    let visit =
+      match candidates with
+      | Some per_event ->
+          List.fold_left (fun acc (_, cands) -> merge_sorted acc cands) t.clocked per_event
+      | None ->
+          let buckets =
+            List.concat_map
+              (fun ev ->
+                match Hashtbl.find_opt t.by_label ev.Event.label with
+                | Some bucket -> bucket
+                | None -> [])
+              all_events
+          in
+          merge_sorted t.always_bucket (List.sort_uniq Int.compare buckets)
     in
-    let visit = List.sort_uniq Int.compare (t.wildcard @ t.clocked @ buckets) in
     Obs.Metrics.Counter.incr ~by:(Array.length t.compiled - List.length visit)
       t.c.c_skipped;
     visit
@@ -288,6 +353,7 @@ let handle_event t ~env ~ops event =
     in
     let derived = Deductive_event.feed t.derivation event in
     let all_events = event :: derived in
+    let candidates = Option.map (fun sub -> event_candidates sub all_events) t.sub in
     let acc =
       List.fold_left
         (fun acc i ->
@@ -297,9 +363,12 @@ let handle_event t ~env ~ops event =
               let relevant =
                 (not t.index)
                 ||
-                match cr.labels with
-                | None -> true
-                | Some labels -> List.mem ev.Event.label labels
+                match candidates with
+                | Some per_event -> List.mem i (List.assq ev per_event)
+                | None -> (
+                    match cr.labels with
+                    | None -> true
+                    | Some labels -> List.mem ev.Event.label labels)
               in
               if relevant then begin
                 if t.index then Obs.Metrics.Counter.incr t.c.c_fed;
@@ -327,7 +396,7 @@ let handle_event t ~env ~ops event =
               else acc)
             acc all_events)
         { empty_outcome with derived_events = derived }
-        (dispatch t all_events)
+        (dispatch t candidates all_events)
     in
     let out = finish acc in
     (if span <> 0 then
@@ -357,7 +426,7 @@ let advance t ~env ~ops time =
 
 let load_ruleset t incoming =
   let merged = { t.root with Ruleset.children = t.root.Ruleset.children @ [ incoming ] } in
-  create merged
+  create ~index:t.index ~subindex:t.subindex merged
 
 let ruleset t = t.root
 let rule_names t = Array.to_list (Array.map (fun cr -> cr.qualified) t.compiled)
@@ -374,6 +443,7 @@ let index_stats t =
   }
 
 let dispatch_labels t = Hashtbl.length t.by_label
+let subindex_stats t = Option.map Sub_index.stats t.sub
 let remote_resources t = t.remote_deps
 let clocked_remote_resources t = t.clocked_remote_deps
 

@@ -17,7 +17,8 @@ open Xchange_obs
 
 type t
 
-val create : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> (t, string) result
+val create :
+  ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> Ruleset.t -> (t, string) result
 (** Validates the rule set (duplicate names, unresolved procedure
     calls), every rule's event query, and the (non-recursive) event
     derivation program, then compiles one incremental engine per rule.
@@ -28,11 +29,17 @@ val create : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> (t, string) resu
     react to it, instead of scanning the whole rule base.  A rule whose
     query names only other labels is not fed the event (its absence
     timers are still advanced, preserving semantics — a separate
-    clock-observer bucket).  Outcomes are identical with and without the
-    index (property-tested); ablation A2 measures the effect; disable it
-    only for that comparison. *)
+    clock-observer bucket).
 
-val create_exn : ?horizon:Clock.span -> ?index:bool -> Ruleset.t -> t
+    [subindex] (default: on unless [XCHANGE_NO_SUBINDEX=1]; only
+    meaningful with [index]) replaces the flat label buckets with a
+    shared {!Sub_index} over every rule atom: an event reaches only
+    rules with an atom whose label {e and} payload fingerprint it can
+    satisfy, so rules refuted by the published term's shape are never
+    visited.  Outcomes are identical across all three modes
+    (property-tested); disable them only for that comparison. *)
+
+val create_exn : ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> Ruleset.t -> t
 
 type outcome = {
   firings : Eca.firing list;
@@ -118,3 +125,8 @@ val join_stats : t -> Incremental.join_stats
 
 val dispatch_labels : t -> int
 (** Distinct labels in the dispatch table. *)
+
+val subindex_stats : t -> Sub_index.stats option
+(** Counters of the rule-atom sub-index ([None] when dispatch runs on
+    label buckets or a full scan).  Its cells also live in {!metrics}
+    under [subindex.*]. *)

@@ -17,6 +17,10 @@ type watch_state =
    answers.  Stale digests age out of the LRU by themselves. *)
 type query_key = int64 * Qterm.t * (string * int64) list
 
+type change = Ch_update of Action.update | Ch_doc of string | Ch_restore
+
+type answerer = seed:Subst.t -> Qterm.t -> Subst.set option
+
 type t = {
   docs : (string, Term.t) Hashtbl.t;
   graphs : (string, Rdf.graph) Hashtbl.t;
@@ -24,10 +28,13 @@ type t = {
   mutable next_watch : int;
   indexes : (string, Term_index.t) Hashtbl.t;  (** per current doc version *)
   qcache : (query_key, Subst.set) Lru.t;
+  mutable observers : (change -> unit) list;
+  dynamic : (string, answerer) Hashtbl.t;  (** per-doc derived-register answerers *)
   m : Obs.Metrics.t;
   c_index_builds : Obs.Metrics.Counter.t;
   c_index_invalidations : Obs.Metrics.Counter.t;
   c_indexed_selects : Obs.Metrics.Counter.t;
+  c_dynamic_answers : Obs.Metrics.Counter.t;
 }
 
 type watch_id = int
@@ -44,10 +51,13 @@ let create ?(cache_capacity = default_cache_capacity) () =
       next_watch = 0;
       indexes = Hashtbl.create 16;
       qcache = Lru.create ~cap:cache_capacity;
+      observers = [];
+      dynamic = Hashtbl.create 4;
       m;
       c_index_builds = Obs.Metrics.counter m "store.index_builds";
       c_index_invalidations = Obs.Metrics.counter m "store.index_invalidations";
       c_indexed_selects = Obs.Metrics.counter m "store.indexed_selects";
+      c_dynamic_answers = Obs.Metrics.counter m "store.dynamic_answers";
     }
   in
   (* the LRU already counts its own traffic; sample it at snapshot time
@@ -62,6 +72,13 @@ let create ?(cache_capacity = default_cache_capacity) () =
   t
 
 let metrics t = t.m
+
+let on_change t f = t.observers <- t.observers @ [ f ]
+
+let fire t ch = List.iter (fun f -> f ch) t.observers
+
+let set_dynamic t name answer = Hashtbl.replace t.dynamic name answer
+let clear_dynamic t name = Hashtbl.remove t.dynamic name
 
 (* Every document mutation drops the document's index; cached query
    answers need no eager flush because their keys embed the digest of
@@ -88,7 +105,8 @@ let index_for t name =
 
 let add_doc t name d =
   invalidate_index t name;
-  Hashtbl.replace t.docs name (Identity.assign d)
+  Hashtbl.replace t.docs name (Identity.assign d);
+  fire t (Ch_doc name)
 
 let doc t name = Hashtbl.find_opt t.docs name
 let doc_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.docs [])
@@ -97,6 +115,7 @@ let remove_doc t name =
   if Hashtbl.mem t.docs name then begin
     Hashtbl.remove t.docs name;
     invalidate_index t name;
+    fire t (Ch_doc name);
     true
   end
   else false
@@ -137,7 +156,7 @@ let update_index t name =
       Some idx
   | None -> None
 
-let apply t (update : Action.update) =
+let apply_update t (update : Action.update) =
   match update with
   | Action.U_insert { doc = name; selector; at; content } ->
       let* d = get_doc t name in
@@ -215,6 +234,15 @@ let apply t (update : Action.update) =
           let removed = Rdf.remove g triple in
           Ok ((if removed then 1 else 0), if removed then [ notify name "retract" 1 ] else []))
 
+(* Observers see only updates that changed something; an error or a
+   pattern-delete touching zero nodes leaves every derived view valid. *)
+let apply t update =
+  match apply_update t update with
+  | Ok (n, _) as ok ->
+      if n > 0 then fire t (Ch_update update);
+      ok
+  | Error _ as e -> e
+
 let replace_at t ~doc:name path content =
   let* d = get_doc t name in
   match Path.get d path with
@@ -226,26 +254,40 @@ let replace_at t ~doc:name path content =
       | Some d' ->
           Hashtbl.replace t.docs name d';
           invalidate_index t name;
+          fire t (Ch_doc name);
           Ok ()
       | None -> Error (Fmt.str "cannot replace at %a in %s" Path.pp path name))
 
 let seed_fingerprint seed =
   List.map (fun (v, term) -> (v, Term.digest term)) (Subst.to_list seed)
 
+let query_fallback t name d ~seed q =
+  match index_for t name with
+  | None -> Simulate.matches_anywhere ~seed q d
+  | Some idx -> (
+      let key = (Term_index.digest idx, q, seed_fingerprint seed) in
+      match Lru.find t.qcache key with
+      | Some answers -> answers
+      | None ->
+          let answers = Simulate.matches_anywhere ~index:idx ~seed q d in
+          Lru.add t.qcache key answers;
+          answers)
+
 let query t ~doc:name ?(seed = Subst.empty) q =
   match Hashtbl.find_opt t.docs name with
   | None -> Subst.set_empty
   | Some d -> (
-      match index_for t name with
-      | None -> Simulate.matches_anywhere ~seed q d
-      | Some idx -> (
-          let key = (Term_index.digest idx, q, seed_fingerprint seed) in
-          match Lru.find t.qcache key with
-          | Some answers -> answers
-          | None ->
-              let answers = Simulate.matches_anywhere ~index:idx ~seed q d in
-              Lru.add t.qcache key answers;
-              answers))
+      (* a dynamic answerer (e.g. Pubsub's subscription index) may serve
+         the query straight from its own structure; [None] falls back to
+         the document — the answerer contract is answer-equivalence *)
+      match Hashtbl.find_opt t.dynamic name with
+      | Some answer -> (
+          match answer ~seed q with
+          | Some answers ->
+              Obs.Metrics.Counter.incr t.c_dynamic_answers;
+              answers
+          | None -> query_fallback t name d ~seed q)
+      | None -> query_fallback t name d ~seed q)
 
 let env t =
   let fetch = function
@@ -280,7 +322,8 @@ let rollback t b =
   Hashtbl.reset t.docs;
   List.iter (fun (k, v) -> Hashtbl.replace t.docs k v) b.b_docs;
   Hashtbl.reset t.graphs;
-  List.iter (fun (k, v) -> Hashtbl.replace t.graphs k v) b.b_graphs
+  List.iter (fun (k, v) -> Hashtbl.replace t.graphs k v) b.b_graphs;
+  fire t Ch_restore
 
 let snapshot t =
   let docs =

@@ -58,6 +58,35 @@ val replace_at : t -> doc:string -> Path.t -> Term.t -> (unit, string) result
     experiment E10).  Like [U_replace], the replacement inherits the
     replaced element's surrogate id. *)
 
+(** {1 Change observation and dynamic answerers}
+
+    Hooks for components that maintain a derived view of a document —
+    e.g. {!Pubsub}'s subscription index, which mirrors the
+    [/subscribers] register incrementally instead of re-querying it per
+    publish. *)
+
+type change =
+  | Ch_update of Action.update
+      (** a successful {!apply} that affected at least one node; the
+          update value is the one applied (selectors and content as
+          instantiated by the rule engine) *)
+  | Ch_doc of string  (** {!add_doc} / {!remove_doc} / {!replace_at} of this document *)
+  | Ch_restore  (** {!rollback}: every document may have changed *)
+
+val on_change : t -> (change -> unit) -> unit
+(** Register an observer, called synchronously after each mutation.
+    Observers cannot veto; exceptions propagate to the mutator. *)
+
+val set_dynamic : t -> string -> (seed:Subst.t -> Qterm.t -> Subst.set option) -> unit
+(** Install a per-document answerer consulted by {!query} {e before}
+    the index/LRU path.  Returning [Some answers] serves the query from
+    the derived structure (counted in [store.dynamic_answers]);
+    returning [None] falls back to the document.  The contract is
+    answer-equivalence: a [Some] result must be exactly what the
+    fallback would compute. *)
+
+val clear_dynamic : t -> string -> unit
+
 val env : t -> Condition.env
 (** Query environment over this store only ([Local]/[Remote] resolve by
     path against this store; views resolve to nothing — the engine layers
