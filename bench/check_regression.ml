@@ -25,6 +25,12 @@
      the trie is that it does NOT scale with registrations — growth
      beyond 1.5x the baseline (over a small floor) means publish
      dispatch degraded back towards a linear scan.
+   - the shared-alpha work counter ([alpha_evals_per_event_shared]):
+     deterministic for a fixed ruleset and stream, and the whole point
+     of the alpha network is that matcher work tracks {e distinct}
+     patterns, not rules — growth beyond 1.5x the baseline (over a
+     small floor) means cross-rule sharing degraded back towards
+     per-rule evaluation.
 
    Workload-shape fields (rules/events/nodes/window/...) must match
    exactly: comparing timings of different workloads is meaningless, so
@@ -39,13 +45,14 @@ let floor_ms = 5.0
 let floor_us = 20.0
 let floor_pairs = 1000.0
 let floor_candidates = 4.0
+let floor_alpha_evals = 4.0
 
 let shape_keys =
   [
     "smoke"; "rules"; "events"; "nodes"; "queries"; "repeats"; "keys"; "window";
     "probes"; "orders"; "query"; "dist"; "profile"; "stored_per_child";
     "shape"; "records"; "leaves"; "answers";
-    "subs"; "topics"; "fanout"; "publishes";
+    "subs"; "topics"; "fanout"; "publishes"; "overlap";
   ]
 
 let is_count_gate key =
@@ -63,6 +70,7 @@ let is_time_gate key =
 
 let is_prune_gate key = key = "fingerprint_pruned" || key = "arity_pruned"
 let is_candidates_gate key = key = "candidates_per_publish"
+let is_alpha_gate key = key = "alpha_evals_per_event_shared"
 
 let floor_of key = if contains key "us_per_event" then floor_us else floor_ms
 
@@ -114,6 +122,13 @@ and field path key bv cv =
     | Some b, Some c when c > tol_count *. Float.max b floor_candidates ->
         fail
           "%s: %.1f candidates per publish vs baseline %.1f (dispatch scaling with registrations?)"
+          path c b
+    | _ -> ())
+  else if is_alpha_gate key then (
+    match (num bv, num cv) with
+    | Some b, Some c when c > tol_count *. Float.max b floor_alpha_evals ->
+        fail
+          "%s: %.1f alpha evaluations per event vs baseline %.1f (cross-rule sharing degraded?)"
           path c b
     | _ -> ())
   else walk path bv cv

@@ -11,7 +11,8 @@
      dune exec bench/main.exe event      # composite-event join benchmarks
      dune exec bench/main.exe query      # compiled-query-plan benchmarks
      dune exec bench/main.exe pubsub     # subscription-index publish benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub smoke (runs in `dune runtest`)
+     dune exec bench/main.exe rules      # cross-rule sharing (alpha network) benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub+rules smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -23,7 +24,8 @@ let () =
     Sched_bench.run ~smoke:true ();
     Event_bench.run ~smoke:true ();
     Query_bench.run ~smoke:true ();
-    Pubsub_bench.run ~smoke:true ()
+    Pubsub_bench.run ~smoke:true ();
+    Rules_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -36,5 +38,6 @@ let () =
     if wanted "event" then Event_bench.run ~smoke:false ();
     if wanted "query" then Query_bench.run ~smoke:false ();
     if wanted "pubsub" then Pubsub_bench.run ~smoke:false ();
+    if wanted "rules" then Rules_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

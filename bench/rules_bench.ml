@@ -1,0 +1,175 @@
+(* Cross-rule sharing benchmarks (the perf companion of HACKING.md
+   "Cross-rule sharing"): ruleset-size sweep comparing atomic matcher
+   work with the shared alpha network against per-rule matchers
+   (XCHANGE_NO_SHARE semantics, here [~share:false]).
+
+   Two overlap profiles bracket the real-world range: [high] draws every
+   rule's event pattern from a small pool (large rule bases are mostly
+   variations on few patterns — the Rete assumption), [low] gives every
+   rule its own label so nothing can be shared.  The headline metric is
+   {e atomic matcher runs per event}: with sharing it should track the
+   number of distinct patterns an event can touch (flat in ruleset
+   size), without sharing it tracks the number of subscribed rules.
+   Prints tables and emits machine-readable BENCH_rules.json.  [~smoke]
+   runs a fast subset (wired into `dune runtest`) that additionally
+   checks shared firings equal unshared firings. *)
+
+open Xchange
+
+let null_ops =
+  {
+    Action.update = (fun _ -> Ok 0);
+    send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
+    log = (fun _ -> ());
+    now = (fun () -> 0);
+    checkpoint = (fun () -> fun () -> ());
+  }
+
+let empty_env = Condition.env_of_docs []
+
+(* [high] overlap: patterns cycle through a small pool, so [rules/pool]
+   rules subscribe to each distinct pattern; [low]: one pattern per rule *)
+let pool_size = 16
+
+(* the label carries the distinctness: atoms differing only in label
+   already digest apart, so the payload pattern can stay constant *)
+let pattern = Qterm.el "rec" [ Qterm.pos (Qterm.el "k" [ Qterm.pos (Qterm.var "X") ]) ]
+
+let rules_for ~overlap n =
+  let distinct = match overlap with `High -> pool_size | `Low -> n in
+  List.init n (fun i ->
+      Eca.make ~name:(Printf.sprintf "r%d" i)
+        ~on:(Event_query.on ~label:(Printf.sprintf "l%d" (i mod distinct)) pattern)
+        Action.Nop)
+
+let events_for ~overlap ~rules:n m =
+  let distinct = match overlap with `High -> pool_size | `Low -> n in
+  List.init m (fun j ->
+      Event.make ~occurred_at:(j + 1)
+        ~label:(Printf.sprintf "l%d" (j mod distinct))
+        (Term.elem "rec" [ Term.elem "k" [ Term.text (Printf.sprintf "v%d" j) ] ]))
+
+type row = {
+  rules : int;
+  overlap : string;
+  events : int;
+  firings : int;
+  distinct_nodes : int;
+  registrations : int;
+  hit_rate : float;
+  runs_shared : int;  (* atomic matcher executions over the stream *)
+  runs_unshared : int;
+  shared_ms : float;
+  unshared_ms : float;
+}
+
+let case ~overlap ~rules:n ~events:m =
+  let ruleset = Ruleset.make ~rules:(rules_for ~overlap n) "bench" in
+  let events = events_for ~overlap ~rules:n m in
+  let run share =
+    let engine = Engine.create_exn ~share ruleset in
+    Incremental.reset_atomic_matcher_runs ();
+    let fired, ms =
+      Util.time_ms (fun () ->
+          List.fold_left
+            (fun acc ev ->
+              acc
+              + List.length
+                  (Engine.handle_event engine ~env:empty_env ~ops:null_ops ev).Engine.firings)
+            0 events)
+    in
+    (fired, Incremental.atomic_matcher_runs (), ms, Engine.alpha_stats engine)
+  in
+  let fired_s, runs_shared, shared_ms, alpha = run true in
+  let fired_u, runs_unshared, unshared_ms, _ = run false in
+  if fired_s <> fired_u then
+    failwith
+      (Printf.sprintf "rules bench: %d shared firings vs %d unshared" fired_s fired_u);
+  let alpha = Option.get alpha in
+  let hit_rate =
+    let total = alpha.Alpha.evaluations + alpha.Alpha.hits in
+    if total = 0 then 0. else float_of_int alpha.Alpha.hits /. float_of_int total
+  in
+  {
+    rules = n;
+    overlap = (match overlap with `High -> "high" | `Low -> "low");
+    events = m;
+    firings = fired_u;
+    distinct_nodes = alpha.Alpha.distinct_nodes;
+    registrations = alpha.Alpha.registrations;
+    hit_rate;
+    runs_shared;
+    runs_unshared;
+    shared_ms;
+    unshared_ms;
+  }
+
+let per_event runs m = float_of_int runs /. float_of_int (max m 1)
+
+let ratio r =
+  float_of_int r.runs_unshared /. float_of_int (max r.runs_shared 1)
+
+(* ---- JSON emission (hand-rolled; no deps) ---- *)
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr elems = "[" ^ String.concat ", " elems ^ "]"
+let fi k v = Printf.sprintf "%S: %d" k v
+let ff k v = Printf.sprintf "%S: %.3f" k v
+let fs k v = Printf.sprintf "%S: %S" k v
+
+let run ~smoke () =
+  let sizes = if smoke then [ 100; 400 ] else [ 100; 1_000; 10_000 ] in
+  let m = if smoke then 60 else 100 in
+  Obs.Profile.reset ();
+  Fmt.pr "@.# Cross-rule sharing benchmarks%s@." (if smoke then " (smoke)" else "");
+  let rows =
+    Obs.Profile.phase "rules_sweep" (fun () ->
+        List.concat_map
+          (fun n ->
+            [ case ~overlap:`High ~rules:n ~events:m; case ~overlap:`Low ~rules:n ~events:m ])
+          sizes)
+  in
+  Util.print_table ~title:"atomic matcher runs: shared alpha vs per-rule"
+    ~header:
+      [
+        "rules"; "overlap"; "events"; "nodes"; "regs"; "hit rate"; "runs/ev shared";
+        "runs/ev unshared"; "ratio"; "shared ms"; "unshared ms";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Util.si r.rules; r.overlap; string_of_int r.events;
+           string_of_int r.distinct_nodes; Util.si r.registrations;
+           Printf.sprintf "%.0f%%" (100. *. r.hit_rate);
+           Util.f1 (per_event r.runs_shared r.events);
+           Util.f1 (per_event r.runs_unshared r.events);
+           Util.f1 (ratio r) ^ "x"; Util.f2 r.shared_ms; Util.f2 r.unshared_ms;
+         ])
+       rows);
+  let json =
+    obj
+      [
+        Printf.sprintf "%S: %s" "smoke" (string_of_bool smoke);
+        Printf.sprintf "%S: %s" "sweep"
+          (arr
+             (List.map
+                (fun r ->
+                  obj
+                    [
+                      fi "rules" r.rules; fs "overlap" r.overlap; fi "events" r.events;
+                      fi "firings" r.firings; fi "distinct_nodes" r.distinct_nodes;
+                      fi "registrations" r.registrations; ff "hit_rate" r.hit_rate;
+                      ff "alpha_evals_per_event_shared" (per_event r.runs_shared r.events);
+                      ff "evals_per_event_unshared" (per_event r.runs_unshared r.events);
+                      ff "sharing_ratio" (ratio r); ff "shared_run_ms" r.shared_ms;
+                      ff "unshared_run_ms" r.unshared_ms;
+                    ])
+                rows));
+        Printf.sprintf "%S: %s" "metrics" (Json.to_string (Obs.Profile.to_json ()));
+      ]
+  in
+  let oc = open_out "BENCH_rules.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_rules.json@."

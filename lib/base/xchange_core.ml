@@ -1,0 +1,24 @@
+module Escape = struct
+  let disabled var =
+    match Sys.getenv_opt var with None | Some "" | Some "0" -> false | Some _ -> true
+
+  (* read once: engines capture these at build time, and a flag that
+     flips mid-run would leave compiled state inconsistent with the
+     dispatch decisions made from it *)
+  let no_plan = disabled "XCHANGE_NO_PLAN"
+  let no_subindex = disabled "XCHANGE_NO_SUBINDEX"
+  let no_share = disabled "XCHANGE_NO_SHARE"
+
+  let all () =
+    [
+      ( "XCHANGE_NO_PLAN",
+        no_plan,
+        "interpret queries instead of running compiled plans (Simulate/Plan)" );
+      ( "XCHANGE_NO_SUBINDEX",
+        no_subindex,
+        "linear-scan registrations instead of Sub_index discrimination" );
+      ( "XCHANGE_NO_SHARE",
+        no_share,
+        "per-rule atomic matchers instead of the shared alpha network" );
+    ]
+end

@@ -1,0 +1,43 @@
+(** Runtime configuration shared by every layer.
+
+    The only contents today are the {!Escape} hatches: environment
+    variables that switch an accelerated code path back to its
+    reference implementation.  They exist for differential testing and
+    ablation benchmarks, never for production tuning — every pair of
+    paths is property-tested equivalent, so disabling one must never
+    change observable behaviour, only cost. *)
+
+module Escape : sig
+  (** One environment variable per escape hatch, each read {e once} at
+      program start (engines capture the decision at build time; a
+      mid-run [putenv] has no effect, which keeps compiled state
+      consistent).  The value ["1"] (or any non-empty string other
+      than ["0"]) disables the accelerated path.
+
+      The full table lives in HACKING.md ("Escape hatches"); adding a
+      hatch means adding it {b here} and in that table, nowhere else. *)
+
+  val no_plan : bool
+  (** [XCHANGE_NO_PLAN=1]: route {!Xchange_query.Simulate} entry points
+      through the backtracking interpreter instead of compiled
+      {!Xchange_query.Plan} closures. *)
+
+  val no_subindex : bool
+  (** [XCHANGE_NO_SUBINDEX=1]: replace {!Xchange_query.Sub_index}
+      discrimination (publish dispatch, engine rule-atom candidate
+      selection) with the linear scan over all registrations. *)
+
+  val no_share : bool
+  (** [XCHANGE_NO_SHARE=1]: give every rule its own atomic event
+      matchers instead of deduplicating them through the shared alpha
+      network ({!Xchange_rules.Alpha}). *)
+
+  val disabled : string -> bool
+  (** [disabled var] reads [var] from the environment {e now} with the
+      hatch convention above (unset/[""]/["0"] = off).  For hatches the
+      three cached flags don't cover; prefer the flags. *)
+
+  val all : unit -> (string * bool * string) list
+  (** [(variable, currently set, one-line description)] for every known
+      hatch — lets harnesses report which reference paths a run used. *)
+end

@@ -25,6 +25,9 @@
     - {!Auth}, {!Authz}, {!Accounting}, {!Trust} — AAA (Theses 11, 12)
 *)
 
+(* base *)
+module Escape = Xchange_core.Escape
+
 (* observability *)
 module Obs = Xchange_obs.Obs
 module Json = Xchange_obs.Json
@@ -63,6 +66,7 @@ module Deductive_event = Xchange_event.Deductive_event
 
 (* rules *)
 module Action = Xchange_rules.Action
+module Alpha = Xchange_rules.Alpha
 module Eca = Xchange_rules.Eca
 module Production = Xchange_rules.Production
 module Derive = Xchange_rules.Derive

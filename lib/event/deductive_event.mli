@@ -33,11 +33,17 @@ val dependencies : program -> (string * string list) list
     (a [None] label in an atomic query is reported as ["*"] and makes
     the rule depend on every label). *)
 
-val compile : ?horizon:Clock.span -> ?index:bool -> program -> (t, string) result
+val compile :
+  ?horizon:Clock.span ->
+  ?index:bool ->
+  ?share:(Event_query.atomic -> Incremental.atom_matcher) ->
+  program ->
+  (t, string) result
 (** Fails on recursive programs (including rules triggered by ["*"]
     wildcard atomic queries, which would always be recursive) and on
-    invalid trigger queries.  [index] is forwarded to each trigger's
-    {!Incremental.create} (hash-partitioned joins; default true). *)
+    invalid trigger queries.  [index] and [share] are forwarded to each
+    trigger's {!Incremental.create} (hash-partitioned joins, shared
+    alpha matchers; [index] defaults to true). *)
 
 val feed : t -> Event.t -> Event.t list
 (** Processes one external event and returns all derived events

@@ -56,6 +56,16 @@ let rec atoms = function
   | Agg spec -> atoms spec.over
   | Rises spec -> atoms spec.r_over
 
+(* An atomic query's identity for cross-rule sharing: the envelope
+   constraints plus the payload pattern's canonical digest.  The "\x00"
+   separators keep (label="ab", sender="") distinct from (label="a",
+   sender="b") and option-ness explicit. *)
+let atomic_digest (a : atomic) =
+  let opt = function None -> "-" | Some s -> "+" ^ s in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ opt a.label; opt a.sender; Qterm.digest a.pattern ]))
+
 let rec has_timers = function
   | Atomic _ -> false
   | And qs | Or qs | Seq qs -> List.exists has_timers qs

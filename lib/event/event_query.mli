@@ -84,6 +84,14 @@ val vars : t -> string list
 val atoms : t -> atomic list
 (** All atomic sub-queries (for label indexing and dependency checks). *)
 
+val atomic_digest : atomic -> string
+(** Canonical structural digest of an atomic event query: label, sender
+    and {!Xchange_query.Qterm.digest} of the payload pattern.  Two atoms
+    with equal digests demand the same envelope and extract the same
+    bindings from the same payloads, so their evaluation can be shared
+    across rules (see {!Xchange_rules.Alpha}); equal atoms always yield
+    equal digests. *)
+
 val has_timers : t -> bool
 (** Whether the query contains an absence operator — the only source of
     timer-driven detections.  Engines use this to skip clock advances on

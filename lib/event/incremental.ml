@@ -11,6 +11,18 @@ module KTbl = Hashtbl.Make (struct
   let hash = Subst.hash
 end)
 
+type atom_matcher = Event.t -> Subst.set
+
+(* Real payload-matcher executions, process-global (same pattern as
+   Plan's work counters): the unshared path bumps it on every gated
+   match, the shared alpha network only on memo misses — so the counter
+   measures atomic evaluation work comparably across both modes. *)
+let matcher_runs = ref 0
+
+let note_atomic_run () = incr matcher_runs
+let atomic_matcher_runs () = !matcher_runs
+let reset_atomic_matcher_runs () = matcher_runs := 0
+
 type node = {
   store : Istore.t;
       (** partial matches, arrival order; hash-partitioned by the join
@@ -20,10 +32,13 @@ type node = {
 }
 
 and kind =
-  | NAtomic of Event_query.atomic * (Xchange_data.Term.t -> Subst.set)
-      (** the payload matcher is compiled once at build time (a {!Plan}
-          when plan routing is on, the interpreter otherwise), so the
-          per-event hot path skips even the global plan-cache lookup *)
+  | NAtomic of atom_matcher
+      (** envelope gating + payload matching, compiled once at build
+          time (a {!Plan} when plan routing is on, the interpreter
+          otherwise), so the per-event hot path skips even the global
+          plan-cache lookup.  With [~share] the matcher is a shared
+          alpha node: one evaluation per distinct atomic pattern per
+          occurrence, fanned out to every subscribing rule. *)
   | NAnd of node list
   | NOr of node list
   | NSeq of node list
@@ -90,7 +105,17 @@ let inter_vars q1 q2 =
    window-pruned.  [has_timers] disables the window bound in exactly
    those places; an engine [horizon] still caps them (an explicit
    exactness/memory trade-off). *)
-let rec build ?horizon ~index ~ctx ~stored_bound ~key (q : Event_query.t) : node =
+(* Envelope gate shared by both matcher paths. *)
+let envelope_ok (a : Event_query.atomic) (e : Event.t) =
+  (match a.Event_query.label with
+  | Some l -> String.equal l e.Event.label
+  | None -> true)
+  &&
+  match a.Event_query.sender with
+  | Some s -> String.equal s e.Event.sender
+  | None -> true
+
+let rec build ?horizon ?share ~index ~ctx ~stored_bound ~key (q : Event_query.t) : node =
   let mk kind bound =
     { store = Istore.create ~key:(if index then key else []); bound; kind }
   in
@@ -110,19 +135,30 @@ let rec build ?horizon ~index ~ctx ~stored_bound ~key (q : Event_query.t) : node
           List.exists Event_query.has_timers (List.filteri (fun j _ -> j <> i) qs)
         in
         let sb = if sibling_timers then None else ctx in
-        build ?horizon ~index ~ctx ~stored_bound:sb ~key:(List.nth keys i) q)
+        build ?horizon ?share ~index ~ctx ~stored_bound:sb ~key:(List.nth keys i) q)
       qs
   in
   let child ?(key = []) ~ctx ~stored_bound q =
-    build ?horizon ~index ~ctx ~stored_bound ~key q
+    build ?horizon ?share ~index ~ctx ~stored_bound ~key q
   in
-  let compile_atomic (a : Event_query.atomic) =
-    match Simulate.plan a.Event_query.pattern with
-    | Some p -> Plan.matches p
-    | None -> fun payload -> Simulate.matches a.Event_query.pattern payload
+  let compile_atomic (a : Event_query.atomic) : atom_matcher =
+    match share with
+    | Some subscribe -> subscribe a
+    | None ->
+        let payload_matches =
+          match Simulate.plan a.Event_query.pattern with
+          | Some p -> Plan.matches p
+          | None -> fun payload -> Simulate.matches a.Event_query.pattern payload
+        in
+        fun e ->
+          if not (envelope_ok a e) then []
+          else begin
+            note_atomic_run ();
+            payload_matches e.Event.payload
+          end
   in
   match q with
-  | Event_query.Atomic a -> mk (NAtomic (a, compile_atomic a)) effective_bound
+  | Event_query.Atomic a -> mk (NAtomic (compile_atomic a)) effective_bound
   | Event_query.And qs -> mk (NAnd (join_children qs)) effective_bound
   | Event_query.Seq qs -> mk (NSeq (join_children qs)) effective_bound
   | Event_query.Or qs ->
@@ -433,24 +469,12 @@ let acc_feed st fresh =
    were live at ITS time, not at the clock's. *)
 let rec fresh_of ~index node input ~now : Instance.t list =
   match node.kind with
-  | NAtomic (a, payload_matches) -> (
+  | NAtomic matcher -> (
       match input with
       | Now _ -> []
       | Ev e ->
-          let label_ok =
-            match a.Event_query.label with
-            | Some l -> String.equal l e.Event.label
-            | None -> true
-          in
-          let sender_ok =
-            match a.Event_query.sender with
-            | Some s -> String.equal s e.Event.sender
-            | None -> true
-          in
-          if not (label_ok && sender_ok) then []
-          else
-            payload_matches e.Event.payload
-            |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id))
+          matcher e
+          |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id))
   | NAnd children -> join_children ~index ~ordered:false children input ~now
   | NSeq children -> join_children ~index ~ordered:true children input ~now
   | NOr children ->
@@ -541,14 +565,14 @@ type t = {
   mutable reported : int;
 }
 
-let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) q =
+let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) ?share q =
   match Event_query.validate q with
   | Error e -> Error e
   | Ok () ->
       Ok
         {
           q;
-          root = build ?horizon ~index ~ctx:None ~stored_bound:(Some 0) ~key:[] q;
+          root = build ?horizon ?share ~index ~ctx:None ~stored_bound:(Some 0) ~key:[] q;
           consume;
           selection;
           index;
@@ -557,8 +581,8 @@ let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) q =
           reported = 0;
         }
 
-let create_exn ?consume ?selection ?horizon ?index q =
-  match create ?consume ?selection ?horizon ?index q with
+let create_exn ?consume ?selection ?horizon ?index ?share q =
+  match create ?consume ?selection ?horizon ?index ?share q with
   | Ok t -> t
   | Error e -> invalid_arg ("Incremental.create: " ^ e)
 

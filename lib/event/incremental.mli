@@ -31,16 +31,32 @@ type selection = Each | First | Last
 
 type t
 
+type atom_matcher = Event.t -> Xchange_query.Subst.set
+(** Evaluation of one atomic event query against one event: envelope
+    gating (label, sender) plus payload matching.  The default matcher
+    is compiled privately per node at build time; [?share] lets an
+    owner of {e many} engines (the rule engine's alpha network,
+    {!Xchange_rules.Alpha}) hand every structurally-identical atom the
+    {e same} memoizing matcher, so an occurrence is evaluated once and
+    its substitutions fanned out — per-rule state (the beta joins'
+    {!Istore}s) stays inside each engine. *)
+
 val create :
   ?consume:bool ->
   ?selection:selection ->
   ?horizon:Clock.span ->
   ?index:bool ->
+  ?share:(Event_query.atomic -> atom_matcher) ->
   Event_query.t ->
   (t, string) result
 (** Compiles the query ({!Event_query.validate} is applied).
     [consume] defaults to [false], [selection] to [Each], [horizon] to
     none (unbounded retention for window-less query parts).
+
+    [share], when given, supplies the matcher of every atomic sub-query
+    instead of the locally-compiled default; it must return matchers
+    that behave exactly like the default ones (same substitution sets —
+    the shared-alpha property suite checks this end to end).
 
     [index] (default true) stores partial matches in hash-partitioned,
     time-ordered stores ({!Istore}): [And]/[Seq]/[Times] joins probe
@@ -57,6 +73,7 @@ val create_exn :
   ?selection:selection ->
   ?horizon:Clock.span ->
   ?index:bool ->
+  ?share:(Event_query.atomic -> atom_matcher) ->
   Event_query.t ->
   t
 
@@ -111,3 +128,24 @@ val zero_join_stats : join_stats
 val sum_join_stats : join_stats list -> join_stats
 (** Pointwise sum — lets multi-engine owners (the rule engine, the
     event-derivation network) report one aggregate. *)
+
+(** {1 Atomic-matcher accounting}
+
+    Process-global count of {e real} payload-matcher executions at
+    atomic nodes (envelope-refuted events don't count; neither do
+    shared-alpha memo hits).  Deterministic for a fixed workload, like
+    {!Plan}'s prune counters — BENCH_rules compares it across the
+    shared and unshared modes, and the shared alpha network reports
+    into it so the two paths stay measurable under one metric. *)
+
+val envelope_ok : Event_query.atomic -> Event.t -> bool
+(** The label/sender gate every atom matcher applies before payload
+    matching — exported so shared-matcher implementations gate exactly
+    like the default matcher. *)
+
+val atomic_matcher_runs : unit -> int
+val note_atomic_run : unit -> unit
+(** For shared-matcher implementations ({!Xchange_rules.Alpha}): record
+    one real evaluation performed outside the default matcher. *)
+
+val reset_atomic_matcher_runs : unit -> unit

@@ -388,6 +388,7 @@ let compile q =
   { source = q; root; inner; anchor = Qterm.anchor peeled }
 
 let source p = p.source
+let digest p = Qterm.digest p.source
 
 let matches ?(seed = Subst.empty) p t = Subst.dedup (p.root t seed)
 

@@ -47,6 +47,10 @@ val compile : Qterm.t -> t
 val source : t -> Qterm.t
 (** The query the plan was compiled from. *)
 
+val digest : t -> string
+(** {!Qterm.digest} of {!source} — the structural plan key the shared
+    alpha network deduplicates matchers on. *)
+
 val matches : ?seed:Subst.t -> t -> Term.t -> Subst.set
 (** All solutions of matching the plan's query at the root of the term —
     byte-for-byte {!Simulate.matches} of {!source}. *)

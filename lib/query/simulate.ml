@@ -182,10 +182,7 @@ and match_children ~unordered ~total patterns data subst =
 
 let plan_cache : (Qterm.t, Plan.t) Lru.t = Lru.create ~cap:512
 
-let plan_default =
-  match Sys.getenv_opt "XCHANGE_NO_PLAN" with
-  | None | Some "" | Some "0" -> true
-  | Some _ -> false
+let plan_default = not Xchange_core.Escape.no_plan
 
 let plan_enabled () = plan_default
 

@@ -8,11 +8,7 @@
 open Xchange_data
 open Xchange_obs
 
-let enabled_default =
-  match Sys.getenv_opt "XCHANGE_NO_SUBINDEX" with
-  | None | Some "" | Some "0" -> true
-  | Some _ -> false
-
+let enabled_default = not Xchange_core.Escape.no_subindex
 let enabled () = enabled_default
 
 (* ---- required-presence analysis ------------------------------------- *)

@@ -44,9 +44,14 @@ type t = {
           [Some] iff [index] and the sub-index is enabled — dispatch then
           refutes rules whose atom patterns cannot match the payload,
           not just label mismatches *)
+  alpha : Alpha.t option;
+      (** the shared alpha network every rule's atomic matchers (and the
+          derivation network's) are registered in; [None] under
+          [~share:false] / [XCHANGE_NO_SHARE=1] *)
   derivation : Deductive_event.t;
   index : bool;
   subindex : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
+  share : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
   remote_deps : ([ `Doc | `Rdf ] * string) list;
       (** remote URIs any rule/view/procedure condition can touch *)
   clocked_remote_deps : ([ `Doc | `Rdf ] * string) list;
@@ -116,15 +121,22 @@ let merge_sorted a b =
   in
   go a b []
 
-let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
+let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
+    ?(share = Alpha.enabled ()) root =
   let* () = Ruleset.validate root in
+  let m = Obs.Metrics.create () in
+  (* One alpha network per engine: every rule's atomic matchers — and
+     the event-derivation network's — register in it, so an occurrence
+     is evaluated once per distinct pattern whatever the rule count. *)
+  let alpha = if share then Some (Alpha.create ~metrics:m ()) else None in
+  let share_hook = Option.map Alpha.subscribe alpha in
   let* compiled =
     List.fold_left
       (fun acc (qualified, scope, rule) ->
         let* acc = acc in
         match
           Incremental.create ~consume:rule.Eca.consume ~selection:rule.Eca.selection ?horizon
-            ~index rule.Eca.event
+            ~index ?share:share_hook rule.Eca.event
         with
         | Error e -> Error (Fmt.str "rule %s: %s" qualified e)
         | Ok engine ->
@@ -151,7 +163,10 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
         | Error e -> Error (Fmt.str "rule %s: %s" qualified e))
       (Ok ()) (Ruleset.scoped_rules root)
   in
-  let* derivation = Deductive_event.compile ?horizon ~index (Ruleset.all_event_rules root) in
+  let* derivation =
+    Deductive_event.compile ?horizon ~index ?share:share_hook
+      (Ruleset.all_event_rules root)
+  in
   let compiled = Array.of_list (List.rev compiled) in
   (* Discrimination structures: one hash lookup per event replaces the
      per-event scan over all rules (Thesis 7: never re-scan). *)
@@ -187,7 +202,6 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
     | [] -> []  (* no timer can fire, so advancing needs no prefetch *)
     | clocked_crs -> deps_of clocked_crs
   in
-  let m = Obs.Metrics.create () in
   let wildcard = List.rev !wildcard and clocked = List.rev !clocked in
   (* The finer discrimination level: every atomic sub-query of every
      rule, keyed by its event label and what its payload pattern
@@ -217,9 +231,11 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
       clocked;
       always_bucket = merge_sorted wildcard clocked;
       sub;
+      alpha;
       derivation;
       index;
       subindex;
+      share;
       remote_deps;
       clocked_remote_deps;
       m;
@@ -250,8 +266,8 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ()) root =
       (join_stats t).Incremental.instances_pruned);
   Ok t
 
-let create_exn ?horizon ?index ?subindex root =
-  match create ?horizon ?index ?subindex root with
+let create_exn ?horizon ?index ?subindex ?share root =
+  match create ?horizon ?index ?subindex ?share root with
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ e)
 
@@ -426,7 +442,7 @@ let advance t ~env ~ops time =
 
 let load_ruleset t incoming =
   let merged = { t.root with Ruleset.children = t.root.Ruleset.children @ [ incoming ] } in
-  create ~index:t.index ~subindex:t.subindex merged
+  create ~index:t.index ~subindex:t.subindex ~share:t.share merged
 
 let ruleset t = t.root
 let rule_names t = Array.to_list (Array.map (fun cr -> cr.qualified) t.compiled)
@@ -444,6 +460,7 @@ let index_stats t =
 
 let dispatch_labels t = Hashtbl.length t.by_label
 let subindex_stats t = Option.map Sub_index.stats t.sub
+let alpha_stats t = Option.map Alpha.stats t.alpha
 let remote_resources t = t.remote_deps
 let clocked_remote_resources t = t.clocked_remote_deps
 

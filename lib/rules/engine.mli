@@ -18,7 +18,12 @@ open Xchange_obs
 type t
 
 val create :
-  ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> Ruleset.t -> (t, string) result
+  ?horizon:Clock.span ->
+  ?index:bool ->
+  ?subindex:bool ->
+  ?share:bool ->
+  Ruleset.t ->
+  (t, string) result
 (** Validates the rule set (duplicate names, unresolved procedure
     calls), every rule's event query, and the (non-recursive) event
     derivation program, then compiles one incremental engine per rule.
@@ -37,9 +42,20 @@ val create :
     rules with an atom whose label {e and} payload fingerprint it can
     satisfy, so rules refuted by the published term's shape are never
     visited.  Outcomes are identical across all three modes
-    (property-tested); disable them only for that comparison. *)
+    (property-tested); disable them only for that comparison.
 
-val create_exn : ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> Ruleset.t -> t
+    [share] (default: on unless [XCHANGE_NO_SHARE=1]) deduplicates
+    atomic event matchers across the whole rule base through one shared
+    {!Alpha} network: structurally-identical atoms — in ECA rules and
+    event-derivation rules alike — evaluate a given occurrence once and
+    fan the substitutions out to every subscribing rule's joins, so
+    large rule sets with overlapping patterns pay per {e distinct}
+    pattern, not per rule.  Per-rule state (partial matches, windows,
+    consumption) remains private; shared and unshared outcomes are
+    identical (property-tested). *)
+
+val create_exn :
+  ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> ?share:bool -> Ruleset.t -> t
 
 type outcome = {
   firings : Eca.firing list;
@@ -130,3 +146,9 @@ val subindex_stats : t -> Sub_index.stats option
 (** Counters of the rule-atom sub-index ([None] when dispatch runs on
     label buckets or a full scan).  Its cells also live in {!metrics}
     under [subindex.*]. *)
+
+val alpha_stats : t -> Alpha.stats option
+(** Counters of the shared alpha network ([None] under [~share:false]):
+    distinct nodes vs registrations (the sharing factor), real
+    evaluations vs memo hits (the shared-node hit rate), and fanout.
+    Its cells also live in {!metrics} under [alpha.*]. *)

@@ -113,4 +113,11 @@ let validate set =
     List.iter (check chain) set.children
   in
   check [] set;
+  (* Qualified ids must be unique across the whole tree: sibling sets
+     with the same name would otherwise make their rules shadow each
+     other silently — find_rule, removal, and stats all address rules
+     by qualified name. *)
+  (match dup_names (List.map (fun (qn, _, _) -> qn) (scoped_rules set)) with
+  | Some qn -> note (Fmt.str "duplicate qualified rule id %S across rule sets" qn)
+  | None -> ());
   match !problems with [] -> Ok () | p :: _ -> Error p

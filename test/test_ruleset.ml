@@ -8,6 +8,11 @@ let call_rule name proc =
 
 let proc name = (name, { Action.params = []; body = Action.Nop })
 
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
 let test_qualified_names () =
   let child = Ruleset.make ~rules:[ nop_rule "inner" ] "billing" in
   let root = Ruleset.make ~rules:[ nop_rule "outer" ] ~children:[ child ] "shop" in
@@ -66,20 +71,27 @@ let test_validate_duplicates () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "duplicate rule names accepted");
   let dup_procs = Ruleset.make ~procedures:[ proc "p"; proc "p" ] "s" in
-  match Ruleset.validate dup_procs with
+  (match Ruleset.validate dup_procs with
   | Error _ -> ()
-  | Ok () -> Alcotest.fail "duplicate procedure names accepted"
+  | Ok () -> Alcotest.fail "duplicate procedure names accepted");
+  (* sibling sets with the same name collide in qualified-id space:
+     their rules would shadow each other silently (find_rule, stats and
+     removal all address rules by qualified name), so validation must
+     reject the tree before the engine builds it *)
+  let twin () = Ruleset.make ~rules:[ nop_rule "r" ] "twin" in
+  let root = Ruleset.make ~children:[ twin (); twin () ] "root" in
+  (match Ruleset.validate root with
+  | Error e ->
+      Alcotest.(check bool) "names the colliding id" true (contains e "root.twin.r")
+  | Ok () -> Alcotest.fail "duplicate qualified rule ids accepted");
+  match Engine.create root with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "engine built over shadowed rules"
 
 let test_validate_unknown_procedure () =
   let rs = Ruleset.make ~rules:[ call_rule "r" "ghost" ] "s" in
   (match Ruleset.validate rs with
-  | Error e ->
-      let contains hay needle =
-        let n = String.length needle and h = String.length hay in
-        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-        go 0
-      in
-      Alcotest.(check bool) "mentions the callee" true (contains e "ghost")
+  | Error e -> Alcotest.(check bool) "mentions the callee" true (contains e "ghost")
   | Ok () -> Alcotest.fail "unknown procedure accepted");
   (* procedure bodies are checked too *)
   let rs2 =
