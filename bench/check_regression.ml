@@ -140,13 +140,44 @@ let read_file name =
   close_in ic;
   s
 
+(* Multicore scaling gate: BENCH_par.json records the wall-clock
+   speedup at 4 domains and the core count of the machine that produced
+   it.  On a machine with at least 4 real cores, a 4-domain run that
+   fails to reach 1.5x the sequential run means the sharded scheduler
+   stopped paying for itself; on smaller machines (CI containers are
+   often 1-2 cores) wall-clock speedup is meaningless and the gate does
+   not apply.  [cores] is deliberately NOT a workload-shape key — the
+   same workload measured on different machines must still compare. *)
+let min_speedup_4 = 1.5
+
+let top_num key = function
+  | Json.Obj fields -> (
+      match List.assoc_opt key fields with Some (Json.Num x) -> Some x | _ -> None)
+  | _ -> None
+
+let scaling_gate name current =
+  match (top_num "cores" current, top_num "speedup_4_domains" current) with
+  | Some cores, Some speedup when cores >= 4. && speedup < min_speedup_4 ->
+      fail "%s: %.2fx speedup at 4 domains on a %.0f-core machine (< %.1fx)" name speedup
+        cores min_speedup_4
+  | _ -> ()
+
 let check (baseline, current) =
-  match (Json.parse (read_file baseline), Json.parse (read_file current)) with
-  | Error e, _ -> fail "%s: parse error: %s" baseline e
-  | _, Error e -> fail "%s: parse error: %s" current e
-  | Ok b, Ok c ->
-      Printf.printf "checking %s against %s\n" current baseline;
-      walk (Filename.basename current |> Filename.remove_extension) b c
+  (* a silently absent artifact must never pass as "nothing regressed" *)
+  let missing = List.filter (fun f -> not (Sys.file_exists f)) [ baseline; current ] in
+  if missing <> [] then
+    List.iter
+      (fun f -> fail "%s: bench artifact missing — expected the smoke run to emit it" f)
+      missing
+  else
+    match (Json.parse (read_file baseline), Json.parse (read_file current)) with
+    | Error e, _ -> fail "%s: parse error: %s" baseline e
+    | _, Error e -> fail "%s: parse error: %s" current e
+    | Ok b, Ok c ->
+        let name = Filename.basename current |> Filename.remove_extension in
+        Printf.printf "checking %s against %s\n" current baseline;
+        walk name b c;
+        scaling_gate name c
 
 let () =
   let rec pairs = function

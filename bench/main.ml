@@ -12,7 +12,8 @@
      dune exec bench/main.exe query      # compiled-query-plan benchmarks
      dune exec bench/main.exe pubsub     # subscription-index publish benchmarks
      dune exec bench/main.exe rules      # cross-rule sharing (alpha network) benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub+rules smoke (runs in `dune runtest`)
+     dune exec bench/main.exe par        # multicore scale-out (sharded scheduler) benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub+rules+par smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -25,7 +26,8 @@ let () =
     Event_bench.run ~smoke:true ();
     Query_bench.run ~smoke:true ();
     Pubsub_bench.run ~smoke:true ();
-    Rules_bench.run ~smoke:true ()
+    Rules_bench.run ~smoke:true ();
+    Par_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -39,5 +41,6 @@ let () =
     if wanted "query" then Query_bench.run ~smoke:false ();
     if wanted "pubsub" then Pubsub_bench.run ~smoke:false ();
     if wanted "rules" then Rules_bench.run ~smoke:false ();
+    if wanted "par" then Par_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

@@ -1,0 +1,189 @@
+(* Multicore scale-out benchmarks: the same pulse/ack workload replayed
+   with the host set sharded over 1, 2, 4 (and 8 in full runs) OCaml
+   domains.  Before timing, every partitioned tier is asserted
+   bit-identical to the sequential oracle (firings, traffic, clock) —
+   the differential contract test/test_par.ml drives in anger.  Prints
+   a table and emits machine-readable BENCH_par.json.
+
+   Wall-clock speedup is only meaningful when real cores back the
+   domains; the artifact records [cores] so the regression gate
+   (bench/check_regression.ml) applies its scaling check only on
+   machines with at least 4 of them.  [~smoke] runs small tiers (wired
+   into `dune runtest`). *)
+
+open Xchange
+
+(* [Sys.time] sums CPU time over every domain, which makes a parallel
+   run look slower the better it scales; wall clock is the honest
+   measure here. *)
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let host i = Printf.sprintf "w%d.example" i
+
+(* Per-pulse work: a local condition query scanning a [doc_items]-entry
+   document, a store insert, and a cross-host ack to the ring
+   neighbour — enough CPU per event for sharding to matter, enough
+   traffic for the barrier exchange to be exercised. *)
+let rules ~next =
+  Ruleset.make
+    ~rules:
+      [
+        Eca.make ~name:"work"
+          ~on:(Event_query.on ~label:"pulse" (Qterm.var "E"))
+          ~if_:
+            (Condition.In
+               (Condition.Local "/data", Qterm.el "item" [ Qterm.pos (Qterm.txt "needle") ]))
+          (Action.seq
+             [
+               Action.insert ~doc:"/seen" (Construct.cel "p" [ Construct.cvar "E" ]);
+               Action.raise_event ~to_:next ~label:"ack" (Construct.cel "a" []);
+             ]);
+      ]
+    "worker"
+
+type tier = {
+  t_domains : int;
+  t_firings : int;
+  t_messages : int;
+  t_bytes : int;
+  t_clock : int;
+  t_rounds : int;  (** barrier window rounds *)
+  t_crossings : int;  (** deliveries through handoff rings *)
+  t_wall_ms : float;
+}
+
+let run_tier ~hosts ~pulses ~doc_items ~domains =
+  (* identical id streams per tier: lanes and message ids replay *)
+  Event.reset_ids ();
+  Message.reset_ids ();
+  let net = Network.create ~domains () in
+  let nodes =
+    List.init hosts (fun i ->
+        let n = node_exn ~host:(host i) (rules ~next:(host ((i + 1) mod hosts))) in
+        let data =
+          Term.elem ~ord:Term.Unordered "data"
+            (List.init doc_items (fun j -> Term.elem "item" [ Term.text (string_of_int j) ])
+            @ [ Term.elem "item" [ Term.text "needle" ] ])
+        in
+        Store.add_doc (Node.store n) "/data" data;
+        Store.add_doc (Node.store n) "/seen" (Term.elem ~ord:Term.Unordered "seen" []);
+        Network.add_node_exn net n;
+        n)
+  in
+  for r = 1 to pulses do
+    Network.run net ~until:(r * 10);
+    List.iteri
+      (fun i _ -> Network.inject net ~to_:(host i) ~label:"pulse" (Term.int r))
+      nodes
+  done;
+  let clock = Network.run_until_quiet net () in
+  let s = Network.transport_stats net in
+  {
+    t_domains = domains;
+    t_firings = List.fold_left (fun acc n -> acc + Node.firings n) 0 nodes;
+    t_messages = s.Transport.messages;
+    t_bytes = s.Transport.bytes;
+    t_clock = clock;
+    t_rounds = Network.window_rounds net;
+    t_crossings = Network.window_crossings net;
+    t_wall_ms = 0.;
+  }
+
+(* ---- JSON emission (hand-rolled; no deps) ---- *)
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr elems = "[" ^ String.concat ", " elems ^ "]"
+let fi k v = Printf.sprintf "%S: %d" k v
+let ff k v = Printf.sprintf "%S: %.3f" k v
+
+let run ~smoke () =
+  let hosts, pulses, doc_items = if smoke then (4, 25, 60) else (8, 150, 400) in
+  let tiers = if smoke then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "@.# Multicore scale-out benchmarks%s@." (if smoke then " (smoke)" else "");
+  let rows =
+    List.map
+      (fun domains ->
+        let row, ms = wall_ms (fun () -> run_tier ~hosts ~pulses ~doc_items ~domains) in
+        { row with t_wall_ms = ms })
+      tiers
+  in
+  (* differential pin before any number is reported: every sharded tier
+     must reproduce the sequential run exactly *)
+  let base = List.hd rows in
+  List.iter
+    (fun r ->
+      if
+        r.t_firings <> base.t_firings || r.t_messages <> base.t_messages
+        || r.t_bytes <> base.t_bytes || r.t_clock <> base.t_clock
+      then
+        failwith
+          (Printf.sprintf
+             "par bench: %d-domain run diverged from sequential (firings %d/%d, messages \
+              %d/%d, bytes %d/%d, clock %d/%d)"
+             r.t_domains r.t_firings base.t_firings r.t_messages base.t_messages r.t_bytes
+             base.t_bytes r.t_clock base.t_clock))
+    rows;
+  if base.t_firings <> hosts * pulses then
+    failwith
+      (Printf.sprintf "par bench: expected %d firings, got %d" (hosts * pulses) base.t_firings);
+  let speedup r = base.t_wall_ms /. Float.max r.t_wall_ms 0.001 in
+  let events_per_sec r =
+    float_of_int (hosts * pulses) /. Float.max (r.t_wall_ms /. 1000.) 1e-6
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "%d hosts x %d pulses, %d-item condition scans, sharded over domains (%d cores)"
+         hosts pulses doc_items cores)
+    ~header:
+      [ "domains"; "wall ms"; "events/s"; "speedup"; "windows"; "crossings"; "messages" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.t_domains; Util.f1 r.t_wall_ms; Util.si (int_of_float (events_per_sec r));
+           Util.f2 (speedup r); string_of_int r.t_rounds; Util.si r.t_crossings;
+           Util.si r.t_messages;
+         ])
+       rows);
+  let speedup_4 =
+    match List.find_opt (fun r -> r.t_domains = 4) rows with
+    | Some r -> speedup r
+    | None -> 1.0
+  in
+  let json =
+    obj
+      [
+        Printf.sprintf "%S: %s" "smoke" (string_of_bool smoke);
+        fi "hosts" hosts;
+        fi "pulses" pulses;
+        fi "doc_items" doc_items;
+        fi "cores" cores;
+        ff "speedup_4_domains" speedup_4;
+        Printf.sprintf "%S: %s" "tiers"
+          (arr
+             (List.map
+                (fun r ->
+                  obj
+                    [
+                      fi "domains" r.t_domains;
+                      ff "wall_ms" r.t_wall_ms;
+                      ff "events_per_sec" (events_per_sec r);
+                      ff "speedup" (speedup r);
+                      fi "window_rounds" r.t_rounds;
+                      fi "window_crossings" r.t_crossings;
+                      fi "firings" r.t_firings;
+                      fi "messages" r.t_messages;
+                      fi "bytes" r.t_bytes;
+                      fi "sim_clock_ms" r.t_clock;
+                    ])
+                rows));
+      ]
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_par.json@."

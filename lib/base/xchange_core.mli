@@ -32,6 +32,18 @@ module Escape : sig
       matchers instead of deduplicating them through the shared alpha
       network ({!Xchange_rules.Alpha}). *)
 
+  val no_par : bool
+  (** [XCHANGE_NO_PAR=1]: force every {!Xchange_web.Network} onto the
+      single sequential scheduler timeline regardless of [~domains] or
+      [XCHANGE_DOMAINS] — the differential oracle for the sharded
+      multicore scheduler. *)
+
+  val domains : int option
+  (** [XCHANGE_DOMAINS=n]: default domain count for networks created
+      without an explicit [~domains] (read once at program start;
+      [None] when unset or unparseable).  Not a hatch — it picks the
+      degree of sharding, while {!no_par} picks the oracle. *)
+
   val disabled : string -> bool
   (** [disabled var] reads [var] from the environment {e now} with the
       hatch convention above (unset/[""]/["0"] = off).  For hatches the
@@ -40,4 +52,38 @@ module Escape : sig
   val all : unit -> (string * bool * string) list
   (** [(variable, currently set, one-line description)] for every known
       hatch — lets harnesses report which reference paths a run used. *)
+end
+
+(** Domain-local state with merge-on-snapshot.
+
+    Each domain gets its own instance of a mutable structure (created
+    by the callback on first touch); [fold]/[iter] visit every
+    domain's instance for whole-process accounting.  Snapshots must be
+    taken while worker domains are parked (the network driver only
+    samples at barriers), so no locking is needed on the instances
+    themselves — only the instance registry is mutex-guarded. *)
+module Domain_local : sig
+  type 'a t
+
+  val create : (unit -> 'a) -> 'a t
+  (** The creating domain's instance is materialised eagerly, so
+      single-domain programs pay nothing and behave as before. *)
+
+  val get : 'a t -> 'a
+  (** This domain's instance (created on first call per domain). *)
+
+  val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+  val iter : 'a t -> ('a -> unit) -> unit
+
+  (** Per-domain counters merged on read: the hot-path increment is a
+      plain [incr] on this domain's cell. *)
+  module Counter : sig
+    type nonrec t = int ref t
+
+    val create : unit -> t
+    val incr : t -> unit
+    val add : t -> int -> unit
+    val total : t -> int
+    val reset : t -> unit
+  end
 end

@@ -78,6 +78,7 @@ module Uri = Xchange_web.Uri
 module Message = Xchange_web.Message
 module Store = Xchange_web.Store
 module Sched = Xchange_web.Sched
+module Partition = Xchange_web.Partition
 module Transport = Xchange_web.Transport
 module Node = Xchange_web.Node
 module Network = Xchange_web.Network

@@ -1,8 +1,19 @@
-let counter = ref 0
+(* One allocation lane per domain: ids carry the allocating domain's id
+   in the high bits, so concurrent stores on sharded schedulers never
+   race or collide.  The orchestrating (main) domain has id 0, which
+   makes its ids plain small integers — sequential runs are untouched.
+   Surrogate ids are identity handles, not values: anything comparing
+   documents across runs strips them ({!Term.strip_ids}). *)
+let lane_shift = 40
+
+let counters : int ref Xchange_core.Domain_local.t =
+  Xchange_core.Domain_local.create (fun () -> ref 0)
 
 let fresh () =
-  incr counter;
-  !counter
+  let c = Xchange_core.Domain_local.get counters in
+  incr c;
+  let lane = (Stdlib.Domain.self () :> int) in
+  if lane = 0 then !c else (lane lsl lane_shift) lor !c
 
 let assign t =
   Term.map_elements

@@ -15,7 +15,10 @@
     lookup primitives. *)
 
 val fresh : unit -> int
-(** A fresh, strictly positive surrogate id (process-global). *)
+(** A fresh, strictly positive surrogate id.  Unique process-wide:
+    each domain allocates from its own lane (domain id in the high
+    bits), so sharded schedulers never contend; the main domain's lane
+    is 0, keeping sequential runs' ids the familiar small integers. *)
 
 val assign : Term.t -> Term.t
 (** Gives a fresh surrogate id to every element that has none

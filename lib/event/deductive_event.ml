@@ -10,7 +10,14 @@ type rule = {
 type program = rule list
 
 type compiled_rule = { spec : rule; engine : Incremental.t }
-type t = { rules : compiled_rule list (* in stratum order *) }
+
+type t = {
+  rules : compiled_rule list;  (* in stratum order *)
+  fresh_id : (unit -> int) option;
+      (* derived-event id allocator, typically the owning node's origin
+         lane — deterministic under domain sharding.  [None] falls back
+         to the global [Event] counter. *)
+}
 
 let rule ~name ~derives ~trigger ~payload = { name; derived_label = derives; trigger; payload }
 
@@ -65,12 +72,12 @@ let stratify program =
   | r :: _ -> Error (Fmt.str "recursive event derivation: rule %s triggers on its own output" r.name)
   | [] -> order [] [] program
 
-let compile ?horizon ?index ?share program =
+let compile ?horizon ?index ?share ?fresh_id program =
   match stratify program with
   | Error e -> Error e
   | Ok ordered ->
       let rec build acc = function
-        | [] -> Ok { rules = List.rev acc }
+        | [] -> Ok { rules = List.rev acc; fresh_id }
         | r :: rest -> (
             match Incremental.create ?horizon ?index ?share r.trigger with
             | Error e -> Error (Fmt.str "rule %s: %s" r.name e)
@@ -78,12 +85,13 @@ let compile ?horizon ?index ?share program =
       in
       build [] ordered
 
-let derive cr (detection : Instance.t) =
+let derive ?fresh_id cr (detection : Instance.t) =
   match Construct.instantiate cr.spec.payload detection.Instance.subst [ detection.Instance.subst ] with
   | Error _ -> None
   | Ok payload ->
+      let id = Option.map (fun f -> f ()) fresh_id in
       Some
-        (Event.make
+        (Event.make ?id
            ~sender:("derived:" ^ cr.spec.name)
            ~occurred_at:detection.Instance.t_end ~label:cr.spec.derived_label payload)
 
@@ -104,7 +112,7 @@ let run t inject =
               | `Now time -> Incremental.advance_to cr.engine time)
             pending_inputs
         in
-        let new_events = List.filter_map (derive cr) detections in
+        let new_events = List.filter_map (derive ?fresh_id:t.fresh_id cr) detections in
         derived_acc := !derived_acc @ new_events;
         cascade rest (pending_inputs @ List.map (fun e -> `Ev e) new_events)
   in

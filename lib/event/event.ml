@@ -13,10 +13,36 @@ type t = {
 
 let next_id = ref 0
 
-let make ?(sender = "") ?(recipient = "") ?received_at ?ttl ~occurred_at ~label payload =
-  incr next_id;
+(* Deterministic id lanes for sharded execution.  The global [next_id]
+   fallback is fine on one timeline but races (and depends on global
+   interleaving) once hosts run on separate domains, and event ids are
+   observable: receivers deduplicate at-least-once deliveries by id and
+   the alpha network memoises per id.  Components that own a stream of
+   events (a node, a derivation engine, a network's injection source)
+   allocate an origin lane at creation time — creation happens on the
+   orchestrating domain in program order, so lanes are identical across
+   sequential and sharded runs — and stamp events [lane * 2^40 + n]
+   with their own local counter.  Lanes start at 1, so laned ids never
+   collide with the small fallback ids. *)
+let lane_shift = 40
+let origin_counter = ref 0
+
+let fresh_origin () =
+  incr origin_counter;
+  !origin_counter
+
+let scoped_id ~origin ~n = (origin lsl lane_shift) lor (n land ((1 lsl lane_shift) - 1))
+
+let make ?id ?(sender = "") ?(recipient = "") ?received_at ?ttl ~occurred_at ~label payload =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        incr next_id;
+        !next_id
+  in
   {
-    id = !next_id;
+    id;
     label;
     payload;
     sender;
@@ -48,4 +74,6 @@ let to_term e =
 let pp ppf e =
   Fmt.pf ppf "#%d %s@%a %a" e.id e.label Clock.pp_time e.occurred_at Term.pp e.payload
 
-let reset_ids () = next_id := 0
+let reset_ids () =
+  next_id := 0;
+  origin_counter := 0

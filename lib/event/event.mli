@@ -8,9 +8,17 @@
     persistent requires an explicit action (Thesis 8's
     [Make_persistent]).
 
-    Event ids are globally unique and increase with creation order; the
-    deterministic simulator relies on this for tie-breaking temporal
-    order of events carrying the same timestamp. *)
+    Event ids are globally unique and deterministic; the deterministic
+    simulator relies on them for tie-breaking temporal order of events
+    carrying the same timestamp, and receivers deduplicate at-least-once
+    deliveries by id.  Components that own an event stream (nodes,
+    derivation engines, injection sources) allocate an {e origin lane}
+    at creation time and stamp their events from a lane-local counter
+    ({!fresh_origin} / {!scoped_id}) — a pure function of the
+    component's own execution history, so ids come out identical
+    whether the simulation runs on one timeline or sharded across
+    OCaml domains.  The bare global counter remains as a fallback for
+    harness code. *)
 
 open Xchange_data
 
@@ -26,6 +34,7 @@ type t = private {
 }
 
 val make :
+  ?id:int ->
   ?sender:string ->
   ?recipient:string ->
   ?received_at:Clock.time ->
@@ -35,7 +44,19 @@ val make :
   Term.t ->
   t
 (** [received_at] defaults to [occurred_at]; [ttl] sets
-    [expires_at = occurred_at + ttl]. *)
+    [expires_at = occurred_at + ttl].  [id] defaults to the global
+    fallback counter; components owning an event stream pass
+    {!scoped_id} ids instead. *)
+
+val fresh_origin : unit -> int
+(** Allocate an origin lane (>= 1).  Call from the orchestrating domain
+    at component-creation time only — lane allocation order must be the
+    same in sequential and sharded runs, and component creation happens
+    in program order before any domain is spawned. *)
+
+val scoped_id : origin:int -> n:int -> int
+(** [scoped_id ~origin ~n] = the globally unique id of the [n]-th event
+    of lane [origin].  Laned ids never collide with fallback ids. *)
 
 val received : t -> Clock.time -> t
 (** The same event as seen by a node at reception time. *)
@@ -53,4 +74,5 @@ val to_term : t -> Term.t
 val pp : t Fmt.t
 
 val reset_ids : unit -> unit
-(** Reset the global id counter (test isolation only). *)
+(** Reset the global fallback id counter and the origin-lane allocator
+    (test isolation only). *)

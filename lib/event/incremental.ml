@@ -13,15 +13,16 @@ end)
 
 type atom_matcher = Event.t -> Subst.set
 
-(* Real payload-matcher executions, process-global (same pattern as
-   Plan's work counters): the unshared path bumps it on every gated
-   match, the shared alpha network only on memo misses — so the counter
-   measures atomic evaluation work comparably across both modes. *)
-let matcher_runs = ref 0
+(* Real payload-matcher executions (same pattern as Plan's work
+   counters): the unshared path bumps it on every gated match, the
+   shared alpha network only on memo misses — so the counter measures
+   atomic evaluation work comparably across both modes.  Domain-local
+   so sharded schedulers never contend; readers sum over domains. *)
+let matcher_runs = Xchange_core.Domain_local.Counter.create ()
 
-let note_atomic_run () = incr matcher_runs
-let atomic_matcher_runs () = !matcher_runs
-let reset_atomic_matcher_runs () = matcher_runs := 0
+let note_atomic_run () = Xchange_core.Domain_local.Counter.incr matcher_runs
+let atomic_matcher_runs () = Xchange_core.Domain_local.Counter.total matcher_runs
+let reset_atomic_matcher_runs () = Xchange_core.Domain_local.Counter.reset matcher_runs
 
 type node = {
   store : Istore.t;

@@ -8,20 +8,26 @@ type code = Term.t -> Subst.t -> Subst.set
 
 type kind = Required | Optional
 
-(* ---- work counters (deterministic; sampled by Simulate.metrics) ---- *)
+(* ---- work counters (deterministic; sampled by Simulate.metrics) ----
+   Domain-local with merge-on-read: each domain bumps its own cell, so
+   rule evaluation sharded across domains never races; [total] is exact
+   whenever no worker domain is mid-window (the only time harnesses
+   sample). *)
 
-let c_compiled = ref 0
-let c_fingerprint_pruned = ref 0
-let c_arity_pruned = ref 0
+module Counter = Xchange_core.Domain_local.Counter
 
-let compiled_count () = !c_compiled
-let fingerprint_pruned () = !c_fingerprint_pruned
-let arity_pruned () = !c_arity_pruned
+let c_compiled = Counter.create ()
+let c_fingerprint_pruned = Counter.create ()
+let c_arity_pruned = Counter.create ()
+
+let compiled_count () = Counter.total c_compiled
+let fingerprint_pruned () = Counter.total c_fingerprint_pruned
+let arity_pruned () = Counter.total c_arity_pruned
 
 let reset_counters () =
-  c_compiled := 0;
-  c_fingerprint_pruned := 0;
-  c_arity_pruned := 0
+  Counter.reset c_compiled;
+  Counter.reset c_fingerprint_pruned;
+  Counter.reset c_arity_pruned
 
 (* ---- compile-time analysis ---------------------------------------- *)
 
@@ -292,11 +298,11 @@ and compile_elem (ep : Qterm.elem_pat) : code =
                    must be consumed by some pattern *)
                 let ndata = List.length data in
                 if n_required > ndata || (total && ndata > n_patterns) then begin
-                  incr c_arity_pruned;
+                  Counter.incr c_arity_pruned;
                   []
                 end
                 else if fingerprint <> [] && not (fingerprint_ok fingerprint data) then begin
-                  incr c_fingerprint_pruned;
+                  Counter.incr c_fingerprint_pruned;
                   []
                 end
                 else
@@ -381,7 +387,7 @@ type t = {
 }
 
 let compile q =
-  incr c_compiled;
+  Counter.incr c_compiled;
   let peeled = Qterm.peel_desc q in
   let root = compile_code q in
   let inner = if peeled == q then root else compile_code peeled in

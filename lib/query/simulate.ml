@@ -9,9 +9,14 @@ open Xchange_obs
    interpreter path.  Patterns are [Re.whole_string]-anchored at
    compile time, so a leaf visit is a single [Re.execp] instead of an
    unanchored search plus a group-0 / full-input comparison. *)
-let regex_cache : (string, Re.re) Lru.t = Lru.create ~cap:256
+(* Domain-local: compiled regexes are cheap to rebuild, racing domains
+   are not.  Each domain grows its own cache; the metrics fold sums all
+   of them. *)
+let regex_caches : (string, Re.re) Lru.t Xchange_core.Domain_local.t =
+  Xchange_core.Domain_local.create (fun () -> Lru.create ~cap:256)
 
 let compiled_regex r =
+  let regex_cache = Xchange_core.Domain_local.get regex_caches in
   match Lru.find regex_cache r with
   | Some re -> re
   | None ->
@@ -180,13 +185,18 @@ and match_children ~unordered ~total patterns data subst =
    startup) or [~plan:false] per call restores the interpreter — the
    escape hatch the differential property suite drives. *)
 
-let plan_cache : (Qterm.t, Plan.t) Lru.t = Lru.create ~cap:512
+(* Domain-local like the regex cache: plans are pure values compiled
+   from pure values, so per-domain duplication costs only memory and
+   recompilation, never correctness. *)
+let plan_caches : (Qterm.t, Plan.t) Lru.t Xchange_core.Domain_local.t =
+  Xchange_core.Domain_local.create (fun () -> Lru.create ~cap:512)
 
 let plan_default = not Xchange_core.Escape.no_plan
 
 let plan_enabled () = plan_default
 
 let plan_of q =
+  let plan_cache = Xchange_core.Domain_local.get plan_caches in
   match Lru.find plan_cache q with
   | Some p -> p
   | None ->
@@ -201,15 +211,19 @@ let plan q = if plan_default then Some (plan_of q) else None
    one module-level registry carries them; benches and harnesses
    snapshot it directly. *)
 let metrics =
+  let sum caches stat =
+    Xchange_core.Domain_local.fold caches ~init:0 ~f:(fun acc c -> acc + stat c)
+  in
   let m = Obs.Metrics.create () in
-  Obs.Metrics.counter_fn m "query.plan_cache_hits" (fun () -> Lru.hits plan_cache);
-  Obs.Metrics.counter_fn m "query.plan_cache_misses" (fun () -> Lru.misses plan_cache);
-  Obs.Metrics.counter_fn m "query.plan_cache_evictions" (fun () -> Lru.evictions plan_cache);
+  Obs.Metrics.counter_fn m "query.plan_cache_hits" (fun () -> sum plan_caches Lru.hits);
+  Obs.Metrics.counter_fn m "query.plan_cache_misses" (fun () -> sum plan_caches Lru.misses);
+  Obs.Metrics.counter_fn m "query.plan_cache_evictions" (fun () ->
+      sum plan_caches Lru.evictions);
   Obs.Metrics.counter_fn m "query.plans_compiled" (fun () -> Plan.compiled_count ());
   Obs.Metrics.counter_fn m "query.fingerprint_pruned" (fun () -> Plan.fingerprint_pruned ());
   Obs.Metrics.counter_fn m "query.arity_pruned" (fun () -> Plan.arity_pruned ());
-  Obs.Metrics.counter_fn m "query.regex_cache_hits" (fun () -> Lru.hits regex_cache);
-  Obs.Metrics.counter_fn m "query.regex_cache_misses" (fun () -> Lru.misses regex_cache);
+  Obs.Metrics.counter_fn m "query.regex_cache_hits" (fun () -> sum regex_caches Lru.hits);
+  Obs.Metrics.counter_fn m "query.regex_cache_misses" (fun () -> sum regex_caches Lru.misses);
   m
 
 let matches ?(plan = plan_default) ?(seed = Subst.empty) q t =

@@ -52,6 +52,8 @@ type t = {
   index : bool;
   subindex : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
   share : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
+  fresh_event_id : (unit -> int) option;
+      (** derived-event id allocator (kept for {!load_ruleset}) *)
   remote_deps : ([ `Doc | `Rdf ] * string) list;
       (** remote URIs any rule/view/procedure condition can touch *)
   clocked_remote_deps : ([ `Doc | `Rdf ] * string) list;
@@ -122,7 +124,7 @@ let merge_sorted a b =
   go a b []
 
 let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
-    ?(share = Alpha.enabled ()) root =
+    ?(share = Alpha.enabled ()) ?fresh_event_id root =
   let* () = Ruleset.validate root in
   let m = Obs.Metrics.create () in
   (* One alpha network per engine: every rule's atomic matchers — and
@@ -164,7 +166,7 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
       (Ok ()) (Ruleset.scoped_rules root)
   in
   let* derivation =
-    Deductive_event.compile ?horizon ~index ?share:share_hook
+    Deductive_event.compile ?horizon ~index ?share:share_hook ?fresh_id:fresh_event_id
       (Ruleset.all_event_rules root)
   in
   let compiled = Array.of_list (List.rev compiled) in
@@ -236,6 +238,7 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
       index;
       subindex;
       share;
+      fresh_event_id;
       remote_deps;
       clocked_remote_deps;
       m;
@@ -266,8 +269,8 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
       (join_stats t).Incremental.instances_pruned);
   Ok t
 
-let create_exn ?horizon ?index ?subindex ?share root =
-  match create ?horizon ?index ?subindex ?share root with
+let create_exn ?horizon ?index ?subindex ?share ?fresh_event_id root =
+  match create ?horizon ?index ?subindex ?share ?fresh_event_id root with
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ e)
 
@@ -442,7 +445,8 @@ let advance t ~env ~ops time =
 
 let load_ruleset t incoming =
   let merged = { t.root with Ruleset.children = t.root.Ruleset.children @ [ incoming ] } in
-  create ~index:t.index ~subindex:t.subindex ~share:t.share merged
+  create ~index:t.index ~subindex:t.subindex ~share:t.share
+    ?fresh_event_id:t.fresh_event_id merged
 
 let ruleset t = t.root
 let rule_names t = Array.to_list (Array.map (fun cr -> cr.qualified) t.compiled)

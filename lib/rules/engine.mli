@@ -22,6 +22,7 @@ val create :
   ?index:bool ->
   ?subindex:bool ->
   ?share:bool ->
+  ?fresh_event_id:(unit -> int) ->
   Ruleset.t ->
   (t, string) result
 (** Validates the rule set (duplicate names, unresolved procedure
@@ -54,8 +55,19 @@ val create :
     consumption) remains private; shared and unshared outcomes are
     identical (property-tested). *)
 
+(** [fresh_event_id] allocates ids for events derived by the engine's
+    derivation network (typically the owning node's origin lane, see
+    {!Event.scoped_id}); preserved across {!load_ruleset}.  Defaults to
+    the global [Event] counter. *)
+
 val create_exn :
-  ?horizon:Clock.span -> ?index:bool -> ?subindex:bool -> ?share:bool -> Ruleset.t -> t
+  ?horizon:Clock.span ->
+  ?index:bool ->
+  ?subindex:bool ->
+  ?share:bool ->
+  ?fresh_event_id:(unit -> int) ->
+  Ruleset.t ->
+  t
 
 type outcome = {
   firings : Eca.firing list;

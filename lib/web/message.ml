@@ -17,12 +17,25 @@ type t = {
   body : body;
 }
 
+(* Fallback counters for harness code that builds messages without an
+   originating node.  Network traffic proper carries ids allocated from
+   per-node counters ([Node.fresh_msg_id]): a message's identity is then
+   [(from_host, msg_id)] — a pure function of the sender's own execution
+   history, so it comes out identical whether the simulation runs on one
+   timeline or sharded across domains.  Fault coins and delivery ranks
+   both key on that pair, never on global allocation order. *)
 let msg_counter = ref 0
 let req_counter = ref 0
 
-let make ~from_host ~to_host ~sent_at body =
-  incr msg_counter;
-  { msg_id = !msg_counter; from_host; to_host; sent_at; body }
+let make ?msg_id ~from_host ~to_host ~sent_at body =
+  let msg_id =
+    match msg_id with
+    | Some id -> id
+    | None ->
+        incr msg_counter;
+        !msg_counter
+  in
+  { msg_id; from_host; to_host; sent_at; body }
 
 let fresh_req_id () =
   incr req_counter;

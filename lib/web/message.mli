@@ -24,13 +24,22 @@ type body =
 
 type t = {
   msg_id : int;
+      (** Per-origin sequence number when allocated by a node
+          ({!Xchange_web.Node.fresh_msg_id}); a process-global fallback
+          counter for raw harness messages.  A message's identity is
+          [(from_host, msg_id)] — deterministic under domain sharding
+          because each host's send sequence is a pure function of its
+          own execution history. *)
   from_host : string;
   to_host : string;
   sent_at : Clock.time;
   body : body;
 }
 
-val make : from_host:string -> to_host:string -> sent_at:Clock.time -> body -> t
+val make :
+  ?msg_id:int -> from_host:string -> to_host:string -> sent_at:Clock.time -> body -> t
+(** [msg_id] defaults to the process-global fallback counter; network
+    code passes the sending node's own sequence instead. *)
 
 val size_bytes : t -> int
 (** Size of the serialised envelope + payload (XML rendering), the unit

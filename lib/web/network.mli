@@ -1,13 +1,27 @@
-(** The simulated Web: nodes + transport + one {!Sched} timeline.
+(** The simulated Web: nodes + transports + one or more {!Sched}
+    timelines.
 
     A deterministic discrete-event simulation.  Everything that happens
     later — message deliveries, polling tickers, engine heartbeats,
-    rule-timer deadlines, fetch timeouts — is an occurrence on the one
-    scheduler queue, executed in [(time, sequence)] order.  Determinism
-    is what lets every experiment in EXPERIMENTS.md be re-run
-    bit-for-bit, including runs with fault injection (drops,
-    duplicates, jitter): message fates are deterministic functions of
-    message ids (see {!Transport.fault_profile}).
+    rule-timer deadlines, fetch timeouts — is an occurrence on a
+    scheduler queue, executed in [(time, rank)] order.  Determinism is
+    what lets every experiment in EXPERIMENTS.md be re-run bit-for-bit,
+    including runs with fault injection (drops, duplicates, jitter):
+    message fates are deterministic functions of sender-stamped message
+    identities (see {!Transport.fault_profile}).
+
+    {b Multicore.}  The network can shard its hosts across OCaml 5
+    domains ([?domains], default from [XCHANGE_DOMAINS]): each
+    partition owns a private timeline and transport and advances
+    through {e conservative lookahead windows} (see {!Partition}),
+    exchanging cross-partition messages at barriers.  Delivery order is
+    governed by sender stamps in every mode, so the partitioned run is
+    {e bit-identical} to the sequential one — the sequential path
+    ([~domains:1], or [XCHANGE_NO_PAR=1]) is the differential oracle.
+    Between driver calls ({!run} / {!run_until_quiet}) all partition
+    clocks agree and every structure may be inspected freely; user
+    callbacks (tickers, fetch continuations) run on the owning
+    partition's domain and must only touch that host's state.
 
     Remote condition queries ([Condition.Remote uri]) are {e real}
     asynchronous Get/Response round-trips.  Because the resources a
@@ -54,17 +68,31 @@ type node_stats = {
   mutable fetch_latency_max : Clock.span;
 }
 
+exception Causality of string
+(** Raised when a cross-partition delivery lands behind its destination
+    clock — only possible when an explicit [?lookahead] overstates a
+    link latency.  The derived default can never trip it. *)
+
 val create :
   ?latency:(from:string -> to_:string -> Clock.span) ->
   ?drop:(Message.t -> bool) ->
   ?faults:Transport.faults ->
   ?record:bool ->
   ?fetch_policy:fetch_policy ->
+  ?domains:int ->
+  ?lookahead:Clock.span ->
   unit ->
   t
 (** [drop] injects message loss; [faults] is the full fault profile
     (loss, duplication, jitter — see {!Transport.fault_profile});
-    [record] keeps a full message trace (see {!trace}). *)
+    [record] keeps a full message trace (see {!trace}).
+
+    [domains] (default: [XCHANGE_DOMAINS], else 1) is the number of
+    scheduler partitions; hosts are assigned by {!Partition.owner}.
+    [XCHANGE_NO_PAR=1] forces 1 whatever is requested.  More partitions
+    than hosts is harmless (the extras idle).  [lookahead] overrides
+    the conservative window width, normally derived as the minimum
+    cross-partition link latency; overstating it raises {!Causality}. *)
 
 val add_node : t -> Node.t -> (unit, string) result
 (** [Error] when a node with the same host name is already attached. *)
@@ -75,31 +103,53 @@ val node : t -> string -> Node.t option
 val node_exn : t -> string -> Node.t
 val hosts : t -> string list
 
+val partitions : t -> int
+(** Number of scheduler partitions (1 = sequential). *)
+
 val clock : t -> Clock.time
+(** The simulation clock.  Between driver calls every partition's clock
+    agrees; this reads partition 0's. *)
+
 val sched : t -> Sched.t
+(** Partition 0's timeline — the whole network's when sequential.
+    Harness code scheduling directly here composes with partitioned
+    runs (local occurrences on any timeline order before deliveries at
+    the same instant). *)
+
 val sched_stats : t -> Sched.stats
+(** Summed over partitions ([max_queue] is the per-partition maximum). *)
+
 val transport_stats : t -> Transport.stats
+(** Summed over partition transports. *)
 
 val node_stats : t -> string -> node_stats
 (** Counters for one host (zeroes for a host that has no traffic yet). *)
 
 val metrics : t -> Obs.Metrics.t
-(** The network layer's own registry: per-host [node.*] cells
-    (labelled [host]), [net.remote_fetches], [net.fallback_misses],
-    and any poller cells ({!Poll.attach}). *)
+(** Partition 0's network-layer registry (the only one when
+    sequential).  Host-scoped cells live in the owning partition's
+    registry — see {!registry_for}; {!metrics_snapshot} merges them
+    all. *)
+
+val registry_for : t -> host:string -> Obs.Metrics.t
+(** The registry of the partition owning [host] — where cells that a
+    host's callbacks (pollers, tickers) update must live, so only the
+    owning domain ever writes them. *)
 
 val metrics_snapshot : t -> Obs.Metrics.sample list
-(** Whole-system snapshot: this registry merged with the scheduler's
-    and the transport's, plus every attached node's store and engine
-    registries stamped with a [host] label.  One schema for tests,
-    bench artifacts, and the CLI ([--metrics]). *)
+(** Whole-system snapshot: every partition's scheduler, transport, and
+    network registries, plus every attached node's store and engine
+    registries stamped with a [host] label.  Merging sums samples that
+    agree on (name, labels), so partitioned and sequential runs emit
+    the same schema.  One schema for tests, bench artifacts, and the
+    CLI ([--metrics]). *)
 
 val metrics_json : t -> string
 (** {!metrics_snapshot} pretty-printed as JSON. *)
 
 val trace : t -> Message.t list
-(** Recorded messages in send order; empty unless created with
-    [record:true]. *)
+(** Recorded messages, ordered by send time then sender stamp; empty
+    unless created with [record:true]. *)
 
 val remote_fetches : t -> int
 (** Cross-host fetch round-trips started (Doc and RDF alike). *)
@@ -130,22 +180,29 @@ val fetch :
 
 val inject : t -> ?sender:string -> to_:string -> label:string -> ?ttl:Clock.span -> Term.t -> unit
 (** Send an external stimulus event to a node (scheduled through the
-    transport like any other message). *)
+    destination partition's transport like any other message). *)
 
-val add_ticker : t -> ?phase:Clock.span -> period:Clock.span -> (Clock.time -> unit) -> unit
+val add_ticker :
+  t -> ?host:string -> ?phase:Clock.span -> period:Clock.span -> (Clock.time -> unit) -> unit
 (** Run a callback every [period] ms, first at [phase] (default:
-    [period]).  Tickers never hold {!run_until_quiet} open. *)
+    [period]).  Tickers never hold {!run_until_quiet} open.  [host]
+    places the ticker on that host's partition timeline (required when
+    the callback touches the host's node, as pollers do); default:
+    partition 0. *)
 
 val enable_heartbeat : t -> period:Clock.span -> unit
-(** Advance every node's engine each period.  Engine absence deadlines
-    are also scheduled precisely as occurrences of their own, so the
-    heartbeat is only needed as a safety net for derivation timers and
-    for engines whose deadlines arise outside message processing. *)
+(** Advance every node's engine each period (one ticker per
+    partition).  Engine absence deadlines are also scheduled precisely
+    as occurrences of their own, so the heartbeat is only needed as a
+    safety net for derivation timers and for engines whose deadlines
+    arise outside message processing. *)
 
 val run : t -> until:Clock.time -> unit
 (** Execute every occurrence due at or before [until] in time order,
     then advance all engines to [until] (scheduling any round-trips
-    clocked rules need) and drain what that made due. *)
+    clocked rules need) and drain what that made due.  Partitioned
+    networks do this in conservative lookahead windows with barrier
+    exchanges; the result is bit-identical. *)
 
 val run_until_quiet : t -> ?limit:Clock.time -> unit -> Clock.time
 (** Run while holding occurrences (message deliveries, fetch timeouts)
@@ -154,3 +211,12 @@ val run_until_quiet : t -> ?limit:Clock.time -> unit -> Clock.time
     runaway rule cascades. *)
 
 val quiescent : t -> bool
+
+(** {1 Partitioning observability} *)
+
+val window_rounds : t -> int
+(** Barrier-synchronised window rounds executed so far (0 when every
+    run completed in a single unbounded window, e.g. sequentially). *)
+
+val window_crossings : t -> int
+(** Deliveries that crossed partitions through handoff rings. *)

@@ -10,6 +10,16 @@ let max_cascade_depth = 32
 type t = {
   host : string;
   store : Store.t;
+  lane : int;
+      (** the node's event-id origin lane ({!Event.fresh_origin}),
+          allocated at creation time on the orchestrating domain so it
+          is identical across sequential and sharded runs *)
+  event_n : int ref;  (** lane-local event counter, shared with the engine *)
+  msg_n : int ref;  (** per-node message sequence: a message's identity
+                        is [(host, msg_n)] *)
+  req_n : int ref;  (** per-node fetch request sequence; response
+                        handlers are node-local, so uniqueness per
+                        requester suffices *)
   mutable engine : Engine.t;
   horizon : Clock.span option;
   accept_rules : bool;
@@ -34,7 +44,13 @@ type context = {
 }
 
 let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host ruleset =
-  match Engine.create ?horizon ruleset with
+  let lane = Event.fresh_origin () in
+  let event_n = ref 0 in
+  let fresh_event_id () =
+    incr event_n;
+    Event.scoped_id ~origin:lane ~n:!event_n
+  in
+  match Engine.create ?horizon ~fresh_event_id ruleset with
   | Error e -> Error e
   | Ok engine ->
       let m = Obs.Metrics.create () in
@@ -42,6 +58,10 @@ let create ?horizon ?(accept_rules = false) ?(accept_updates = false) ~host rule
         {
           host;
           store = Store.create ();
+          lane;
+          event_n;
+          msg_n = ref 0;
+          req_n = ref 0;
           engine;
           horizon;
           accept_rules;
@@ -67,6 +87,18 @@ let create_exn ?horizon ?accept_rules ?accept_updates ~host ruleset =
 let host t = t.host
 let store t = t.store
 let engine t = t.engine
+
+let fresh_event_id t =
+  incr t.event_n;
+  Event.scoped_id ~origin:t.lane ~n:!(t.event_n)
+
+let fresh_msg_id t =
+  incr t.msg_n;
+  !(t.msg_n)
+
+let fresh_req_id t =
+  incr t.req_n;
+  !(t.req_n)
 let set_rule_decoder t decoder = t.decoder <- Some decoder
 
 let note_error t rule msg = t.errors <- (rule, msg) :: t.errors
@@ -85,8 +117,8 @@ let ops_for t ctx pending =
              one affected node) *)
           let u = Action.with_update_doc u (Uri.path target) in
           ctx.send
-            (Message.make ~from_host:t.host ~to_host:target_host ~sent_at:(ctx.now ())
-               (Message.Update u));
+            (Message.make ~msg_id:(fresh_msg_id t) ~from_host:t.host ~to_host:target_host
+               ~sent_at:(ctx.now ()) (Message.Update u));
           Ok 1
         end
         else
@@ -96,8 +128,8 @@ let ops_for t ctx pending =
             List.iter
               (fun { Store.summary; _ } ->
                 let ev =
-                  Event.make ~sender:t.host ~recipient:t.host ~occurred_at:(ctx.now ())
-                    ~label:"update" summary
+                  Event.make ~id:(fresh_event_id t) ~sender:t.host ~recipient:t.host
+                    ~occurred_at:(ctx.now ()) ~label:"update" summary
                 in
                 pending := !pending @ [ ev ])
               notifications;
@@ -107,9 +139,13 @@ let ops_for t ctx pending =
         let to_host = Uri.host recipient in
         let to_host = if to_host = "" then t.host else to_host in
         let departs = Clock.add (ctx.now ()) (Option.value ~default:0 delay) in
-        let event = Event.make ~sender:t.host ~recipient ~occurred_at:departs ?ttl ~label payload in
+        let event =
+          Event.make ~id:(fresh_event_id t) ~sender:t.host ~recipient ~occurred_at:departs
+            ?ttl ~label payload
+        in
         ctx.send
-          (Message.make ~from_host:t.host ~to_host ~sent_at:departs (Message.Event event)));
+          (Message.make ~msg_id:(fresh_msg_id t) ~from_host:t.host ~to_host ~sent_at:departs
+             (Message.Event event)));
     log = (fun line -> t.log_lines <- line :: t.log_lines);
     now = ctx.now;
     checkpoint =
@@ -194,8 +230,8 @@ let receive_get t ctx ~from ~req_id ~path ~kind =
     | Message.Rdf -> Option.map Rdf.graph_to_term (Store.rdf t.store path)
   in
   ctx.send
-    (Message.make ~from_host:t.host ~to_host:from ~sent_at:(ctx.now ())
-       (Message.Response { req_id; doc }))
+    (Message.make ~msg_id:(fresh_msg_id t) ~from_host:t.host ~to_host:from
+       ~sent_at:(ctx.now ()) (Message.Response { req_id; doc }))
 
 let expect_response t ~req_id handler =
   t.response_handlers <- (req_id, handler) :: t.response_handlers
@@ -228,8 +264,8 @@ let receive_update t ctx ~from update =
           List.fold_left
             (fun acc { Store.summary; _ } ->
               let ev =
-                Event.make ~sender:from ~recipient:t.host ~occurred_at:(ctx.now ())
-                  ~label:"update" summary
+                Event.make ~id:(fresh_event_id t) ~sender:from ~recipient:t.host
+                  ~occurred_at:(ctx.now ()) ~label:"update" summary
               in
               merge_outcomes acc (cascade t ctx ev))
             empty_outcome notifications

@@ -49,6 +49,25 @@ val host : t -> string
 val store : t -> Store.t
 val engine : t -> Engine.t
 
+val fresh_event_id : t -> int
+(** Next id on the node's origin lane ({!Event.scoped_id}).  Every event
+    the node originates — send actions, local update notifications,
+    engine-derived events — is stamped from this lane-local sequence, a
+    pure function of the node's own execution history; ids therefore
+    come out identical whether the network runs on one timeline or
+    sharded across domains.  Harness code injecting events {e as} this
+    node should draw from the same allocator. *)
+
+val fresh_msg_id : t -> int
+(** Next value of the node's message sequence.  A message's identity is
+    [(host, msg_id)]; fault coins and delivery ranks key on it. *)
+
+val fresh_req_id : t -> int
+(** Next value of the node's fetch-request sequence.  Response handlers
+    are node-local ({!expect_response}), so per-requester uniqueness
+    suffices — and keeps request ids deterministic under domain
+    sharding, unlike the global {!Message.fresh_req_id} fallback. *)
+
 val set_rule_decoder : t -> (Term.t -> (Ruleset.t, string) result) -> unit
 (** Install the meta decoder (wired to {!Xchange_lang.Meta} by the
     façade; injected here to keep the Web substrate independent of the

@@ -1,0 +1,185 @@
+(* Building blocks of the sharded scheduler: host-to-partition
+   assignment, conservative-lookahead window arithmetic, bounded SPSC
+   handoff rings, and a barrier-synchronised domain pool.  The pieces
+   are deliberately independent of [Network] so the horizon math and
+   ring behaviour can be unit-tested in isolation. *)
+
+open Xchange_event
+
+let owner ~partitions host =
+  if partitions <= 1 then 0 else Hashtbl.hash host mod partitions
+
+let window_stop ~(next_due : Clock.time) ~(lookahead : Clock.span) ~(until : Clock.time) =
+  let lookahead = max 1 lookahead in
+  (* guard against overflow: an "infinite" lookahead (no cross-partition
+     link) must collapse the window to the whole run *)
+  if lookahead - 1 >= until - next_due then until else next_due + lookahead - 1
+
+module Ring = struct
+  (* Bounded single-producer single-consumer queue.  The producer is the
+     source partition's domain (pushing during a window); the consumer
+     is the coordinating domain draining at the barrier, when no
+     producer is running.  The atomics make the common path lock-free;
+     overflow spills into a mutex-guarded list rather than blocking the
+     producer mid-window. *)
+  type 'a t = {
+    buf : 'a option array;
+    head : int Atomic.t;  (** next slot to read *)
+    tail : int Atomic.t;  (** next slot to write *)
+    mu : Mutex.t;
+    mutable spill : 'a list;  (** newest first *)
+    pushes : int Atomic.t;
+    spills : int Atomic.t;
+  }
+
+  let create ?(capacity = 1024) () =
+    {
+      buf = Array.make (max 1 capacity) None;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      mu = Mutex.create ();
+      spill = [];
+      pushes = Atomic.make 0;
+      spills = Atomic.make 0;
+    }
+
+  let push t x =
+    Atomic.incr t.pushes;
+    let cap = Array.length t.buf in
+    let tail = Atomic.get t.tail in
+    if tail - Atomic.get t.head >= cap then begin
+      Atomic.incr t.spills;
+      Mutex.lock t.mu;
+      t.spill <- x :: t.spill;
+      Mutex.unlock t.mu
+    end
+    else begin
+      t.buf.(tail mod cap) <- Some x;
+      Atomic.set t.tail (tail + 1)
+    end
+
+  (* FIFO drain; must not run concurrently with [push] (barrier
+     discipline enforces this). *)
+  let drain t =
+    let cap = Array.length t.buf in
+    let tail = Atomic.get t.tail in
+    let rec take head acc =
+      if head >= tail then (head, acc)
+      else
+        let slot = head mod cap in
+        let x = Option.get t.buf.(slot) in
+        t.buf.(slot) <- None;
+        take (head + 1) (x :: acc)
+    in
+    let head, acc = take (Atomic.get t.head) [] in
+    Atomic.set t.head head;
+    Mutex.lock t.mu;
+    let spilled = t.spill in
+    t.spill <- [];
+    Mutex.unlock t.mu;
+    (* [acc] and [spilled] are both newest-first; ring entries precede
+       spilled ones in push order *)
+    List.rev_append acc (List.rev spilled)
+
+  let pushes t = Atomic.get t.pushes
+  let spills t = Atomic.get t.spills
+end
+
+module Pool = struct
+  (* P-1 worker domains plus the calling domain executing phases in
+     lockstep: [phase pool job] runs [job i] for every partition index
+     concurrently (the caller takes index 0) and returns only when all
+     are done — a full barrier.  Mutex/condition hand-offs dominate the
+     cost, which is fine: phases are windows' worth of work, not single
+     occurrences. *)
+  type t = {
+    workers : int;
+    mu : Mutex.t;
+    cv : Condition.t;
+    mutable epoch : int;
+    mutable job : (int -> unit) option;
+    mutable remaining : int;
+    mutable stop : bool;
+    mutable error : (exn * Printexc.raw_backtrace) option;
+    mutable domains : unit Domain.t list;
+  }
+
+  let record_error t exn bt =
+    Mutex.lock t.mu;
+    if t.error = None then t.error <- Some (exn, bt);
+    Mutex.unlock t.mu
+
+  let worker t index () =
+    let my_epoch = ref 0 in
+    let rec loop () =
+      Mutex.lock t.mu;
+      while (not t.stop) && t.epoch = !my_epoch do
+        Condition.wait t.cv t.mu
+      done;
+      if t.stop then Mutex.unlock t.mu
+      else begin
+        let job = Option.get t.job in
+        my_epoch := t.epoch;
+        Mutex.unlock t.mu;
+        (try job index
+         with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
+        Mutex.lock t.mu;
+        t.remaining <- t.remaining - 1;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.mu;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~workers =
+    let t =
+      {
+        workers;
+        mu = Mutex.create ();
+        cv = Condition.create ();
+        epoch = 0;
+        job = None;
+        remaining = 0;
+        stop = false;
+        error = None;
+        domains = [];
+      }
+    in
+    t.domains <- List.init workers (fun i -> Domain.spawn (worker t (i + 1)));
+    t
+
+  let phase t job =
+    Mutex.lock t.mu;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    t.remaining <- t.workers;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu;
+    (* the caller is partition 0's executor; its failure must still wait
+       out the barrier before propagating, or workers would race the
+       next phase's state *)
+    (try job 0 with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mu;
+    while t.remaining > 0 do
+      Condition.wait t.cv t.mu
+    done;
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.mu;
+    match err with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.stop <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+
+  let with_pool ~workers f =
+    let t = create ~workers in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end

@@ -1,0 +1,70 @@
+(** Building blocks of the sharded parallel scheduler.
+
+    {!Network} can partition its hosts across OCaml domains, each
+    partition owning a private {!Sched} timeline and {!Transport}.  The
+    partitions advance in {e conservative lookahead windows} (classic
+    parallel discrete-event simulation): with [L] the minimum
+    cross-partition link latency, every partition may execute all
+    occurrences in [\[T, T+L)] (where [T] is the global earliest due
+    time) without synchronising, because a message sent inside the
+    window arrives at or after its end.  Cross-partition sends are
+    pushed through SPSC {!Ring}s and injected on the destination
+    timeline at the barrier, ranked by their sender stamp
+    ({!Sched.Rank}) — which makes the merged execution bit-identical to
+    the single-timeline run.
+
+    This module holds the parts that are independent of the network:
+    host assignment, window arithmetic, rings, and the barrier domain
+    pool; all are unit-testable in isolation. *)
+
+open Xchange_event
+
+val owner : partitions:int -> string -> int
+(** Deterministic host-to-partition assignment:
+    [Hashtbl.hash host mod partitions] (0 when [partitions <= 1]).
+    Stable across runs and modes — it must be, since a host's partition
+    decides which timeline schedules its occurrences. *)
+
+val window_stop : next_due:Clock.time -> lookahead:Clock.span -> until:Clock.time -> Clock.time
+(** Last instant (inclusive) every partition may execute up to without
+    synchronising, given the globally earliest due occurrence and the
+    conservative lookahead: [min (next_due + max 1 lookahead - 1) until].
+    A lookahead so large the window covers the whole run (in particular
+    [max_int] when no cross-partition link exists) yields [until],
+    without overflowing. *)
+
+(** Bounded single-producer single-consumer handoff queue.  Producer:
+    one partition's domain pushing cross-partition deliveries during a
+    window.  Consumer: the coordinating domain draining at the barrier
+    (never concurrently with a push).  Overflow beyond the capacity
+    spills into a mutex-guarded list — unbounded, but counted. *)
+module Ring : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] defaults to 1024 slots. *)
+
+  val push : 'a t -> 'a -> unit
+
+  val drain : 'a t -> 'a list
+  (** All queued items in push order (ring entries before spilled
+      ones); empties the ring.  Must not race {!push}. *)
+
+  val pushes : 'a t -> int
+  val spills : 'a t -> int
+end
+
+(** A barrier-synchronised pool of worker domains.  [phase pool job]
+    runs [job i] for partition indices [1 .. workers] on the worker
+    domains and [job 0] on the calling domain, returning only when all
+    have finished (exceptions are re-raised on the caller, after the
+    barrier).  Keep pools scoped to one driver call ({!with_pool}):
+    domains are a bounded resource. *)
+module Pool : sig
+  type t
+
+  val create : workers:int -> t
+  val phase : t -> (int -> unit) -> unit
+  val shutdown : t -> unit
+  val with_pool : workers:int -> (t -> 'a) -> 'a
+end

@@ -16,10 +16,11 @@ let last_change_detected_at s = int_of_float (Obs.Metrics.Gauge.value s.s_last)
 
 let attach net ~poller ~target ~period =
   let me = Network.node_exn net poller in
-  (* cells live in the network's registry, labelled by the edge they
-     watch, so several pollers coexist in one snapshot *)
+  (* cells live in the poller's partition registry, labelled by the
+     edge they watch, so several pollers coexist in one snapshot and
+     only the owning domain ever writes them *)
   let labels = [ ("poller", poller); ("target", target) ] in
-  let m = Network.metrics net in
+  let m = Network.registry_for net ~host:poller in
   let stats =
     {
       s_polls = Obs.Metrics.counter m ~labels "poll.polls";
@@ -41,13 +42,14 @@ let attach net ~poller ~target ~period =
           Obs.Metrics.Gauge.set stats.s_last (float_of_int now);
           let ctx = Network.context_for net me in
           let ev =
-            Event.make ~sender:poller ~recipient:poller ~occurred_at:now ~label:changed_label
+            Event.make ~id:(Node.fresh_event_id me) ~sender:poller ~recipient:poller
+              ~occurred_at:now ~label:changed_label
               (Term.elem "changed" [ Term.strip_ids d ])
           in
           ignore (Node.receive_event me ctx ev)
         end
   in
-  Network.add_ticker net ~period (fun _now ->
+  Network.add_ticker net ~host:poller ~period (fun _now ->
       Obs.Metrics.Counter.incr stats.s_polls;
       (* a full round-trip on the shared timeline, with the network's
          timeout/retry policy — dropped polls simply yield no response *)

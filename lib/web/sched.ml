@@ -7,10 +7,36 @@ type stats = {
   mutable max_queue : int;
 }
 
-module Key = struct
-  type t = Clock.time * int
+(* Execution order within one instant.  [Local] occurrences (timers,
+   tickers, timeouts, engine deadlines — everything this timeline
+   scheduled for itself) keep their per-timeline sequence numbers.
+   Message deliveries are ranked by the sender-stamped identity of the
+   message instead: the stamp is computable on whichever timeline the
+   sender runs, so a parallel run that partitions hosts across domains
+   merges cross-partition deliveries into {e exactly} the order the
+   single-timeline run produces.  At equal time, local occurrences run
+   before deliveries (constructor order). *)
+module Rank = struct
+  type t =
+    | Local of int
+    | Msg of { origin : string; n : int; dup : int }
 
-  let compare = Stdlib.compare
+  let compare a b =
+    match (a, b) with
+    | Local x, Local y -> Int.compare x y
+    | Local _, Msg _ -> -1
+    | Msg _, Local _ -> 1
+    | Msg a, Msg b -> (
+        match String.compare a.origin b.origin with
+        | 0 -> ( match Int.compare a.n b.n with 0 -> Int.compare a.dup b.dup | c -> c)
+        | c -> c)
+end
+
+module Key = struct
+  type t = Clock.time * Rank.t
+
+  let compare (ta, ra) (tb, rb) =
+    match Int.compare ta tb with 0 -> Rank.compare ra rb | c -> c
 end
 
 module Q = Map.Make (Key)
@@ -53,18 +79,32 @@ let create ?(origin = Clock.origin) () =
 let now t = t.now
 let metrics t = t.m
 
-let enqueue t ~holds time run =
-  let time = max time t.now in
-  t.seq <- t.seq + 1;
-  let key = (time, t.seq) in
+let enqueue_key t ~holds key run =
   t.queue <- Q.add key { holds; run } t.queue;
   if holds then t.holding <- t.holding + 1;
   Obs.Metrics.Gauge.set_max t.g_max_queue (float_of_int (Q.cardinal t.queue));
   key
 
+let enqueue t ~holds time run =
+  let time = max time t.now in
+  t.seq <- t.seq + 1;
+  enqueue_key t ~holds (time, Rank.Local t.seq) run
+
 let at t ?(holds = true) time f =
   Obs.Metrics.Counter.incr t.c_scheduled;
   ignore (enqueue t ~holds time f)
+
+let at_msg t ?(holds = true) ~origin ~n ~dup time f =
+  Obs.Metrics.Counter.incr t.c_scheduled;
+  let time = max time t.now in
+  (* the (origin, n, dup) stamp is unique for network traffic; raw
+     harness messages that collide (same origin, reused counter) step
+     the dup lane rather than silently replacing the earlier entry *)
+  let rec free dup =
+    let key = (time, Rank.Msg { origin; n; dup }) in
+    if Q.mem key t.queue then free (dup + 1) else key
+  in
+  ignore (enqueue_key t ~holds (free dup) f)
 
 let cancellable t ?(holds = true) time f =
   Obs.Metrics.Counter.incr t.c_scheduled;

@@ -20,6 +20,23 @@ open Xchange_obs
 
 type t
 
+(** Tie-break order within one instant.  [Local] occurrences carry the
+    timeline's own sequence numbers; message deliveries are ranked by
+    the sender-stamped message identity [(origin host, per-origin
+    sequence, duplicate lane)] instead, which is computable on whatever
+    timeline the sender runs.  This is what makes the sharded parallel
+    scheduler ({!Partition}) bit-identical to the sequential run: the
+    merged delivery order depends only on the stamps, never on which
+    queue an occurrence waited in.  At equal time, every [Local]
+    occurrence runs before every [Msg] delivery. *)
+module Rank : sig
+  type t =
+    | Local of int
+    | Msg of { origin : string; n : int; dup : int }
+
+  val compare : t -> t -> int
+end
+
 type stats = {
   mutable scheduled : int;  (** one-shot occurrences ever enqueued *)
   mutable executed : int;  (** occurrences run (including ticker firings) *)
@@ -40,6 +57,15 @@ val at : t -> ?holds:bool -> Clock.time -> (Clock.time -> unit) -> unit
     receives the clock value at execution.  [holds] (default [true])
     marks the occurrence as outstanding communication for {!pending} /
     {!next_holding}. *)
+
+val at_msg :
+  t -> ?holds:bool -> origin:string -> n:int -> dup:int -> Clock.time -> (Clock.time -> unit) -> unit
+(** Schedule a message delivery, ranked by its sender stamp (see
+    {!Rank}).  [dup] is 0 for the original copy, 1 for a fault-injected
+    ghost.  If the exact [(time, origin, n, dup)] slot is already taken
+    (only possible for raw harness messages that reuse a counter), the
+    delivery steps to the next free [dup] lane instead of replacing the
+    earlier entry. *)
 
 val after : t -> ?holds:bool -> Clock.span -> (Clock.time -> unit) -> unit
 (** [after t span f] = [at t (now t + span) f]. *)

@@ -21,11 +21,14 @@ type faults = {
 let no_faults =
   { drop = (fun _ -> false); duplicate = (fun _ -> false); jitter = (fun _ -> 0) }
 
-(* A deterministic per-message coin: hash (seed, msg_id, salt) into
-   [0, 1).  Different salts give independent coins for drop / dup /
-   jitter decisions on the same message. *)
+(* A deterministic per-message coin: hash (seed, origin, msg_id, salt)
+   into [0, 1).  Different salts give independent coins for drop / dup /
+   jitter decisions on the same message.  The message identity is
+   [(from_host, msg_id)] — a per-origin stamp, not a global allocation
+   order — so the same message draws the same coins whether the
+   simulation runs on one timeline or sharded across domains. *)
 let coin ~seed ~salt (m : Message.t) =
-  let h = Hashtbl.hash (seed, m.Message.msg_id, salt) in
+  let h = Hashtbl.hash (seed, m.Message.from_host, m.Message.msg_id, salt) in
   float_of_int (h land 0xFFFF) /. 65536.
 
 let fault_profile ?(seed = 0) ?(drop_rate = 0.) ?(dup_rate = 0.) ?(max_jitter = 0) () =
@@ -49,16 +52,21 @@ type counters = {
   c_duplicated : Obs.Metrics.Counter.t;
 }
 
+type handoff = Message.t -> dup:int -> at:Clock.time -> release:(unit -> unit) -> bool
+
 type t = {
   sched : Sched.t;
   lat : from:string -> to_:string -> Clock.span;
   faults : faults;
   mutable deliver : Message.t -> unit;
+  mutable handoff : handoff option;
   m : Obs.Metrics.t;
   c : counters;
   record : bool;
   mutable log : Message.t list;  (** newest first *)
-  mutable in_flight : int;
+  in_flight : int Atomic.t;
+      (** outstanding scheduled deliveries; atomic because a
+          cross-partition copy is released on the destination's domain *)
 }
 
 let default_latency ~from:_ ~to_:_ = Clock.ms 5
@@ -72,6 +80,7 @@ let create ~sched ?(latency = default_latency) ?(drop = fun _ -> false) ?(faults
       lat = latency;
       faults = { faults with drop = (fun m -> faults.drop m || drop m) };
       deliver = (fun m -> invalid_arg (Fmt.str "Transport: no delivery callback for %a" Message.pp m));
+      handoff = None;
       m;
       c =
         {
@@ -86,13 +95,14 @@ let create ~sched ?(latency = default_latency) ?(drop = fun _ -> false) ?(faults
         };
       record;
       log = [];
-      in_flight = 0;
+      in_flight = Atomic.make 0;
     }
   in
-  Obs.Metrics.gauge_fn m "transport.in_flight" (fun () -> float_of_int t.in_flight);
+  Obs.Metrics.gauge_fn m "transport.in_flight" (fun () -> float_of_int (Atomic.get t.in_flight));
   t
 
 let on_deliver t f = t.deliver <- f
+let on_handoff t f = t.handoff <- Some f
 
 let body_kind (m : Message.t) =
   match m.Message.body with
@@ -111,13 +121,25 @@ let account t (m : Message.t) =
   | Message.Response _ -> Obs.Metrics.Counter.incr t.c.c_responses
   | Message.Update _ -> Obs.Metrics.Counter.incr t.c.c_updates
 
-let schedule_delivery t ?(span = 0) m at =
-  t.in_flight <- t.in_flight + 1;
-  Sched.at t.sched at (fun _now ->
-      t.in_flight <- t.in_flight - 1;
-      (* the delivery occurrence runs under the span that sent the
-         message: the causal link across in-flight time *)
-      Obs.Trace.run_under span (fun () -> t.deliver m))
+(* Put one delivery of [m] on the destination timeline [t.sched] at
+   [at], ranked by the message's sender stamp. *)
+let inject t (m : Message.t) ~dup ~at ~release =
+  Sched.at_msg t.sched ~origin:m.Message.from_host ~n:m.Message.msg_id ~dup at (fun _now ->
+      release ();
+      t.deliver m)
+
+let schedule_delivery t ?(span = 0) ~dup m at =
+  Atomic.incr t.in_flight;
+  let release () = Atomic.decr t.in_flight in
+  let taken =
+    match t.handoff with None -> false | Some h -> h m ~dup ~at ~release
+  in
+  if not taken then
+    Sched.at_msg t.sched ~origin:m.Message.from_host ~n:m.Message.msg_id ~dup at (fun _now ->
+        release ();
+        (* the delivery occurrence runs under the span that sent the
+           message: the causal link across in-flight time *)
+        Obs.Trace.run_under span (fun () -> t.deliver m))
 
 let send t (m : Message.t) =
   account t m;
@@ -143,15 +165,15 @@ let send t (m : Message.t) =
     let deliver_at =
       Clock.add departs (t.lat ~from:m.Message.from_host ~to_:m.Message.to_host + t.faults.jitter m)
     in
-    schedule_delivery t ~span m deliver_at;
+    schedule_delivery t ~span ~dup:0 m deliver_at;
     if t.faults.duplicate m then begin
       Obs.Metrics.Counter.incr t.c.c_duplicated;
       (* the ghost copy trails the original by at least one instant *)
-      schedule_delivery t ~span m (Clock.add deliver_at (1 + t.faults.jitter m))
+      schedule_delivery t ~span ~dup:1 m (Clock.add deliver_at (1 + t.faults.jitter m))
     end
   end
 
-let pending t = t.in_flight
+let pending t = Atomic.get t.in_flight
 let metrics t = t.m
 
 let stats t =
@@ -165,6 +187,31 @@ let stats t =
     dropped = Obs.Metrics.Counter.value t.c.c_dropped;
     duplicated = Obs.Metrics.Counter.value t.c.c_duplicated;
   }
+
+let merge_stats l =
+  List.fold_left
+    (fun a (b : stats) ->
+      {
+        messages = a.messages + b.messages;
+        bytes = a.bytes + b.bytes;
+        events = a.events + b.events;
+        gets = a.gets + b.gets;
+        responses = a.responses + b.responses;
+        updates = a.updates + b.updates;
+        dropped = a.dropped + b.dropped;
+        duplicated = a.duplicated + b.duplicated;
+      })
+    {
+      messages = 0;
+      bytes = 0;
+      events = 0;
+      gets = 0;
+      responses = 0;
+      updates = 0;
+      dropped = 0;
+      duplicated = 0;
+    }
+    l
 
 let latency t ~from ~to_ = t.lat ~from ~to_
 let trace t = List.rev t.log

@@ -490,6 +490,11 @@ let test_absence_compensates_message_loss () =
 
 let test_deterministic_replay () =
   let build () =
+    (* replay from the same initial state: event-id lanes are allocated
+       from a process-global well at node creation, and ids appear in
+       serialized envelopes (hence in transport.bytes) *)
+    Event.reset_ids ();
+    Message.reset_ids ();
     let rules =
       Ruleset.make
         ~rules:
