@@ -65,8 +65,11 @@ let contains s sub =
   m = 0 || go 0
 
 let is_time_gate key =
-  (contains key "indexed" || contains key "cached" || contains key "plan")
-  && (Filename.check_suffix key "_ms" || contains key "us_per_event")
+  ((contains key "indexed" || contains key "cached" || contains key "plan")
+  && (Filename.check_suffix key "_ms" || contains key "us_per_event"))
+  (* WAL throughput phases (BENCH_wal.json): append / decode / physical
+     redo / end-to-end node recovery are all hot durability paths *)
+  || List.mem key [ "append_ms"; "decode_ms"; "replay_ms"; "recover_ms" ]
 
 let is_prune_gate key = key = "fingerprint_pruned" || key = "arity_pruned"
 let is_candidates_gate key = key = "candidates_per_publish"

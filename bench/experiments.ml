@@ -10,6 +10,7 @@ open Util
 let host_ops store sent =
   {
     Action.update = (fun u -> Result.map fst (Store.apply store u));
+    txn_update = (fun u -> Result.map fst (Store.apply store u));
     send = (fun ~recipient ~label ~ttl:_ ~delay:_ payload -> sent := (recipient, label, payload) :: !sent);
     log = (fun _ -> ());
     now = (fun () -> 0);

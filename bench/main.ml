@@ -13,7 +13,8 @@
      dune exec bench/main.exe pubsub     # subscription-index publish benchmarks
      dune exec bench/main.exe rules      # cross-rule sharing (alpha network) benchmarks
      dune exec bench/main.exe par        # multicore scale-out (sharded scheduler) benchmarks
-     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub+rules+par smoke (runs in `dune runtest`)
+     dune exec bench/main.exe wal        # durability (WAL append/replay/recovery) benchmarks
+     dune exec bench/main.exe --smoke    # fast index+sched+event+query+pubsub+rules+par+wal smoke (runs in `dune runtest`)
 *)
 
 let () =
@@ -27,7 +28,8 @@ let () =
     Query_bench.run ~smoke:true ();
     Pubsub_bench.run ~smoke:true ();
     Rules_bench.run ~smoke:true ();
-    Par_bench.run ~smoke:true ()
+    Par_bench.run ~smoke:true ();
+    Wal_bench.run ~smoke:true ()
   end
   else begin
     let wanted name = args = [] || List.mem name args in
@@ -42,5 +44,6 @@ let () =
     if wanted "pubsub" then Pubsub_bench.run ~smoke:false ();
     if wanted "rules" then Rules_bench.run ~smoke:false ();
     if wanted "par" then Par_bench.run ~smoke:false ();
+    if wanted "wal" then Wal_bench.run ~smoke:false ();
     if wanted "micro" then Micro.run ()
   end

@@ -19,6 +19,7 @@ open Xchange
 let null_ops =
   {
     Action.update = (fun _ -> Ok 0);
+    txn_update = (fun _ -> Ok 0);
     send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
     log = (fun _ -> ());
     now = (fun () -> 0);

@@ -9,6 +9,7 @@ module Escape = struct
   let no_subindex = disabled "XCHANGE_NO_SUBINDEX"
   let no_share = disabled "XCHANGE_NO_SHARE"
   let no_par = disabled "XCHANGE_NO_PAR"
+  let no_wal = disabled "XCHANGE_NO_WAL"
 
   (* [XCHANGE_DOMAINS=n] is not a hatch but the same read-once
      discipline applies: a network sized mid-run would tear its
@@ -33,6 +34,9 @@ module Escape = struct
       ( "XCHANGE_NO_PAR",
         no_par,
         "single-timeline sequential scheduler instead of sharded domains" );
+      ( "XCHANGE_NO_WAL",
+        no_wal,
+        "volatile nodes (no write-ahead log, snapshots, or recovery)" );
     ]
 end
 

@@ -38,6 +38,14 @@ module Escape : sig
       [XCHANGE_DOMAINS] — the differential oracle for the sharded
       multicore scheduler. *)
 
+  val no_wal : bool
+  (** [XCHANGE_NO_WAL=1]: create every node without a write-ahead log.
+      Non-crash behaviour is identical (the WAL is an output, never an
+      input, of normal processing); a crashed node then recovers
+      amnesic — empty store, fresh engine — instead of replaying.  The
+      hatch exists so the whole suite can demonstrate that durability
+      machinery never changes live semantics. *)
+
   val domains : int option
   (** [XCHANGE_DOMAINS=n]: default domain count for networks created
       without an explicit [~domains] (read once at program start;

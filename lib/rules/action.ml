@@ -33,6 +33,7 @@ let with_update_doc u doc =
 
 type ops = {
   update : update -> (int, string) result;
+  txn_update : update -> (int, string) result;
   send :
     recipient:string -> label:string -> ttl:Clock.span option -> delay:Clock.span option ->
     Term.t -> unit;
@@ -98,6 +99,42 @@ let rec conditions = function
   | Nop | Fail _ | Log _ | Insert _ | Delete _ | Replace _ | Create_doc _ | Delete_doc _
   | Rdf_assert _ | Rdf_retract _ | Raise _ | Call _ ->
       []
+
+let rec atomic_blocks = function
+  | Atomic ts as a -> a :: List.concat_map atomic_blocks ts
+  | Seq ts | Alt ts -> List.concat_map atomic_blocks ts
+  | If (_, a, b) -> atomic_blocks a @ atomic_blocks b
+  | Nop | Fail _ | Log _ | Insert _ | Delete _ | Replace _ | Create_doc _ | Delete_doc _
+  | Rdf_assert _ | Rdf_retract _ | Raise _ | Call _ ->
+      []
+
+let const_doc = function Builtin.O_const (Term.Text s) -> Some s | _ -> None
+
+let update_targets ?resolve action =
+  let visited = ref [] in
+  let rec go acc = function
+    | Insert { doc; _ }
+    | Delete { doc; _ }
+    | Replace { doc; _ }
+    | Create_doc { doc; _ }
+    | Delete_doc { doc }
+    | Rdf_assert { doc; _ }
+    | Rdf_retract { doc; _ } -> (
+        match const_doc doc with Some d -> d :: acc | None -> acc)
+    | Seq ts | Atomic ts | Alt ts -> List.fold_left go acc ts
+    | If (_, a, b) -> go (go acc a) b
+    | Call (name, _) -> (
+        match resolve with
+        | None -> acc
+        | Some resolve ->
+            if List.mem name !visited then acc
+            else begin
+              visited := name :: !visited;
+              match resolve name with None -> acc | Some proc -> go acc proc.body
+            end)
+    | Nop | Fail _ | Log _ | Raise _ -> acc
+  in
+  List.rev (go [] action)
 
 type outcome = { updates : int; events_sent : int }
 
@@ -223,6 +260,11 @@ let rec exec ~env ~ops ~procs ~subst ~answers action =
       let tx_ops =
         {
           ops with
+          (* inside the transaction, mutations go through the host's
+             transactional capability — which may reject targets it
+             cannot roll back (a remote node's store) — and sends are
+             buffered until commit *)
+          update = ops.txn_update;
           send =
             (fun ~recipient ~label ~ttl ~delay payload ->
               buffered := (recipient, label, ttl, delay, payload) :: !buffered);

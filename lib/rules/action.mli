@@ -42,6 +42,12 @@ val with_update_doc : update -> string -> update
 type ops = {
   update : update -> (int, string) result;
       (** apply a mutation; returns the number of nodes affected *)
+  txn_update : update -> (int, string) result;
+      (** apply a mutation {e inside} an [Atomic] block.  Hosts that can
+          undo everything this touches may reuse [update]; hosts that
+          cannot — a Web node asked to mutate a {e remote} store — must
+          reject here, failing the transaction instead of committing an
+          un-rollbackable effect. *)
   send :
     recipient:string -> label:string -> ttl:Clock.span option -> delay:Clock.span option ->
     Term.t -> unit;
@@ -118,6 +124,19 @@ val conditions : t -> Condition.t list
 (** Every condition embedded in the action ([If] branches, recursively
     through compounds) — the static inputs the Web substrate must be
     able to prefetch for. *)
+
+val atomic_blocks : t -> t list
+(** Every [Atomic] sub-term, recursively (nested blocks are listed on
+    their own as well as inside their parent). *)
+
+val update_targets : ?resolve:(string -> proc option) -> t -> string list
+(** The constant document operands of every update primitive in the
+    action, in syntactic order.  With [resolve], [Call]s are followed
+    into procedure bodies (each procedure at most once, so mutual
+    recursion terminates).  Variable targets are not — cannot be —
+    reported; this is the static half of transaction validation
+    ({!Xchange_rules}' ruleset check), the dynamic half being
+    {!ops.txn_update}. *)
 
 (** {1 Execution} *)
 

@@ -75,6 +75,44 @@ let dup_names names =
   in
   find sorted
 
+(* Mirrors the Web layer's [Uri.host] (this library sits below it in
+   the stack): an update target addresses a remote store iff it has a
+   host part — everything up to the first '/' after an optional
+   scheme. *)
+let host_of target =
+  let stripped =
+    match String.index_opt target ':' with
+    | Some i
+      when i + 2 < String.length target
+           && target.[i + 1] = '/'
+           && target.[i + 2] = '/' ->
+        String.sub target (i + 3) (String.length target - i - 3)
+    | _ -> target
+  in
+  match String.index_opt stripped '/' with
+  | Some i -> String.sub stripped 0 i
+  | None -> stripped
+
+let check_atomic_hosts ~where ~resolve ~note action =
+  List.iter
+    (fun block ->
+      let hosts =
+        Action.update_targets ~resolve block
+        |> List.map host_of
+        |> List.filter (fun h -> h <> "")
+        |> List.sort_uniq String.compare
+      in
+      match hosts with
+      | _ :: _ :: _ ->
+          note
+            (Fmt.str
+               "%s: transactional block updates stores on several nodes (%s) — \
+                cross-node atomicity is not available"
+               where
+               (String.concat ", " hosts))
+      | _ -> ())
+    (Action.atomic_blocks action)
+
 let validate set =
   let problems = ref [] in
   let note msg = problems := msg :: !problems in
@@ -86,6 +124,7 @@ let validate set =
     (match dup_names (List.map fst set.procedures) with
     | Some n -> note (Fmt.str "duplicate procedure name %S in rule set %s" n set.name)
     | None -> ());
+    let resolve = lookup_procedure chain in
     List.iter
       (fun rule ->
         List.iter
@@ -96,7 +135,10 @@ let validate set =
                   note
                     (Fmt.str "rule %s in set %s calls unknown procedure %s" rule.Eca.name
                        set.name proc))
-              (called_procedures action))
+              (called_procedures action);
+            check_atomic_hosts
+              ~where:(Fmt.str "rule %s in set %s" rule.Eca.name set.name)
+              ~resolve ~note action)
           (rule_actions rule))
       set.rules;
     (* procedure bodies may call procedures too *)
@@ -108,7 +150,10 @@ let validate set =
               note
                 (Fmt.str "procedure %s in set %s calls unknown procedure %s" pname set.name
                    callee))
-          (called_procedures proc.Action.body))
+          (called_procedures proc.Action.body);
+        check_atomic_hosts
+          ~where:(Fmt.str "procedure %s in set %s" pname set.name)
+          ~resolve ~note proc.Action.body)
       set.procedures;
     List.iter (check chain) set.children
   in

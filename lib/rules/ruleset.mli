@@ -58,4 +58,10 @@ val rule_count : t -> int
 
 val validate : t -> (unit, string) result
 (** Rejects duplicate rule names within one set, duplicate procedure
-    names within one set, and calls to procedures that resolve nowhere. *)
+    names within one set, calls to procedures that resolve nowhere,
+    and transactional ([Atomic]) blocks whose constant update targets
+    name stores on more than one host (following procedure calls
+    through the block's scope) — a transaction spanning nodes cannot
+    be made atomic, so it is a static error rather than a silent
+    at-most-partial commit.  Variable targets escape this check and
+    are caught at run time by {!Action.ops.txn_update}. *)

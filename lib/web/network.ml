@@ -69,6 +69,13 @@ type part = {
   c_fallback_misses : Obs.Metrics.Counter.t;
   deadlines : (string, Clock.time) Hashtbl.t;
       (** earliest engine-deadline occurrence queued per host *)
+  down : (string, Message.t Queue.t) Hashtbl.t;
+      (** crashed hosts and the messages that arrived at their door while
+          they were down: the network infrastructure survives a node
+          crash, so nothing addressed to a dead host is lost — it is
+          redelivered on recovery *)
+  c_crashes : Obs.Metrics.Counter.t;
+  c_recoveries : Obs.Metrics.Counter.t;
 }
 
 type t = {
@@ -334,6 +341,8 @@ let with_remote_snapshot t (p : part) (n : Node.t) deps process =
    heartbeat.  Non-holding: an armed timer alone does not keep
    [run_until_quiet] going (exactly like tickers). *)
 let rec advance_node t (p : part) (n : Node.t) time =
+  if Hashtbl.mem p.down (Node.host n) then () (* a dead node has no clock *)
+  else
   let deps = cross_deps t n (Engine.clocked_remote_resources (Node.engine n)) in
   with_remote_snapshot t p n deps (fun () ->
       let ctx = part_context p n in
@@ -365,6 +374,9 @@ let schedule_engine_deadline t (p : part) (n : Node.t) =
   | Some due -> schedule_deadline t p n due
 
 let deliver t (p : part) (m : Message.t) =
+  match Hashtbl.find_opt p.down m.Message.to_host with
+  | Some q -> Queue.push m q (* host is down: held at the door until recovery *)
+  | None ->
   match Hashtbl.find_opt p.nodes m.Message.to_host with
   | None -> () (* undeliverable: dropped, like the real Web *)
   | Some n ->
@@ -399,7 +411,8 @@ let deliver t (p : part) (m : Message.t) =
           Obs.Metrics.Counter.incr cells.hc_updates_in;
           let deps = cross_deps t n (Engine.remote_resources (Node.engine n)) in
           with_remote_snapshot t p n deps (fun () ->
-              ignore (Node.receive_update n ctx ~from:m.Message.from_host u);
+              ignore
+                (Node.receive_update n ctx ~from:m.Message.from_host ~msg_id:m.Message.msg_id u);
               schedule_engine_deadline t p n));
       Obs.Trace.end_span span ~vt:(Sched.now p.sched)
 
@@ -425,6 +438,9 @@ let create ?latency ?drop ?faults ?record ?(fetch_policy = default_fetch_policy)
           c_remote_fetches = Obs.Metrics.counter m "net.remote_fetches";
           c_fallback_misses = Obs.Metrics.counter m "net.fallback_misses";
           deadlines = Hashtbl.create 8;
+          down = Hashtbl.create 4;
+          c_crashes = Obs.Metrics.counter m "net.crashes";
+          c_recoveries = Obs.Metrics.counter m "net.recoveries";
         })
   in
   let rings =
@@ -469,6 +485,53 @@ let add_node_exn t node =
   match add_node t node with
   | Ok () -> ()
   | Error e -> invalid_arg ("Network.add_node: " ^ e)
+
+(* Fault injection: kill a host's node process at a deterministic
+   virtual time and (optionally) bring it back up later.  Both
+   occurrences run on the owner partition's timeline, so crash/restart
+   interleaves with deliveries identically across sequential and
+   sharded runs.  Holding occurrences: a pending recovery keeps
+   [run_until_quiet] going. *)
+let schedule_crash t ~host ~at ?recover_at () =
+  match node t host with
+  | None -> invalid_arg ("Network.schedule_crash: unknown host " ^ host)
+  | Some n ->
+      (match recover_at with
+      | Some rt when rt <= at ->
+          invalid_arg "Network.schedule_crash: recover_at must be after at"
+      | _ -> ());
+      let p = part_of t host in
+      Sched.at p.sched ~holds:true at (fun _now ->
+          if not (Hashtbl.mem p.down host) then begin
+            Hashtbl.replace p.down host (Queue.create ());
+            Obs.Metrics.Counter.incr p.c_crashes;
+            (* queued deadline occurrences for this host die with it;
+               recovery re-arms from the rebuilt engine *)
+            Hashtbl.remove p.deadlines host;
+            Node.crash n
+          end);
+      match recover_at with
+      | None -> ()
+      | Some rt ->
+          Sched.at p.sched ~holds:true rt (fun _now ->
+              match Hashtbl.find_opt p.down host with
+              | None -> ()
+              | Some held ->
+                  Hashtbl.remove p.down host;
+                  Obs.Metrics.Counter.incr p.c_recoveries;
+                  (match Node.recover n (part_context p n) with
+                  | Ok _ -> ()
+                  | Error _ -> () (* recovery problems are on the node's error list *));
+                  (* the messages the Web held at the door while the host
+                     was down arrive now, in their original order *)
+                  Queue.iter (fun m -> deliver t p m) held;
+                  schedule_engine_deadline t p n)
+
+let crashes t =
+  Array.fold_left (fun acc p -> acc + Obs.Metrics.Counter.value p.c_crashes) 0 t.parts
+
+let recoveries t =
+  Array.fold_left (fun acc p -> acc + Obs.Metrics.Counter.value p.c_recoveries) 0 t.parts
 
 (* Whole-system snapshot: every partition's scheduler, transport, and
    network registries, plus every node's store and engine, stamped with

@@ -212,6 +212,28 @@ val run_until_quiet : t -> ?limit:Clock.time -> unit -> Clock.time
 
 val quiescent : t -> bool
 
+(** {1 Crash injection}
+
+    The durability counterpart of the transport's fault profile: a node
+    process is killed at a deterministic virtual time and later reboots
+    and recovers from its write-ahead log ({!Node.recover}).  The
+    network infrastructure survives the crash — in-flight messages keep
+    flying, and messages reaching a dead host are held at its door and
+    redelivered on recovery, in order.  Under [XCHANGE_NO_WAL] (or for
+    [durable:false] nodes) the same schedule exercises amnesic reboot
+    instead. *)
+
+val schedule_crash :
+  t -> host:string -> at:Clock.time -> ?recover_at:Clock.time -> unit -> unit
+(** Kill [host] at virtual time [at]; with [recover_at] (strictly after
+    [at]), reboot and recover it then.  Without [recover_at] the host
+    stays down.  Both occurrences hold {!run_until_quiet} open and run
+    on the host's own partition timeline, so crash interleaving is
+    bit-identical across sequential and sharded runs. *)
+
+val crashes : t -> int
+val recoveries : t -> int
+
 (** {1 Partitioning observability} *)
 
 val window_rounds : t -> int

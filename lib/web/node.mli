@@ -29,18 +29,29 @@ val create :
   ?horizon:Clock.span ->
   ?accept_rules:bool ->
   ?accept_updates:bool ->
+  ?durable:bool ->
+  ?snapshot_every:int ->
   host:string ->
   Ruleset.t ->
   (t, string) result
 (** [accept_rules] opts in to loading rule sets received as events
     (Thesis 11); [accept_updates] opts in to applying update requests
     from remote nodes (Thesis 8).  Both default to [false] — the open
-    Web is an uncontrolled place (Thesis 12). *)
+    Web is an uncontrolled place (Thesis 12).
+
+    [durable] (default [true], overridden to [false] by
+    [XCHANGE_NO_WAL]) gives the node a write-ahead log: every input is
+    logged before processing and a snapshot of the whole volatile state
+    is folded in every [snapshot_every] records (default 256), so
+    {!crash} followed by {!recover} reconstructs the node exactly.
+    [durable:false] nodes are volatile: they recover amnesic. *)
 
 val create_exn :
   ?horizon:Clock.span ->
   ?accept_rules:bool ->
   ?accept_updates:bool ->
+  ?durable:bool ->
+  ?snapshot_every:int ->
   host:string ->
   Ruleset.t ->
   t
@@ -90,10 +101,14 @@ val receive_get :
 (** Answer an HTTP-style GET with a Response message ([kind = Rdf]
     requests are answered with the graph's term encoding). *)
 
-val receive_update : t -> context -> from:string -> Action.update -> Engine.outcome
+val receive_update :
+  t -> context -> from:string -> msg_id:int -> Action.update -> Engine.outcome
 (** Apply an update request from a remote node (rejected, with an error
     recorded, unless the node was created with [accept_updates]); the
-    resulting local [update] events cascade through the engine. *)
+    resulting local [update] events cascade through the engine.  The
+    [(from, msg_id)] pair is the request's identity: an already-applied
+    update is dropped as a duplicate, which makes both at-least-once
+    delivery and post-recovery redelivery safe. *)
 
 val expect_response : t -> req_id:int -> (Term.t option -> Clock.time -> unit) -> unit
 val receive_response : t -> context -> req_id:int -> Term.t option -> unit
@@ -118,5 +133,40 @@ val duplicate_events : t -> int
     (at-least-once delivery made safe by the idempotent receiver). *)
 
 val metrics : t -> Obs.Metrics.t
-(** The node's registry: [node.firings], [node.duplicate_events], and
-    the pull cell [node.rule_errors]. *)
+(** The node's registry: [node.firings], [node.duplicate_events], the
+    pull cell [node.rule_errors], and — for durable nodes — the [wal.*]
+    cells of the node's log. *)
+
+(** {1 Durability (write-ahead log)} *)
+
+val wal : t -> Wal.t option
+(** The node's log; [None] for volatile nodes. *)
+
+val checkpoint : t -> at:Clock.time -> unit
+(** Fold the node's current volatile state into a [Snapshot] record and
+    compact the log (reified-rule-set events are kept: they are engine
+    structure, not snapshot state).  Happens automatically every
+    [snapshot_every] records; explicit calls are for harnesses that want
+    a baseline at a known instant.  No-op on volatile nodes. *)
+
+val crash : t -> unit
+(** Kill the node process: store contents, engine state, logs, errors,
+    pending response handlers, and dedup tables are wiped; the engine
+    reboots on the provisioning-time rule set.  The WAL (the durable
+    medium) and the id-lane counters survive — the latter so an amnesic
+    reboot cannot re-mint ids carried by pre-crash events still in
+    flight.  The network around the node is untouched: crash/restart
+    scheduling is {!Network.schedule_crash}'s job. *)
+
+val recover : t -> context -> (int, string) result
+(** Rebuild the node from its WAL after {!crash}: reload pre-snapshot
+    rule sets, restore the latest snapshot (store, dedup sets, logs,
+    errors, counters), re-prime composite-event state from the
+    snapshot's input tail, then logically replay every logged input
+    after the snapshot — with sends suppressed (the pre-crash messages
+    are already in the surviving network) and the clock pinned to each
+    record's original time, so the rebuilt state is bit-identical to the
+    pre-crash state.  A corrupt log is cut back to its longest valid
+    prefix first; recovery then reconstructs everything up to the last
+    valid record (the documented at-least-once window).  Returns the
+    number of records replayed; [Ok 0] for volatile nodes. *)

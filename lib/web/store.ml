@@ -325,6 +325,32 @@ let rollback t b =
   List.iter (fun (k, v) -> Hashtbl.replace t.graphs k v) b.b_graphs;
   fire t Ch_restore
 
+(* All-or-nothing multi-update (Thesis 10's transactional face at the
+   store level): either every mutation applies — observers then see the
+   per-update changes, in order — or none does and observers see a
+   single [Ch_restore].  Reads between the updates of one batch see the
+   earlier writes (same optimistic discipline as [Action.Atomic]). *)
+let apply_txn t updates =
+  match updates with
+  | [] -> Ok (0, [])
+  | _ ->
+      let b = backup t in
+      let rec go i total notes changed = function
+        | [] ->
+            List.iter (fun u -> fire t (Ch_update u)) (List.rev changed);
+            Ok (total, List.concat (List.rev notes))
+        | u :: rest -> (
+            match apply_update t u with
+            | Ok (n, ns) ->
+                go (i + 1) (total + n) (ns :: notes)
+                  (if n > 0 then u :: changed else changed)
+                  rest
+            | Error e ->
+                rollback t b;
+                Error (Fmt.str "transaction rolled back at update %d: %s" i e))
+      in
+      go 1 0 [] [] updates
+
 let snapshot t =
   let docs =
     List.map
@@ -340,29 +366,46 @@ let snapshot t =
   in
   Term.elem ~ord:Term.Unordered "store" (docs @ graphs)
 
-let restore term =
+(* Parse a snapshot term into its documents and graphs without touching
+   any store, so an in-place load can validate fully before wiping. *)
+let parse_snapshot term =
   match term with
   | Term.Elem { Term.label = "store"; children; _ } ->
-      let t = create () in
-      let rec load = function
-        | [] -> Ok t
+      let rec load docs graphs = function
+        | [] -> Ok (List.rev docs, List.rev graphs)
         | Term.Elem { Term.label = "document"; attrs; children = [ d ]; _ } :: rest -> (
             match List.assoc_opt "name" attrs with
-            | Some name ->
-                add_doc t name d;
-                load rest
+            | Some name -> load ((name, d) :: docs) graphs rest
             | None -> Error "document snapshot lacks a name")
         | Term.Elem { Term.label = "graph"; attrs; children = [ g ]; _ } :: rest -> (
             match (List.assoc_opt "name" attrs, Rdf.graph_of_term g) with
-            | Some name, Ok graph ->
-                add_rdf t name graph;
-                load rest
+            | Some name, Ok graph -> load docs ((name, graph) :: graphs) rest
             | None, _ -> Error "graph snapshot lacks a name"
             | _, Error e -> Error e)
         | other :: _ -> Error (Fmt.str "unexpected snapshot entry: %a" Term.pp other)
       in
-      load children
+      load [] [] children
   | _ -> Error (Fmt.str "not a store snapshot: %a" Term.pp term)
+
+(* In-place restore (recovery): replace the whole contents with the
+   snapshot's.  Validates first — a bad snapshot leaves the store
+   untouched.  Observers see one [Ch_restore], like [rollback]. *)
+let load_snapshot t term =
+  match parse_snapshot term with
+  | Error _ as e -> e
+  | Ok (docs, graphs) ->
+      Obs.Metrics.Counter.incr ~by:(Hashtbl.length t.indexes) t.c_index_invalidations;
+      Hashtbl.reset t.indexes;
+      Hashtbl.reset t.docs;
+      Hashtbl.reset t.graphs;
+      List.iter (fun (name, d) -> Hashtbl.replace t.docs name (Identity.assign d)) docs;
+      List.iter (fun (name, g) -> Hashtbl.replace t.graphs name g) graphs;
+      fire t Ch_restore;
+      Ok ()
+
+let restore term =
+  let t = create () in
+  match load_snapshot t term with Ok () -> Ok t | Error e -> Error e
 
 let fresh_watch t state =
   t.next_watch <- t.next_watch + 1;

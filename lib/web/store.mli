@@ -52,6 +52,15 @@ val apply : t -> Action.update -> (int * notification list, string) result
 (** Applies a primitive update; the count is the number of affected
     nodes/triples, with one notification per touched document. *)
 
+val apply_txn : t -> Action.update list -> (int * notification list, string) result
+(** All-or-nothing multi-update (the store face of Thesis 10's
+    transactional updates): applies the mutations in order; reads
+    between them see the earlier writes (optimistic execution); the
+    first failure rolls the whole store back to its pre-transaction
+    state and reports which update failed.  Observers see the
+    individual [Ch_update]s only after the batch commits, or a single
+    [Ch_restore] on abort.  [apply_txn t []] is a no-op [Ok (0, [])]. *)
+
 val replace_at : t -> doc:string -> Path.t -> Term.t -> (unit, string) result
 (** Positional single-node replace (used by hosts that edit documents
     directly, e.g. the polling producer of E3 and the identity
@@ -152,6 +161,16 @@ val snapshot : t -> Term.t
 val restore : Term.t -> (t, string) result
 (** [restore (snapshot s)] has the same documents and graphs as [s]
     (fresh surrogate ids). *)
+
+val load_snapshot : t -> Term.t -> (unit, string) result
+(** In-place {!restore} into an existing store (crash recovery: the
+    node record and every reference to its store survive, only the
+    contents are replaced).  The snapshot is validated before anything
+    is wiped — on [Error] the store is untouched.  Observers see one
+    [Ch_restore]; watches keep their registrations (surrogate watches
+    will report [`Lost]: recovered elements carry fresh surrogate ids —
+    identity does not survive a crash, which is exactly what the two
+    watch modes of Thesis 10 distinguish). *)
 
 (** {1 Watches — Thesis 10} *)
 

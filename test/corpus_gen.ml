@@ -1,0 +1,78 @@
+(* Regenerates the committed WAL corruption corpus under test/corpus/.
+
+   The corpus pins the on-wire frame format: if the codec changes
+   incompatibly, the pins in Test_wal fail and the corpus must be
+   regenerated *deliberately* (and the format break called out):
+
+     dune exec test/corpus_gen.exe -- test/corpus
+
+   Every byte written here is deterministic. *)
+
+open Xchange
+
+let base_records =
+  [
+    Wal.Event
+      (Event.make ~id:1 ~sender:"src.example" ~recipient:"mid.example" ~received_at:15
+         ~occurred_at:10 ~label:"order"
+         (Term.elem "order"
+            [ Term.elem "item" [ Term.text "ball" ]; Term.elem "qty" [ Term.int 2 ] ]));
+    Wal.Update
+      (Action.U_insert
+         {
+           doc = "/orders";
+           selector = [];
+           at = None;
+           content = Term.elem "row" [ Term.text "ball" ];
+         });
+    Wal.Remote_update
+      {
+        from = "src.example";
+        msg_id = 7;
+        at = 20;
+        update =
+          Action.U_replace
+            {
+              doc = "/status";
+              selector = [ (Path.Child, Path.Tag "state") ];
+              content = Term.elem "state" [ Term.text "shipped" ];
+            };
+      };
+    Wal.Advance 30;
+    Wal.Firing { rule = "take"; at = 30 };
+    Wal.Update (Action.U_delete { doc = "/orders"; selector = [ (Path.Child, Path.Any) ]; pattern = None });
+  ]
+
+let extra_record =
+  Wal.Event
+    (Event.make ~id:2 ~sender:"src.example" ~recipient:"mid.example" ~received_at:40
+       ~occurred_at:35 ~label:"order"
+       (Term.elem "order" [ Term.elem "item" [ Term.text "whistle" ] ]))
+
+let write path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  let log records =
+    let w = Wal.create () in
+    List.iter (Wal.append w) records;
+    Wal.contents w
+  in
+  let base = log base_records in
+  (* valid log: 6 records, Clean *)
+  write (Filename.concat dir "base.wal") base;
+  (* stray bytes shorter than a frame header *)
+  write (Filename.concat dir "truncated_tail.wal") (base ^ "\x05\x00\x00");
+  (* a 7th frame whose header promises more payload than was written *)
+  let with_extra = log (base_records @ [ extra_record ]) in
+  let torn = String.sub with_extra 0 (String.length base + 8 + 11) in
+  write (Filename.concat dir "torn_write.wal") torn;
+  (* one flipped bit inside the last record's payload *)
+  let flipped = Bytes.of_string base in
+  let i = Bytes.length flipped - 2 in
+  Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x40));
+  write (Filename.concat dir "bit_flip.wal") (Bytes.to_string flipped);
+  Printf.printf "corpus written to %s/ (base %d bytes)\n" dir (String.length base)

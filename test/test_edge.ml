@@ -111,6 +111,7 @@ let mk_store_ops () =
   let ops =
     {
       Action.update = (fun u -> Result.map fst (Store.apply store u));
+      txn_update = (fun u -> Result.map fst (Store.apply store u));
       send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
       log = (fun _ -> ());
       now = (fun () -> 0);

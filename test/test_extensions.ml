@@ -178,6 +178,7 @@ let test_remote_update_triggers_rules () =
       ~ops:
         {
           Action.update = (fun _ -> Alcotest.fail "should not reach local store");
+          txn_update = (fun _ -> Alcotest.fail "should not reach local store");
           send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
           log = (fun _ -> ());
           now = (fun () -> 0);
@@ -194,7 +195,7 @@ let test_remote_update_triggers_rules () =
   let msg = Message.make ~from_host:"shop.example" ~to_host:"warehouse.example" ~sent_at:0 (Message.Update u) in
   let ctx_wh = Network.context_for net warehouse in
   ignore msg;
-  ignore (Node.receive_update warehouse ctx_wh ~from:"shop.example" u);
+  ignore (Node.receive_update warehouse ctx_wh ~from:"shop.example" ~msg_id:1 u);
   Alcotest.(check (list string)) "audit rule fired on remote write" [ "ledger touched" ]
     (Node.logs warehouse)
 
@@ -205,7 +206,7 @@ let test_remote_update_rejected_by_default () =
   Network.add_node_exn net closed;
   let u = Action.U_insert { doc = "/d"; selector = []; at = None; content = Term.text "x" } in
   let ctx = Network.context_for net closed in
-  ignore (Node.receive_update closed ctx ~from:"evil.example" u);
+  ignore (Node.receive_update closed ctx ~from:"evil.example" ~msg_id:1 u);
   Alcotest.(check int) "nothing written" 0
     (List.length (Term.children (Option.get (Store.doc (Node.store closed) "/d"))));
   Alcotest.(check bool) "rejection recorded" true (Node.errors closed <> [])

@@ -102,18 +102,17 @@ let test_rules_exchange_then_service () =
 (* ---- accumulation + remote update + atomic, combined ---- *)
 
 let test_metering_pipeline () =
-  (* a meter node aggregates readings (Agg), and atomically records each
-     window both locally and on a remote collector (remote update inside
-     an atomic block) *)
+  (* a meter node aggregates readings (Agg), records each window
+     atomically in its own store, then mirrors it to a remote collector.
+     The mirror update lives outside the atomic block: a remote store
+     cannot take part in a local transaction (txn_update rejects it). *)
   let meter =
     node_of "meter.example"
       {|ruleset meter {
           rule window:
             on avg($V) last 3 {reading{{value[var V]}}} as A
-            do atomic {
-                 insert into "/windows" w[$A];
-                 insert into "collector.example/all-windows" w[from["meter"], avg[$A]]
-               }
+            do { atomic { insert into "/windows" w[$A] };
+                 insert into "collector.example/all-windows" w[from["meter"], avg[$A]] }
         }|}
   in
   let collector = node_exn ~accept_updates:true ~host:"collector.example" (Ruleset.make "c") in

@@ -17,18 +17,20 @@ let harness ?(docs = []) () =
   h
 
 let ops_of h =
+  let apply u =
+    (* route through a Store for full fidelity *)
+    let store = Store.create () in
+    Hashtbl.iter (fun name d -> Store.add_doc store name d) h.docs;
+    match Store.apply store u with
+    | Error e -> Error e
+    | Ok (n, _) ->
+        Hashtbl.reset h.docs;
+        List.iter (fun name -> Hashtbl.replace h.docs name (Option.get (Store.doc store name))) (Store.doc_names store);
+        Ok n
+  in
   {
-    Action.update =
-      (fun u ->
-        (* route through a Store for full fidelity *)
-        let store = Store.create () in
-        Hashtbl.iter (fun name d -> Store.add_doc store name d) h.docs;
-        match Store.apply store u with
-        | Error e -> Error e
-        | Ok (n, _) ->
-            Hashtbl.reset h.docs;
-            List.iter (fun name -> Hashtbl.replace h.docs name (Option.get (Store.doc store name))) (Store.doc_names store);
-            Ok n);
+    Action.update = apply;
+    txn_update = apply;
     send = (fun ~recipient ~label ~ttl:_ ~delay:_ payload -> h.sent <- (recipient, label, payload) :: h.sent);
     log = (fun line -> h.logged <- line :: h.logged);
     now = (fun () -> h.time);
@@ -261,6 +263,7 @@ let test_production_transition_semantics () =
   let ops =
     {
       Action.update = (fun u -> Result.map fst (Store.apply store u));
+      txn_update = (fun u -> Result.map fst (Store.apply store u));
       send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
       log = (fun _ -> incr fired);
       now = (fun () -> 0);

@@ -119,6 +119,7 @@ let engine_harness () =
   let ops =
     {
       Action.update = (fun u -> Result.map fst (Store.apply store u));
+      txn_update = (fun u -> Result.map fst (Store.apply store u));
       send = (fun ~recipient ~label ~ttl:_ ~delay:_ payload -> sent := (recipient, label, payload) :: !sent);
       log = (fun _ -> ());
       now = (fun () -> 0);

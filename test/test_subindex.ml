@@ -137,6 +137,7 @@ let harness () =
   let ops =
     {
       Action.update = (fun u -> Result.map fst (Store.apply store u));
+      txn_update = (fun u -> Result.map fst (Store.apply store u));
       send = (fun ~recipient:_ ~label:_ ~ttl:_ ~delay:_ _ -> ());
       log = (fun _ -> ());
       now = (fun () -> 0);
@@ -291,6 +292,7 @@ let run_pubsub ~attach steps =
   let ops =
     {
       Action.update = (fun u -> Result.map fst (Store.apply store u));
+      txn_update = (fun u -> Result.map fst (Store.apply store u));
       send =
         (fun ~recipient ~label ~ttl:_ ~delay:_ p -> sends := (recipient, label, p) :: !sends);
       log = (fun _ -> ());
