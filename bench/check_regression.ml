@@ -31,6 +31,11 @@
      patterns, not rules — growth beyond 1.5x the baseline (over a
      small floor) means cross-rule sharing degraded back towards
      per-rule evaluation.
+   - the shared-beta work counter ([beta_joins_per_event_shared]):
+     same contract one level up — join pairs probed per event must
+     track distinct composite subtrees, not subscribing rules; growth
+     beyond 1.5x the baseline (over a small floor) means composite
+     join state stopped being shared.
 
    Workload-shape fields (rules/events/nodes/window/...) must match
    exactly: comparing timings of different workloads is meaningless, so
@@ -46,13 +51,14 @@ let floor_us = 20.0
 let floor_pairs = 1000.0
 let floor_candidates = 4.0
 let floor_alpha_evals = 4.0
+let floor_beta_joins = 8.0
 
 let shape_keys =
   [
     "smoke"; "rules"; "events"; "nodes"; "queries"; "repeats"; "keys"; "window";
     "probes"; "orders"; "query"; "dist"; "profile"; "stored_per_child";
     "shape"; "records"; "leaves"; "answers";
-    "subs"; "topics"; "fanout"; "publishes"; "overlap";
+    "subs"; "topics"; "fanout"; "publishes"; "overlap"; "kind";
   ]
 
 let is_count_gate key =
@@ -74,6 +80,7 @@ let is_time_gate key =
 let is_prune_gate key = key = "fingerprint_pruned" || key = "arity_pruned"
 let is_candidates_gate key = key = "candidates_per_publish"
 let is_alpha_gate key = key = "alpha_evals_per_event_shared"
+let is_beta_gate key = key = "beta_joins_per_event_shared"
 
 let floor_of key = if contains key "us_per_event" then floor_us else floor_ms
 
@@ -132,6 +139,13 @@ and field path key bv cv =
     | Some b, Some c when c > tol_count *. Float.max b floor_alpha_evals ->
         fail
           "%s: %.1f alpha evaluations per event vs baseline %.1f (cross-rule sharing degraded?)"
+          path c b
+    | _ -> ())
+  else if is_beta_gate key then (
+    match (num bv, num cv) with
+    | Some b, Some c when c > tol_count *. Float.max b floor_beta_joins ->
+        fail
+          "%s: %.1f join pairs probed per event vs baseline %.1f (composite join sharing degraded?)"
           path c b
     | _ -> ())
   else walk path bv cv

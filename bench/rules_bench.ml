@@ -1,18 +1,24 @@
 (* Cross-rule sharing benchmarks (the perf companion of HACKING.md
-   "Cross-rule sharing"): ruleset-size sweep comparing atomic matcher
-   work with the shared alpha network against per-rule matchers
-   (XCHANGE_NO_SHARE semantics, here [~share:false]).
+   "Cross-rule sharing"): ruleset-size sweeps comparing shared-network
+   work against per-rule evaluation (XCHANGE_NO_SHARE semantics, here
+   [~share:false]) — the alpha network on atomic matcher runs, the beta
+   network on composite join pairs probed.
 
    Two overlap profiles bracket the real-world range: [high] draws every
    rule's event pattern from a small pool (large rule bases are mostly
    variations on few patterns — the Rete assumption), [low] gives every
-   rule its own label so nothing can be shared.  The headline metric is
-   {e atomic matcher runs per event}: with sharing it should track the
-   number of distinct patterns an event can touch (flat in ruleset
-   size), without sharing it tracks the number of subscribed rules.
-   Prints tables and emits machine-readable BENCH_rules.json.  [~smoke]
-   runs a fast subset (wired into `dune runtest`) that additionally
-   checks shared firings equal unshared firings. *)
+   rule its own label so nothing can be shared.  The headline metrics
+   are {e atomic matcher runs per event} (alpha) and {e join pairs
+   probed per event} (beta): with sharing both should track the number
+   of distinct patterns an event can touch (flat in ruleset size),
+   without sharing they track the number of subscribed rules.  The
+   composite sweep gives every rule its own variable names, so sharing
+   only happens through the canonicalization rename.  Prints tables and
+   emits machine-readable BENCH_rules.json.  [~smoke] runs a fast
+   subset (wired into `dune runtest`); every case checks shared firings
+   equal unshared firings, and the full composite sweep additionally
+   asserts the >=20x probe reduction at 10^4 heavily-overlapping
+   rules. *)
 
 open Xchange
 
@@ -110,6 +116,92 @@ let per_event runs m = float_of_int runs /. float_of_int (max m 1)
 let ratio r =
   float_of_int r.runs_unshared /. float_of_int (max r.runs_shared 1)
 
+(* ---- composite sweep: shared beta vs per-rule join pipelines --------- *)
+
+let comp_pool = 16
+
+let comp_rules ~kind ~overlap n =
+  let distinct = match overlap with `High -> comp_pool | `Low -> n in
+  List.init n (fun i ->
+      (* per-rule variable names: sharing must come from the
+         canonicalization rename, never from lexical luck *)
+      let atom l v = Event_query.on ~label:l (Qterm.el "rec" [ Qterm.pos (Qterm.var v) ]) in
+      let q1 = atom (Printf.sprintf "a%d" (i mod distinct)) (Printf.sprintf "L%d" i)
+      and q2 = atom (Printf.sprintf "b%d" (i mod distinct)) (Printf.sprintf "R%d" i) in
+      let on =
+        match kind with
+        | `And -> Event_query.conj [ q1; q2 ]
+        | `Seq -> Event_query.seq [ q1; q2 ]
+      in
+      Eca.make ~name:(Printf.sprintf "r%d" i) ~on Action.Nop)
+
+let comp_events ~overlap ~rules:n m =
+  let distinct = match overlap with `High -> comp_pool | `Low -> n in
+  List.init m (fun j ->
+      let side = if j mod 2 = 0 then "a" else "b" in
+      Event.make ~occurred_at:(j + 1)
+        ~label:(Printf.sprintf "%s%d" side (j / 2 mod distinct))
+        (Term.elem "rec" [ Term.text (Printf.sprintf "v%d" j) ]))
+
+type comp_row = {
+  c_kind : string;
+  c_rules : int;
+  c_overlap : string;
+  c_events : int;
+  c_firings : int;
+  c_nodes : int;  (* distinct shared pipelines *)
+  c_registrations : int;
+  c_hit_rate : float;
+  c_joins_shared : int;  (* join pairs probed over the stream *)
+  c_joins_unshared : int;
+  c_shared_ms : float;
+  c_unshared_ms : float;
+}
+
+let comp_case ~kind ~overlap ~rules:n ~events:m =
+  let ruleset = Ruleset.make ~rules:(comp_rules ~kind ~overlap n) "bench" in
+  let events = comp_events ~overlap ~rules:n m in
+  let run share =
+    let engine = Engine.create_exn ~share ruleset in
+    let fired, ms =
+      Util.time_ms (fun () ->
+          List.fold_left
+            (fun acc ev ->
+              acc
+              + List.length
+                  (Engine.handle_event engine ~env:empty_env ~ops:null_ops ev).Engine.firings)
+            0 events)
+    in
+    (fired, (Engine.join_stats engine).Incremental.pairs_probed, ms, Engine.beta_stats engine)
+  in
+  let fired_s, joins_shared, shared_ms, beta = run true in
+  let fired_u, joins_unshared, unshared_ms, _ = run false in
+  if fired_s <> fired_u then
+    failwith
+      (Printf.sprintf "composite bench: %d shared firings vs %d unshared" fired_s fired_u);
+  let beta = Option.get beta in
+  let hit_rate =
+    let total = beta.Beta.steps + beta.Beta.hits in
+    if total = 0 then 0. else float_of_int beta.Beta.hits /. float_of_int total
+  in
+  {
+    c_kind = (match kind with `And -> "and" | `Seq -> "seq");
+    c_rules = n;
+    c_overlap = (match overlap with `High -> "high" | `Low -> "low");
+    c_events = m;
+    c_firings = fired_u;
+    c_nodes = beta.Beta.distinct_nodes;
+    c_registrations = beta.Beta.registrations;
+    c_hit_rate = hit_rate;
+    c_joins_shared = joins_shared;
+    c_joins_unshared = joins_unshared;
+    c_shared_ms = shared_ms;
+    c_unshared_ms = unshared_ms;
+  }
+
+let comp_ratio r =
+  float_of_int r.c_joins_unshared /. float_of_int (max r.c_joins_shared 1)
+
 (* ---- JSON emission (hand-rolled; no deps) ---- *)
 
 let obj fields = "{" ^ String.concat ", " fields ^ "}"
@@ -147,6 +239,46 @@ let run ~smoke () =
            Util.f1 (ratio r) ^ "x"; Util.f2 r.shared_ms; Util.f2 r.unshared_ms;
          ])
        rows);
+  let comp_rows =
+    Obs.Profile.phase "composite_sweep" (fun () ->
+        List.concat_map
+          (fun n ->
+            List.concat_map
+              (fun kind ->
+                [
+                  comp_case ~kind ~overlap:`High ~rules:n ~events:m;
+                  comp_case ~kind ~overlap:`Low ~rules:n ~events:m;
+                ])
+              [ `Seq; `And ])
+          sizes)
+  in
+  (* the headline claim: at 10^4 heavily-overlapping rules the shared
+     beta network probes at least 20x fewer join pairs per event *)
+  if not smoke then
+    List.iter
+      (fun r ->
+        if r.c_rules >= 10_000 && String.equal r.c_overlap "high" && comp_ratio r < 20. then
+          failwith
+            (Printf.sprintf "composite bench: sharing ratio %.1fx < 20x at %d %s rules"
+               (comp_ratio r) r.c_rules r.c_kind))
+      comp_rows;
+  Util.print_table ~title:"join pairs probed: shared beta vs per-rule pipelines"
+    ~header:
+      [
+        "kind"; "rules"; "overlap"; "events"; "nodes"; "regs"; "hit rate";
+        "joins/ev shared"; "joins/ev unshared"; "ratio"; "shared ms"; "unshared ms";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.c_kind; Util.si r.c_rules; r.c_overlap; string_of_int r.c_events;
+           string_of_int r.c_nodes; Util.si r.c_registrations;
+           Printf.sprintf "%.0f%%" (100. *. r.c_hit_rate);
+           Util.f1 (per_event r.c_joins_shared r.c_events);
+           Util.f1 (per_event r.c_joins_unshared r.c_events);
+           Util.f1 (comp_ratio r) ^ "x"; Util.f2 r.c_shared_ms; Util.f2 r.c_unshared_ms;
+         ])
+       comp_rows);
   let json =
     obj
       [
@@ -166,6 +298,22 @@ let run ~smoke () =
                       ff "unshared_run_ms" r.unshared_ms;
                     ])
                 rows));
+        Printf.sprintf "%S: %s" "composite_sweep"
+          (arr
+             (List.map
+                (fun r ->
+                  obj
+                    [
+                      fs "kind" r.c_kind; fi "rules" r.c_rules; fs "overlap" r.c_overlap;
+                      fi "events" r.c_events; fi "firings" r.c_firings;
+                      fi "distinct_nodes" r.c_nodes; fi "registrations" r.c_registrations;
+                      ff "hit_rate" r.c_hit_rate;
+                      ff "beta_joins_per_event_shared" (per_event r.c_joins_shared r.c_events);
+                      ff "joins_per_event_unshared" (per_event r.c_joins_unshared r.c_events);
+                      ff "sharing_ratio" (comp_ratio r); ff "shared_run_ms" r.c_shared_ms;
+                      ff "unshared_run_ms" r.c_unshared_ms;
+                    ])
+                comp_rows));
         Printf.sprintf "%S: %s" "metrics" (Json.to_string (Obs.Profile.to_json ()));
       ]
   in

@@ -30,7 +30,7 @@ module Escape = struct
         "linear-scan registrations instead of Sub_index discrimination" );
       ( "XCHANGE_NO_SHARE",
         no_share,
-        "per-rule atomic matchers instead of the shared alpha network" );
+        "per-rule matchers and join state instead of the shared alpha/beta networks" );
       ( "XCHANGE_NO_PAR",
         no_par,
         "single-timeline sequential scheduler instead of sharded domains" );

@@ -67,6 +67,7 @@ module Deductive_event = Xchange_event.Deductive_event
 (* rules *)
 module Action = Xchange_rules.Action
 module Alpha = Xchange_rules.Alpha
+module Beta = Xchange_rules.Beta
 module Eca = Xchange_rules.Eca
 module Production = Xchange_rules.Production
 module Derive = Xchange_rules.Derive

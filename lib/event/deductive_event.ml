@@ -72,14 +72,14 @@ let stratify program =
   | r :: _ -> Error (Fmt.str "recursive event derivation: rule %s triggers on its own output" r.name)
   | [] -> order [] [] program
 
-let compile ?horizon ?index ?share ?fresh_id program =
+let compile ?horizon ?index ?share ?share_sub ?fresh_id program =
   match stratify program with
   | Error e -> Error e
   | Ok ordered ->
       let rec build acc = function
         | [] -> Ok { rules = List.rev acc; fresh_id }
         | r :: rest -> (
-            match Incremental.create ?horizon ?index ?share r.trigger with
+            match Incremental.create ?horizon ?index ?share ?share_sub r.trigger with
             | Error e -> Error (Fmt.str "rule %s: %s" r.name e)
             | Ok engine -> build ({ spec = r; engine } :: acc) rest)
       in

@@ -37,14 +37,16 @@ val compile :
   ?horizon:Clock.span ->
   ?index:bool ->
   ?share:(Event_query.atomic -> Incremental.atom_matcher) ->
+  ?share_sub:(ctx:Clock.span option -> Event_query.t -> Incremental.subtree_matcher option) ->
   ?fresh_id:(unit -> int) ->
   program ->
   (t, string) result
 (** Fails on recursive programs (including rules triggered by ["*"]
     wildcard atomic queries, which would always be recursive) and on
-    invalid trigger queries.  [index] and [share] are forwarded to each
-    trigger's {!Incremental.create} (hash-partitioned joins, shared
-    alpha matchers; [index] defaults to true).  [fresh_id] allocates
+    invalid trigger queries.  [index], [share] and [share_sub] are
+    forwarded to each trigger's {!Incremental.create}
+    (hash-partitioned joins, shared alpha matchers, shared beta
+    pipelines; [index] defaults to true).  [fresh_id] allocates
     derived-event ids (typically the owning node's origin lane, see
     {!Event.scoped_id}); defaults to the global [Event] counter. *)
 

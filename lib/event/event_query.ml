@@ -60,11 +60,26 @@ let rec atoms = function
    constraints plus the payload pattern's canonical digest.  The "\x00"
    separators keep (label="ab", sender="") distinct from (label="a",
    sender="b") and option-ness explicit. *)
-let atomic_digest (a : atomic) =
+let atomic_digest_uncached (a : atomic) =
   let opt = function None -> "-" | Some s -> "+" ^ s in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00" [ opt a.label; opt a.sender; Qterm.digest a.pattern ]))
+
+(* memoized like Qterm.digest: registration and resync paths hash the
+   same few atoms over and over; domain-local so sharded schedulers
+   never contend *)
+let atomic_digest_caches : (atomic, string) Lru.t Xchange_core.Domain_local.t =
+  Xchange_core.Domain_local.create (fun () -> Lru.create ~cap:512)
+
+let atomic_digest (a : atomic) =
+  let cache = Xchange_core.Domain_local.get atomic_digest_caches in
+  match Lru.find cache a with
+  | Some d -> d
+  | None ->
+      let d = atomic_digest_uncached a in
+      Lru.add cache a d;
+      d
 
 let rec has_timers = function
   | Atomic _ -> false
@@ -73,6 +88,134 @@ let rec has_timers = function
   | Absent _ -> true
   | Agg spec -> has_timers spec.over
   | Rises spec -> has_timers spec.r_over
+
+let rec has_accumulators = function
+  | Atomic _ -> false
+  | And qs | Or qs | Seq qs -> List.exists has_accumulators qs
+  | Within (q, _) | Times (_, q, _) -> has_accumulators q
+  | Absent (q1, q2, _) -> has_accumulators q1 || has_accumulators q2
+  | Agg _ | Rises _ -> true
+
+(* Canonical variable renaming: variables are numbered by first
+   occurrence in a deterministic traversal (operator structure, then
+   each atomic pattern's syntactic order), so queries equal up to
+   variable names share one canonical form — the unit of cross-rule
+   join-state sharing (the beta network).  Returns the renamed query and
+   the canonical -> original name mapping; the mapping is a bijection,
+   so a subscriber can rename shared answers back without loss. *)
+let canonicalize q =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  let canon v =
+    match Hashtbl.find_opt tbl v with
+    | Some c -> c
+    | None ->
+        let c = Printf.sprintf "v%d" (Hashtbl.length tbl) in
+        Hashtbl.add tbl v c;
+        order := (c, v) :: !order;
+        c
+  in
+  let rec go = function
+    | Atomic a -> Atomic { a with pattern = Qterm.map_vars canon a.pattern }
+    | And qs -> And (go_list qs)
+    | Or qs -> Or (go_list qs)
+    | Seq qs -> Seq (go_list qs)
+    | Within (q, s) -> Within (go q, s)
+    | Absent (q1, q2, s) ->
+        let q1 = go q1 in
+        let q2 = go q2 in
+        Absent (q1, q2, s)
+    | Times (n, q, s) -> Times (n, go q, s)
+    | Agg spec ->
+        let over = go spec.over in
+        Agg { spec with over; var = canon spec.var; bind = canon spec.bind }
+    | Rises spec ->
+        let r_over = go spec.r_over in
+        Rises { spec with r_over; r_var = canon spec.r_var; r_bind = canon spec.r_bind }
+  and go_list qs = List.rev (List.rev_map go qs) (* left-to-right, explicitly *)
+  in
+  let q' = go q in
+  (q', List.rev !order)
+
+(* A composite sub-query's identity for cross-rule sharing (the beta
+   network): digest of the canonicalized (alpha-renamed) form —
+   operators, their temporal parameters, child structure, and the atomic
+   envelopes/patterns — with the enclosing window context [ctx] folded
+   in.  [ctx] decides the internal pruning bounds a node is compiled
+   under, so occurrences below different enclosing windows must not
+   share detection state.  Like {!atomic_digest}, consumers bucketing on
+   it must still verify structural equality within a bucket. *)
+let composite_digest ~ctx q =
+  let q, _ = canonicalize q in
+  let buf = Buffer.create 256 in
+  let c ch = Buffer.add_char buf ch in
+  let s str =
+    Buffer.add_string buf (string_of_int (String.length str));
+    c ':';
+    Buffer.add_string buf str
+  in
+  let i n =
+    Buffer.add_string buf (string_of_int n);
+    c ';'
+  in
+  let rec go = function
+    | Atomic a ->
+        c 'a';
+        s (atomic_digest a)
+    | And qs ->
+        c '&';
+        i (List.length qs);
+        List.iter go qs
+    | Or qs ->
+        c '|';
+        i (List.length qs);
+        List.iter go qs
+    | Seq qs ->
+        c '>';
+        i (List.length qs);
+        List.iter go qs
+    | Within (q, sp) ->
+        c 'w';
+        i sp;
+        go q
+    | Absent (q1, q2, sp) ->
+        c '!';
+        i sp;
+        go q1;
+        go q2
+    | Times (n, q, sp) ->
+        c 'x';
+        i n;
+        i sp;
+        go q
+    | Agg spec ->
+        c 'g';
+        s spec.var;
+        s spec.bind;
+        i spec.window;
+        c
+          (match spec.op with
+          | Construct.Count -> 'c'
+          | Construct.Sum -> 's'
+          | Construct.Avg -> 'a'
+          | Construct.Min -> 'm'
+          | Construct.Max -> 'M');
+        go spec.over
+    | Rises spec ->
+        c 'r';
+        s spec.r_var;
+        s spec.r_bind;
+        i spec.r_window;
+        s (Printf.sprintf "%h" spec.r_ratio);
+        go spec.r_over
+  in
+  go q;
+  (match ctx with
+  | None -> c '-'
+  | Some sp ->
+      c '+';
+      i sp);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* An atomic instance below an unbounded composition must be kept
    forever; below Within/Times/Absent it can be discarded once older

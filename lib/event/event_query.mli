@@ -97,6 +97,33 @@ val has_timers : t -> bool
     timer-driven detections.  Engines use this to skip clock advances on
     queries that cannot need them. *)
 
+val has_accumulators : t -> bool
+(** Whether the query contains an [Agg] or [Rises] operator.  Their
+    group buffers are not reconstructible from detection ids, so the
+    shared beta network ({!Xchange_rules.Beta}) refuses to share
+    subtrees containing them (consumption could not be replayed as an
+    id filter). *)
+
+val canonicalize : t -> t * (string * string) list
+(** Alpha-rename the query into canonical form: variables are numbered
+    [v0], [v1], ... by first occurrence in a deterministic traversal, so
+    queries equal up to variable names yield the {e same} canonical
+    query.  Also returns the canonical -> original name mapping (a
+    bijection; applying it to a canonical answer's bindings restores the
+    original names).  Idempotent on already-canonical queries. *)
+
+val composite_digest : ctx:Clock.span option -> t -> string
+(** Cross-rule sharing key for a composite sub-query (the beta-network
+    analogue of {!atomic_digest}): digest of the {!canonicalize}d form —
+    operators, temporal parameters (windows, repetition counts,
+    aggregate specs), child structure, and atomic envelopes/patterns —
+    with the enclosing window context [ctx] folded in ([ctx] decides the
+    internal pruning bounds a compiled node runs under, so occurrences
+    below different enclosing windows must not share detection state).
+    Alpha-equivalent sub-queries digest equal; consumers bucketing on
+    the digest must still verify structural equality within a bucket
+    (collision safety, exactly as with {!atomic_digest}). *)
+
 val max_window : t -> Clock.span option
 (** An upper bound on how long an atomic instance can remain relevant,
     when one exists: [None] means unbounded (no enclosing window), i.e.

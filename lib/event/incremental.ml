@@ -13,6 +13,8 @@ end)
 
 type atom_matcher = Event.t -> Subst.set
 
+type subtree_matcher = Event.t -> Instance.t list
+
 (* Real payload-matcher executions (same pattern as Plan's work
    counters): the unshared path bumps it on every gated match, the
    shared alpha network only on memo misses — so the counter measures
@@ -48,6 +50,23 @@ and kind =
   | NTimes of int * node * Clock.span
   | NAgg of acc_state
   | NRises of acc_state
+  | NShared of shared_sub
+      (** the whole composite subtree is evaluated by a shared beta node
+          ({!Xchange_rules.Beta}): one join pipeline per distinct
+          (canonicalized) subtree, fanned out to every subscribing rule.
+          Per-rule state shrinks to this projection: the parent-facing
+          store plus consumption bookkeeping — consuming rules filter
+          the shared output against their consumed event ids instead of
+          purging the shared stores (equivalent for the timerless,
+          accumulator-free subtrees the beta network accepts, because
+          their detections are monotone functions of constituent ids). *)
+
+and shared_sub = {
+  sub_matcher : subtree_matcher;
+  consumed : (int, unit) Hashtbl.t;
+      (** event ids this rule consumed; shared detections touching any
+          of them are filtered out of this rule's view *)
+}
 
 and absent_state = {
   a_start : node;
@@ -116,7 +135,8 @@ let envelope_ok (a : Event_query.atomic) (e : Event.t) =
   | Some s -> String.equal s e.Event.sender
   | None -> true
 
-let rec build ?horizon ?share ~index ~ctx ~stored_bound ~key (q : Event_query.t) : node =
+let rec build ?horizon ?share ?share_sub ~index ~ctx ~stored_bound ~key (q : Event_query.t)
+    : node =
   let mk kind bound =
     { store = Istore.create ~key:(if index then key else []); bound; kind }
   in
@@ -136,12 +156,30 @@ let rec build ?horizon ?share ~index ~ctx ~stored_bound ~key (q : Event_query.t)
           List.exists Event_query.has_timers (List.filteri (fun j _ -> j <> i) qs)
         in
         let sb = if sibling_timers then None else ctx in
-        build ?horizon ?share ~index ~ctx ~stored_bound:sb ~key:(List.nth keys i) q)
+        build ?horizon ?share ?share_sub ~index ~ctx ~stored_bound:sb
+          ~key:(List.nth keys i) q)
       qs
   in
   let child ?(key = []) ~ctx ~stored_bound q =
-    build ?horizon ?share ~index ~ctx ~stored_bound ~key q
+    build ?horizon ?share ?share_sub ~index ~ctx ~stored_bound ~key q
   in
+  (* Composite subtrees first consult the shared beta network; it
+     declines (returns [None]) subtrees whose semantics cannot be
+     replayed per rule — timers, accumulators, horizon-incompatible
+     retention — and those fall through to a private compilation.  The
+     hook sees [ctx] because the enclosing window decides the internal
+     pruning bounds the shared pipeline must replicate. *)
+  let try_share () =
+    match (share_sub, q) with
+    | None, _ | _, Event_query.Atomic _ -> None
+    | Some subscribe, _ ->
+        subscribe ~ctx q
+        |> Option.map (fun sub_matcher ->
+               mk (NShared { sub_matcher; consumed = Hashtbl.create 8 }) effective_bound)
+  in
+  match try_share () with
+  | Some node -> node
+  | None -> (
   let compile_atomic (a : Event_query.atomic) : atom_matcher =
     match share with
     | Some subscribe -> subscribe a
@@ -217,7 +255,7 @@ let rec build ?horizon ?share ~index ~ctx ~stored_bound ~key (q : Event_query.t)
              src_vars = Event_query.vars spec.Event_query.r_over;
              groups = KTbl.create 16;
            })
-        effective_bound
+        effective_bound)
 
 (* ---- joins ---------------------------------------------------------- *)
 
@@ -476,6 +514,19 @@ let rec fresh_of ~index node input ~now : Instance.t list =
       | Ev e ->
           matcher e
           |> List.map (fun subst -> Instance.atomic subst (Event.time e) e.Event.id))
+  | NShared st -> (
+      match input with
+      | Now _ ->
+          (* the beta network only shares timerless subtrees, which
+             never produce on a bare clock advance *)
+          []
+      | Ev e ->
+          let out = st.sub_matcher e in
+          if Hashtbl.length st.consumed = 0 then out
+          else
+            List.filter
+              (fun i -> not (List.exists (Hashtbl.mem st.consumed) i.Instance.ids))
+              out)
   | NAnd children -> join_children ~index ~ordered:false children input ~now
   | NSeq children -> join_children ~index ~ordered:true children input ~now
   | NOr children ->
@@ -566,14 +617,17 @@ type t = {
   mutable reported : int;
 }
 
-let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) ?share q =
+let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) ?share
+    ?share_sub q =
   match Event_query.validate q with
   | Error e -> Error e
   | Ok () ->
       Ok
         {
           q;
-          root = build ?horizon ?share ~index ~ctx:None ~stored_bound:(Some 0) ~key:[] q;
+          root =
+            build ?horizon ?share ?share_sub ~index ~ctx:None ~stored_bound:(Some 0)
+              ~key:[] q;
           consume;
           selection;
           index;
@@ -582,16 +636,39 @@ let create ?(consume = false) ?(selection = Each) ?horizon ?(index = true) ?shar
           reported = 0;
         }
 
-let create_exn ?consume ?selection ?horizon ?index ?share q =
-  match create ?consume ?selection ?horizon ?index ?share q with
+let create_exn ?consume ?selection ?horizon ?index ?share ?share_sub q =
+  match create ?consume ?selection ?horizon ?index ?share ?share_sub q with
   | Ok t -> t
   | Error e -> invalid_arg ("Incremental.create: " ^ e)
+
+(* The engine a shared beta node runs internally: compiled below the
+   enclosing-window context [ctx] of the original occurrence so the
+   internal pruning bounds match the private compilation it replaces.
+   No [share_sub]: nesting a shared node inside the pipeline that backs
+   it would recurse through the beta network forever — the pipeline
+   shares atoms (via [share]) and nothing else.  The subtree comes from
+   an already-validated rule query, so validation is skipped. *)
+let create_sub ?horizon ?(index = true) ?share ~ctx q =
+  {
+    q;
+    root = build ?horizon ?share ~index ~ctx ~stored_bound:(Some 0) ~key:[] q;
+    consume = false;
+    selection = Each;
+    index;
+    clock = Clock.origin;
+    seen = 0;
+    reported = 0;
+  }
 
 let rec purge_ids node ids =
   let untouched i = not (List.exists (fun id -> List.mem id ids) i.Instance.ids) in
   Istore.filter_inplace untouched node.store;
   match node.kind with
   | NAtomic _ -> ()
+  | NShared st ->
+      (* never purge the shared pipeline (other subscribers may not
+         consume); remember the ids and filter this rule's view *)
+      List.iter (fun id -> Hashtbl.replace st.consumed id ()) ids
   | NAnd cs | NOr cs | NSeq cs -> List.iter (fun c -> purge_ids c ids) cs
   | NWithin (c, _) -> purge_ids c ids
   | NTimes (_, c, _) -> purge_ids c ids
@@ -654,6 +731,7 @@ let rec count_node node =
   let own = Istore.length node.store in
   match node.kind with
   | NAtomic _ -> own
+  | NShared _ -> own (* the shared pipeline's state is Beta's to report *)
   | NAnd cs | NOr cs | NSeq cs -> List.fold_left (fun acc c -> acc + count_node c) own cs
   | NWithin (c, _) | NTimes (_, c, _) -> own + count_node c
   | NAbsent st -> own + List.length st.pending + count_node st.a_start + count_node st.a_blocker
@@ -694,7 +772,7 @@ let add_join_stats acc store =
 let rec node_join_stats acc node =
   let acc = add_join_stats acc node.store in
   match node.kind with
-  | NAtomic _ -> acc
+  | NAtomic _ | NShared _ -> acc
   | NAnd cs | NOr cs | NSeq cs -> List.fold_left node_join_stats acc cs
   | NWithin (c, _) | NTimes (_, c, _) -> node_join_stats acc c
   | NAbsent st -> node_join_stats (node_join_stats acc st.a_start) st.a_blocker
@@ -720,7 +798,7 @@ let min_opt a b =
 
 let rec node_deadline node =
   match node.kind with
-  | NAtomic _ -> None
+  | NAtomic _ | NShared _ -> None (* shared subtrees are timerless by construction *)
   | NAnd cs | NOr cs | NSeq cs ->
       List.fold_left (fun acc c -> min_opt acc (node_deadline c)) None cs
   | NWithin (c, _) | NTimes (_, c, _) -> node_deadline c

@@ -41,12 +41,24 @@ type atom_matcher = Event.t -> Xchange_query.Subst.set
     its substitutions fanned out — per-rule state (the beta joins'
     {!Istore}s) stays inside each engine. *)
 
+type subtree_matcher = Event.t -> Instance.t list
+(** Evaluation of one {e composite} sub-query against one event: the
+    detection instances the event completes, in the subscriber's own
+    variable names.  [?share_sub] lets the shared beta network
+    ({!Xchange_rules.Beta}) back a whole And/Seq/Times/... subtree with
+    one join pipeline fanned out across rules; a subscribed matcher
+    must behave exactly like the private compilation it replaces (same
+    instances — the shared-beta property suite checks this end to
+    end).  Matchers are only consulted on event feeds: the beta network
+    declines timer-bearing subtrees, so clock advances never produce. *)
+
 val create :
   ?consume:bool ->
   ?selection:selection ->
   ?horizon:Clock.span ->
   ?index:bool ->
   ?share:(Event_query.atomic -> atom_matcher) ->
+  ?share_sub:(ctx:Clock.span option -> Event_query.t -> subtree_matcher option) ->
   Event_query.t ->
   (t, string) result
 (** Compiles the query ({!Event_query.validate} is applied).
@@ -57,6 +69,17 @@ val create :
     instead of the locally-compiled default; it must return matchers
     that behave exactly like the default ones (same substitution sets —
     the shared-alpha property suite checks this end to end).
+
+    [share_sub], when given, is consulted for every {e composite}
+    subtree during compilation, outermost first, with [ctx] the span of
+    the nearest enclosing window operator (it decides internal pruning
+    bounds, so it is part of the sharing key).  [Some matcher] replaces
+    the whole subtree with a thin projection over the shared pipeline —
+    the rule keeps only its parent-facing store and consumption
+    bookkeeping (consumed detections are filtered from the shared
+    output by event id rather than purged from the shared stores);
+    [None] falls through to the private compilation, recursing into
+    children.
 
     [index] (default true) stores partial matches in hash-partitioned,
     time-ordered stores ({!Istore}): [And]/[Seq]/[Times] joins probe
@@ -74,8 +97,26 @@ val create_exn :
   ?horizon:Clock.span ->
   ?index:bool ->
   ?share:(Event_query.atomic -> atom_matcher) ->
+  ?share_sub:(ctx:Clock.span option -> Event_query.t -> subtree_matcher option) ->
   Event_query.t ->
   t
+
+val create_sub :
+  ?horizon:Clock.span ->
+  ?index:bool ->
+  ?share:(Event_query.atomic -> atom_matcher) ->
+  ctx:Clock.span option ->
+  Event_query.t ->
+  t
+(** The pipeline backing one shared beta node: compiled under the
+    enclosing-window context [ctx] of the occurrence it replaces (so
+    internal pruning bounds match the private compilation), [consume]
+    off, [selection = Each] — selection and consumption are per-rule
+    policies and stay in the subscribing engines.  Never takes
+    [share_sub] (a shared node backed by a pipeline that re-enters the
+    beta network would recurse forever); atoms may still be shared via
+    [share].  The caller guarantees the subtree comes from a validated
+    query — no validation is re-run. *)
 
 val feed : t -> Event.t -> Instance.t list
 (** Process one event; returns the detections it (or a deadline at or

@@ -72,6 +72,37 @@ let rec vars_acc ~positive acc = function
 
 let vars q = List.sort_uniq String.compare (vars_acc ~positive:true [] q)
 
+(* Rename every variable occurrence — [Var], [As] binders, label and
+   attribute variables, including those under [Without]/[Opt] — through
+   [f], preserving structure.  Traversal is syntactic (label, then
+   attributes in list order, then children in order), so a renaming
+   function allocating names on first use produces a deterministic
+   canonical form (the beta network's alpha-renaming). *)
+let rec map_vars f = function
+  | Var v -> Var (f v)
+  | As (v, q) -> As (f v, map_vars f q)
+  | Leaf _ as q -> q
+  | Desc q -> Desc (map_vars f q)
+  | El e ->
+      let label =
+        match e.label with L_var v -> L_var (f v) | (L _ | L_any) as l -> l
+      in
+      let attrs =
+        List.map
+          (fun (k, ap) ->
+            (k, match ap with A_var v -> A_var (f v) | (A_is _ | A_any) as a -> a))
+          e.attrs
+      in
+      let children =
+        List.map
+          (function
+            | Pos q -> Pos (map_vars f q)
+            | Without q -> Without (map_vars f q)
+            | Opt q -> Opt (map_vars f q))
+          e.children
+      in
+      El { e with label; attrs; children }
+
 (* [matches_anywhere (Desc q)] and [matches_anywhere q] deliver the same
    answer set (the unions over all subterms coincide), so outer [Desc]
    wrappers can be peeled before looking for an anchor. *)
@@ -193,10 +224,26 @@ let encode buf q =
   in
   go q
 
-let digest q =
+let digest_uncached q =
   let buf = Buffer.create 128 in
   encode buf q;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Digests are recomputed per alpha/beta registration and per Sub_index
+   resync for the same handful of hot patterns; memoize the first
+   computation.  Domain-local LRUs (the Simulate plan-cache idiom) so
+   sharded schedulers never contend on a shared table. *)
+let digest_caches : (t, string) Lru.t Xchange_core.Domain_local.t =
+  Xchange_core.Domain_local.create (fun () -> Lru.create ~cap:512)
+
+let digest q =
+  let cache = Xchange_core.Domain_local.get digest_caches in
+  match Lru.find cache q with
+  | Some d -> d
+  | None ->
+      let d = digest_uncached q in
+      Lru.add cache q d;
+      d
 
 let validate q =
   let problems = ref [] in

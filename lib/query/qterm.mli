@@ -97,6 +97,15 @@ val vars : t -> string list
     stay unbound), excluding variables occurring only under [Without]
     (which never export bindings).  Sorted, duplicate-free. *)
 
+val map_vars : (string -> string) -> t -> t
+(** Rename every variable occurrence ([Var], [As] binders, label and
+    attribute variables — including those under [Without] and [Opt])
+    through the function, preserving structure.  Traversal is syntactic
+    (label, then attributes in list order, then children in order), so a
+    renaming function that allocates names on first use yields a
+    deterministic canonical form — the alpha-renaming the shared beta
+    network ({!Xchange_rules.Beta}) keys composite sub-queries by. *)
+
 val digest : t -> string
 (** Canonical structural digest (hex, fixed width): equal query terms —
     up to attribute order, which has no matching semantics — yield equal
@@ -105,7 +114,9 @@ val digest : t -> string
     bindings join), so alpha-equivalent patterns do {b not} share.  Used
     by the shared alpha network ({!Xchange_rules.Alpha}) to key atomic
     event matchers; consumers bucketing on it must still verify
-    structural equality inside a bucket (collision safety). *)
+    structural equality inside a bucket (collision safety).  Memoized in
+    a domain-local LRU — hot registration/resync paths hit the cache
+    after the first computation. *)
 
 val validate : t -> (unit, string) result
 (** Static sanity checks: regexes compile; [Without] patterns do not

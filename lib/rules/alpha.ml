@@ -1,42 +1,47 @@
 (* Shared alpha network: one memoizing matcher per distinct atomic
    event query, fanned out to every subscribing rule.  See alpha.mli
-   for the contract; the invariants maintained here:
+   for the contract.  Bucketing, refcounts and shedding live in
+   {!Node_bucket} (shared with the beta network); the invariants kept
+   here:
 
-   - a node is reachable from exactly one digest bucket, and a bucket
-     holds only nodes with that digest (structural equality decides
-     within the bucket, so digest collisions cost duplication of work,
-     never wrong answers);
-   - [refs] counts live handles; a node is shed the moment the count
-     reaches zero, and its bucket with it when it empties (rule removal
-     must not leak matchers — pinned by test_alpha);
    - the memo caches pure (pattern, payload) results keyed by event id,
-     so serving from it is indistinguishable from re-evaluating. *)
+     so serving from it is indistinguishable from re-evaluating;
+   - the memo is a bounded LRU: a burst of fresh event ids past the cap
+     evicts only the coldest entries, so the warm ids of an engine
+     batch keep hitting (pinned by test_alpha's retention test — the
+     old reset-on-cap wipe discarded them all). *)
 
 open Xchange_query
 open Xchange_event
 open Xchange_obs
 
-(* Bounded per-node memo: within one engine batch an event reaches its
-   subscribers back to back, so a handful of entries suffice; the cap
-   only matters when event derivation interleaves many fresh ids.
-   Resetting (not evicting) on overflow is fine — the memo is a pure
-   cache. *)
+(* Within one engine batch an event reaches its subscribers back to
+   back, so a handful of entries suffice; the cap only matters when
+   event derivation interleaves many fresh ids. *)
 let memo_cap = 64
 
 type node = {
   atom : Event_query.atomic;
   key : string;  (* digest, = the bucket this node lives in *)
   payload_matches : Xchange_data.Term.t -> Subst.set;
-  memo : (int, Subst.set) Hashtbl.t;  (* event id -> substitutions *)
+  memo : (int, Subst.set) Lru.t;  (* event id -> substitutions *)
   mutable refs : int;  (* live handles; 0 = released, node is dead *)
 }
 
 type handle = node
 
+module Net = Node_bucket.Make (struct
+  type t = node
+  type key = Event_query.atomic
+
+  let equal atom n = n.atom = atom
+  let bucket n = n.key
+  let refs n = n.refs
+  let set_refs n r = n.refs <- r
+end)
+
 type t = {
-  buckets : (string, node list) Hashtbl.t;
-  digest : Event_query.atomic -> string;
-  mutable registrations : int;
+  net : Net.t;
   mutable evaluations : int;
   mutable hits : int;
   mutable fanout : int;
@@ -44,25 +49,18 @@ type t = {
 
 let enabled () = not Xchange_core.Escape.no_share
 
-let distinct_nodes t = Hashtbl.fold (fun _ ns acc -> acc + List.length ns) t.buckets 0
+let distinct_nodes t = Net.distinct t.net
 
 let create ?metrics ?(digest = Event_query.atomic_digest) () =
   let t =
-    {
-      buckets = Hashtbl.create 64;
-      digest;
-      registrations = 0;
-      evaluations = 0;
-      hits = 0;
-      fanout = 0;
-    }
+    { net = Net.create ~name:"Alpha" ~digest; evaluations = 0; hits = 0; fanout = 0 }
   in
   (match metrics with
   | None -> ()
   | Some m ->
       Obs.Metrics.gauge_fn m "alpha.nodes" (fun () -> float_of_int (distinct_nodes t));
       Obs.Metrics.gauge_fn m "alpha.registrations" (fun () ->
-          float_of_int t.registrations);
+          float_of_int (Net.registrations t.net));
       Obs.Metrics.counter_fn m "alpha.evaluations" (fun () -> t.evaluations);
       Obs.Metrics.counter_fn m "alpha.hits" (fun () -> t.hits);
       Obs.Metrics.counter_fn m "alpha.fanout" (fun () -> t.fanout));
@@ -74,43 +72,24 @@ let compile_payload (a : Event_query.atomic) =
   | None -> fun payload -> Simulate.matches a.Event_query.pattern payload
 
 let register t atom =
-  let key = t.digest atom in
-  let nodes = Option.value ~default:[] (Hashtbl.find_opt t.buckets key) in
-  t.registrations <- t.registrations + 1;
-  match List.find_opt (fun n -> n.atom = atom) nodes with
-  | Some n ->
-      n.refs <- n.refs + 1;
-      n
-  | None ->
-      let n =
-        {
-          atom;
-          key;
-          payload_matches = compile_payload atom;
-          memo = Hashtbl.create 8;
-          refs = 1;
-        }
-      in
-      Hashtbl.replace t.buckets key (n :: nodes);
-      n
+  fst
+    (Net.register t.net atom ~build:(fun ~digest ->
+         {
+           atom;
+           key = digest;
+           payload_matches = compile_payload atom;
+           memo = Lru.create ~cap:memo_cap;
+           refs = 0;  (* Net.register sets the first reference *)
+         }))
 
-let release t node =
-  if node.refs <= 0 then invalid_arg "Alpha.release: handle already released";
-  node.refs <- node.refs - 1;
-  t.registrations <- t.registrations - 1;
-  if node.refs = 0 then begin
-    let nodes = Option.value ~default:[] (Hashtbl.find_opt t.buckets node.key) in
-    match List.filter (fun n -> n != node) nodes with
-    | [] -> Hashtbl.remove t.buckets node.key
-    | rest -> Hashtbl.replace t.buckets node.key rest
-  end
+let release t node = Net.release t.net node
 
 let matcher t node : Incremental.atom_matcher =
  fun e ->
   if not (Incremental.envelope_ok node.atom e) then []
   else begin
     let substs =
-      match Hashtbl.find_opt node.memo e.Event.id with
+      match Lru.find node.memo e.Event.id with
       | Some r ->
           t.hits <- t.hits + 1;
           r
@@ -118,8 +97,7 @@ let matcher t node : Incremental.atom_matcher =
           t.evaluations <- t.evaluations + 1;
           Incremental.note_atomic_run ();
           let r = node.payload_matches e.Event.payload in
-          if Hashtbl.length node.memo >= memo_cap then Hashtbl.reset node.memo;
-          Hashtbl.add node.memo e.Event.id r;
+          Lru.add node.memo e.Event.id r;
           r
     in
     t.fanout <- t.fanout + List.length substs;
@@ -139,7 +117,7 @@ type stats = {
 let stats t =
   {
     distinct_nodes = distinct_nodes t;
-    registrations = t.registrations;
+    registrations = Net.registrations t.net;
     evaluations = t.evaluations;
     hits = t.hits;
     fanout = t.fanout;

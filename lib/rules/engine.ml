@@ -48,6 +48,10 @@ type t = {
       (** the shared alpha network every rule's atomic matchers (and the
           derivation network's) are registered in; [None] under
           [~share:false] / [XCHANGE_NO_SHARE=1] *)
+  beta : Beta.t option;
+      (** the shared beta network every rule's composite subtrees (and
+          the derivation network's) register in; same lifecycle and
+          hatch as [alpha] *)
   derivation : Deductive_event.t;
   index : bool;
   subindex : bool;  (** as requested at [create] (kept for {!load_ruleset}) *)
@@ -65,6 +69,7 @@ type t = {
 let join_stats t =
   Incremental.sum_join_stats
     (Deductive_event.join_stats t.derivation
+    :: (match t.beta with Some b -> Beta.join_stats b | None -> Incremental.zero_join_stats)
     :: Array.to_list (Array.map (fun cr -> Incremental.join_stats cr.engine) t.compiled))
 
 let total_condition_evaluations t =
@@ -72,6 +77,7 @@ let total_condition_evaluations t =
 
 let live_instances t =
   Array.fold_left (fun acc cr -> acc + Incremental.live_instances cr.engine) 0 t.compiled
+  + match t.beta with Some b -> Beta.live_instances b | None -> 0
 
 let rule_labels rule =
   let atoms = Xchange_event.Event_query.atoms rule.Eca.event in
@@ -132,13 +138,23 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
      is evaluated once per distinct pattern whatever the rule count. *)
   let alpha = if share then Some (Alpha.create ~metrics:m ()) else None in
   let share_hook = Option.map Alpha.subscribe alpha in
+  (* One beta network per engine: every rule's composite subtrees — and
+     the derivation network's — register in it, so an event is joined
+     once per distinct subtree whatever the rule count.  Its pipelines
+     share atoms through the same alpha network. *)
+  let beta =
+    if share then
+      Some (Beta.create ~metrics:m ?horizon ~index ?share_atoms:share_hook ())
+    else None
+  in
+  let share_sub_hook = Option.map Beta.subscribe beta in
   let* compiled =
     List.fold_left
       (fun acc (qualified, scope, rule) ->
         let* acc = acc in
         match
           Incremental.create ~consume:rule.Eca.consume ~selection:rule.Eca.selection ?horizon
-            ~index ?share:share_hook rule.Eca.event
+            ~index ?share:share_hook ?share_sub:share_sub_hook rule.Eca.event
         with
         | Error e -> Error (Fmt.str "rule %s: %s" qualified e)
         | Ok engine ->
@@ -166,7 +182,8 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
       (Ok ()) (Ruleset.scoped_rules root)
   in
   let* derivation =
-    Deductive_event.compile ?horizon ~index ?share:share_hook ?fresh_id:fresh_event_id
+    Deductive_event.compile ?horizon ~index ?share:share_hook
+      ?share_sub:share_sub_hook ?fresh_id:fresh_event_id
       (Ruleset.all_event_rules root)
   in
   let compiled = Array.of_list (List.rev compiled) in
@@ -234,6 +251,7 @@ let create ?horizon ?(index = true) ?(subindex = Sub_index.enabled ())
       always_bucket = merge_sorted wildcard clocked;
       sub;
       alpha;
+      beta;
       derivation;
       index;
       subindex;
@@ -370,6 +388,9 @@ let handle_event t ~env ~ops event =
           ~name:"event" ~vt:(ops.Action.now ()) ()
       else 0
     in
+    (* one beta memo generation per batch: the first subscriber an
+       event reaches steps the shared pipeline, the rest hit the memo *)
+    Option.iter Beta.begin_batch t.beta;
     let derived = Deductive_event.feed t.derivation event in
     let all_events = event :: derived in
     let candidates = Option.map (fun sub -> event_candidates sub all_events) t.sub in
@@ -429,6 +450,7 @@ let handle_event t ~env ~ops event =
   end
 
 let advance t ~env ~ops time =
+  Option.iter Beta.begin_batch t.beta;
   let derived = Deductive_event.advance_to t.derivation time in
   let acc =
     Array.fold_left
@@ -465,6 +487,8 @@ let index_stats t =
 let dispatch_labels t = Hashtbl.length t.by_label
 let subindex_stats t = Option.map Sub_index.stats t.sub
 let alpha_stats t = Option.map Alpha.stats t.alpha
+let beta_stats t = Option.map Beta.stats t.beta
+let beta_join_stats t = Option.map Beta.join_stats t.beta
 let remote_resources t = t.remote_deps
 let clocked_remote_resources t = t.clocked_remote_deps
 

@@ -46,14 +46,19 @@ val create :
     (property-tested); disable them only for that comparison.
 
     [share] (default: on unless [XCHANGE_NO_SHARE=1]) deduplicates
-    atomic event matchers across the whole rule base through one shared
-    {!Alpha} network: structurally-identical atoms — in ECA rules and
-    event-derivation rules alike — evaluate a given occurrence once and
-    fan the substitutions out to every subscribing rule's joins, so
-    large rule sets with overlapping patterns pay per {e distinct}
-    pattern, not per rule.  Per-rule state (partial matches, windows,
-    consumption) remains private; shared and unshared outcomes are
-    identical (property-tested). *)
+    rule evaluation across the whole rule base through two shared
+    networks.  The {!Alpha} network dedupes atomic event matchers:
+    structurally-identical atoms — in ECA rules and event-derivation
+    rules alike — evaluate a given occurrence once and fan the
+    substitutions out to every subscribing rule, so large rule sets
+    with overlapping patterns pay per {e distinct} pattern, not per
+    rule.  The {!Beta} network dedupes composite join state: rules
+    whose (alpha-renamed) And/Seq/Times subtrees coincide share one
+    join pipeline and one instance store, each event joined once per
+    distinct subtree — per-rule state shrinks to a thin projection
+    (variable renaming, selection, consumption, firing).  Shared and
+    unshared outcomes are identical (property-tested, [test_alpha] /
+    [test_beta]). *)
 
 (** [fresh_event_id] allocates ids for events derived by the engine's
     derivation network (typically the owning node's origin lane, see
@@ -92,7 +97,8 @@ val rule_names : t -> string list
 val stats : t -> (string * Eca.stats) list
 val total_condition_evaluations : t -> int
 val live_instances : t -> int
-(** Stored partial matches across all rules (Thesis 4 memory proxy). *)
+(** Stored partial matches across all rules plus the shared beta
+    pipelines (Thesis 4 memory proxy). *)
 
 val events_seen : t -> int
 
@@ -143,13 +149,15 @@ val metrics : t -> Obs.Metrics.t
     with nested [detect] / [firing] spans per reacting rule. *)
 
 val join_stats : t -> Incremental.join_stats
-(** Join-level counters summed over every compiled rule engine and the
-    event-derivation network: hash-partition probes, candidate pairs
-    enumerated vs skipped, instances pruned by window/horizon retention.
-    [index] also selects the storage mode of these inner engines
-    (hash-partitioned vs nested-loop joins), so comparing [join_stats]
-    across the two modes measures the composite-event hot path in
-    isolation. *)
+(** Join-level counters summed over every compiled rule engine, the
+    event-derivation network and the shared beta pipelines:
+    hash-partition probes, candidate pairs enumerated vs skipped,
+    instances pruned by window/horizon retention.  [index] also selects
+    the storage mode of these inner engines (hash-partitioned vs
+    nested-loop joins), so comparing [join_stats] across the two modes
+    measures the composite-event hot path in isolation — and comparing
+    [pairs_probed] across [~share] modes measures the cross-rule join
+    sharing (BENCH_rules' composite sweep). *)
 
 val dispatch_labels : t -> int
 (** Distinct labels in the dispatch table. *)
@@ -164,3 +172,12 @@ val alpha_stats : t -> Alpha.stats option
     distinct nodes vs registrations (the sharing factor), real
     evaluations vs memo hits (the shared-node hit rate), and fanout.
     Its cells also live in {!metrics} under [alpha.*]. *)
+
+val beta_stats : t -> Beta.stats option
+(** Counters of the shared beta network ([None] under [~share:false]):
+    distinct pipelines vs registrations, real pipeline steps vs memo
+    hits, fanout, and join pairs probed inside shared pipelines.  Its
+    cells also live in {!metrics} under [beta.*]. *)
+
+val beta_join_stats : t -> Incremental.join_stats option
+(** The shared-pipeline share of {!join_stats}, on its own. *)

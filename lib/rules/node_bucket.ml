@@ -1,0 +1,68 @@
+(* Digest-bucketed, refcounted node registry — the bookkeeping shared
+   by the alpha (atomic matchers) and beta (composite join pipelines)
+   networks.  Invariants (pinned by test_alpha / test_beta):
+
+   - a node is reachable from exactly one digest bucket, and a bucket
+     holds only nodes registered under that digest; structural equality
+     ([N.equal]) decides reuse WITHIN a bucket, so digest collisions
+     cost duplicated work, never wrong answers;
+   - [refs] counts live handles; a node is shed the moment the count
+     reaches zero, and its bucket with it when it empties (rule removal
+     must not leak matchers or join state);
+   - releasing an already-released handle raises, with the owning
+     network's name in the message. *)
+
+module type NODE = sig
+  type t
+  type key
+
+  val equal : key -> t -> bool
+  val bucket : t -> string
+  val refs : t -> int
+  val set_refs : t -> int -> unit
+end
+
+module Make (N : NODE) = struct
+  type t = {
+    name : string;
+    digest : N.key -> string;
+    buckets : (string, N.t list) Hashtbl.t;
+    mutable registrations : int;
+  }
+
+  let create ~name ~digest =
+    { name; digest; buckets = Hashtbl.create 64; registrations = 0 }
+
+  let register t key ~build =
+    let d = t.digest key in
+    let nodes = Option.value ~default:[] (Hashtbl.find_opt t.buckets d) in
+    t.registrations <- t.registrations + 1;
+    match List.find_opt (N.equal key) nodes with
+    | Some n ->
+        N.set_refs n (N.refs n + 1);
+        (n, false)
+    | None ->
+        let n = build ~digest:d in
+        N.set_refs n 1;
+        Hashtbl.replace t.buckets d (n :: nodes);
+        (n, true)
+
+  let release t node =
+    if N.refs node <= 0 then
+      invalid_arg (t.name ^ ".release: handle already released");
+    N.set_refs node (N.refs node - 1);
+    t.registrations <- t.registrations - 1;
+    if N.refs node = 0 then begin
+      let d = N.bucket node in
+      let nodes = Option.value ~default:[] (Hashtbl.find_opt t.buckets d) in
+      match List.filter (fun n -> n != node) nodes with
+      | [] -> Hashtbl.remove t.buckets d
+      | rest -> Hashtbl.replace t.buckets d rest
+    end
+
+  let distinct t = Hashtbl.fold (fun _ ns acc -> acc + List.length ns) t.buckets 0
+  let registrations t = t.registrations
+
+  let fold f t acc =
+    Hashtbl.fold (fun _ ns acc -> List.fold_left (fun acc n -> f n acc) acc ns) t.buckets acc
+end

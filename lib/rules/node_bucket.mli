@@ -1,0 +1,57 @@
+(** Digest-bucketed, refcounted node registry — the bookkeeping shared
+    by {!Alpha} (atomic matchers) and {!Beta} (composite join
+    pipelines).
+
+    Nodes are keyed by a digest of their registration key; structural
+    equality ([NODE.equal]) decides reuse {e within} a bucket, so
+    digest collisions only cost duplicated nodes, never wrong answers.
+    Refcounts track live handles: a node is shed the moment its last
+    handle is released, and its bucket with it when it empties — rule
+    removal must not leak matchers or join state. *)
+
+module type NODE = sig
+  type t
+  (** A shared node.  Carries its own refcount and bucket digest so the
+      registry stays a pure container. *)
+
+  type key
+  (** What rules register: the atom or (sub-query, window context)
+      pair a node is built from. *)
+
+  val equal : key -> t -> bool
+  (** Structural equality of a registration key against an existing
+      node — the in-bucket collision guard. *)
+
+  val bucket : t -> string
+  (** The digest the node was registered under. *)
+
+  val refs : t -> int
+  val set_refs : t -> int -> unit
+end
+
+module Make (N : NODE) : sig
+  type t
+
+  val create : name:string -> digest:(N.key -> string) -> t
+  (** [name] prefixes error messages ("Alpha", "Beta"); [digest] is the
+      bucket key function (overridable for collision tests). *)
+
+  val register : t -> N.key -> build:(digest:string -> N.t) -> N.t * bool
+  (** Reuses the node of a structurally-equal key registered before
+      (bumping its refcount), else calls [build] — which must record
+      [digest] as the node's bucket — and adopts the result with one
+      reference.  The boolean is [true] when the node is fresh. *)
+
+  val release : t -> N.t -> unit
+  (** Drop one reference; sheds the node (and its bucket, when empty)
+      at zero.  Raises [Invalid_argument "<name>.release: handle
+      already released"] on a dead handle. *)
+
+  val distinct : t -> int
+  (** Live nodes across all buckets. *)
+
+  val registrations : t -> int
+  (** Live handles; [/ distinct] = sharing factor. *)
+
+  val fold : (N.t -> 'a -> 'a) -> t -> 'a -> 'a
+end

@@ -191,6 +191,26 @@ let test_collision_safety () =
   let (_ : Incremental.atom_matcher) = Alpha.subscribe net (atom ~label:"t" pat_x) in
   Alcotest.(check int) "still two nodes" 2 (Alpha.stats net).Alpha.distinct_nodes
 
+let test_memo_lru_retention () =
+  (* the memo is a bounded LRU: a burst of fresh event ids past the cap
+     evicts only the coldest entries.  The old reset-on-cap wipe
+     discarded the whole table, hot ids included — this pin fails on
+     that implementation *)
+  let net = Alpha.create () in
+  let m = Alpha.subscribe net (atom ~label:"t" pat_x) in
+  let hot = Event.make ~id:1000 ~occurred_at:1 ~label:"t" (Term.elem "p" [ Term.text "v" ]) in
+  ignore (m hot);
+  Alcotest.(check int) "hot id evaluated once" 1 (Alpha.stats net).Alpha.evaluations;
+  (* 100 distinct ids (cap is 64), touching the hot id every 10 *)
+  for i = 1 to 100 do
+    ignore (m (Event.make ~id:i ~occurred_at:2 ~label:"t" (Term.elem "p" [ Term.text "w" ])));
+    if i mod 10 = 0 then ignore (m hot)
+  done;
+  let evals = (Alpha.stats net).Alpha.evaluations in
+  Alcotest.(check int) "each fresh id evaluated exactly once" 101 evals;
+  ignore (m hot);
+  Alcotest.(check int) "hot id survived the burst" evals (Alpha.stats net).Alpha.evaluations
+
 let test_release_sheds_nodes () =
   let net = Alpha.create () in
   let a = atom ~label:"t" pat_x in
@@ -343,6 +363,7 @@ let suite =
       Alcotest.test_case "digest is canonical" `Quick test_digest_canonical;
       Alcotest.test_case "sharing, memo and fanout accounting" `Quick test_sharing_and_fanout;
       Alcotest.test_case "digest collisions stay correct" `Quick test_collision_safety;
+      Alcotest.test_case "memo LRU keeps hot ids past the cap" `Quick test_memo_lru_retention;
       Alcotest.test_case "release sheds shared nodes" `Quick test_release_sheds_nodes;
       Alcotest.test_case "engine shares ECA and derivation atoms" `Quick test_engine_alpha_stats;
       Alcotest.test_case "production condition cache accounting" `Quick
